@@ -1,0 +1,225 @@
+package icoearth
+
+// Ablation benchmarks for the design choices the paper (and DESIGN.md)
+// call out: divergence damping and vertical off-centering in the dycore,
+// the barotropic solver tolerance, the superchip power partition, the
+// fused-vs-concurrent biogeochemistry placement, and halo message
+// aggregation. Run with `go test -bench=Ablate`.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"icoearth/internal/atmos"
+	"icoearth/internal/bgc"
+	"icoearth/internal/exec"
+	"icoearth/internal/grid"
+	"icoearth/internal/machine"
+	"icoearth/internal/ocean"
+	"icoearth/internal/par"
+	"icoearth/internal/vertical"
+)
+
+// BenchmarkAblateDivergenceDamping compares the dycore with and without
+// divergence damping: the damped version keeps the maximum divergence
+// bounded (acoustic noise suppressed) at ~equal cost.
+func BenchmarkAblateDivergenceDamping(b *testing.B) {
+	for _, damp := range []float64{0, 0.02} {
+		b.Run(fmt.Sprintf("divdamp-%g", damp), func(b *testing.B) {
+			var maxDiv float64
+			for i := 0; i < b.N; i++ {
+				g := grid.New(grid.R2B(1))
+				vert := vertical.NewAtmosphere(10, 30000, 300)
+				s := atmos.NewState(g, vert)
+				s.InitBaroclinic(288, 25)
+				dy := atmos.NewDycore(s)
+				dy.DivDamp = damp
+				for n := 0; n < 60; n++ {
+					dy.Step(150)
+				}
+				div := make([]float64, g.NCells)
+				un := make([]float64, g.NEdges)
+				for e := 0; e < g.NEdges; e++ {
+					un[e] = s.Vn[e*s.NLev+s.NLev-1]
+				}
+				g.Divergence(un, div)
+				maxDiv = 0
+				for _, d := range div {
+					maxDiv = math.Max(maxDiv, math.Abs(d))
+				}
+			}
+			b.ReportMetric(maxDiv*1e6, "max-div-1e-6/s")
+		})
+	}
+}
+
+// BenchmarkAblateImplicitWeight compares backward-Euler (1.0) against
+// Crank–Nicolson-like (0.6) off-centering of the vertical solver: the
+// stronger off-centering damps w more.
+func BenchmarkAblateImplicitWeight(b *testing.B) {
+	for _, w := range []float64{0.6, 1.0} {
+		b.Run(fmt.Sprintf("weight-%g", w), func(b *testing.B) {
+			var maxW float64
+			for i := 0; i < b.N; i++ {
+				g := grid.New(grid.R2B(1))
+				vert := vertical.NewAtmosphere(10, 30000, 300)
+				s := atmos.NewState(g, vert)
+				s.InitBaroclinic(288, 30)
+				dy := atmos.NewDycore(s)
+				dy.ImplicitWeight = w
+				for n := 0; n < 50; n++ {
+					dy.Step(150)
+				}
+				maxW = 0
+				for _, v := range s.W {
+					maxW = math.Max(maxW, math.Abs(v))
+				}
+			}
+			b.ReportMetric(maxW, "max|w|-m/s")
+		})
+	}
+}
+
+// BenchmarkAblateCGTolerance sweeps the barotropic solver tolerance: the
+// iteration count (→ global allreduces at scale) versus the residual.
+func BenchmarkAblateCGTolerance(b *testing.B) {
+	g := grid.New(grid.R2B(3))
+	mask := grid.NewMask(g)
+	vert := vertical.NewOcean(8, 4000, 60)
+	s := ocean.NewState(g, mask, vert)
+	s.InitAnalytic()
+	op := ocean.NewBarotropicOp(s, 600)
+	rhs := make([]float64, s.NOcean())
+	for i := range rhs {
+		rhs[i] = math.Sin(float64(i) * 0.013)
+	}
+	for _, tol := range []float64{1e-4, 1e-6, 1e-8, 1e-10} {
+		b.Run(fmt.Sprintf("tol-%.0e", tol), func(b *testing.B) {
+			var st ocean.SolveStats
+			for i := 0; i < b.N; i++ {
+				eta := make([]float64, s.NOcean())
+				var err error
+				st, err = op.Solve(rhs, eta, tol, 5000)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(st.Iterations), "iterations")
+			b.ReportMetric(float64(2*st.Iterations+2), "allreduces")
+		})
+	}
+}
+
+// BenchmarkAblatePowerPartition sweeps the CPU share of the superchip TDP:
+// too much CPU power throttles the memory-bound GPU (§5.1.1: "assigning
+// too many CPU resources to the ocean ... can actually slow down the
+// atmosphere").
+func BenchmarkAblatePowerPartition(b *testing.B) {
+	chip := machine.GH200(680)
+	work := exec.Kernel{Name: "atm", Bytes: 1e9}
+	for _, cpuDraw := range []float64{60, 120, 180, 250} {
+		b.Run(fmt.Sprintf("cpu-%gW", cpuDraw), func(b *testing.B) {
+			var t float64
+			for i := 0; i < b.N; i++ {
+				gpu, _ := chip.NewPair(cpuDraw)
+				gpu.Launch(work)
+				t = gpu.SimTime()
+			}
+			b.ReportMetric(t*1e3, "gpu-kernel-ms")
+			b.ReportMetric(chip.TDP-cpuDraw, "gpu-budget-W")
+		})
+	}
+}
+
+// BenchmarkAblateBGCPlacement compares the fused (CPU, shares ocean
+// transport) and concurrent (own GPU device, pays the 19-tracer field
+// exchange) HAMOCC placements (§5.1).
+func BenchmarkAblateBGCPlacement(b *testing.B) {
+	g := grid.New(grid.R2B(2))
+	mask := grid.NewMask(g)
+	vert := vertical.NewOcean(8, 4000, 60)
+	for _, concurrent := range []bool{false, true} {
+		name := "fused-cpu"
+		if concurrent {
+			name = "concurrent-gpu"
+		}
+		b.Run(name, func(b *testing.B) {
+			oc := ocean.NewState(g, mask, vert)
+			oc.InitAnalytic()
+			dyn := ocean.NewDynamics(oc, 600)
+			f := ocean.NewForcing(oc.NOcean())
+			var dev *exec.Device
+			if concurrent {
+				dev = exec.NewDevice(machine.HopperGPU())
+			} else {
+				dev = exec.NewDevice(machine.GraceCPU())
+			}
+			m := bgc.NewModel(oc, dev)
+			m.Concurrent = concurrent
+			n := oc.NOcean()
+			sw := make([]float64, n)
+			pco2 := make([]float64, n)
+			wind := make([]float64, n)
+			ice := make([]float64, n)
+			for i := range sw {
+				sw[i], pco2[i], wind[i] = 300, 420, 7
+			}
+			if err := dyn.Step(600, f); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Step(600, dyn, sw, pco2, wind, ice)
+			}
+			b.ReportMetric(dev.SimTime()/float64(b.N)*1e3, "bgc-step-ms-simulated")
+		})
+	}
+}
+
+// BenchmarkAblateHaloAggregation compares one message per field against
+// the aggregated multi-field exchange (ICON bundles variables per halo
+// update to amortise latency).
+func BenchmarkAblateHaloAggregation(b *testing.B) {
+	g := grid.New(grid.R2B(3))
+	const nranks = 4
+	const nfields = 8
+	const nlev = 10
+	d, err := grid.Decompose(g, nranks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, aggregated := range []bool{false, true} {
+		name := "per-field"
+		if aggregated {
+			name = "aggregated"
+		}
+		b.Run(name, func(b *testing.B) {
+			var msgs int64
+			for i := 0; i < b.N; i++ {
+				var m0 int64
+				w := par.NewWorld(nranks)
+				w.Run(func(c *par.Comm) {
+					p := d.Parts[c.Rank]
+					h := par.NewHaloExchanger(c, p)
+					fields := make([][]float64, nfields)
+					for f := range fields {
+						fields[f] = make([]float64, (len(p.Owner)+len(p.HaloCells))*nlev)
+					}
+					if aggregated {
+						h.ExchangeMany(fields, nlev)
+					} else {
+						for _, f := range fields {
+							h.Exchange(f, nlev)
+						}
+					}
+					if c.Rank == 0 {
+						m0 = c.Stats.Msgs
+					}
+				})
+				msgs = m0
+			}
+			b.ReportMetric(float64(msgs), "messages-rank0")
+		})
+	}
+}

@@ -1,0 +1,436 @@
+package icoearth
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see the per-experiment index in DESIGN.md). Each benchmark
+// both exercises the real code path at laptop scale and reports the
+// paper-scale projection of the calibrated model as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every number the paper reports (EXPERIMENTS.md records the
+// comparison).
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"icoearth/internal/atmos"
+	"icoearth/internal/config"
+	"icoearth/internal/exec"
+	"icoearth/internal/grid"
+	"icoearth/internal/land"
+	"icoearth/internal/machine"
+	"icoearth/internal/ocean"
+	"icoearth/internal/par"
+	"icoearth/internal/perf"
+	"icoearth/internal/restart"
+	"icoearth/internal/sdfg"
+	"icoearth/internal/vertical"
+)
+
+// BenchmarkTable1TauStar regenerates Table 1: τ and the rescaled τ* of the
+// state-of-the-art systems, with this work's τ from the calibrated model.
+func BenchmarkTable1TauStar(b *testing.B) {
+	var rows []perf.Table1Row
+	for i := 0; i < b.N; i++ {
+		rows = perf.Table1()
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.TauStar, "taustar:"+strings.ReplaceAll(r.Model, " ", "-"))
+	}
+	b.ReportMetric(rows[3].Tau, "tau:this-work")
+}
+
+// BenchmarkTable2DoF regenerates Table 2's degrees-of-freedom accounting.
+func BenchmarkTable2DoF(b *testing.B) {
+	var d10, d1 float64
+	for i := 0; i < b.N; i++ {
+		d10 = config.TenKm().DegreesOfFreedom()
+		d1 = config.OneKm().DegreesOfFreedom()
+	}
+	b.ReportMetric(d10/1e10, "DoF-10km/1e10")
+	b.ReportMetric(d1/1e11, "DoF-1.25km/1e11")
+}
+
+// BenchmarkFigure2StrongScaling10km regenerates the Levante CPU-vs-GPU
+// comparison (Figure 2 left).
+func BenchmarkFigure2StrongScaling10km(b *testing.B) {
+	var series []perf.Series
+	for i := 0; i < b.N; i++ {
+		series = perf.Figure2Left()
+	}
+	// Headline: GH200 ≈2× A100; report the 160-chip ratio.
+	var a100, gh float64
+	for _, p := range series[1].Points {
+		if p.N == 160 {
+			a100 = p.Tau
+		}
+	}
+	for _, p := range series[2].Points {
+		if p.N == 160 {
+			gh = p.Tau
+		}
+	}
+	b.ReportMetric(gh/a100, "GH200/A100@160")
+	b.ReportMetric(gh, "tau:GH200@160chips")
+}
+
+// BenchmarkFigure2Energy regenerates the energy comparison (Figure 2
+// right): ≈4.4× more power on CPUs at matched time-to-solution.
+func BenchmarkFigure2Energy(b *testing.B) {
+	var e perf.EnergyComparison
+	for i := 0; i < b.N; i++ {
+		e = perf.Figure2Energy(160)
+	}
+	b.ReportMetric(e.PowerRatio, "CPU/GPU-power-ratio")
+}
+
+// BenchmarkFigure4StrongScaling1km regenerates Figure 4 (left): the
+// 1.25 km Earth system on JUPITER and Alps.
+func BenchmarkFigure4StrongScaling1km(b *testing.B) {
+	var series []perf.Series
+	for i := 0; i < b.N; i++ {
+		series = perf.Figure4Left()
+	}
+	for _, p := range series[0].Points { // JUPITER
+		b.ReportMetric(p.Tau, fmt.Sprintf("tau:JUPITER@%d", p.N))
+	}
+	for _, p := range series[1].Points {
+		if p.N == 8192 {
+			b.ReportMetric(p.Tau, "tau:Alps@8192")
+		}
+	}
+}
+
+// BenchmarkFigure4StrongScaling10km regenerates Figure 4 (right): the
+// 10 km configuration on JEDI and Alps with the flattening near 512 chips.
+func BenchmarkFigure4StrongScaling10km(b *testing.B) {
+	var series []perf.Series
+	for i := 0; i < b.N; i++ {
+		series = perf.Figure4Right()
+	}
+	alps := series[1]
+	for _, p := range alps.Points {
+		b.ReportMetric(p.Tau, fmt.Sprintf("tau:Alps10km@%d", p.N))
+	}
+}
+
+// BenchmarkLandCUDAGraphs regenerates the §5.1 land speedup: eager
+// launches vs graph replay on two grid sizes (paper: 8–10× depending on
+// grid spacing).
+func BenchmarkLandCUDAGraphs(b *testing.B) {
+	for _, lev := range []int{2, 3} {
+		b.Run(fmt.Sprintf("R2B%d", lev), func(b *testing.B) {
+			g := grid.New(grid.R2B(lev))
+			mask := grid.NewMask(g)
+			f := func(m *land.Model) *land.Forcing {
+				fo := land.NewForcing(m.State.NLand())
+				for i, c := range m.State.Cells {
+					lat, _ := g.CellCenter[c].LatLon()
+					fo.SWDown[i] = 340 * math.Cos(lat) * math.Cos(lat)
+					fo.TAir[i] = 285
+					fo.Precip[i] = 2e-5
+				}
+				return fo
+			}
+			run := func(graphs bool) float64 {
+				dev := exec.NewDevice(machine.HopperGPU())
+				m := land.NewModel(g, mask, dev)
+				m.UseGraph = graphs
+				fo := f(m)
+				for n := 0; n < 5; n++ {
+					m.Step(1800, fo)
+				}
+				return dev.SimTime()
+			}
+			b.ResetTimer()
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				eager := run(false)
+				graph := run(true)
+				speedup = eager / graph
+			}
+			b.ReportMetric(speedup, "graph-speedup")
+		})
+	}
+}
+
+// BenchmarkHeterogeneousMapping regenerates the §5.1 "ocean for free"
+// result: the coupled laptop system under the paper's mapping vs
+// everything serialised on one device, plus the paper-scale wait
+// fractions.
+func BenchmarkHeterogeneousMapping(b *testing.B) {
+	var tauSplit, tauFused float64
+	for i := 0; i < b.N; i++ {
+		// Both variants run without land graph capture so the comparison
+		// isolates the mapping (capture also requires exclusive device
+		// ownership, which the serialised variant does not have).
+		simA, err := NewSimulation(Options{DisableLandGraphs: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := simA.Run(time.Hour); err != nil {
+			b.Fatal(err)
+		}
+		tauSplit = simA.Tau()
+
+		// Serialised mapping: CPU-side work charged to the GPU clock too.
+		simB, err := NewSimulation(Options{DisableLandGraphs: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		simB.ES.CPU = simB.ES.GPU
+		simB.ES.Oc.Dev = simB.ES.GPU
+		simB.ES.Bgc.Dev = simB.ES.GPU
+		if err := simB.Run(time.Hour); err != nil {
+			b.Fatal(err)
+		}
+		tauFused = simB.Tau()
+	}
+	b.ReportMetric(tauSplit/tauFused, "heterogeneous-speedup-laptop")
+	// Paper scale: what serialising the CPU-side work onto the GPUs would
+	// cost at the tightest load-balance point (2048 chips the ocean is
+	// 85% of the atmosphere's step time) and at the hero run.
+	for _, n := range []int{2048, 20480} {
+		r := perf.Project(machine.JUPITER(), config.OneKm(), n)
+		b.ReportMetric((r.GPUStep+r.OceanPerAtmStep)/r.GPUStep,
+			fmt.Sprintf("serialised-penalty@%d", n))
+		if n == 20480 {
+			b.ReportMetric(r.CouplingWaitFrac, "atm-wait-frac@20480")
+		}
+	}
+}
+
+// BenchmarkDaCeVsOpenACC regenerates the §5.2 performance figure: the
+// compiled (DaCe) dycore kernels against the interpreter (directive)
+// baseline, real wall-clock at laptop scale.
+func BenchmarkDaCeVsOpenACC(b *testing.B) {
+	g := grid.New(grid.R2B(3))
+	const nlev = 30
+	kine := make([]float64, g.NEdges*nlev)
+	for i := range kine {
+		kine[i] = math.Sin(float64(i) * 1e-3)
+	}
+	sd, bind, _, err := sdfg.BindEkinh(g, nlev, kine)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := sdfg.Compile(sd, bind)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("directives-interpreter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := sdfg.Interpret(sd, bind); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dace-compiled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.Run()
+		}
+		b.ReportMetric(float64(c.NaiveLookups)/float64(c.HoistedLookups), "index-lookup-reduction")
+	})
+}
+
+// BenchmarkDaCeLoC regenerates the §5.2 lines-of-code accounting.
+func BenchmarkDaCeLoC(b *testing.B) {
+	var r sdfg.LoCReport
+	for i := 0; i < b.N; i++ {
+		r = sdfg.Report(sdfg.EkinhDirectiveSource)
+	}
+	b.ReportMetric(r.Ratio(), "clean/directive-ratio")
+	b.ReportMetric(sdfg.PaperReport().Ratio(), "paper-dycore-ratio")
+}
+
+// BenchmarkSustainedBandwidth regenerates the §5.2 bandwidth figure: the
+// effective DRAM bandwidth per configuration, with the aggregate PiB/s of
+// the hero run.
+func BenchmarkSustainedBandwidth(b *testing.B) {
+	h := machine.HopperGPU()
+	oneKm := config.OneKm()
+	var agg float64
+	for i := 0; i < b.N; i++ {
+		cells := oneKm.AtmosCells() / 20480
+		bytes := cells * 90 * 8 * 4
+		agg = h.EffBandwidth(bytes) * 20480
+	}
+	b.ReportMetric(agg/(1<<50), "aggregate-PiB/s@20480")
+	// Also measure a real device's sustained bandwidth at laptop scale.
+	g := grid.New(grid.R2B(3))
+	vert := vertical.NewAtmosphere(20, 30000, 150)
+	dev := exec.NewDevice(h)
+	m := atmos.NewModel(g, vert, dev)
+	m.State.InitBaroclinic(288, 20)
+	bc := atmos.SurfaceBC{Tsfc: make([]float64, g.NCells), IsWater: make([]bool, g.NCells)}
+	for c := range bc.Tsfc {
+		bc.Tsfc[c] = 288
+	}
+	m.Step(120, bc)
+	b.ReportMetric(dev.SustainedBandwidth()/(1<<40), "laptop-sustained-TiB/s")
+}
+
+// BenchmarkRestartIO regenerates the §7 I/O measurements: real multi-file
+// round-trip at laptop scale plus the projected paper-scale rates.
+func BenchmarkRestartIO(b *testing.B) {
+	sim, err := NewSimulation(Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "icoearth-bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	b.ResetTimer()
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		bytes, err = sim.Checkpoint(dir, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sim.Restore(dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(2 * bytes)
+	fs := restart.JupiterFS()
+	b.ReportMetric(fs.WriteRate(2579)/restart.GiB, "paper-write-GiB/s")
+	b.ReportMetric(fs.ReadRate(2579, true)/restart.GiB, "paper-read-GiB/s")
+}
+
+// BenchmarkTauPracticalLimit regenerates the §4 τ-limit analysis.
+func BenchmarkTauPracticalLimit(b *testing.B) {
+	var pts []perf.TauLimitPoint
+	for i := 0; i < b.N; i++ {
+		pts = perf.TauLimit([]float64{40})
+	}
+	b.ReportMetric(pts[0].Tau, "tau-limit@40km")
+	b.ReportMetric(float64(pts[0].Superchips), "chips@40km")
+}
+
+// BenchmarkCoupledStepWallClock measures the real wall-clock cost of one
+// coupled window at laptop scale (the library's own throughput).
+func BenchmarkCoupledStepWallClock(b *testing.B) {
+	sim, err := NewSimulation(Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sim.ES.StepWindow(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(sim.ES.SimTime()/b.Elapsed().Seconds()/86400*86400, "sim-seconds-per-second")
+}
+
+// BenchmarkOceanSolverScaling measures the distributed CG solver (the
+// ocean's global 2-D system) across rank counts: the allreduce count per
+// solve is the quantity that throttles the ocean at extreme scale (§7).
+func BenchmarkOceanSolverScaling(b *testing.B) {
+	g := grid.New(grid.R2B(3))
+	mask := grid.NewMask(g)
+	vert := vertical.NewOcean(8, 4000, 60)
+	s := ocean.NewState(g, mask, vert)
+	s.InitAnalytic()
+	op := ocean.NewBarotropicOp(s, 600)
+	rhs := make([]float64, s.NOcean())
+	for i := range rhs {
+		rhs[i] = math.Sin(float64(i) * 0.01)
+	}
+	for _, nr := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("ranks-%d", nr), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if nr == 1 {
+					eta := make([]float64, s.NOcean())
+					if _, err := op.Solve(rhs, eta, 1e-8, 4000); err != nil {
+						b.Fatal(err)
+					}
+					continue
+				}
+				d, err := grid.Decompose(g, nr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var allreduces int64
+				w := par.NewWorld(nr)
+				w.Run(func(c *par.Comm) {
+					dc := ocean.NewDistCG(s, 600, d, c)
+					p := d.Parts[c.Rank]
+					nloc := len(p.Owner) + len(p.HaloCells)
+					rhsLoc := make([]float64, nloc)
+					etaLoc := make([]float64, nloc)
+					for li, gc := range p.Owner {
+						if oi := s.CellIndex[gc]; oi >= 0 {
+							rhsLoc[li] = rhs[oi]
+						}
+					}
+					if _, err := dc.Solve(rhsLoc, etaLoc, 1e-8, 4000); err != nil {
+						b.Error(err)
+					}
+					if c.Rank == 0 {
+						allreduces = int64(dc.Allreduces)
+					}
+				})
+				b.ReportMetric(float64(allreduces), "allreduces/solve")
+			}
+		})
+	}
+}
+
+// BenchmarkRealCodeScaling runs the *real* coupled model across grid sizes
+// and reports the simulated-machine τ of each: the laptop-scale
+// counterpart of Figure 4's scaling story, produced by actual kernels on
+// the device model rather than the analytic projection.
+func BenchmarkRealCodeScaling(b *testing.B) {
+	for _, lev := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("R2B%d", lev), func(b *testing.B) {
+			var tau float64
+			for i := 0; i < b.N; i++ {
+				sim, err := NewSimulation(Options{GridLevel: lev})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sim.Run(time.Hour); err != nil {
+					b.Fatal(err)
+				}
+				tau = sim.Tau()
+			}
+			b.ReportMetric(tau, "tau-simulated")
+		})
+	}
+}
+
+// BenchmarkCheckpointScaling measures real multi-file checkpoint write
+// rates across writer counts (the §6.4 writer-subset trade-off at laptop
+// scale).
+func BenchmarkCheckpointScaling(b *testing.B) {
+	sim, err := NewSimulation(Options{GridLevel: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, nfiles := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("files-%d", nfiles), func(b *testing.B) {
+			dir, err := os.MkdirTemp("", "ckpt")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			var n int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n, err = sim.Checkpoint(dir, nfiles)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(n)
+		})
+	}
+}

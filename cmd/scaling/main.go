@@ -1,0 +1,49 @@
+// Command scaling regenerates the paper's scaling figures from the
+// calibrated performance model:
+//
+//	scaling -figure 4left    # 1.25 km strong scaling (JUPITER, Alps, weak-scaling ref)
+//	scaling -figure 4right   # 10 km strong scaling (JEDI, Alps)
+//	scaling -figure 2        # Levante CPU vs GPU + energy comparison
+//	scaling -figure taulimit # §4 practical τ limit vs resolution
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"icoearth/internal/perf"
+)
+
+func main() {
+	log.SetFlags(0)
+	figure := flag.String("figure", "4left", "which figure to regenerate: 4left, 4right, 2, taulimit")
+	flag.Parse()
+
+	switch *figure {
+	case "4left":
+		fmt.Println("Figure 4 (left): strong scaling of the full Earth system at 1.25 km")
+		fmt.Print(perf.FormatSeries(perf.Figure4Left()))
+		fmt.Printf("weak-scaling efficiency over 64× (10 km@Δt=10s → 1.25 km): %.0f%%\n",
+			100*perf.WeakScalingEfficiency(384))
+	case "4right":
+		fmt.Println("Figure 4 (right): strong scaling of the 10 km Earth system")
+		fmt.Print(perf.FormatSeries(perf.Figure4Right()))
+	case "2":
+		fmt.Println("Figure 2 (left): 10 km coupled strong scaling, Levante CPU vs GPU")
+		fmt.Print(perf.FormatSeries(perf.Figure2Left()))
+		e := perf.Figure2Energy(160)
+		fmt.Println("\nFigure 2 (right): power at matched time-to-solution")
+		fmt.Printf("  GPU: %4d A100s      τ=%6.1f  %6.3f MW\n", e.GPUChips, e.GPUTau, e.GPUPowerMW)
+		fmt.Printf("  CPU: %4d nodes      τ=%6.1f  %6.3f MW\n", e.CPUNodes, e.CPUTau, e.CPUPowerMW)
+		fmt.Printf("  CPU/GPU power ratio: %.2f (paper: 4.4)\n", e.PowerRatio)
+	case "taulimit":
+		fmt.Println("§4: practical τ limit per resolution (GPU starvation below ~30k cells/chip)")
+		for _, p := range perf.TauLimit([]float64{5, 10, 20, 40, 80}) {
+			fmt.Printf("  Δx=%5.1f km: %5d superchips minimum, τ ≤ %7.0f\n", p.DxKm, p.Superchips, p.Tau)
+		}
+		fmt.Println("  (paper: τ≈3192 at Δx=40 km on 2.5 GH200 nodes = 10 superchips)")
+	default:
+		log.Fatalf("unknown figure %q", *figure)
+	}
+}

@@ -1,0 +1,44 @@
+// Command tables regenerates the paper's tables:
+//
+//	tables -table 1   # state-of-the-art τ and τ* comparison
+//	tables -table 2   # grid configurations and degrees of freedom
+//	tables -table 3   # the JUPITER and Alps systems
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"icoearth/internal/machine"
+	"icoearth/internal/perf"
+)
+
+func main() {
+	log.SetFlags(0)
+	table := flag.Int("table", 1, "which table to print (1, 2 or 3)")
+	flag.Parse()
+
+	switch *table {
+	case 1:
+		fmt.Println("Table 1: km-scale climate simulations, τ and τ* = (1.25/Δx)³·τ")
+		fmt.Printf("%-10s %8s  %-12s %-22s %8s %8s\n", "model", "Δx/km", "components", "resource", "τ", "τ*")
+		for _, r := range perf.Table1() {
+			fmt.Printf("%-10s %8.2f  %-12s %-22s %8.1f %8.1f\n",
+				r.Model, r.DxKm, r.Components, r.Resource, r.Tau, r.TauStar)
+		}
+	case 2:
+		fmt.Println("Table 2: Earth system model global grid configurations")
+		fmt.Print(perf.Table2Text())
+	case 3:
+		fmt.Println("Table 3: high-performance computing systems")
+		for _, name := range []string{"JUPITER", "Alps"} {
+			s := machine.Systems()[name]
+			fmt.Printf("%-8s: %4d nodes × %d superchips = %5d, TDP %.0f W, %s (%.0f Gbit/s per node)\n",
+				s.Name, s.Nodes, s.SuperchipsPerNode, s.Superchips(), s.Chip.TDP,
+				s.Net.Name, s.Net.InjBandwidthPerNode*8/1e9)
+		}
+	default:
+		log.Fatalf("unknown table %d", *table)
+	}
+}

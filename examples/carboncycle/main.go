@@ -1,0 +1,108 @@
+// Carboncycle reproduces the content of the paper's Figure 5: after
+// spinning the coupled system for a few simulated hours it writes
+// snapshots of surface phytoplankton concentration, near-surface wind
+// speed, and the air–sea/land CO₂ flux as PGM images plus CSV dumps, and
+// prints the global carbon budget the figure illustrates (the flow of
+// carbon between the spheres).
+//
+//	go run ./examples/carboncycle
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"time"
+
+	"icoearth"
+	"icoearth/internal/diag"
+)
+
+func main() {
+	log.SetFlags(0)
+	outDir := "carboncycle_out"
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	sim, err := icoearth.NewSimulation(icoearth.Options{GridLevel: 3, AtmosphereLevels: 8, OceanLevels: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("spinning up the coupled carbon cycle (3 simulated hours)...")
+	if err := sim.Run(3 * time.Hour); err != nil {
+		log.Fatal(err)
+	}
+
+	es := sim.ES
+	g := es.G
+	oc := es.Oc.State
+	ld := es.Land.State
+
+	// --- Panel 1: surface phytoplankton (log scale, as in the paper). ---
+	phyto := make([]float64, g.NCells)
+	for i, c := range oc.Cells {
+		v := es.Bgc.State.SurfacePhytoplankton(i)
+		phyto[c] = math.Log10(math.Max(v, 1e-9))
+	}
+	isOcean := func(c int) bool { return oc.CellIndex[c] >= 0 }
+	rp := diag.Rasterize(g, phyto, isOcean, 360, 180)
+	lo, hi := rp.MinMax()
+	must(rp.WritePGM(outDir+"/phytoplankton.pgm", lo, hi))
+	must(rp.WriteCSV(outDir + "/phytoplankton.csv"))
+
+	// --- Panel 2: near-surface wind speed. ---
+	wind := make([]float64, g.NCells)
+	nlev := es.Atm.State.NLev
+	for c := 0; c < g.NCells; c++ {
+		var ke float64
+		for j, e := range g.CellEdges[c] {
+			v := es.Atm.State.Vn[e*nlev+nlev-1]
+			ke += g.KineticCoeff[c][j] * v * v
+		}
+		wind[c] = math.Sqrt(2 * ke)
+	}
+	rw := diag.Rasterize(g, wind, nil, 360, 180)
+	must(rw.WritePGM(outDir+"/wind.pgm", 0, 20))
+	must(rw.WriteCSV(outDir + "/wind.csv"))
+
+	// --- Panel 3: air–sea / land CO₂ flux (green = uptake in the paper;
+	// here: sign convention positive = carbon leaves the atmosphere). ---
+	flux := make([]float64, g.NCells)
+	for i, c := range oc.Cells {
+		flux[c] = es.Bgc.State.LastCO2Flux[i] // kg CO2/m²/s into ocean
+	}
+	for _, c := range ld.Cells {
+		// Land uptake = −(flux to atmosphere).
+		flux[c] = -es.LandCO2Flux(c)
+	}
+	rf := diag.Rasterize(g, flux, nil, 360, 180)
+	must(rf.WritePGM(outDir+"/co2flux.pgm", -4e-7, 4e-7))
+	must(rf.WriteCSV(outDir + "/co2flux.csv"))
+
+	// --- The budget the figure illustrates. ---
+	var oceanUp, landUp float64
+	for i, c := range oc.Cells {
+		oceanUp += es.Bgc.State.LastCO2Flux[i] * g.CellArea[c]
+	}
+	for _, c := range ld.Cells {
+		landUp += -es.LandCO2Flux(c) * g.CellArea[c]
+	}
+	d := sim.Diagnostics()
+	fmt.Printf("snapshot at %v:\n", d.SimTime)
+	fmt.Printf("  phytoplankton (log10 mol C/m³): range %.2f .. %.2f\n", lo, hi)
+	st := diag.Stats(g, wind, nil)
+	fmt.Printf("  surface wind: mean %.1f m/s, max %.1f m/s\n", st.Mean, st.Max)
+	fmt.Printf("  instantaneous ocean CO₂ uptake: %+.3g kg CO₂/s\n", oceanUp)
+	fmt.Printf("  instantaneous land  CO₂ uptake: %+.3g kg CO₂/s\n", landUp)
+	fmt.Printf("  atmospheric burden: %.1f ppm | total system carbon %.4g kg\n",
+		d.AtmosCO2PPM, d.TotalCarbonKg)
+	fmt.Printf("wrote phytoplankton/wind/co2flux .pgm and .csv into %s/\n", outDir)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module icoearth
+
+go 1.24

@@ -1,0 +1,130 @@
+package icoearth
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestNewSimulationDefaults(t *testing.T) {
+	sim, err := NewSimulation(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.ES == nil {
+		t.Fatal("no earth system")
+	}
+	if sim.SimTime() != 0 || sim.Tau() != 0 {
+		t.Errorf("fresh simulation: simtime %v tau %v", sim.SimTime(), sim.Tau())
+	}
+}
+
+func TestBadOptions(t *testing.T) {
+	if _, err := NewSimulation(Options{GridLevel: 9}); err == nil {
+		t.Error("want error for absurd grid level")
+	}
+}
+
+func TestRunAdvancesAndConserves(t *testing.T) {
+	sim, err := NewSimulation(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0 := sim.Diagnostics()
+	if err := sim.Run(30 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	d1 := sim.Diagnostics()
+	if d1.SimTime < 30*time.Minute {
+		t.Errorf("sim time = %v", d1.SimTime)
+	}
+	if d1.Tau <= 0 {
+		t.Errorf("tau = %v", d1.Tau)
+	}
+	if rel := math.Abs(d1.TotalWaterKg-d0.TotalWaterKg) / d0.TotalWaterKg; rel > 1e-9 {
+		t.Errorf("water drift = %e", rel)
+	}
+	if rel := math.Abs(d1.TotalCarbonKg-d0.TotalCarbonKg) / d0.TotalCarbonKg; rel > 1e-6 {
+		t.Errorf("carbon drift = %e", rel)
+	}
+	// Physical sanity of diagnostics.
+	if d1.AtmosCO2PPM < 200 || d1.AtmosCO2PPM > 800 {
+		t.Errorf("CO2 = %v ppm", d1.AtmosCO2PPM)
+	}
+	if d1.MeanSST < -5 || d1.MeanSST > 35 {
+		t.Errorf("mean SST = %v", d1.MeanSST)
+	}
+	if d1.GPUEnergyJ <= 0 || d1.CPUEnergyJ <= 0 {
+		t.Errorf("energies: %v %v", d1.GPUEnergyJ, d1.CPUEnergyJ)
+	}
+}
+
+func TestCheckpointRestoreBitIdentical(t *testing.T) {
+	opts := Options{}
+	a, err := NewSimulation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Run(20 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	n, err := a.Checkpoint(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatal("nothing written")
+	}
+
+	// Fresh simulation, restored from the checkpoint, must hold an
+	// identical state...
+	b, err := NewSimulation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(dir); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.ES.Atm.State.Rho {
+		if a.ES.Atm.State.Rho[i] != b.ES.Atm.State.Rho[i] {
+			t.Fatalf("rho differs at %d after restore", i)
+		}
+	}
+	for i := range a.ES.Oc.State.Temp {
+		if a.ES.Oc.State.Temp[i] != b.ES.Oc.State.Temp[i] {
+			t.Fatalf("ocean temp differs at %d", i)
+		}
+	}
+	for i := range a.ES.Land.State.Pools {
+		if a.ES.Land.State.Pools[i] != b.ES.Land.State.Pools[i] {
+			t.Fatalf("land pools differ at %d", i)
+		}
+	}
+}
+
+func TestRestoreWrongShapeRejected(t *testing.T) {
+	a, _ := NewSimulation(Options{})
+	dir := t.TempDir()
+	if _, err := a.Checkpoint(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	// A simulation with different vertical resolution must refuse it.
+	b, _ := NewSimulation(Options{AtmosphereLevels: 12})
+	if err := b.Restore(dir); err == nil {
+		t.Error("restore with mismatched shape should fail")
+	}
+}
+
+func TestBGCConcurrentOption(t *testing.T) {
+	sim, err := NewSimulation(Options{BGCConcurrent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(10 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Tau() <= 0 {
+		t.Errorf("tau = %v", sim.Tau())
+	}
+}

@@ -1,0 +1,86 @@
+package atmos
+
+import (
+	"testing"
+
+	"icoearth/internal/grid"
+	"icoearth/internal/vertical"
+)
+
+func benchState(lev int, nlev int) (*State, *Dycore) {
+	g := grid.New(grid.R2B(lev))
+	vert := vertical.NewAtmosphere(nlev, 30000, 200)
+	s := NewState(g, vert)
+	s.InitBaroclinic(288, 25)
+	s.InitTracers()
+	return s, NewDycore(s)
+}
+
+func BenchmarkDycoreStepR2B3(b *testing.B) {
+	s, dy := benchState(3, 20)
+	b.SetBytes(int64(8 * (len(s.Rho)*6 + len(s.Vn)*4)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dy.Step(120)
+	}
+	if err := s.CheckFinite(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkTracerTransport(b *testing.B) {
+	s, dy := benchState(3, 20)
+	rhoOld := make([]float64, len(s.Rho))
+	copy(rhoOld, s.Rho)
+	dy.Step(120)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dy.Transport(120, rhoOld)
+	}
+}
+
+func BenchmarkPhysicsStep(b *testing.B) {
+	s, _ := benchState(3, 20)
+	p := NewPhysics(s)
+	bc := SurfaceBC{Tsfc: make([]float64, s.G.NCells), IsWater: make([]bool, s.G.NCells)}
+	for c := range bc.Tsfc {
+		bc.Tsfc[c] = 290
+		bc.IsWater[c] = true
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step(120, bc)
+	}
+}
+
+func BenchmarkRadiationStep(b *testing.B) {
+	s, _ := benchState(3, 20)
+	r := NewRadiation()
+	bc := SurfaceBC{Tsfc: make([]float64, s.G.NCells)}
+	for c := range bc.Tsfc {
+		bc.Tsfc[c] = 290
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Step(s, 120, bc)
+	}
+}
+
+func BenchmarkVerticalSolve(b *testing.B) {
+	_, dy := benchState(3, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dy.StageVertical(120)
+	}
+}
+
+func BenchmarkShallowWaterStep(b *testing.B) {
+	g := grid.New(grid.R2B(4))
+	s := NewShallowWater(g, 1000)
+	s.InitGaussianBump(0.5, 1.0, 0.3, 10)
+	b.SetBytes(int64(8 * (g.NCells + 2*g.NEdges)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step(10)
+	}
+}

@@ -1,0 +1,401 @@
+package atmos
+
+import (
+	"math"
+
+	"icoearth/internal/sphere"
+)
+
+// Dycore advances the compressible equations with the two-time-level
+// predictor–corrector scheme used by ICON: the horizontal momentum equation
+// is stepped explicitly (predictor with the old Exner pressure, corrector
+// with the time-averaged one), while the vertical acoustic system — w and
+// the Exner response to vertical mass-flux convergence — is solved
+// implicitly per column with the Thomas algorithm. Divergence damping
+// stabilises the acoustic modes, and a Rayleigh sponge damps w near the
+// model top.
+type Dycore struct {
+	S *State
+
+	// DivDamp is the nondimensional divergence damping coefficient
+	// (ICON: ~1/50 per step).
+	DivDamp float64
+	// SpongeLevels is the number of top levels with Rayleigh damping on w.
+	SpongeLevels int
+	// SpongeCoeff is the maximum sponge damping rate (1/s).
+	SpongeCoeff float64
+	// ImplicitWeight is the off-centering of the vertical solver (0.5 =
+	// Crank-Nicolson, 1 = backward Euler).
+	ImplicitWeight float64
+
+	// Perot reconstruction coefficients: for each cell, per edge, the 3-D
+	// vector weight such that u⃗(c) = Σᵢ perot[c][i]·vn(eᵢ).
+	perot [][3]sphere.Vec3
+	// f at edges (Coriolis parameter).
+	fEdge []float64
+
+	// Mass fluxes of the last step, consumed by tracer transport:
+	// MassFluxEdge[e*nlev+k] is the time-centred ρ·vn used in continuity;
+	// MassFluxVert[c*(nlev+1)+k] the implicit ρ·w at interfaces.
+	MassFluxEdge []float64
+	MassFluxVert []float64
+
+	// Scratch.
+	thFluxEdge         []float64 // ρθ flux at edges
+	rhoQ               []float64 // tracer transport workspace (lazily allocated)
+	qFluxEdge          []float64
+	ke                 []float64 // kinetic energy at cells
+	zeta               []float64 // vorticity at vertices per level
+	vt                 []float64 // tangential velocity at edges
+	div                []float64 // divergence scratch (per level, cells)
+	vnPred             []float64
+	exnerNew           []float64
+	thA, thB, thC, thD []float64 // tridiagonal workspace (per column)
+}
+
+// NewDycore builds a dycore for the state with default stabilisation
+// parameters.
+func NewDycore(s *State) *Dycore {
+	g := s.G
+	nlev := s.NLev
+	d := &Dycore{
+		S:              s,
+		DivDamp:        0.02,
+		SpongeLevels:   max(2, nlev/10),
+		SpongeCoeff:    1.0 / 600,
+		ImplicitWeight: 1.0,
+		MassFluxEdge:   make([]float64, g.NEdges*nlev),
+		MassFluxVert:   make([]float64, g.NCells*(nlev+1)),
+		thFluxEdge:     make([]float64, g.NEdges*nlev),
+		ke:             make([]float64, g.NCells*nlev),
+		zeta:           make([]float64, g.NVerts),
+		vt:             make([]float64, g.NEdges*nlev),
+		div:            make([]float64, g.NCells),
+		vnPred:         make([]float64, g.NEdges*nlev),
+		exnerNew:       make([]float64, g.NCells*nlev),
+		thA:            make([]float64, nlev+1),
+		thB:            make([]float64, nlev+1),
+		thC:            make([]float64, nlev+1),
+		thD:            make([]float64, nlev+1),
+	}
+	d.buildPerot()
+	d.fEdge = make([]float64, g.NEdges)
+	for e := range d.fEdge {
+		lat, _ := g.EdgeCenter[e].LatLon()
+		d.fEdge[e] = 2 * Omega * math.Sin(lat)
+	}
+	return d
+}
+
+// buildPerot precomputes the cell-centre vector reconstruction weights
+// (Perot 2000): u⃗(c) = 1/A_c Σ_e o_ce·l_e·vn(e)·R(x̂_e − x̂_c).
+func (d *Dycore) buildPerot() {
+	g := d.S.G
+	d.perot = make([][3]sphere.Vec3, g.NCells)
+	for c := range g.CellEdges {
+		for i, e := range g.CellEdges[c] {
+			w := g.EdgeLength[e] * float64(g.EdgeOrient[c][i]) * sphere.EarthRadius / g.CellArea[c]
+			d.perot[c][i] = g.EdgeCenter[e].Sub(g.CellCenter[c]).Scale(w)
+		}
+	}
+}
+
+// KineticEnergyKernel fills d.ke: the z_ekinh computation of the paper's
+// §5.2 listing, level by level.
+func (d *Dycore) KineticEnergyKernel() {
+	g := d.S.G
+	nlev := d.S.NLev
+	vn := d.S.Vn
+	for c := 0; c < g.NCells; c++ {
+		e0, e1, e2 := g.CellEdges[c][0], g.CellEdges[c][1], g.CellEdges[c][2]
+		w0, w1, w2 := g.KineticCoeff[c][0], g.KineticCoeff[c][1], g.KineticCoeff[c][2]
+		for k := 0; k < nlev; k++ {
+			v0 := vn[e0*nlev+k]
+			v1 := vn[e1*nlev+k]
+			v2 := vn[e2*nlev+k]
+			d.ke[c*nlev+k] = w0*v0*v0 + w1*v1*v1 + w2*v2*v2
+		}
+	}
+}
+
+// TangentialKernel reconstructs cell-centre velocity vectors (Perot) and
+// the tangential wind at edges for level k into d.vt.
+func (d *Dycore) TangentialKernel() {
+	g := d.S.G
+	nlev := d.S.NLev
+	vn := d.S.Vn
+	// Cell vectors per level, stored temporarily.
+	uc := make([]sphere.Vec3, g.NCells)
+	for k := 0; k < nlev; k++ {
+		for c := 0; c < g.NCells; c++ {
+			var u sphere.Vec3
+			for i, e := range g.CellEdges[c] {
+				u = u.Add(d.perot[c][i].Scale(vn[e*nlev+k]))
+			}
+			uc[c] = u
+		}
+		for e := 0; e < g.NEdges; e++ {
+			c0, c1 := g.EdgeCells[e][0], g.EdgeCells[e][1]
+			m := uc[c0].Add(uc[c1]).Scale(0.5)
+			d.vt[e*nlev+k] = m.Dot(g.EdgeTangent[e])
+		}
+	}
+}
+
+// vnTendencies computes the explicit horizontal momentum tendency into
+// out: (ζ+f)·vt − ∂n KE − Cpd·θ_e·∂n Π, using the supplied Exner field.
+func (d *Dycore) vnTendencies(exner []float64, out []float64) {
+	g := d.S.G
+	s := d.S
+	nlev := s.NLev
+	for k := 0; k < nlev; k++ {
+		// Vorticity of this level.
+		for v := range d.zeta {
+			d.zeta[v] = 0
+		}
+		for e, vv := range g.EdgeVerts {
+			contrib := s.Vn[e*nlev+k] * g.DualLength[e]
+			d.zeta[vv[0]] -= contrib
+			d.zeta[vv[1]] += contrib
+		}
+		for v := range d.zeta {
+			d.zeta[v] /= g.DualArea[v]
+		}
+		for e := 0; e < g.NEdges; e++ {
+			c0, c1 := g.EdgeCells[e][0], g.EdgeCells[e][1]
+			i0, i1 := c0*nlev+k, c1*nlev+k
+			gradPi := (exner[i1] - exner[i0]) / g.DualLength[e]
+			gradKE := (d.ke[i1] - d.ke[i0]) / g.DualLength[e]
+			thetaE := 0.5 * (s.RhoTheta[i0]/s.Rho[i0] + s.RhoTheta[i1]/s.Rho[i1])
+			zetaE := 0.5 * (d.zeta[g.EdgeVerts[e][0]] + d.zeta[g.EdgeVerts[e][1]])
+			out[e*nlev+k] = (zetaE+d.fEdge[e])*d.vt[e*nlev+k] - gradKE - Cpd*thetaE*gradPi
+		}
+	}
+}
+
+// divergenceDamping adds κ·Δx²/Δt·∂n(div vn) to vn, suppressing acoustic
+// noise of the predictor–corrector (ICON's divergence damping).
+func (d *Dycore) divergenceDamping(dt float64) {
+	if d.DivDamp == 0 {
+		return
+	}
+	g := d.S.G
+	s := d.S
+	nlev := s.NLev
+	for k := 0; k < nlev; k++ {
+		for c := 0; c < g.NCells; c++ {
+			var sum float64
+			for i, e := range g.CellEdges[c] {
+				sum += float64(g.EdgeOrient[c][i]) * s.Vn[e*nlev+k] * g.EdgeLength[e]
+			}
+			d.div[c] = sum / g.CellArea[c]
+		}
+		for e := 0; e < g.NEdges; e++ {
+			c0, c1 := g.EdgeCells[e][0], g.EdgeCells[e][1]
+			dx := g.DualLength[e]
+			coef := d.DivDamp * dx * dx / dt
+			s.Vn[e*nlev+k] += dt * coef * (d.div[c1] - d.div[c0]) / dx
+		}
+	}
+}
+
+// Step advances the prognostic state by dt seconds. The stages mirror the
+// kernel structure of ICON's dynamical core; Model launches them as
+// individual device kernels.
+func (d *Dycore) Step(dt float64) {
+	d.S.UpdateDiagnostics()
+	d.KineticEnergyKernel()
+	d.TangentialKernel()
+	d.StagePredictor(dt)
+	d.StageHorizontalFluxes(dt)
+	d.StageVertical(dt)
+	d.StageCorrector(dt)
+	d.StageDamping(dt)
+}
+
+// StagePredictor computes vn* = vn + Δt·tend(Π at time n) into d.vnPred.
+func (d *Dycore) StagePredictor(dt float64) {
+	s := d.S
+	d.vnTendencies(s.Exner, d.vnPred)
+	for i := range d.vnPred {
+		d.vnPred[i] = s.Vn[i] + dt*d.vnPred[i]
+	}
+}
+
+// StageHorizontalFluxes computes and applies the horizontal mass and ρθ
+// flux divergences.
+func (d *Dycore) StageHorizontalFluxes(dt float64) {
+	s := d.S
+	g := s.G
+	nlev := s.NLev
+
+	// Horizontal fluxes with time-centred velocity. Fluxes are fully
+	// precomputed per edge before any cell is updated, so the update is
+	// order-independent and exactly conservative (every edge flux enters
+	// its two cells with opposite signs).
+	for e := 0; e < g.NEdges; e++ {
+		c0, c1 := g.EdgeCells[e][0], g.EdgeCells[e][1]
+		for k := 0; k < nlev; k++ {
+			vnAvg := 0.5 * (s.Vn[e*nlev+k] + d.vnPred[e*nlev+k])
+			rhoE := 0.5 * (s.Rho[c0*nlev+k] + s.Rho[c1*nlev+k])
+			f := vnAvg * rhoE
+			d.MassFluxEdge[e*nlev+k] = f
+			// Upstream-biased θ for stability: donor cell by flux sign.
+			var thUp float64
+			if f >= 0 {
+				thUp = s.RhoTheta[c0*nlev+k] / s.Rho[c0*nlev+k]
+			} else {
+				thUp = s.RhoTheta[c1*nlev+k] / s.Rho[c1*nlev+k]
+			}
+			d.thFluxEdge[e*nlev+k] = f * thUp
+		}
+	}
+	// Apply horizontal divergence of mass and ρθ fluxes.
+	for c := 0; c < g.NCells; c++ {
+		for k := 0; k < nlev; k++ {
+			var dm, dth float64
+			for i, e := range g.CellEdges[c] {
+				o := float64(g.EdgeOrient[c][i]) * g.EdgeLength[e]
+				dm += o * d.MassFluxEdge[e*nlev+k]
+				dth += o * d.thFluxEdge[e*nlev+k]
+			}
+			i := c*nlev + k
+			s.Rho[i] -= dt * dm / g.CellArea[c]
+			s.RhoTheta[i] -= dt * dth / g.CellArea[c]
+		}
+	}
+}
+
+// StageVertical performs the vertical implicit solve; updates w, ρ, ρθ.
+func (d *Dycore) StageVertical(dt float64) {
+	d.verticalSolve(dt)
+}
+
+// StageCorrector recomputes vn with the time-averaged Exner gradient.
+func (d *Dycore) StageCorrector(dt float64) {
+	s := d.S
+	for i := range s.RhoTheta {
+		d.exnerNew[i] = 0.5 * (s.Exner[i] + ExnerFromRhoTheta(s.RhoTheta[i]))
+	}
+	d.vnTendencies(d.exnerNew, d.vnPred)
+	for i := range s.Vn {
+		s.Vn[i] += dt * d.vnPred[i]
+	}
+}
+
+// StageDamping applies divergence damping, the top sponge, and refreshes
+// diagnostics.
+func (d *Dycore) StageDamping(dt float64) {
+	d.divergenceDamping(dt)
+	d.sponge(dt)
+	d.S.UpdateDiagnostics()
+}
+
+// sponge applies Rayleigh damping to w in the top levels.
+func (d *Dycore) sponge(dt float64) {
+	s := d.S
+	nlev := s.NLev
+	for c := 0; c < s.G.NCells; c++ {
+		for k := 1; k <= d.SpongeLevels && k < nlev; k++ {
+			rate := d.SpongeCoeff * float64(d.SpongeLevels-k+1) / float64(d.SpongeLevels)
+			s.W[c*(nlev+1)+k] /= 1 + dt*rate
+		}
+	}
+}
+
+// verticalSolve performs the implicit acoustic update: solves the
+// tridiagonal system for w at interior interfaces of every column, then
+// applies the vertical flux convergence to ρ and ρθ.
+func (d *Dycore) verticalSolve(dt float64) {
+	s := d.S
+	g := s.G
+	nlev := s.NLev
+	vert := s.Vert
+	wgt := d.ImplicitWeight
+	for c := 0; c < g.NCells; c++ {
+		base := c * nlev
+		wbase := c * (nlev + 1)
+		// Interface quantities (1..nlev-1): θᵢ, ψ=(ρθ)ᵢ, ρᵢ.
+		// γ = dΠ/d(ρθ) = (Rd/Cvd)·Π/(ρθ) at full levels.
+		// Assemble tridiagonal for w⁺[1..nlev-1].
+		for k := 1; k < nlev; k++ {
+			i0 := base + k - 1 // level above interface
+			i1 := base + k     // level below
+			thI := 0.5 * (s.RhoTheta[i0]/s.Rho[i0] + s.RhoTheta[i1]/s.Rho[i1])
+			psiUp := 0.5 * (s.RhoTheta[i0] + s.RhoTheta[i1]) // ψ at this interface
+			dzi := vert.IfaceGap(k)
+			beta := dt * Cpd * thI / dzi * wgt
+			exner0 := ExnerFromRhoTheta(s.RhoTheta[i0])
+			exner1 := ExnerFromRhoTheta(s.RhoTheta[i1])
+			gam0 := (Rd / Cvd) * exner0 / s.RhoTheta[i0]
+			gam1 := (Rd / Cvd) * exner1 / s.RhoTheta[i1]
+			dz0 := vert.LayerThickness(k - 1)
+			dz1 := vert.LayerThickness(k)
+			// ψ at neighbouring interfaces for the off-diagonals.
+			var psiAbove, psiBelow float64
+			if k > 1 {
+				psiAbove = 0.5 * (s.RhoTheta[base+k-2] + s.RhoTheta[i0])
+			}
+			if k < nlev-1 {
+				psiBelow = 0.5 * (s.RhoTheta[i1] + s.RhoTheta[base+k+1])
+			}
+			d.thA[k] = -beta * dt * gam0 * psiAbove / dz0
+			d.thB[k] = 1 + beta*dt*(gam0*psiUp/dz0+gam1*psiUp/dz1)
+			d.thC[k] = -beta * dt * gam1 * psiBelow / dz1
+			d.thD[k] = s.W[wbase+k] - dt*Grav - (dt*Cpd*thI/dzi)*(exner0-exner1)
+		}
+		// Thomas algorithm, w⁺[0]=w⁺[nlev]=0.
+		solveTridiag(d.thA[1:nlev], d.thB[1:nlev], d.thC[1:nlev], d.thD[1:nlev])
+		s.W[wbase] = 0
+		s.W[wbase+nlev] = 0
+		for k := 1; k < nlev; k++ {
+			s.W[wbase+k] = d.thD[k]
+		}
+		// Vertical fluxes and updates.
+		// F at interface k: w⁺·ψ (for ρθ) and w⁺·ρᵢ (for ρ).
+		var fThAbove, fRhoAbove float64 // flux at interface k (top of level k)
+		for k := 0; k < nlev; k++ {
+			var fThBelow, fRhoBelow float64
+			if k < nlev-1 {
+				i0 := base + k
+				i1 := base + k + 1
+				w := s.W[wbase+k+1]
+				fThBelow = w * 0.5 * (s.RhoTheta[i0] + s.RhoTheta[i1])
+				fRhoBelow = w * 0.5 * (s.Rho[i0] + s.Rho[i1])
+			}
+			dz := vert.LayerThickness(k)
+			s.RhoTheta[base+k] += dt * (fThBelow - fThAbove) / dz
+			s.Rho[base+k] += dt * (fRhoBelow - fRhoAbove) / dz
+			d.MassFluxVert[wbase+k] = fRhoAbove
+			fThAbove = fThBelow
+			fRhoAbove = fRhoBelow
+		}
+		d.MassFluxVert[wbase+nlev] = 0
+	}
+}
+
+// solveTridiag solves in place the tridiagonal system with sub-diagonal a,
+// diagonal b, super-diagonal c and right-hand side d (overwritten with the
+// solution).
+func solveTridiag(a, b, c, d []float64) {
+	n := len(d)
+	if n == 0 {
+		return
+	}
+	for i := 1; i < n; i++ {
+		m := a[i] / b[i-1]
+		b[i] -= m * c[i-1]
+		d[i] -= m * d[i-1]
+	}
+	d[n-1] /= b[n-1]
+	for i := n - 2; i >= 0; i-- {
+		d[i] = (d[i] - c[i]*d[i+1]) / b[i]
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,76 @@
+package atmos
+
+import (
+	"math"
+	"testing"
+
+	"icoearth/internal/grid"
+	"icoearth/internal/vertical"
+)
+
+func TestEnergyBudgetComponents(t *testing.T) {
+	g := grid.New(grid.R2B(1))
+	vert := vertical.NewAtmosphere(10, 30000, 300)
+	s := NewState(g, vert)
+	s.InitIsothermalRest(288)
+	e := s.Energy()
+	if e.Kinetic != 0 {
+		t.Errorf("resting state has kinetic energy %v", e.Kinetic)
+	}
+	if e.Internal <= 0 || e.Potential <= 0 {
+		t.Errorf("nonpositive energies: %+v", e)
+	}
+	// Order of magnitude: internal ≈ cv·T·M with M ≈ p0/g per m² × area.
+	mass := 1e5 / Grav * g.TotalArea()
+	wantI := Cvd * 255 * mass // mass-weighted mean T below an isothermal column top
+	if e.Internal < 0.3*wantI || e.Internal > 1.5*wantI {
+		t.Errorf("internal energy %v vs scale %v", e.Internal, wantI)
+	}
+	if e.Total() != e.Internal+e.Potential+e.Kinetic {
+		t.Error("total mismatch")
+	}
+	// Winds add kinetic energy.
+	for i := range s.Vn {
+		s.Vn[i] = 10
+	}
+	if s.Energy().Kinetic <= 0 {
+		t.Error("no kinetic energy with wind")
+	}
+}
+
+// TestAdiabaticEnergyNearConservation: the dycore alone (no physics)
+// conserves total energy to a small fraction over a short integration;
+// damping and upwinding bleed a little, but nothing order-one.
+func TestAdiabaticEnergyNearConservation(t *testing.T) {
+	g := grid.New(grid.R2B(2))
+	vert := vertical.NewAtmosphere(10, 30000, 300)
+	s := NewState(g, vert)
+	s.InitBaroclinic(288, 20)
+	dy := NewDycore(s)
+	e0 := s.Energy().Total()
+	for n := 0; n < 50; n++ {
+		dy.Step(120)
+	}
+	e1 := s.Energy().Total()
+	if rel := math.Abs(e1-e0) / e0; rel > 1e-4 {
+		t.Errorf("adiabatic energy drift = %e over 50 steps", rel)
+	}
+}
+
+// TestPhysicsMovesEnergy: Held–Suarez relaxation from a warm isothermal
+// state removes energy (cooling toward Teq aloft).
+func TestPhysicsMovesEnergy(t *testing.T) {
+	g := grid.New(grid.R2B(1))
+	vert := vertical.NewAtmosphere(10, 30000, 300)
+	s := NewState(g, vert)
+	s.InitIsothermalRest(310) // warmer than Teq almost everywhere
+	p := NewPhysics(s)
+	p.MoistureOn = false
+	e0 := s.Energy().Internal
+	for n := 0; n < 50; n++ {
+		p.Step(3600, SurfaceBC{})
+	}
+	if s.Energy().Internal >= e0 {
+		t.Error("relaxation from a hot state did not remove internal energy")
+	}
+}

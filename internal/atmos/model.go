@@ -1,0 +1,131 @@
+package atmos
+
+import (
+	"icoearth/internal/exec"
+	"icoearth/internal/grid"
+	"icoearth/internal/vertical"
+)
+
+// Model is the atmosphere component as the coupler sees it: it owns the
+// state, dynamical core and physics, and submits its work as named kernels
+// to an exec.Device so that the simulated-machine clock and per-kernel
+// statistics reflect the paper's kernel structure (data stays "resident"
+// on the device — no transfers appear between kernels).
+type Model struct {
+	State *State
+	Dyn   *Dycore
+	Phys  *Physics
+	// Rad, when non-nil, applies gray two-stream radiation each step (the
+	// alternative to pure Held-Suarez forcing).
+	Rad *Radiation
+	Dev *exec.Device
+
+	rhoOld []float64
+	steps  int
+}
+
+// NewModel assembles the atmosphere on grid g with the given vertical
+// coordinate, executing on dev.
+func NewModel(g *grid.Grid, vert *vertical.Atmosphere, dev *exec.Device) *Model {
+	s := NewState(g, vert)
+	return &Model{
+		State:  s,
+		Dyn:    NewDycore(s),
+		Phys:   NewPhysics(s),
+		Dev:    dev,
+		rhoOld: make([]float64, g.NCells*vert.NLev),
+	}
+}
+
+// cellBytes returns the size of one full-level cell field in bytes.
+func (m *Model) cellBytes() float64 {
+	return float64(m.State.G.NCells * m.State.NLev * 8)
+}
+
+func (m *Model) edgeBytes() float64 {
+	return float64(m.State.G.NEdges * m.State.NLev * 8)
+}
+
+// Step advances the atmosphere by dt, launching the dycore stages, tracer
+// transport and physics as device kernels, and returns the surface fluxes
+// for the coupler.
+func (m *Model) Step(dt float64, bc SurfaceBC) *SurfaceFluxes {
+	cb, eb := m.cellBytes(), m.edgeBytes()
+	d := m.Dyn
+	s := m.State
+	copy(m.rhoOld, s.Rho)
+
+	m.Dev.Launch(exec.Kernel{
+		Name: "dycore:diag", Bytes: 4 * cb,
+		Reads: []string{"rho", "rhotheta"}, Writes: []string{"exner", "theta"},
+		Run: func() { s.UpdateDiagnostics() },
+	})
+	m.Dev.Launch(exec.Kernel{
+		Name: "dycore:ekinh", Bytes: eb + cb,
+		Reads: []string{"vn"}, Writes: []string{"ke"},
+		Run: func() { d.KineticEnergyKernel() },
+	})
+	m.Dev.Launch(exec.Kernel{
+		Name: "dycore:tangential", Bytes: 2*eb + cb,
+		Reads: []string{"vn"}, Writes: []string{"vt"},
+		Run: func() { d.TangentialKernel() },
+	})
+	m.Dev.Launch(exec.Kernel{
+		Name: "dycore:vn_pred", Bytes: 3*eb + 3*cb,
+		Reads: []string{"vn", "exner", "ke", "vt", "rho", "rhotheta"}, Writes: []string{"vn_pred"},
+		Run: func() { d.StagePredictor(dt) },
+	})
+	m.Dev.Launch(exec.Kernel{
+		Name: "dycore:hflux", Bytes: 4*eb + 4*cb,
+		Reads: []string{"vn", "vn_pred", "rho", "rhotheta"}, Writes: []string{"rho", "rhotheta", "massflux"},
+		Run: func() { d.StageHorizontalFluxes(dt) },
+	})
+	m.Dev.Launch(exec.Kernel{
+		Name: "dycore:vsolve", Bytes: 6 * cb,
+		Reads: []string{"rho", "rhotheta", "w"}, Writes: []string{"w", "rho", "rhotheta", "massflux_v"},
+		Run: func() { d.StageVertical(dt) },
+	})
+	m.Dev.Launch(exec.Kernel{
+		Name: "dycore:vn_corr", Bytes: 3*eb + 3*cb,
+		Reads: []string{"vn", "exner", "rhotheta", "ke", "vt"}, Writes: []string{"vn"},
+		Run: func() { d.StageCorrector(dt) },
+	})
+	m.Dev.Launch(exec.Kernel{
+		Name: "dycore:damp", Bytes: 2*eb + 3*cb,
+		Reads: []string{"vn", "w"}, Writes: []string{"vn", "w", "exner", "theta"},
+		Run: func() { d.StageDamping(dt) },
+	})
+	m.Dev.Launch(exec.Kernel{
+		Name: "transport", Bytes: float64(NumTracers) * (2*cb + eb),
+		Reads: []string{"massflux", "massflux_v", "rho", "tracers"}, Writes: []string{"tracers"},
+		Run: func() { d.Transport(dt, m.rhoOld) },
+	})
+
+	if m.Rad != nil {
+		m.Dev.Launch(exec.Kernel{
+			Name: "radiation", Bytes: 5 * cb,
+			Reads: []string{"rho", "rhotheta", "exner", "tracers"}, Writes: []string{"rhotheta", "radflux"},
+			Run: func() { m.Rad.Step(m.State, dt, bc) },
+		})
+	}
+
+	var fluxes *SurfaceFluxes
+	m.Dev.Launch(exec.Kernel{
+		Name: "physics", Bytes: 6 * cb,
+		Reads: []string{"rho", "rhotheta", "exner", "tracers", "vn"}, Writes: []string{"rhotheta", "tracers", "vn", "sfcflux"},
+		Run: func() { fluxes = m.Phys.Step(dt, bc) },
+	})
+	m.steps++
+	return fluxes
+}
+
+// Steps returns the number of completed steps.
+func (m *Model) Steps() int { return m.steps }
+
+// BytesPerStep returns the modelled DRAM traffic of one full atmosphere
+// step, the quantity the performance model scales to paper-size grids.
+func (m *Model) BytesPerStep() float64 {
+	cb, eb := m.cellBytes(), m.edgeBytes()
+	return (4 * cb) + (eb + cb) + (2*eb + cb) + (3*eb + 3*cb) + (4*eb + 4*cb) + (6 * cb) + (3*eb + 3*cb) + (2*eb + 3*cb) +
+		float64(NumTracers)*(2*cb+eb) + (6 * cb)
+}

@@ -1,0 +1,183 @@
+package atmos
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"icoearth/internal/grid"
+	"icoearth/internal/vertical"
+)
+
+// TestTridiagSolverProperty: solveTridiag solves random diagonally
+// dominant systems to near machine precision (verified by residual).
+func TestTridiagSolverProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		c := make([]float64, n)
+		d := make([]float64, n)
+		aa := make([]float64, n)
+		bb := make([]float64, n)
+		cc := make([]float64, n)
+		want := make([]float64, n)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				a[i] = rng.NormFloat64()
+			}
+			if i < n-1 {
+				c[i] = rng.NormFloat64()
+			}
+			b[i] = 4 + math.Abs(a[i]) + math.Abs(c[i]) + rng.Float64() // dominant
+			want[i] = rng.NormFloat64() * 10
+		}
+		copy(aa, a)
+		copy(bb, b)
+		copy(cc, c)
+		// d = A·want
+		for i := 0; i < n; i++ {
+			d[i] = b[i] * want[i]
+			if i > 0 {
+				d[i] += a[i] * want[i-1]
+			}
+			if i < n-1 {
+				d[i] += c[i] * want[i+1]
+			}
+		}
+		solveTridiag(a, b, c, d)
+		for i := 0; i < n; i++ {
+			if math.Abs(d[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				return false
+			}
+		}
+		_ = aa
+		_ = bb
+		_ = cc
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDryMassConservationProperty: mass conservation holds for arbitrary
+// random (bounded) initial perturbations, not just the baroclinic setup.
+func TestDryMassConservationProperty(t *testing.T) {
+	g := grid.New(grid.R2B(1))
+	vert := vertical.NewAtmosphere(8, 25000, 400)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewState(g, vert)
+		s.InitIsothermalRest(270 + 40*rng.Float64())
+		// Random wind and temperature perturbations.
+		for e := range s.Vn {
+			s.Vn[e] = 20 * (rng.Float64() - 0.5)
+		}
+		for i := range s.RhoTheta {
+			s.RhoTheta[i] *= 1 + 0.02*(rng.Float64()-0.5)
+		}
+		s.UpdateDiagnostics()
+		dy := NewDycore(s)
+		m0 := s.TotalDryMass()
+		for n := 0; n < 10; n++ {
+			dy.Step(120)
+		}
+		if err := s.CheckFinite(); err != nil {
+			return false
+		}
+		return math.Abs(s.TotalDryMass()-m0)/m0 < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTracerConstancyProperty: tracer–mass consistency holds under random
+// flow fields.
+func TestTracerConstancyProperty(t *testing.T) {
+	g := grid.New(grid.R2B(1))
+	vert := vertical.NewAtmosphere(6, 20000, 400)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewState(g, vert)
+		s.InitIsothermalRest(285)
+		for e := range s.Vn {
+			s.Vn[e] = 15 * (rng.Float64() - 0.5)
+		}
+		s.UpdateDiagnostics()
+		q0 := 1e-4 * (1 + rng.Float64())
+		for i := range s.Tracers[TracerCO2] {
+			s.Tracers[TracerCO2][i] = q0
+		}
+		dy := NewDycore(s)
+		rhoOld := make([]float64, len(s.Rho))
+		for n := 0; n < 5; n++ {
+			copy(rhoOld, s.Rho)
+			dy.Step(120)
+			dy.Transport(120, rhoOld)
+		}
+		for _, q := range s.Tracers[TracerCO2] {
+			if math.Abs(q-q0) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShallowWaterVolumeProperty: ∫h dA conserved for arbitrary initial
+// bumps and depths.
+func TestShallowWaterVolumeProperty(t *testing.T) {
+	g := grid.New(grid.R2B(1))
+	f := func(latRaw, lonRaw, ampRaw, h0Raw float64) bool {
+		lat := math.Mod(math.Abs(latRaw), 1.4)
+		lon := math.Mod(lonRaw, 3.0)
+		amp := 1 + math.Mod(math.Abs(ampRaw), 20)
+		h0 := 200 + math.Mod(math.Abs(h0Raw), 4000)
+		s := NewShallowWater(g, h0)
+		s.InitGaussianBump(lat, lon, 0.3, amp)
+		v0 := s.TotalVolume()
+		dt := 0.25 * g.DualLength[0] / math.Sqrt(Grav*h0)
+		for n := 0; n < 30; n++ {
+			s.Step(dt)
+		}
+		return math.Abs(s.TotalVolume()-v0) <= 1e-6*(math.Abs(v0)+amp*g.CellArea[0])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSatAdjustmentNeverNegative: the saturation adjustment never produces
+// negative water species for any physical inputs.
+func TestSatAdjustmentNeverNegative(t *testing.T) {
+	g := grid.New(grid.R2B(0))
+	vert := vertical.NewAtmosphere(4, 16000, 500)
+	f := func(qvRaw, qcRaw, tRaw float64) bool {
+		s := NewState(g, vert)
+		s.InitIsothermalRest(250 + math.Mod(math.Abs(tRaw), 60))
+		qv := math.Mod(math.Abs(qvRaw), 0.04)
+		qc := math.Mod(math.Abs(qcRaw), 0.01)
+		for i := range s.Tracers[TracerQV] {
+			s.Tracers[TracerQV][i] = qv
+			s.Tracers[TracerQC][i] = qc
+		}
+		p := NewPhysics(s)
+		p.Step(600, SurfaceBC{})
+		for i := range s.Tracers[TracerQV] {
+			if s.Tracers[TracerQV][i] < 0 || s.Tracers[TracerQC][i] < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

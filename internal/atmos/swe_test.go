@@ -1,0 +1,206 @@
+package atmos
+
+import (
+	"math"
+	"testing"
+
+	"icoearth/internal/grid"
+	"icoearth/internal/par"
+)
+
+func TestShallowWaterVolumeConservation(t *testing.T) {
+	g := grid.New(grid.R2B(3))
+	s := NewShallowWater(g, 1000)
+	s.InitGaussianBump(0.5, 1.0, 0.3, 10)
+	v0 := s.TotalVolume()
+	dt := stableSWEDt(g, s.H0)
+	for n := 0; n < 200; n++ {
+		s.Step(dt)
+	}
+	v1 := s.TotalVolume()
+	scale := 10 * g.TotalArea() / float64(g.NCells) * 50 // bump volume scale
+	if math.Abs(v1-v0) > 1e-9*scale {
+		t.Errorf("volume drift: %v → %v", v0, v1)
+	}
+}
+
+func TestShallowWaterEnergyBounded(t *testing.T) {
+	g := grid.New(grid.R2B(2))
+	s := NewShallowWater(g, 1000)
+	s.InitGaussianBump(0.3, -0.8, 0.25, 5)
+	e0 := s.Energy()
+	dt := stableSWEDt(g, s.H0)
+	var maxE float64
+	for n := 0; n < 500; n++ {
+		s.Step(dt)
+		if e := s.Energy(); e > maxE {
+			maxE = e
+		}
+	}
+	// Forward-backward stepping conserves a shadow energy: the true energy
+	// oscillates but must stay within a few percent of its initial value.
+	if maxE > 1.05*e0 || s.Energy() < 0.9*e0 {
+		t.Errorf("energy not bounded: e0=%v max=%v final=%v", e0, maxE, s.Energy())
+	}
+}
+
+func TestShallowWaterWavesPropagate(t *testing.T) {
+	g := grid.New(grid.R2B(3))
+	s := NewShallowWater(g, 1000)
+	s.InitGaussianBump(0.5, 1.0, 0.2, 10)
+	// The antipode starts flat; after enough time for the gravity wave
+	// (c=√(gH)≈99 m/s) to travel there, it must have been disturbed.
+	var anti int
+	best := 2.0
+	for c := range s.H {
+		lat, lon := g.CellCenter[c].LatLon()
+		d := math.Abs(lat+0.5) + math.Abs(lon-1.0+math.Pi)
+		if d < best {
+			best, anti = d, c
+		}
+	}
+	if math.Abs(s.H[anti]) > 1e-3 {
+		t.Fatalf("antipode not flat initially: %v", s.H[anti])
+	}
+	dt := stableSWEDt(g, s.H0)
+	travel := math.Pi * 6.371229e6 / math.Sqrt(Grav*s.H0)
+	steps := int(travel/dt) + 100
+	for n := 0; n < steps; n++ {
+		s.Step(dt)
+	}
+	if math.Abs(s.H[anti]) < 1e-3 {
+		t.Errorf("gravity wave never reached the antipode: %v after %d steps", s.H[anti], steps)
+	}
+}
+
+// TestDistributedMatchesSerialBitwise: the central claim — running on N
+// ranks with halo exchanges reproduces the serial trajectory exactly.
+func TestDistributedMatchesSerialBitwise(t *testing.T) {
+	g := grid.New(grid.R2B(2))
+	const h0 = 1000.0
+	dt := stableSWEDt(g, h0)
+	const steps = 50
+
+	serial := NewShallowWater(g, h0)
+	serial.InitGaussianBump(0.4, 0.9, 0.3, 8)
+	for n := 0; n < steps; n++ {
+		serial.Step(dt)
+	}
+
+	for _, nranks := range []int{2, 3, 5, 8} {
+		d, err := grid.Decompose(g, nranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var result []float64
+		w := par.NewWorld(nranks)
+		w.Run(func(c *par.Comm) {
+			s := NewDistShallowWater(g, h0, d, c)
+			s.InitGaussianBump(0.4, 0.9, 0.3, 8)
+			for n := 0; n < steps; n++ {
+				s.Step(dt)
+			}
+			if c.Rank == 0 {
+				result = s.Gather(c)
+			} else {
+				s.Gather(c)
+			}
+			if s.HaloExchanges != steps {
+				t.Errorf("rank %d: %d halo exchanges, want %d", c.Rank, s.HaloExchanges, steps)
+			}
+		})
+		for c := range result {
+			if result[c] != serial.H[c] {
+				t.Fatalf("nranks=%d: cell %d differs: dist %v vs serial %v",
+					nranks, c, result[c], serial.H[c])
+			}
+		}
+	}
+}
+
+// TestDistributedVolumeConservation: the sum of rank-local volumes is
+// conserved across ranks and steps.
+func TestDistributedVolumeConservation(t *testing.T) {
+	g := grid.New(grid.R2B(2))
+	const nranks = 4
+	d, _ := grid.Decompose(g, nranks)
+	dt := stableSWEDt(g, 1000)
+	w := par.NewWorld(nranks)
+	w.Run(func(c *par.Comm) {
+		s := NewDistShallowWater(g, 1000, d, c)
+		s.InitGaussianBump(0.4, 0.9, 0.3, 8)
+		v0 := c.AllreduceSum(s.LocalVolume())
+		for n := 0; n < 100; n++ {
+			s.Step(dt)
+		}
+		v1 := c.AllreduceSum(s.LocalVolume())
+		if math.Abs(v1-v0) > 1e-6*math.Abs(v0)+1e-3 {
+			t.Errorf("rank %d: distributed volume drift %v → %v", c.Rank, v0, v1)
+		}
+	})
+}
+
+// stableSWEDt returns a timestep safely below the gravity-wave CFL limit.
+func stableSWEDt(g *grid.Grid, h0 float64) float64 {
+	minDx := math.Inf(1)
+	for e := range g.DualLength {
+		minDx = math.Min(minDx, g.DualLength[e])
+	}
+	return 0.3 * minDx / math.Sqrt(Grav*h0)
+}
+
+// TestShallowWaterWellBalancedOverTopography: a lake at rest over a
+// mountain (free surface flat, layer thinner over the bump) must stay at
+// rest exactly — the discrete well-balancedness property.
+func TestShallowWaterWellBalancedOverTopography(t *testing.T) {
+	g := grid.New(grid.R2B(2))
+	s := NewShallowWater(g, 1000)
+	s.Topo = make([]float64, g.NCells)
+	for c := range s.Topo {
+		lat, lon := g.CellCenter[c].LatLon()
+		d2 := (lat-0.4)*(lat-0.4) + (lon-1.0)*(lon-1.0)
+		s.Topo[c] = 200 * math.Exp(-d2/0.1)
+		s.H[c] = -s.Topo[c] // flat free surface
+	}
+	dt := stableSWEDt(g, s.H0)
+	for n := 0; n < 100; n++ {
+		s.Step(dt)
+	}
+	for e, u := range s.U {
+		if math.Abs(u) > 1e-10 {
+			t.Fatalf("lake at rest developed flow %v at edge %d", u, e)
+		}
+	}
+}
+
+// TestShallowWaterTopographyScattersWave: the same mountain scatters a
+// passing gravity wave (the field differs from the flat-bottom run).
+func TestShallowWaterTopographyScattersWave(t *testing.T) {
+	g := grid.New(grid.R2B(2))
+	run := func(withTopo bool) []float64 {
+		s := NewShallowWater(g, 1000)
+		if withTopo {
+			s.Topo = make([]float64, g.NCells)
+			for c := range s.Topo {
+				lat, lon := g.CellCenter[c].LatLon()
+				d2 := (lat-0.2)*(lat-0.2) + (lon+0.5)*(lon+0.5)
+				s.Topo[c] = 300 * math.Exp(-d2/0.05)
+			}
+		}
+		s.InitGaussianBump(0.5, 1.0, 0.3, 5)
+		dt := stableSWEDt(g, s.H0)
+		for n := 0; n < 150; n++ {
+			s.Step(dt)
+		}
+		return s.H
+	}
+	flat := run(false)
+	mount := run(true)
+	var diff float64
+	for c := range flat {
+		diff += math.Abs(flat[c] - mount[c])
+	}
+	if diff == 0 {
+		t.Error("topography had no effect on the wave field")
+	}
+}

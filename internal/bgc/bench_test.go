@@ -1,0 +1,33 @@
+package bgc
+
+import (
+	"testing"
+)
+
+func BenchmarkEcosystemKernel(b *testing.B) {
+	oc, _, s := testSetup()
+	sw, _, _, _ := surfaceFields(oc)
+	p := DefaultParams()
+	b.SetBytes(int64(8 * NumTracers * oc.NOcean() * oc.NLev))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.EcosystemKernel(600, &p, sw)
+	}
+}
+
+func BenchmarkCarbonateSolver(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, co2 := SolveCarbonate(2.05, 2.35, 15); co2 <= 0 {
+			b.Fatal("bad solve")
+		}
+	}
+}
+
+func BenchmarkAirSeaFlux(b *testing.B) {
+	oc, _, s := testSetup()
+	_, pco2, wind, ice := surfaceFields(oc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AirSeaFluxKernel(600, pco2, wind, ice)
+	}
+}

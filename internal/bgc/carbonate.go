@@ -1,0 +1,96 @@
+package bgc
+
+import "math"
+
+// Carbonate chemistry: solve the CO₂ system (DIC, alkalinity) for the
+// hydrogen-ion concentration and hence the partial pressure of CO₂ at the
+// sea surface. Constants use simplified temperature fits adequate for the
+// 0–30 °C range (the full HAMOCC uses Mehrbach constants; the iteration
+// structure is identical).
+
+// k0CO2 returns the CO₂ solubility (mol/(m³·µatm-ish); we work in
+// consistent internal units where pCO2 comes out in µatm when DIC is in
+// mol/m³).
+func k0CO2(tC float64) float64 {
+	// Weiss (1974)-like: solubility decreases with temperature.
+	return 0.06 * math.Exp(-0.031*tC) // mol/m³ per µatm·1e-3 scale
+}
+
+// k1k2 returns the first and second dissociation constants of carbonic
+// acid (mol/m³ units, temperature-dependent fits).
+func k1k2(tC float64) (k1, k2 float64) {
+	k1 = 1.2e-3 * math.Exp(0.012*tC)
+	k2 = 8.0e-7 * math.Exp(0.015*tC)
+	return k1, k2
+}
+
+// SolveCarbonate returns the H⁺ concentration and dissolved CO₂ ([CO₂*],
+// mol/m³) for the given DIC and carbonate alkalinity (both mol/m³) at
+// temperature tC, by bisection on the alkalinity balance — the iterative
+// loop at the heart of HAMOCC's chemistry.
+func SolveCarbonate(dic, alk, tC float64) (h, co2 float64) {
+	if dic <= 0 || alk <= 0 {
+		return 1e-8, 0
+	}
+	k1, k2 := k1k2(tC)
+	alkOf := func(h float64) float64 {
+		d := h*h + k1*h + k1*k2
+		hco3 := dic * k1 * h / d
+		co3 := dic * k1 * k2 / d
+		return hco3 + 2*co3
+	}
+	lo, hi := 1e-12, 1e-2 // mol/m³ H+ bracket (pH ~ 5..15 in these units)
+	for i := 0; i < 60; i++ {
+		mid := math.Sqrt(lo * hi)
+		if alkOf(mid) > alk {
+			lo = mid // more acid → less alkalinity contribution
+		} else {
+			hi = mid
+		}
+	}
+	h = math.Sqrt(lo * hi)
+	d := h*h + k1*h + k1*k2
+	co2 = dic * h * h / d
+	return h, co2
+}
+
+// PCO2 returns the seawater pCO₂ (µatm) at surface conditions.
+func PCO2(dic, alk, tC float64) float64 {
+	_, co2 := SolveCarbonate(dic, alk, tC)
+	return co2 / k0CO2(tC) * 1e3
+}
+
+// GasTransferVelocity returns the CO₂ piston velocity (m/s) for 10-m wind
+// speed u (Wanninkhof 1992: k ∝ u², Schmidt-number correction folded into
+// the coefficient).
+func GasTransferVelocity(u float64) float64 {
+	return 0.31 * u * u / 3.6e5 // cm/h → m/s
+}
+
+// AirSeaFluxKernel computes and applies the air–sea CO₂ exchange over dt:
+// flux = k·K0·(pCO2_atm − pCO2_oc), positive into the ocean. pco2Atm is
+// the atmospheric partial pressure per ocean cell (µatm), wind the 10-m
+// wind speed, iceFrac suppresses exchange under sea ice. The DIC of the
+// surface layer is updated and the cumulative exchange recorded; the
+// resulting flux in kg CO₂/m²/s is stored in LastCO2Flux.
+func (s *State) AirSeaFluxKernel(dt float64, pco2Atm, wind, iceFrac []float64) {
+	oc := s.Oc
+	nlev := oc.NLev
+	dz0 := oc.Vert.Thickness(0)
+	for i := range oc.Cells {
+		idx := i * nlev
+		tC := oc.Temp[idx]
+		pOc := PCO2(s.Tracers[TrDIC][idx], s.Tracers[TrAlk][idx], tC)
+		k := GasTransferVelocity(wind[i]) * (1 - iceFrac[i])
+		// mol/m²/s, positive downward (into ocean).
+		flux := k * k0CO2(tC) * (pco2Atm[i] - pOc) * 1e-3
+		// Limit: cannot outgas more DIC than the surface layer holds.
+		maxOut := s.Tracers[TrDIC][idx] * dz0 / dt * 0.5
+		if flux < -maxOut {
+			flux = -maxOut
+		}
+		s.Tracers[TrDIC][idx] += flux * dt / dz0
+		s.CumAirSea[i] += flux * dt
+		s.LastCO2Flux[i] = flux * MolMassCO2
+	}
+}

@@ -1,0 +1,137 @@
+// Package config holds the Earth-system model configurations of the
+// paper's Table 2 — the 10 km development configuration and the 1.25 km
+// production configuration — with the degrees-of-freedom accounting that
+// yields 1.2×10¹⁰ and 7.9×10¹¹ degrees of freedom respectively, plus the
+// laptop-scale configurations used by tests and examples.
+package config
+
+import (
+	"fmt"
+
+	"icoearth/internal/grid"
+)
+
+// Component is one row of Table 2.
+type Component struct {
+	Name   string
+	Cells  float64 // horizontal grid cells
+	Levels float64 // vertical levels / PFTs
+	Vars   float64 // prognostic variables (edge-normal velocity = 1.5)
+	Dt     float64 // timestep, seconds
+}
+
+// DoF returns cells × levels × vars for the component.
+func (c Component) DoF() float64 { return c.Cells * c.Levels * c.Vars }
+
+// Model is a full Table 2 configuration.
+type Model struct {
+	Name       string
+	DxKm       float64
+	Res        grid.Resolution // the RnBk grid with that nominal spacing
+	Components []Component
+}
+
+// TenKm returns the 10 km development configuration (Table 2, upper half).
+func TenKm() Model {
+	return Model{
+		Name: "10 km",
+		DxKm: 10,
+		Res:  grid.R2B(8), // 5.24e6 cells ≈ Table 2's 0.05×10⁸
+		Components: []Component{
+			{"Atmosphere", 0.05e8, 90, 12.5, 75},
+			{"Land", 0.015e8, 5, 4, 75},
+			{"Vegetation", 0.015e8, 11, 22, 75},
+			{"Ocean & sea-ice", 0.037e8, 72, 5, 600},
+			{"Biogeochemistry", 0.037e8, 72, 19, 600},
+		},
+	}
+}
+
+// OneKm returns the 1.25 km production configuration (Table 2, lower
+// half): the paper's hero run with ≈7.9×10¹¹ degrees of freedom.
+func OneKm() Model {
+	return Model{
+		Name: "1.25 km",
+		DxKm: 1.25,
+		Res:  grid.R2B(11), // 3.36e8 cells
+		Components: []Component{
+			{"Atmosphere", 3.36e8, 90, 12.5, 10},
+			{"Land", 0.98e8, 5, 4, 10},
+			{"Vegetation", 0.98e8, 11, 22, 10},
+			{"Ocean & sea-ice", 2.38e8, 72, 5, 60},
+			{"Biogeochemistry", 2.38e8, 72, 19, 60},
+		},
+	}
+}
+
+// AtDx scales the 10 km configuration to a different nominal resolution
+// (used for the τ-limit analysis of §4: cells ∝ Δx⁻², Δt ∝ Δx).
+func AtDx(dxKm float64) Model {
+	base := TenKm()
+	f := (10 / dxKm) * (10 / dxKm)
+	m := Model{Name: fmt.Sprintf("%g km", dxKm), DxKm: dxKm}
+	for _, c := range base.Components {
+		c.Cells *= f
+		c.Dt *= dxKm / 10
+		m.Components = append(m.Components, c)
+	}
+	return m
+}
+
+// DegreesOfFreedom returns the total physical-spatial degrees of freedom.
+func (m Model) DegreesOfFreedom() float64 {
+	var d float64
+	for _, c := range m.Components {
+		d += c.DoF()
+	}
+	return d
+}
+
+// MemoryBytes returns the double-precision storage of the prognostic state
+// (the paper: 8 TiB for the largest configuration including halos and
+// time levels is quoted as the floor for ~1e12 DoF).
+func (m Model) MemoryBytes() float64 { return 8 * m.DegreesOfFreedom() }
+
+// AtmosCells returns the atmosphere's cell count.
+func (m Model) AtmosCells() float64 { return m.Components[0].Cells }
+
+// OceanCells returns the ocean's cell count.
+func (m Model) OceanCells() float64 {
+	for _, c := range m.Components {
+		if c.Name == "Ocean & sea-ice" {
+			return c.Cells
+		}
+	}
+	return 0
+}
+
+// AtmosDt returns the atmosphere timestep.
+func (m Model) AtmosDt() float64 { return m.Components[0].Dt }
+
+// OceanDt returns the ocean timestep.
+func (m Model) OceanDt() float64 {
+	for _, c := range m.Components {
+		if c.Name == "Ocean & sea-ice" {
+			return c.Dt
+		}
+	}
+	return 0
+}
+
+// RestartBytes returns the modelled checkpoint sizes (bytes) of the
+// atmosphere/land side and the ocean/BGC side. The factors reproduce the
+// paper's §7 file sizes (9265.50 GiB atmosphere, 7030.91 GiB ocean for the
+// 1.25 km configuration): the atmosphere writes ≈3 state copies (two time
+// levels plus diagnostics), the ocean ≈2.3.
+func (m Model) RestartBytes() (atm, oc float64) {
+	var atmDoF, ocDoF float64
+	for _, c := range m.Components {
+		switch c.Name {
+		case "Atmosphere", "Land", "Vegetation":
+			atmDoF += c.DoF()
+		default:
+			ocDoF += c.DoF()
+		}
+	}
+	return atmDoF * 8 * 3.08, ocDoF * 8 * 2.29
+}

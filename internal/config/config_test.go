@@ -1,0 +1,104 @@
+package config
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTable2Rows(t *testing.T) {
+	ten := TenKm()
+	one := OneKm()
+	if len(ten.Components) != 5 || len(one.Components) != 5 {
+		t.Fatalf("component counts: %d %d", len(ten.Components), len(one.Components))
+	}
+	// Exact Table 2 values.
+	atm := one.Components[0]
+	if atm.Cells != 3.36e8 || atm.Levels != 90 || atm.Vars != 12.5 || atm.Dt != 10 {
+		t.Errorf("1.25km atmosphere row: %+v", atm)
+	}
+	oc := one.Components[3]
+	if oc.Cells != 2.38e8 || oc.Levels != 72 || oc.Vars != 5 || oc.Dt != 60 {
+		t.Errorf("1.25km ocean row: %+v", oc)
+	}
+	bgcRow := one.Components[4]
+	if bgcRow.Vars != 19 {
+		t.Errorf("biogeochemistry vars = %v, want 19", bgcRow.Vars)
+	}
+	veg := one.Components[2]
+	if veg.Levels != 11 || veg.Vars != 22 {
+		t.Errorf("vegetation row: %+v", veg)
+	}
+	land := one.Components[1]
+	if land.Levels != 5 || land.Vars != 4 {
+		t.Errorf("land row: %+v", land)
+	}
+}
+
+func TestDoFMatchesPaper(t *testing.T) {
+	if d := TenKm().DegreesOfFreedom(); math.Abs(d-1.2e10)/1.2e10 > 0.1 {
+		t.Errorf("10km DoF = %g", d)
+	}
+	if d := OneKm().DegreesOfFreedom(); math.Abs(d-7.9e11)/7.9e11 > 0.06 {
+		t.Errorf("1.25km DoF = %g", d)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	one := OneKm()
+	if one.AtmosCells() != 3.36e8 || one.OceanCells() != 2.38e8 {
+		t.Errorf("cells: %v %v", one.AtmosCells(), one.OceanCells())
+	}
+	if one.AtmosDt() != 10 || one.OceanDt() != 60 {
+		t.Errorf("dts: %v %v", one.AtmosDt(), one.OceanDt())
+	}
+	// Ocean/atmosphere timestep ratio matches the paper's 6:1.
+	if r := one.OceanDt() / one.AtmosDt(); r != 6 {
+		t.Errorf("dt ratio = %v", r)
+	}
+	if TenKm().OceanDt()/TenKm().AtmosDt() != 8 {
+		t.Errorf("10km ratio = %v", TenKm().OceanDt()/TenKm().AtmosDt())
+	}
+}
+
+func TestAtDxScaling(t *testing.T) {
+	m40 := AtDx(40)
+	// Cells scale with (10/40)² = 1/16; Δt with 40/10 = 4.
+	if got, want := m40.AtmosCells(), TenKm().AtmosCells()/16; math.Abs(got-want) > 1 {
+		t.Errorf("40km cells = %v want %v", got, want)
+	}
+	if m40.AtmosDt() != 300 {
+		t.Errorf("40km dt = %v", m40.AtmosDt())
+	}
+	// Finer grid: more cells, smaller steps.
+	m5 := AtDx(5)
+	if m5.AtmosCells() <= TenKm().AtmosCells() || m5.AtmosDt() >= 75 {
+		t.Errorf("5km scaling wrong: %v cells dt %v", m5.AtmosCells(), m5.AtmosDt())
+	}
+}
+
+func TestGridResolutionPairing(t *testing.T) {
+	// The named grids must actually have the advertised cell counts.
+	if got := OneKm().Res.NumCells(); math.Abs(float64(got)-3.36e8)/3.36e8 > 0.005 {
+		t.Errorf("R2B11 cells = %d vs Table 2's 3.36e8", got)
+	}
+	if got := TenKm().Res.NumCells(); math.Abs(float64(got)-5e6)/5e6 > 0.05 {
+		t.Errorf("R2B8 cells = %d vs Table 2's 0.05e8", got)
+	}
+}
+
+func TestRestartBytesMatchPaper(t *testing.T) {
+	atm, oc := OneKm().RestartBytes()
+	const gib = 1 << 30
+	if math.Abs(atm/gib-9265.50) > 200 {
+		t.Errorf("atm restart = %.1f GiB", atm/gib)
+	}
+	if math.Abs(oc/gib-7030.91) > 200 {
+		t.Errorf("ocean restart = %.1f GiB", oc/gib)
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	if m := OneKm().MemoryBytes(); m != 8*OneKm().DegreesOfFreedom() {
+		t.Errorf("memory = %v", m)
+	}
+}

@@ -1,0 +1,488 @@
+// Package coupler assembles the full Earth system and orchestrates the
+// paper's heterogeneous component mapping (§5.1): the atmosphere and land
+// run on the GPU device with the land coupled at every atmospheric
+// timestep, while the ocean, sea ice and biogeochemistry run concurrently
+// on the CPU device; energy, water and carbon are exchanged between the
+// two sides at the coupling timestep (10 simulated minutes in the paper)
+// through a YAC-like field exchange with lagged (previous-window) fields.
+//
+// Both sides really do run concurrently as goroutines, and each side's
+// simulated-device clock advances independently; at every coupling window
+// the earlier side waits, and the wait times are recorded exactly as the
+// paper's §6.3 measures them ("included in timings is the coupling time,
+// i.e. the amount of time atmosphere/land have to wait for
+// ocean/sea-ice/biogeochemistry and vice versa").
+package coupler
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"icoearth/internal/atmos"
+	"icoearth/internal/bgc"
+	"icoearth/internal/exec"
+	"icoearth/internal/grid"
+	"icoearth/internal/land"
+	"icoearth/internal/machine"
+	"icoearth/internal/ocean"
+	"icoearth/internal/vertical"
+)
+
+// MolMassAir is the molar mass of dry air (kg/mol).
+const MolMassAir = 0.02897
+
+// Config selects the model configuration of a coupled run.
+type Config struct {
+	Res         grid.Resolution
+	AtmLevels   int
+	OceanLevels int
+	AtmDt       float64
+	OceanDt     float64
+	CouplingDt  float64
+	// BGCConcurrent runs the biogeochemistry on the GPU device instead of
+	// fused with the ocean on the CPU (§5.1 HAMOCC discussion).
+	BGCConcurrent bool
+	// LandGraphs enables CUDA-Graph capture of the land kernel stream.
+	LandGraphs bool
+	// GrayRadiation replaces part of the Held-Suarez forcing with the
+	// interactive gray radiation scheme (responds to the model's own
+	// water vapour and CO2).
+	GrayRadiation bool
+}
+
+// LaptopConfig is a configuration that runs comfortably in tests and
+// examples: a coarse grid with shallow columns but every component active.
+func LaptopConfig() Config {
+	return Config{
+		Res:         grid.R2B(2),
+		AtmLevels:   10,
+		OceanLevels: 8,
+		AtmDt:       120,
+		OceanDt:     600,
+		CouplingDt:  600,
+		LandGraphs:  true,
+	}
+}
+
+// EarthSystem is the assembled coupled model.
+type EarthSystem struct {
+	Cfg  Config
+	G    *grid.Grid
+	Mask *grid.Mask
+
+	Atm  *atmos.Model
+	Land *land.Model
+	Oc   *ocean.Model
+	Bgc  *bgc.Model
+
+	GPU *exec.Device
+	CPU *exec.Device
+
+	// Boundary state exchanged at coupling windows (lagged).
+	bc         atmos.SurfaceBC
+	oceanForce *ocean.Forcing
+	swDown     []float64 // analytic insolation proxy per global cell
+	pco2Ocean  []float64 // atmospheric pCO2 over ocean cells, µatm
+	pendingCO2 []float64 // kg CO2/m²/s to apply to the atmosphere next window (from ocean)
+	landCO2    []float64 // per global cell, land → atmosphere flux of current window
+
+	// Window accumulation of atmosphere fluxes (per global cell).
+	accHeat, accFresh, accStress, accSpeed []float64
+	accCount                               int
+
+	// riverBuffer accumulates discharge (kg per window) per compact ocean
+	// cell on the GPU side; it is folded into the ocean forcing at the
+	// exchange, never touched while the CPU side is running.
+	riverBuffer []float64
+	// prevAirSea snapshots the BGC's cumulative air–sea exchange at the
+	// last exchange, so the atmosphere pays back exactly what the ocean
+	// absorbed during the window.
+	prevAirSea []float64
+
+	// Water/carbon accounting (see Conservation methods).
+	oceanWaterAccount float64
+	simTime           float64
+
+	// Coupling wait diagnostics (simulated seconds).
+	AtmWait, OceanWait float64
+	windows            int
+}
+
+// New assembles an Earth system on the given devices (gpu for
+// atmosphere+land, cpu for ocean+biogeochemistry).
+func New(cfg Config, gpu, cpu *exec.Device) *EarthSystem {
+	g := grid.New(cfg.Res)
+	mask := grid.NewMask(g)
+	vertA := vertical.NewAtmosphere(cfg.AtmLevels, 30000, 300)
+	vertO := vertical.NewOcean(cfg.OceanLevels, 4000, 50)
+
+	es := &EarthSystem{Cfg: cfg, G: g, Mask: mask, GPU: gpu, CPU: cpu}
+	es.Atm = atmos.NewModel(g, vertA, gpu)
+	if cfg.GrayRadiation {
+		es.Atm.Rad = atmos.NewRadiation()
+		// Radiation takes over the deep-atmosphere cooling; weaken the
+		// Newtonian relaxation to the boundary layer role.
+		es.Atm.Phys.HS.Ka /= 4
+	}
+	es.Land = land.NewModel(g, mask, gpu)
+	es.Land.UseGraph = cfg.LandGraphs
+	es.Oc = ocean.NewModel(g, mask, vertO, cfg.OceanDt, cpu)
+	bgcDev := cpu
+	if cfg.BGCConcurrent {
+		// Concurrent HAMOCC runs on its own GPU resources (Linardakis et
+		// al. 2022): a separate device clock, so its kernels overlap the
+		// atmosphere's instead of serialising with them.
+		bgcDev = exec.NewDevice(gpu.Spec)
+		bgcDev.SetPowerCap(gpu.PowerCap())
+	}
+	es.Bgc = bgc.NewModel(es.Oc.State, bgcDev)
+	if cfg.BGCConcurrent {
+		es.Bgc.Concurrent = true
+	}
+
+	es.Atm.State.InitBaroclinic(288, 15)
+	es.Atm.State.InitTracers()
+
+	n := g.NCells
+	es.bc = atmos.SurfaceBC{Tsfc: make([]float64, n), IsWater: make([]bool, n)}
+	es.oceanForce = ocean.NewForcing(es.Oc.State.NOcean())
+	es.swDown = make([]float64, n)
+	es.pco2Ocean = make([]float64, es.Oc.State.NOcean())
+	es.pendingCO2 = make([]float64, es.Oc.State.NOcean())
+	es.landCO2 = make([]float64, n)
+	es.accHeat = make([]float64, n)
+	es.accFresh = make([]float64, n)
+	es.accStress = make([]float64, n)
+	es.accSpeed = make([]float64, n)
+	es.riverBuffer = make([]float64, es.Oc.State.NOcean())
+	es.prevAirSea = make([]float64, es.Oc.State.NOcean())
+
+	for c := 0; c < n; c++ {
+		lat, _ := g.CellCenter[c].LatLon()
+		es.swDown[c] = math.Max(0, 340*math.Cos(lat)*math.Cos(lat))
+	}
+	es.refreshSurfaceBC()
+	es.updateAtmosPCO2()
+	return es
+}
+
+// NewOnSuperchip assembles the system with the paper's GH200 mapping and
+// power partition: ocean+BGC on the Grace CPU, atmosphere+land on the
+// Hopper GPU under the shared TDP.
+func NewOnSuperchip(cfg Config, chip machine.Superchip, cpuDraw float64) *EarthSystem {
+	gpu, cpu := chip.NewPair(cpuDraw)
+	return New(cfg, gpu, cpu)
+}
+
+// refreshSurfaceBC rebuilds the atmosphere's lower boundary condition from
+// the current land and ocean states.
+func (es *EarthSystem) refreshSurfaceBC() {
+	oc := es.Oc.State
+	ld := es.Land.State
+	for c := 0; c < es.G.NCells; c++ {
+		if oi := oc.CellIndex[c]; oi >= 0 {
+			// Ocean: SST in K; open water unless ice-covered.
+			es.bc.Tsfc[c] = oc.SST(oi) + 273.15
+			es.bc.IsWater[c] = oc.IceFrac[oi] < 0.5
+		} else if li := ld.CellIndex[c]; li >= 0 {
+			es.bc.Tsfc[c] = ld.SurfaceTemp(li)
+			es.bc.IsWater[c] = false
+		}
+	}
+}
+
+// updateAtmosPCO2 computes the atmospheric CO₂ partial pressure over each
+// ocean cell (µatm) from the lowest-level mixing ratio and pressure.
+func (es *EarthSystem) updateAtmosPCO2() {
+	s := es.Atm.State
+	nlev := s.NLev
+	for i, c := range es.Oc.State.Cells {
+		idx := c*nlev + nlev - 1
+		q := s.Tracers[atmos.TracerCO2][idx]
+		p := atmos.Pressure(s.Exner[idx])
+		// Mole fraction × pressure in µatm.
+		es.pco2Ocean[i] = q * (MolMassAir / 0.044) * p / 101325 * 1e6
+	}
+}
+
+// StepWindow advances the full Earth system by one coupling window,
+// running the GPU side (atmosphere+land) and the CPU side (ocean+sea
+// ice+BGC) concurrently, then exchanging fields.
+func (es *EarthSystem) StepWindow() error {
+	cfg := es.Cfg
+	nAtm := int(math.Round(cfg.CouplingDt / cfg.AtmDt))
+	nOc := int(math.Round(cfg.CouplingDt / cfg.OceanDt))
+	if nOc < 1 {
+		nOc = 1
+	}
+
+	gpuStart := es.GPU.SimTime()
+	cpuStart := es.CPU.SimTime()
+
+	for c := range es.accHeat {
+		es.accHeat[c], es.accFresh[c], es.accStress[c], es.accSpeed[c] = 0, 0, 0, 0
+	}
+	es.accCount = 0
+
+	var wg sync.WaitGroup
+	var ocErr error
+
+	// --- GPU side: atmosphere + land, land coupled every atmosphere step.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for n := 0; n < nAtm; n++ {
+			es.gpuStep(cfg.AtmDt)
+		}
+	}()
+
+	// --- CPU side: ocean + sea ice + biogeochemistry with lagged forcing.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for n := 0; n < nOc; n++ {
+			if err := es.Oc.Step(cfg.OceanDt, es.oceanForce); err != nil {
+				ocErr = err
+				return
+			}
+			es.Bgc.Step(cfg.OceanDt, es.Oc.Dyn, es.swOcean(), es.pco2Ocean,
+				es.oceanForce.WindSpeed, es.Oc.State.IceFrac)
+		}
+	}()
+	wg.Wait()
+	if ocErr != nil {
+		return fmt.Errorf("coupler: ocean failed: %w", ocErr)
+	}
+
+	// --- Coupling synchronisation: the faster device waits (§6.3).
+	gpuT := es.GPU.SimTime() - gpuStart
+	cpuT := es.CPU.SimTime() - cpuStart
+	if gpuT < cpuT {
+		es.GPU.AdvanceIdle(cpuT - gpuT)
+		es.AtmWait += cpuT - gpuT
+	} else {
+		es.CPU.AdvanceIdle(gpuT - cpuT)
+		es.OceanWait += gpuT - cpuT
+	}
+
+	es.exchange()
+	es.simTime += cfg.CouplingDt
+	es.windows++
+	return nil
+}
+
+// gpuStep performs one atmosphere step with per-step land coupling.
+func (es *EarthSystem) gpuStep(dt float64) {
+	g := es.G
+	ld := es.Land.State
+	oc := es.Oc.State
+
+	// Apply the lagged ocean→atmosphere CO₂ flux and the land CO₂ flux of
+	// the previous land step.
+	co2 := make([]float64, g.NCells)
+	for i, c := range oc.Cells {
+		co2[c] = es.pendingCO2[i]
+	}
+	for c, v := range es.landCO2 {
+		co2[c] += v
+	}
+	es.Atm.Phys.ApplyTracerSurfaceFlux(atmos.TracerCO2, co2, dt)
+
+	fl := es.Atm.Step(dt, es.bc)
+
+	// Land forcing from this very step (per-timestep coupling).
+	lf := land.NewForcing(ld.NLand())
+	for i, c := range ld.Cells {
+		lf.SWDown[i] = es.swDown[c]
+		lf.TAir[i] = es.Atm.State.Theta[c*es.Atm.State.NLev+es.Atm.State.NLev-1] *
+			es.Atm.State.Exner[c*es.Atm.State.NLev+es.Atm.State.NLev-1]
+		lf.Precip[i] = fl.Precip[c]
+		lf.SensibleHeat[i] = fl.SensibleHeat[c]
+	}
+	lfl, discharge := es.Land.Step(dt, lf)
+
+	// Land → atmosphere: evapotranspiration enters the lowest level now.
+	et := make([]float64, g.NCells)
+	for i, c := range ld.Cells {
+		et[c] = lfl.Evapotranspiration[i]
+	}
+	es.Atm.Phys.ApplyTracerSurfaceFlux(atmos.TracerQV, et, dt)
+	for i, c := range ld.Cells {
+		es.landCO2[c] = lfl.CO2Flux[i]
+	}
+	// Refresh land surface temperatures in the boundary condition (land is
+	// tightly coupled).
+	for i, c := range ld.Cells {
+		es.bc.Tsfc[c] = ld.SurfaceTemp(i)
+	}
+
+	// Accumulate atmosphere fluxes for the ocean window.
+	for c := 0; c < g.NCells; c++ {
+		es.accHeat[c] += fl.SensibleHeat[c]
+		es.accFresh[c] += fl.Precip[c] - fl.Evaporation[c]
+		es.accStress[c] += fl.WindStress[c]
+		es.accSpeed[c] += fl.WindSpeed[c]
+	}
+	es.accCount++
+
+	// Water accounting: precipitation over ocean and ocean evaporation move
+	// water between the atmosphere and the (accounted) ocean reservoir.
+	for i, c := range oc.Cells {
+		es.oceanWaterAccount += (fl.Precip[c] - fl.Evaporation[c]) * dt * g.CellArea[c]
+		_ = i
+	}
+	// River discharge reaches the ocean account the moment it leaves land;
+	// the buffered mass enters the ocean's salinity forcing next window.
+	for gc, kgps := range discharge {
+		es.oceanWaterAccount += kgps * dt
+		if oi := oc.CellIndex[gc]; oi >= 0 {
+			es.riverBuffer[oi] += kgps * dt
+		}
+	}
+}
+
+// swOcean returns the insolation proxy on compact ocean indexing.
+func (es *EarthSystem) swOcean() []float64 {
+	out := make([]float64, es.Oc.State.NOcean())
+	for i, c := range es.Oc.State.Cells {
+		out[i] = es.swDown[c]
+	}
+	return out
+}
+
+// exchange performs the end-of-window field exchange (YAC analogue).
+func (es *EarthSystem) exchange() {
+	oc := es.Oc.State
+	g := es.G
+	inv := 1.0
+	if es.accCount > 0 {
+		inv = 1 / float64(es.accCount)
+	}
+	// Atmosphere window means → ocean forcing for the next window.
+	for i, c := range oc.Cells {
+		es.oceanForce.HeatFlux[i] = es.accHeat[c]*inv + es.radiativeBalance(c)
+		es.oceanForce.Freshwater[i] = es.accFresh[c]*inv +
+			es.riverBuffer[i]/(g.CellArea[c]*es.Cfg.CouplingDt)
+		es.riverBuffer[i] = 0
+		es.oceanForce.WindStress[i] = es.accStress[c] * inv
+		es.oceanForce.WindSpeed[i] = es.accSpeed[c] * inv
+	}
+	// Ocean → atmosphere: the CO₂ the ocean actually absorbed over this
+	// window (from the cumulative air–sea record) is paid back by the
+	// atmosphere during the next window, so carbon closes exactly.
+	for i := range oc.Cells {
+		delta := es.Bgc.State.CumAirSea[i] - es.prevAirSea[i] // mol C/m²
+		es.prevAirSea[i] = es.Bgc.State.CumAirSea[i]
+		es.pendingCO2[i] = -delta * bgc.MolMassCO2 / es.Cfg.CouplingDt
+	}
+	es.refreshSurfaceBC()
+	es.updateAtmosPCO2()
+}
+
+// radiativeBalance is the analytic net surface radiation proxy over ocean
+// (the atmosphere has no radiation scheme; the Held–Suarez relaxation
+// plays that role internally), tuned so the coupled SST neither runs away
+// nor collapses in short experiments.
+func (es *EarthSystem) radiativeBalance(c int) float64 {
+	oi := es.Oc.State.CellIndex[c]
+	if oi < 0 {
+		return 0
+	}
+	sst := es.Oc.State.SST(oi)
+	lat, _ := es.G.CellCenter[c].LatLon()
+	sw := es.swDown[c] * 0.93 // after albedo
+	// Linearised longwave cooling around 15 °C.
+	lw := 180 + 2.0*(sst-15)
+	_ = lat
+	return sw - lw
+}
+
+// SimTime returns the simulated (model) time advanced so far in seconds.
+func (es *EarthSystem) SimTime() float64 { return es.simTime }
+
+// LandCO2Flux returns the current land→atmosphere CO₂ flux at global cell
+// c (kg CO₂/m²/s, positive into the atmosphere; zero over the ocean).
+func (es *EarthSystem) LandCO2Flux(c int) float64 { return es.landCO2[c] }
+
+// ExchangeState returns the coupler's lagged exchange buffers for
+// checkpointing: restoring them (ImportExchangeState) makes a
+// checkpoint-restart continuation bit-identical to an uninterrupted run.
+func (es *EarthSystem) ExchangeState() map[string][]float64 {
+	return map[string][]float64{
+		"coupler.pendingCO2": es.pendingCO2,
+		"coupler.landCO2":    es.landCO2,
+		"coupler.prevAirSea": es.prevAirSea,
+		"coupler.heatFlux":   es.oceanForce.HeatFlux,
+		"coupler.freshwater": es.oceanForce.Freshwater,
+		"coupler.windStress": es.oceanForce.WindStress,
+		"coupler.windSpeed":  es.oceanForce.WindSpeed,
+	}
+}
+
+// ResyncBoundary rebuilds the atmosphere's boundary condition and the
+// ocean-side pCO₂ from the current (e.g. freshly restored) component
+// states. Call after importing a checkpoint.
+func (es *EarthSystem) ResyncBoundary() {
+	es.refreshSurfaceBC()
+	es.updateAtmosPCO2()
+}
+
+// OceanCO2Flux returns the pending ocean→atmosphere CO₂ flux at compact
+// ocean cell i (kg CO₂/m²/s, positive into the atmosphere — negative when
+// the ocean is absorbing carbon).
+func (es *EarthSystem) OceanCO2Flux(i int) float64 { return es.pendingCO2[i] }
+
+// Windows returns the number of completed coupling windows.
+func (es *EarthSystem) Windows() int { return es.windows }
+
+// Tau returns the temporal compression achieved so far on the simulated
+// machine: simulated seconds per (simulated) wall-clock second, using the
+// slowest of the device clocks — exactly the paper's τ.
+func (es *EarthSystem) Tau() float64 {
+	wall := math.Max(es.GPU.SimTime(), es.CPU.SimTime())
+	if es.Bgc.Dev != es.CPU && es.Bgc.Dev != es.GPU {
+		wall = math.Max(wall, es.Bgc.Dev.SimTime())
+	}
+	if wall == 0 {
+		return 0
+	}
+	return es.simTime / wall
+}
+
+// AtmosWaterMass returns vapour+cloud mass of the atmosphere (kg).
+func (es *EarthSystem) AtmosWaterMass() float64 {
+	return es.Atm.State.TracerMass(atmos.TracerQV) + es.Atm.State.TracerMass(atmos.TracerQC)
+}
+
+// TotalWater returns the conserved water sum: atmosphere + land + the
+// accounted ocean reservoir (kg).
+func (es *EarthSystem) TotalWater() float64 {
+	return es.AtmosWaterMass() + es.Land.State.TotalWater() + es.oceanWaterAccount
+}
+
+// AtmosCarbonMass returns the carbon mass in atmospheric CO₂ (kg C).
+func (es *EarthSystem) AtmosCarbonMass() float64 {
+	return es.Atm.State.TracerMass(atmos.TracerCO2) * (12.0 / 44.0)
+}
+
+// TotalCarbon returns the conserved carbon sum (kg C): atmosphere + land
+// pools + ocean inventory, corrected for the in-flight ocean flux that the
+// atmosphere has not yet seen.
+func (es *EarthSystem) TotalCarbon() float64 {
+	total := es.AtmosCarbonMass() + es.Land.State.TotalCarbon()
+	total += es.Bgc.State.CarbonInventory() * bgc.MolMassC
+	// In-flight ocean→atmosphere: the ocean's DIC already holds the last
+	// window's uptake while the atmosphere pays during the next window;
+	// the pending flux (positive into the atmosphere) times the window
+	// cancels the double count.
+	for i, c := range es.Oc.State.Cells {
+		total += es.pendingCO2[i] * es.Cfg.CouplingDt * es.G.CellArea[c] * (12.0 / 44.0)
+	}
+	// In-flight land→atmosphere: the land recorded its NEE this step; the
+	// atmosphere receives it on the next atmosphere step.
+	for c, v := range es.landCO2 {
+		total += v * es.Cfg.AtmDt * es.G.CellArea[c] * (12.0 / 44.0)
+	}
+	return total
+}

@@ -1,0 +1,237 @@
+package coupler
+
+import (
+	"math"
+	"testing"
+
+	"icoearth/internal/machine"
+)
+
+func newTestSystem(t *testing.T, mutate func(*Config)) *EarthSystem {
+	t.Helper()
+	cfg := LaptopConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return NewOnSuperchip(cfg, machine.GH200(680), 150)
+}
+
+func TestAssembly(t *testing.T) {
+	es := newTestSystem(t, nil)
+	if es.Atm == nil || es.Land == nil || es.Oc == nil || es.Bgc == nil {
+		t.Fatal("missing component")
+	}
+	// Every global cell has a surface boundary condition.
+	for c := 0; c < es.G.NCells; c++ {
+		if es.bc.Tsfc[c] < 200 || es.bc.Tsfc[c] > 330 {
+			t.Fatalf("cell %d boundary temp %v", c, es.bc.Tsfc[c])
+		}
+	}
+	// Atmospheric pCO2 over ocean near 420 µatm (6.4e-4 mass ratio).
+	for i, v := range es.pco2Ocean {
+		if v < 250 || v > 650 {
+			t.Fatalf("pCO2[%d] = %v µatm", i, v)
+		}
+	}
+}
+
+func TestStepWindowRunsAndAdvances(t *testing.T) {
+	es := newTestSystem(t, nil)
+	for w := 0; w < 3; w++ {
+		if err := es.StepWindow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if es.Windows() != 3 {
+		t.Errorf("windows = %d", es.Windows())
+	}
+	if es.SimTime() != 3*es.Cfg.CouplingDt {
+		t.Errorf("simTime = %v", es.SimTime())
+	}
+	if es.Tau() <= 0 {
+		t.Errorf("tau = %v", es.Tau())
+	}
+	if err := es.Atm.State.CheckFinite(); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Oc.State.CheckFinite(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWaterConservation: the coupled water cycle closes — atmosphere +
+// land + accounted ocean reservoir is constant while water moves through
+// evaporation, precipitation, rivers.
+func TestWaterConservation(t *testing.T) {
+	es := newTestSystem(t, nil)
+	w0 := es.TotalWater()
+	for w := 0; w < 6; w++ {
+		if err := es.StepWindow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w1 := es.TotalWater()
+	if rel := math.Abs(w1-w0) / w0; rel > 1e-9 {
+		t.Errorf("coupled water drift = %e (%v → %v)", rel, w0, w1)
+	}
+	// And water did actually move (the cycle is active).
+	if es.oceanWaterAccount == 0 {
+		t.Error("no water exchanged with the ocean")
+	}
+}
+
+// TestCarbonConservation: the coupled carbon cycle closes across
+// atmosphere CO₂, land pools, ocean DIC/organics and in-flight fluxes.
+func TestCarbonConservation(t *testing.T) {
+	es := newTestSystem(t, nil)
+	c0 := es.TotalCarbon()
+	for w := 0; w < 6; w++ {
+		if err := es.StepWindow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c1 := es.TotalCarbon()
+	if rel := math.Abs(c1-c0) / c0; rel > 1e-6 {
+		t.Errorf("coupled carbon drift = %e (%v → %v)", rel, c0, c1)
+	}
+}
+
+// TestCarbonActuallyFlows: the land and ocean exchange carbon with the
+// atmosphere (nonzero fluxes in both directions of the cycle).
+func TestCarbonActuallyFlows(t *testing.T) {
+	es := newTestSystem(t, nil)
+	for w := 0; w < 4; w++ {
+		if err := es.StepWindow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var landFlux, oceanFlux float64
+	for _, v := range es.landCO2 {
+		landFlux += math.Abs(v)
+	}
+	for _, v := range es.pendingCO2 {
+		oceanFlux += math.Abs(v)
+	}
+	if landFlux == 0 {
+		t.Error("land-atmosphere carbon flux is identically zero")
+	}
+	if oceanFlux == 0 {
+		t.Error("ocean-atmosphere carbon flux is identically zero")
+	}
+}
+
+// TestCouplingWaitAccounting: wait time accrues on exactly one side per
+// window and total device times stay synchronised.
+func TestCouplingWaitAccounting(t *testing.T) {
+	es := newTestSystem(t, nil)
+	for w := 0; w < 3; w++ {
+		if err := es.StepWindow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if es.AtmWait < 0 || es.OceanWait < 0 {
+		t.Fatalf("negative waits: %v %v", es.AtmWait, es.OceanWait)
+	}
+	if es.AtmWait == 0 && es.OceanWait == 0 {
+		t.Error("no coupling wait recorded at all (implausible)")
+	}
+	// After synchronisation both clocks agree.
+	if d := math.Abs(es.GPU.SimTime() - es.CPU.SimTime()); d > 1e-9 {
+		t.Errorf("device clocks diverged by %v after coupling sync", d)
+	}
+}
+
+// TestOceanForFree: with the paper's mapping the ocean+BGC hide behind the
+// atmosphere — the atmosphere should not be the waiting side when the CPU
+// share is adequate (load balancing, §5.1.1).
+func TestHeterogeneousLoadBalance(t *testing.T) {
+	es := newTestSystem(t, nil)
+	for w := 0; w < 4; w++ {
+		if err := es.StepWindow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// In the laptop configuration the GPU-side work (atmosphere at 5 steps
+	// per window + land) should dominate the CPU-side ocean: the ocean
+	// waits, not the atmosphere.
+	if es.AtmWait > es.OceanWait {
+		t.Logf("atm wait %v > ocean wait %v — load balance inverted on this config",
+			es.AtmWait, es.OceanWait)
+	}
+	frac := es.AtmWait / (es.GPU.SimTime() + 1e-30)
+	if frac > 0.5 {
+		t.Errorf("atmosphere idles %.0f%% of the time: mapping defeats its purpose", 100*frac)
+	}
+}
+
+// TestBGCConcurrentConfiguration: the concurrent-HAMOCC mapping runs on
+// its own device and pays transfer kernels.
+func TestBGCConcurrent(t *testing.T) {
+	es := newTestSystem(t, func(c *Config) { c.BGCConcurrent = true })
+	if err := es.StepWindow(); err != nil {
+		t.Fatal(err)
+	}
+	if es.Bgc.Dev == es.CPU || es.Bgc.Dev == es.GPU {
+		t.Fatal("concurrent BGC must have its own device")
+	}
+	stats := es.Bgc.Dev.Stats()
+	var sawXfer bool
+	for _, st := range stats {
+		if st.Name == "bgc:xfer-in" || st.Name == "bgc:xfer-out" {
+			sawXfer = true
+		}
+	}
+	if !sawXfer {
+		t.Error("no transfer kernels in concurrent mode")
+	}
+	if es.Tau() <= 0 {
+		t.Errorf("tau = %v", es.Tau())
+	}
+}
+
+// TestSSTFeedsBack: the atmosphere's boundary temperature over ocean
+// follows the ocean SST after exchanges.
+func TestSSTFeedsBack(t *testing.T) {
+	es := newTestSystem(t, nil)
+	if err := es.StepWindow(); err != nil {
+		t.Fatal(err)
+	}
+	oc := es.Oc.State
+	for i, c := range oc.Cells {
+		want := oc.SST(i) + 273.15
+		if math.Abs(es.bc.Tsfc[c]-want) > 1e-9 {
+			t.Fatalf("bc over ocean cell %d = %v, SST+273.15 = %v", c, es.bc.Tsfc[c], want)
+		}
+	}
+}
+
+// TestDeterminism: two identical runs produce identical states (the
+// concurrency is structured, not racy).
+func TestDeterminism(t *testing.T) {
+	run := func() *EarthSystem {
+		es := newTestSystem(t, nil)
+		for w := 0; w < 3; w++ {
+			if err := es.StepWindow(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return es
+	}
+	a := run()
+	b := run()
+	for i := range a.Atm.State.Rho {
+		if a.Atm.State.Rho[i] != b.Atm.State.Rho[i] {
+			t.Fatalf("atmosphere rho diverges at %d", i)
+		}
+	}
+	for i := range a.Oc.State.Temp {
+		if a.Oc.State.Temp[i] != b.Oc.State.Temp[i] {
+			t.Fatalf("ocean temp diverges at %d", i)
+		}
+	}
+	for i := range a.Bgc.State.Tracers[0] {
+		if a.Bgc.State.Tracers[0][i] != b.Bgc.State.Tracers[0][i] {
+			t.Fatalf("bgc tracer diverges at %d", i)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package diag provides lightweight output utilities: rasterisation of
+// icosahedral cell fields onto a regular latitude–longitude grid and
+// portable graymap (PGM) image output, used by the examples to produce
+// Figure 5-style snapshots (phytoplankton, surface wind, air–sea CO₂
+// flux) without any plotting dependency, plus simple timer helpers.
+package diag
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"icoearth/internal/grid"
+	"icoearth/internal/sphere"
+)
+
+// Raster maps a per-cell field to a W×H latitude-longitude image using
+// nearest-cell sampling. Missing cells (mask returns false) become NaN.
+type Raster struct {
+	W, H int
+	Data []float64 // row-major, row 0 = north pole
+}
+
+// Rasterize samples field (global per-cell values) onto a W×H grid.
+// The mask may be nil (all cells valid).
+func Rasterize(g *grid.Grid, field []float64, valid func(c int) bool, w, h int) *Raster {
+	r := &Raster{W: w, H: h, Data: make([]float64, w*h)}
+	// Brute-force nearest cell via dot product maximisation with a coarse
+	// spatial pre-bucket: for laptop grids a full scan per pixel is fine,
+	// but bucketing by latitude band keeps it quick.
+	type entry struct {
+		c   int
+		pos sphere.Vec3
+	}
+	// Band height must exceed the cell spacing so the nearest cell is
+	// always within one band of the pixel.
+	nbands := int(math.Sqrt(float64(g.NCells)) / 2)
+	if nbands < 4 {
+		nbands = 4
+	}
+	if nbands > 64 {
+		nbands = 64
+	}
+	bands := make([][]entry, nbands)
+	bandOf := func(lat float64) int {
+		b := int((lat + math.Pi/2) / math.Pi * (float64(nbands) - 1e-3))
+		if b < 0 {
+			b = 0
+		}
+		if b >= nbands {
+			b = nbands - 1
+		}
+		return b
+	}
+	for c := 0; c < g.NCells; c++ {
+		lat, _ := g.CellCenter[c].LatLon()
+		bands[bandOf(lat)] = append(bands[bandOf(lat)], entry{c, g.CellCenter[c]})
+	}
+	for j := 0; j < h; j++ {
+		lat := math.Pi/2 - (float64(j)+0.5)/float64(h)*math.Pi
+		b := bandOf(lat)
+		for i := 0; i < w; i++ {
+			lon := -math.Pi + (float64(i)+0.5)/float64(w)*2*math.Pi
+			p := sphere.FromLatLon(lat, lon)
+			best, bestDot := -1, -2.0
+			for db := -1; db <= 1; db++ {
+				bb := b + db
+				if bb < 0 || bb >= nbands {
+					continue
+				}
+				for _, e := range bands[bb] {
+					if d := p.Dot(e.pos); d > bestDot {
+						bestDot, best = d, e.c
+					}
+				}
+			}
+			if best < 0 { // pathological band distribution: full scan
+				for c := 0; c < g.NCells; c++ {
+					if d := p.Dot(g.CellCenter[c]); d > bestDot {
+						bestDot, best = d, c
+					}
+				}
+			}
+			if best >= 0 && (valid == nil || valid(best)) {
+				r.Data[j*w+i] = field[best]
+			} else {
+				r.Data[j*w+i] = math.NaN()
+			}
+		}
+	}
+	return r
+}
+
+// MinMax returns the finite range of the raster.
+func (r *Raster) MinMax() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range r.Data {
+		if math.IsNaN(v) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return lo, hi
+}
+
+// WritePGM writes the raster as an 8-bit PGM with the given value range
+// (values outside clamp; NaN renders black).
+func (r *Raster) WritePGM(path string, lo, hi float64) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "P2\n%d %d\n255\n", r.W, r.H)
+	for j := 0; j < r.H; j++ {
+		for i := 0; i < r.W; i++ {
+			v := r.Data[j*r.W+i]
+			pix := 0
+			if !math.IsNaN(v) && hi > lo {
+				f := (v - lo) / (hi - lo)
+				f = math.Max(0, math.Min(1, f))
+				pix = int(40 + f*215)
+			}
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", pix)
+		}
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// WriteCSV dumps the raster as lat,lon,value rows (for external plotting).
+func (r *Raster) WriteCSV(path string) error {
+	var b strings.Builder
+	b.WriteString("lat,lon,value\n")
+	for j := 0; j < r.H; j++ {
+		lat := 90 - (float64(j)+0.5)/float64(r.H)*180
+		for i := 0; i < r.W; i++ {
+			lon := -180 + (float64(i)+0.5)/float64(r.W)*360
+			fmt.Fprintf(&b, "%.2f,%.2f,%g\n", lat, lon, r.Data[j*r.W+i])
+		}
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// FieldStats summarises a per-cell field with area weights.
+type FieldStats struct {
+	Min, Max, Mean float64
+}
+
+// Stats computes area-weighted statistics over the cells where valid.
+func Stats(g *grid.Grid, field []float64, valid func(c int) bool) FieldStats {
+	st := FieldStats{Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum, area float64
+	for c := 0; c < g.NCells; c++ {
+		if valid != nil && !valid(c) {
+			continue
+		}
+		v := field[c]
+		st.Min = math.Min(st.Min, v)
+		st.Max = math.Max(st.Max, v)
+		sum += v * g.CellArea[c]
+		area += g.CellArea[c]
+	}
+	if area > 0 {
+		st.Mean = sum / area
+	}
+	return st
+}

@@ -1,0 +1,115 @@
+package diag
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"icoearth/internal/grid"
+)
+
+func TestRasterizeConstantField(t *testing.T) {
+	g := grid.New(grid.R2B(1))
+	field := make([]float64, g.NCells)
+	for i := range field {
+		field[i] = 7.5
+	}
+	r := Rasterize(g, field, nil, 36, 18)
+	for _, v := range r.Data {
+		if v != 7.5 {
+			t.Fatalf("constant field rasterised to %v", v)
+		}
+	}
+	lo, hi := r.MinMax()
+	if lo != 7.5 || hi != 7.5 {
+		t.Errorf("minmax = %v %v", lo, hi)
+	}
+}
+
+func TestRasterizeLatitudeField(t *testing.T) {
+	// A field equal to sin(lat) must rasterise monotonically north→south.
+	g := grid.New(grid.R2B(2))
+	field := make([]float64, g.NCells)
+	for c := range field {
+		lat, _ := g.CellCenter[c].LatLon()
+		field[c] = math.Sin(lat)
+	}
+	r := Rasterize(g, field, nil, 24, 12)
+	// Row means decrease from north to south.
+	prev := math.Inf(1)
+	for j := 0; j < r.H; j++ {
+		var sum float64
+		for i := 0; i < r.W; i++ {
+			sum += r.Data[j*r.W+i]
+		}
+		mean := sum / float64(r.W)
+		if mean > prev+0.2 {
+			t.Fatalf("row %d mean %v not decreasing (prev %v)", j, mean, prev)
+		}
+		prev = mean
+	}
+}
+
+func TestRasterizeMask(t *testing.T) {
+	g := grid.New(grid.R2B(1))
+	field := make([]float64, g.NCells)
+	r := Rasterize(g, field, func(c int) bool { return false }, 8, 4)
+	for _, v := range r.Data {
+		if !math.IsNaN(v) {
+			t.Fatal("masked raster should be NaN")
+		}
+	}
+}
+
+func TestWritePGMAndCSV(t *testing.T) {
+	g := grid.New(grid.R2B(1))
+	field := make([]float64, g.NCells)
+	for c := range field {
+		field[c] = float64(c)
+	}
+	r := Rasterize(g, field, nil, 16, 8)
+	dir := t.TempDir()
+	pgm := filepath.Join(dir, "f.pgm")
+	if err := r.WritePGM(pgm, 0, float64(g.NCells)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(pgm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "P2\n16 8\n255\n") {
+		t.Errorf("bad PGM header: %.30s", data)
+	}
+	csv := filepath.Join(dir, "f.csv")
+	if err := r.WriteCSV(csv); err != nil {
+		t.Fatal(err)
+	}
+	lines, _ := os.ReadFile(csv)
+	if n := strings.Count(string(lines), "\n"); n != 16*8+1 {
+		t.Errorf("csv lines = %d", n)
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := grid.New(grid.R2B(1))
+	field := make([]float64, g.NCells)
+	for c := range field {
+		field[c] = 2
+	}
+	field[0] = -1
+	field[1] = 5
+	st := Stats(g, field, nil)
+	if st.Min != -1 || st.Max != 5 {
+		t.Errorf("min/max = %v %v", st.Min, st.Max)
+	}
+	if st.Mean < 1.9 || st.Mean > 2.1 {
+		t.Errorf("mean = %v", st.Mean)
+	}
+	// With a mask excluding the outliers.
+	st2 := Stats(g, field, func(c int) bool { return c >= 2 })
+	if st2.Min != 2 || st2.Max != 2 {
+		t.Errorf("masked stats: %+v", st2)
+	}
+}

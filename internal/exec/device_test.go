@@ -1,0 +1,323 @@
+package exec
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func testSpec() DeviceSpec {
+	return DeviceSpec{
+		Name:               "test-gpu",
+		MemBW:              1e12,
+		PeakFlops:          10e12,
+		LaunchLatency:      5e-6,
+		HalfSatBytes:       1e6,
+		GraphReplayLatency: 10e-6,
+		PowerIdle:          50,
+		PowerMax:           500,
+	}
+}
+
+func TestEffBandwidthSaturation(t *testing.T) {
+	s := testSpec()
+	if got := s.EffBandwidth(s.HalfSatBytes); math.Abs(got-s.MemBW/2) > 1e-3*s.MemBW {
+		t.Errorf("half-sat bandwidth = %v, want %v", got, s.MemBW/2)
+	}
+	if got := s.EffBandwidth(1e12); got < 0.99*s.MemBW {
+		t.Errorf("large-kernel bandwidth = %v, want ≈peak", got)
+	}
+	if got := s.EffBandwidth(0); got != s.MemBW {
+		t.Errorf("zero-byte bandwidth = %v", got)
+	}
+}
+
+func TestEffBandwidthMonotone(t *testing.T) {
+	s := testSpec()
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		if a > b {
+			a, b = b, a
+		}
+		return s.EffBandwidth(a) <= s.EffBandwidth(b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKernelTimeRoofline(t *testing.T) {
+	s := testSpec()
+	// Memory-bound: 1 GB, negligible flops.
+	tm := s.KernelTime(1e9, 1e6)
+	if want := 1e9 / s.EffBandwidth(1e9); math.Abs(tm-want) > 1e-12 {
+		t.Errorf("mem-bound time = %v want %v", tm, want)
+	}
+	// Compute-bound: tiny bytes, huge flops.
+	tc := s.KernelTime(8, 1e12)
+	if want := 1e12 / s.PeakFlops; math.Abs(tc-want) > 1e-9 {
+		t.Errorf("flop-bound time = %v want %v", tc, want)
+	}
+}
+
+func TestLaunchExecutesAndAccounts(t *testing.T) {
+	d := NewDevice(testSpec())
+	var ran int32
+	d.Launch(Kernel{Name: "k", Bytes: 1e6, Run: func() { atomic.AddInt32(&ran, 1) }})
+	if ran != 1 {
+		t.Error("kernel body did not run")
+	}
+	if d.Launches() != 1 {
+		t.Errorf("launches = %d", d.Launches())
+	}
+	want := d.Spec.LaunchLatency + d.Spec.KernelTime(1e6, 0)
+	if math.Abs(d.SimTime()-want) > 1e-15 {
+		t.Errorf("simTime = %v want %v", d.SimTime(), want)
+	}
+	if d.Energy() <= 0 {
+		t.Error("no energy accounted")
+	}
+}
+
+func TestSmallKernelsLaunchDominated(t *testing.T) {
+	d := NewDevice(testSpec())
+	// 1000 tiny kernels: launch latency should dominate.
+	for i := 0; i < 1000; i++ {
+		d.Launch(Kernel{Name: "tiny", Bytes: 1000})
+	}
+	launchPart := 1000 * d.Spec.LaunchLatency
+	if d.SimTime() < launchPart || d.SimTime() > 1.5*launchPart {
+		t.Errorf("simTime = %v, launch part = %v: tiny kernels should be launch-dominated",
+			d.SimTime(), launchPart)
+	}
+}
+
+func TestGraphReplaySpeedup(t *testing.T) {
+	// The land-model scenario: hundreds of tiny kernels. Graph replay must
+	// be roughly an order of magnitude faster (paper: 8–10×).
+	spec := testSpec()
+	eager := NewDevice(spec)
+	const nk = 300
+	mk := func(i int) Kernel {
+		// Independent kernels (different fields) of 100 KB each.
+		name := string(rune('a'+i%26)) + string(rune('0'+i/26%10))
+		return Kernel{Name: "pft", Bytes: 1e5, Reads: []string{"in" + name}, Writes: []string{"out" + name}}
+	}
+	for i := 0; i < nk; i++ {
+		eager.Launch(mk(i))
+	}
+	graphDev := NewDevice(spec)
+	graphDev.BeginCapture()
+	for i := 0; i < nk; i++ {
+		graphDev.Launch(mk(i))
+	}
+	g, err := graphDev.EndCapture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Replay()
+	speedup := eager.SimTime() / graphDev.SimTime()
+	if speedup < 4 {
+		t.Errorf("graph speedup = %.1f, want >4 for tiny independent kernels", speedup)
+	}
+}
+
+func TestGraphPreservesProgramOrderResults(t *testing.T) {
+	// Replay must produce bit-identical results to eager execution.
+	spec := testSpec()
+	run := func(useGraph bool) []float64 {
+		x := []float64{1, 0, 0}
+		d := NewDevice(spec)
+		ks := []Kernel{
+			{Name: "a", Bytes: 8, Writes: []string{"x1"}, Reads: []string{"x0"},
+				Run: func() { x[1] = x[0] * 3 }},
+			{Name: "b", Bytes: 8, Writes: []string{"x2"}, Reads: []string{"x1"},
+				Run: func() { x[2] = x[1] + 1 }},
+			{Name: "c", Bytes: 8, Writes: []string{"x0"}, Reads: []string{"x2"},
+				Run: func() { x[0] = x[2] * x[2] }},
+		}
+		if useGraph {
+			d.BeginCapture()
+			for _, k := range ks {
+				d.Launch(k)
+			}
+			g, _ := d.EndCapture()
+			g.Replay()
+			g.Replay()
+		} else {
+			for rep := 0; rep < 2; rep++ {
+				for _, k := range ks {
+					d.Launch(k)
+				}
+			}
+		}
+		return x
+	}
+	e := run(false)
+	g := run(true)
+	for i := range e {
+		if e[i] != g[i] {
+			t.Errorf("index %d: eager %v graph %v", i, e[i], g[i])
+		}
+	}
+}
+
+func TestGraphDependencyLevels(t *testing.T) {
+	d := NewDevice(testSpec())
+	d.BeginCapture()
+	// Chain: a->b->c must serialize (3 levels); d is independent (level 0).
+	d.Launch(Kernel{Name: "a", Writes: []string{"f1"}})
+	d.Launch(Kernel{Name: "b", Reads: []string{"f1"}, Writes: []string{"f2"}})
+	d.Launch(Kernel{Name: "c", Reads: []string{"f2"}, Writes: []string{"f3"}})
+	d.Launch(Kernel{Name: "d", Writes: []string{"g"}})
+	g, err := d.EndCapture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLevels() != 3 {
+		t.Errorf("levels = %d, want 3", g.NumLevels())
+	}
+	if g.NumKernels() != 4 {
+		t.Errorf("kernels = %d", g.NumKernels())
+	}
+}
+
+func TestGraphWARAndWAWHazards(t *testing.T) {
+	d := NewDevice(testSpec())
+	d.BeginCapture()
+	d.Launch(Kernel{Name: "r", Reads: []string{"f"}})   // level 0
+	d.Launch(Kernel{Name: "w", Writes: []string{"f"}})  // WAR: level 1
+	d.Launch(Kernel{Name: "w2", Writes: []string{"f"}}) // WAW: level 2
+	g, _ := d.EndCapture()
+	if g.NumLevels() != 3 {
+		t.Errorf("WAR/WAW levels = %d, want 3", g.NumLevels())
+	}
+}
+
+func TestNestedCapturePanics(t *testing.T) {
+	d := NewDevice(testSpec())
+	d.BeginCapture()
+	defer func() {
+		if recover() == nil {
+			t.Error("nested capture should panic")
+		}
+	}()
+	d.BeginCapture()
+}
+
+func TestEndCaptureWithoutBegin(t *testing.T) {
+	d := NewDevice(testSpec())
+	if _, err := d.EndCapture(); err == nil {
+		t.Error("want error")
+	}
+}
+
+func TestPowerCapThrottles(t *testing.T) {
+	spec := testSpec()
+	free := NewDevice(spec)
+	capped := NewDevice(spec)
+	capped.SetPowerCap(250) // kernel wants PowerMax=500
+	k := Kernel{Name: "big", Bytes: 1e9}
+	free.Launch(k)
+	capped.Launch(k)
+	if capped.SimTime() <= free.SimTime() {
+		t.Errorf("capped %v should be slower than free %v", capped.SimTime(), free.SimTime())
+	}
+	ratio := capped.SimTime() / free.SimTime()
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Errorf("throttle ratio = %v, want ≈2 for half power", ratio)
+	}
+}
+
+func TestPowerCapAboveNeedNoEffect(t *testing.T) {
+	spec := testSpec()
+	free := NewDevice(spec)
+	capped := NewDevice(spec)
+	capped.SetPowerCap(spec.PowerMax + 100)
+	k := Kernel{Name: "big", Bytes: 1e9}
+	free.Launch(k)
+	capped.Launch(k)
+	if capped.SimTime() != free.SimTime() {
+		t.Errorf("generous cap changed timing: %v vs %v", capped.SimTime(), free.SimTime())
+	}
+}
+
+func TestAdvanceIdle(t *testing.T) {
+	d := NewDevice(testSpec())
+	d.AdvanceIdle(2)
+	if d.SimTime() != 2 {
+		t.Errorf("simTime = %v", d.SimTime())
+	}
+	if want := 2 * d.Spec.PowerIdle; math.Abs(d.Energy()-want) > 1e-12 {
+		t.Errorf("idle energy = %v want %v", d.Energy(), want)
+	}
+	d.AdvanceIdle(-1) // no-op
+	if d.SimTime() != 2 {
+		t.Errorf("negative idle advanced clock")
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	d := NewDevice(testSpec())
+	d.Launch(Kernel{Name: "a", Bytes: 100})
+	d.Launch(Kernel{Name: "a", Bytes: 100})
+	d.Launch(Kernel{Name: "b", Bytes: 50})
+	st := d.Stats()
+	if len(st) != 2 || st[0].Name != "a" || st[0].Count != 2 || st[1].Name != "b" {
+		t.Errorf("stats = %+v", st)
+	}
+	if d.BytesMoved() != 250 {
+		t.Errorf("bytes = %v", d.BytesMoved())
+	}
+	d.Reset()
+	if d.SimTime() != 0 || d.Launches() != 0 || len(d.Stats()) != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestSustainedBandwidth(t *testing.T) {
+	d := NewDevice(testSpec())
+	// One huge kernel: sustained BW should approach peak (launch latency
+	// amortised, saturation curve near 1).
+	d.Launch(Kernel{Name: "huge", Bytes: 1e11})
+	bw := d.SustainedBandwidth()
+	if bw < 0.95*d.Spec.MemBW {
+		t.Errorf("sustained = %v, want ≈%v", bw, d.Spec.MemBW)
+	}
+	// Many tiny kernels: sustained BW collapses.
+	d2 := NewDevice(testSpec())
+	for i := 0; i < 100; i++ {
+		d2.Launch(Kernel{Name: "tiny", Bytes: 1e3})
+	}
+	if d2.SustainedBandwidth() > 0.01*d2.Spec.MemBW {
+		t.Errorf("tiny-kernel sustained = %v, should collapse", d2.SustainedBandwidth())
+	}
+}
+
+func TestParallelFor(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		var sum int64
+		ParallelFor(1000, workers, func(i int) {
+			atomic.AddInt64(&sum, int64(i))
+		})
+		if sum != 999*1000/2 {
+			t.Errorf("workers=%d: sum = %d", workers, sum)
+		}
+	}
+	// n=0 edge case.
+	ParallelFor(0, 4, func(i int) { t.Error("body called for n=0") })
+}
+
+func TestGraphEmptyReplay(t *testing.T) {
+	d := NewDevice(testSpec())
+	d.BeginCapture()
+	g, err := d.EndCapture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Replay() // must not panic
+	if d.SimTime() != d.Spec.GraphReplayLatency {
+		t.Errorf("empty replay time = %v", d.SimTime())
+	}
+}

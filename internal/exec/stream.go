@@ -1,0 +1,87 @@
+package exec
+
+import "fmt"
+
+// Asynchronous streams: the paper's kernels launch with OpenACC ASYNC(1)
+// — work on different streams overlaps, and the host synchronises at
+// coupling or halo-exchange points. LaunchOnStream charges the kernel to a
+// per-stream clock; Sync advances the device clock by the busiest stream
+// since the last synchronisation (the wall time of the overlapped bundle)
+// while energy reflects the total active time of all streams.
+//
+// Streams and graphs compose conceptually but not in capture: a capturing
+// device rejects stream launches (CUDA has stream-capture instead; the
+// graph path here already models the overlap).
+
+// LaunchOnStream executes kernel k on the given stream id (asynchronous
+// with respect to other streams; ordered within its stream).
+func (d *Device) LaunchOnStream(stream int, k Kernel) {
+	if d.capturing {
+		panic("exec: LaunchOnStream during graph capture; use Launch")
+	}
+	if k.Run != nil {
+		k.Run()
+	}
+	dur := d.throttled(d.Spec.KernelTime(k.Bytes, k.Flops))
+	wall := d.Spec.LaunchLatency + dur
+	d.mu.Lock()
+	if d.streamBusy == nil {
+		d.streamBusy = map[int]float64{}
+	}
+	d.streamBusy[stream] += wall
+	// Account bytes/energy now; the clock advances at Sync.
+	d.launches++
+	d.bytes += k.Bytes
+	d.flops += k.Flops
+	p := d.Spec.PowerIdle + (d.Spec.PowerMax - d.Spec.PowerIdle)
+	if d.powerCap > 0 && p > d.powerCap {
+		p = d.powerCap
+	}
+	d.energy += p * wall
+	st := d.perKernel[k.Name]
+	if st == nil {
+		st = &KernelStats{}
+		d.perKernel[k.Name] = st
+	}
+	st.Count++
+	st.Bytes += k.Bytes
+	st.Seconds += wall
+	d.mu.Unlock()
+}
+
+// Sync waits for all streams: the device clock advances by the busiest
+// stream's outstanding time, and the per-stream clocks reset. It returns
+// the wall time of the synchronised bundle.
+func (d *Device) Sync() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var maxBusy float64
+	for _, b := range d.streamBusy {
+		if b > maxBusy {
+			maxBusy = b
+		}
+	}
+	for s := range d.streamBusy {
+		delete(d.streamBusy, s)
+	}
+	d.simTime += maxBusy
+	return maxBusy
+}
+
+// PendingStreams returns the number of streams with outstanding work.
+func (d *Device) PendingStreams() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, b := range d.streamBusy {
+		if b > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// String describes the device state briefly.
+func (d *Device) String() string {
+	return fmt.Sprintf("%s: %.6fs, %d launches", d.Spec.Name, d.SimTime(), d.Launches())
+}

@@ -1,0 +1,84 @@
+package exec
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStreamsOverlap(t *testing.T) {
+	d := NewDevice(testSpec())
+	// Two equal kernels on different streams: wall = one kernel.
+	k := Kernel{Name: "k", Bytes: 1e7}
+	single := d.Spec.LaunchLatency + d.Spec.KernelTime(1e7, 0)
+	d.LaunchOnStream(1, k)
+	d.LaunchOnStream(2, k)
+	if d.PendingStreams() != 2 {
+		t.Fatalf("pending = %d", d.PendingStreams())
+	}
+	wall := d.Sync()
+	if math.Abs(wall-single) > 1e-15 {
+		t.Errorf("overlapped wall = %v, want %v", wall, single)
+	}
+	if math.Abs(d.SimTime()-single) > 1e-15 {
+		t.Errorf("device clock = %v, want %v", d.SimTime(), single)
+	}
+	if d.PendingStreams() != 0 {
+		t.Error("streams not drained by Sync")
+	}
+}
+
+func TestStreamSerialisesWithinStream(t *testing.T) {
+	d := NewDevice(testSpec())
+	k := Kernel{Name: "k", Bytes: 1e7}
+	single := d.Spec.LaunchLatency + d.Spec.KernelTime(1e7, 0)
+	d.LaunchOnStream(1, k)
+	d.LaunchOnStream(1, k)
+	if wall := d.Sync(); math.Abs(wall-2*single) > 1e-15 {
+		t.Errorf("same-stream wall = %v, want %v", wall, 2*single)
+	}
+}
+
+func TestStreamEnergyCountsAllWork(t *testing.T) {
+	d := NewDevice(testSpec())
+	k := Kernel{Name: "k", Bytes: 1e7}
+	d.LaunchOnStream(1, k)
+	d.LaunchOnStream(2, k)
+	d.Sync()
+	// Energy covers both kernels' active time even though wall is one.
+	single := d.Spec.LaunchLatency + d.Spec.KernelTime(1e7, 0)
+	wantE := 2 * single * d.Spec.PowerMax
+	if math.Abs(d.Energy()-wantE) > 1e-9*wantE {
+		t.Errorf("energy = %v, want %v", d.Energy(), wantE)
+	}
+}
+
+func TestStreamRunsBody(t *testing.T) {
+	d := NewDevice(testSpec())
+	ran := false
+	d.LaunchOnStream(3, Kernel{Name: "k", Bytes: 8, Run: func() { ran = true }})
+	if !ran {
+		t.Error("body did not run")
+	}
+	d.Sync()
+}
+
+func TestStreamDuringCapturePanics(t *testing.T) {
+	d := NewDevice(testSpec())
+	d.BeginCapture()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	d.LaunchOnStream(1, Kernel{Name: "k"})
+}
+
+func TestSyncEmptyIsNoOp(t *testing.T) {
+	d := NewDevice(testSpec())
+	if w := d.Sync(); w != 0 {
+		t.Errorf("empty sync = %v", w)
+	}
+	if d.String() == "" {
+		t.Error("empty String")
+	}
+}

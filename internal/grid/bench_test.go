@@ -1,0 +1,77 @@
+package grid
+
+import (
+	"math"
+	"testing"
+)
+
+func BenchmarkGridGenerationR2B4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := New(R2B(4))
+		if g.NCells != 20480 {
+			b.Fatal("bad grid")
+		}
+	}
+}
+
+func BenchmarkDecomposeR2B4(b *testing.B) {
+	g := New(R2B(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(g, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchFields(g *Grid) (un, cf []float64) {
+	un = make([]float64, g.NEdges)
+	cf = make([]float64, g.NCells)
+	for e := range un {
+		un[e] = math.Sin(float64(e) * 0.01)
+	}
+	for c := range cf {
+		cf[c] = math.Cos(float64(c) * 0.02)
+	}
+	return un, cf
+}
+
+func BenchmarkDivergence(b *testing.B) {
+	g := New(R2B(4))
+	un, cf := benchFields(g)
+	b.SetBytes(int64(8 * (g.NEdges + g.NCells)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Divergence(un, cf)
+	}
+}
+
+func BenchmarkGradient(b *testing.B) {
+	g := New(R2B(4))
+	un, cf := benchFields(g)
+	b.SetBytes(int64(8 * (g.NEdges + g.NCells)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Gradient(cf, un)
+	}
+}
+
+func BenchmarkKineticEnergy(b *testing.B) {
+	g := New(R2B(4))
+	un, cf := benchFields(g)
+	b.SetBytes(int64(8 * (g.NEdges + g.NCells)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.KineticEnergy(un, cf)
+	}
+}
+
+func BenchmarkCurl(b *testing.B) {
+	g := New(R2B(4))
+	un, _ := benchFields(g)
+	zeta := make([]float64, g.NVerts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Curl(un, zeta)
+	}
+}

@@ -1,0 +1,162 @@
+package grid
+
+import "fmt"
+
+// Partition describes the cells owned by one rank of a domain
+// decomposition, plus the halo (ghost) cells it needs from neighbouring
+// ranks for one layer of edge-adjacent stencils.
+type Partition struct {
+	Rank  int
+	Owner []int // global cell indices owned by this rank, ascending
+
+	// Halo[r] lists the global cell indices owned by rank r that this rank
+	// reads (edge-adjacent to an owned cell). Ranks with empty lists are
+	// omitted.
+	Halo map[int][]int
+
+	// Send[r] lists the global cell indices owned by this rank that rank r
+	// reads; the mirror of r's Halo entry for this rank.
+	Send map[int][]int
+
+	// Edges owned by this rank (an edge is owned by the lower-ranked of
+	// its two adjacent cells' owners; each edge has exactly one owner).
+	OwnedEdges []int
+
+	// LocalIndex maps global cell index -> local index for owned cells
+	// (0..len(Owner)-1) followed by halo cells in deterministic order.
+	LocalIndex map[int]int
+
+	// HaloCells is the flattened, deterministic ordering of all halo cells
+	// (ascending rank, then ascending global index), matching the local
+	// indices after the owned block.
+	HaloCells []int
+}
+
+// Decomposition is a full assignment of grid cells to ranks.
+type Decomposition struct {
+	G         *Grid
+	NRanks    int
+	CellOwner []int // rank owning each global cell
+	Parts     []*Partition
+}
+
+// Decompose splits the grid into nranks contiguous blocks in subdivision
+// tree order. Because children of a subdivision stay contiguous, blocks are
+// spatially compact patches, an arrangement analogous to ICON's
+// geometric domain decomposition; the surface-to-volume ratio of each part
+// scales like 1/√(cells-per-rank), which is what the halo cost model
+// assumes.
+func Decompose(g *Grid, nranks int) (*Decomposition, error) {
+	if nranks < 1 || nranks > g.NCells {
+		return nil, fmt.Errorf("grid: cannot decompose %d cells into %d ranks", g.NCells, nranks)
+	}
+	d := &Decomposition{G: g, NRanks: nranks}
+	d.CellOwner = make([]int, g.NCells)
+	base := g.NCells / nranks
+	rem := g.NCells % nranks
+	start := 0
+	for r := 0; r < nranks; r++ {
+		n := base
+		if r < rem {
+			n++
+		}
+		for c := start; c < start+n; c++ {
+			d.CellOwner[c] = r
+		}
+		start += n
+	}
+	d.buildParts()
+	return d, nil
+}
+
+func (d *Decomposition) buildParts() {
+	g := d.G
+	d.Parts = make([]*Partition, d.NRanks)
+	for r := range d.Parts {
+		d.Parts[r] = &Partition{
+			Rank: r,
+			Halo: make(map[int][]int),
+			Send: make(map[int][]int),
+		}
+	}
+	for c, r := range d.CellOwner {
+		d.Parts[r].Owner = append(d.Parts[r].Owner, c)
+	}
+	// Halo: owned cells' edge neighbours owned elsewhere.
+	seen := make(map[[2]int]bool) // (rank, globalCell) already in halo
+	for c, r := range d.CellOwner {
+		for _, nb := range g.CellNeighbors[c] {
+			ro := d.CellOwner[nb]
+			if ro == r {
+				continue
+			}
+			if !seen[[2]int{r, nb}] {
+				seen[[2]int{r, nb}] = true
+				d.Parts[r].Halo[ro] = append(d.Parts[r].Halo[ro], nb)
+			}
+		}
+	}
+	// Send lists mirror halo lists. Halo lists are already ascending in
+	// global index because cells are visited in order.
+	for r, p := range d.Parts {
+		for ro, cells := range p.Halo {
+			d.Parts[ro].Send[r] = append([]int(nil), cells...)
+		}
+		_ = r
+	}
+	// Edge ownership: lower rank of the two adjacent cell owners; ties by
+	// first cell.
+	for e, cc := range g.EdgeCells {
+		r0, r1 := d.CellOwner[cc[0]], d.CellOwner[cc[1]]
+		r := r0
+		if r1 < r0 {
+			r = r1
+		}
+		d.Parts[r].OwnedEdges = append(d.Parts[r].OwnedEdges, e)
+	}
+	// Local index maps: owned block then halos (ascending rank, then index).
+	for _, p := range d.Parts {
+		p.LocalIndex = make(map[int]int, len(p.Owner)+64)
+		for i, c := range p.Owner {
+			p.LocalIndex[c] = i
+		}
+		next := len(p.Owner)
+		for ro := 0; ro < d.NRanks; ro++ {
+			for _, c := range p.Halo[ro] {
+				p.LocalIndex[c] = next
+				p.HaloCells = append(p.HaloCells, c)
+				next++
+			}
+		}
+	}
+}
+
+// HaloBytes returns the total number of bytes exchanged per halo update for
+// the given rank, assuming nfields full-column fields of nlev levels in
+// float64.
+func (p *Partition) HaloBytes(nfields, nlev int) int {
+	n := 0
+	for _, cells := range p.Halo {
+		n += len(cells)
+	}
+	for _, cells := range p.Send {
+		n += len(cells)
+	}
+	return n * nfields * nlev * 8
+}
+
+// MaxHaloCells returns the maximum halo size over all partitions, the
+// quantity that enters the α–β communication model.
+func (d *Decomposition) MaxHaloCells() int {
+	m := 0
+	for _, p := range d.Parts {
+		n := 0
+		for _, cells := range p.Halo {
+			n += len(cells)
+		}
+		if n > m {
+			m = n
+		}
+	}
+	return m
+}

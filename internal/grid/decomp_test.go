@@ -1,0 +1,262 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecomposePartitionsCoverGrid(t *testing.T) {
+	g := New(R2B(2))
+	for _, nr := range []int{1, 2, 4, 7, 16} {
+		d, err := Decompose(g, nr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make([]bool, g.NCells)
+		for _, p := range d.Parts {
+			for _, c := range p.Owner {
+				if seen[c] {
+					t.Fatalf("nr=%d: cell %d owned twice", nr, c)
+				}
+				seen[c] = true
+				if d.CellOwner[c] != p.Rank {
+					t.Fatalf("nr=%d: owner array mismatch", nr)
+				}
+			}
+		}
+		for c, s := range seen {
+			if !s {
+				t.Fatalf("nr=%d: cell %d unowned", nr, c)
+			}
+		}
+	}
+}
+
+func TestDecomposeBalance(t *testing.T) {
+	g := New(R2B(2))
+	d, err := Decompose(g, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minN, maxN := g.NCells, 0
+	for _, p := range d.Parts {
+		if len(p.Owner) < minN {
+			minN = len(p.Owner)
+		}
+		if len(p.Owner) > maxN {
+			maxN = len(p.Owner)
+		}
+	}
+	if maxN-minN > 1 {
+		t.Errorf("imbalance: min=%d max=%d", minN, maxN)
+	}
+}
+
+func TestHaloSendMirror(t *testing.T) {
+	g := New(R2B(2))
+	d, err := Decompose(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range d.Parts {
+		for ro, cells := range p.Halo {
+			send := d.Parts[ro].Send[p.Rank]
+			if len(send) != len(cells) {
+				t.Fatalf("rank %d halo from %d: %d cells, send list %d", p.Rank, ro, len(cells), len(send))
+			}
+			for i := range cells {
+				if send[i] != cells[i] {
+					t.Fatalf("rank %d halo/send mismatch at %d", p.Rank, i)
+				}
+				if d.CellOwner[cells[i]] != ro {
+					t.Fatalf("halo cell %d not owned by %d", cells[i], ro)
+				}
+			}
+		}
+	}
+}
+
+func TestHaloContainsAllNeighbors(t *testing.T) {
+	g := New(R2B(2))
+	d, err := Decompose(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range d.Parts {
+		for _, c := range p.Owner {
+			for _, nb := range g.CellNeighbors[c] {
+				if _, ok := p.LocalIndex[nb]; !ok {
+					t.Fatalf("rank %d: neighbor %d of owned %d not addressable", p.Rank, nb, c)
+				}
+			}
+		}
+	}
+}
+
+func TestEdgeOwnershipUnique(t *testing.T) {
+	g := New(R2B(2))
+	d, err := Decompose(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := make([]int, g.NEdges)
+	for i := range owned {
+		owned[i] = -1
+	}
+	for _, p := range d.Parts {
+		for _, e := range p.OwnedEdges {
+			if owned[e] != -1 {
+				t.Fatalf("edge %d owned by both %d and %d", e, owned[e], p.Rank)
+			}
+			owned[e] = p.Rank
+		}
+	}
+	for e, r := range owned {
+		if r == -1 {
+			t.Fatalf("edge %d unowned", e)
+		}
+	}
+}
+
+// TestHaloSurfaceScaling: halo size should grow like sqrt(cells/rank), i.e.
+// the decomposition produces compact patches, not scattered cells.
+func TestHaloSurfaceScaling(t *testing.T) {
+	g := New(R2B(3)) // 5120 cells
+	d16, _ := Decompose(g, 16)
+	d64, _ := Decompose(g, 64)
+	h16 := float64(d16.MaxHaloCells())
+	h64 := float64(d64.MaxHaloCells())
+	// cells/rank shrinks 4x, halo should shrink ~2x, certainly not grow.
+	if h64 > h16 {
+		t.Errorf("halo grew with more ranks: 16→%v, 64→%v", h16, h64)
+	}
+	// And the halo must be much smaller than the owned count (compactness).
+	own := float64(g.NCells / 16)
+	if h16 > 0.9*own {
+		t.Errorf("halo %v comparable to owned %v: partitions not compact", h16, own)
+	}
+	ratio := h16 / h64
+	if ratio < 1.2 || ratio > 3.5 {
+		t.Logf("halo scaling ratio = %v (soft check, expect ≈2)", ratio)
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	g := New(R2B(0))
+	if _, err := Decompose(g, 0); err == nil {
+		t.Error("nranks=0 should error")
+	}
+	if _, err := Decompose(g, g.NCells+1); err == nil {
+		t.Error("nranks>cells should error")
+	}
+}
+
+func TestHaloBytes(t *testing.T) {
+	g := New(R2B(1))
+	d, _ := Decompose(g, 4)
+	p := d.Parts[0]
+	nh, ns := 0, 0
+	for _, c := range p.Halo {
+		nh += len(c)
+	}
+	for _, c := range p.Send {
+		ns += len(c)
+	}
+	want := (nh + ns) * 3 * 10 * 8
+	if got := p.HaloBytes(3, 10); got != want {
+		t.Errorf("HaloBytes = %d want %d", got, want)
+	}
+}
+
+func TestMaskProperties(t *testing.T) {
+	g := New(R2B(3))
+	m := NewMask(g)
+	if m.LandFrac < 0.15 || m.LandFrac > 0.45 {
+		t.Errorf("land fraction = %v, want Earth-like ~0.29", m.LandFrac)
+	}
+	if len(m.LandCells)+len(m.OceanCells) != g.NCells {
+		t.Errorf("mask does not cover grid")
+	}
+	for _, c := range m.LandCells {
+		if !m.IsLand[c] {
+			t.Fatalf("land cell %d not flagged", c)
+		}
+	}
+	// There must be a coastline (mask is not trivial) and ocean must be
+	// the majority.
+	if m.Coastline(g) == 0 {
+		t.Error("no coastline")
+	}
+	if len(m.OceanCells) <= len(m.LandCells) {
+		t.Error("ocean should dominate")
+	}
+}
+
+func TestMaskDeterministic(t *testing.T) {
+	g := New(R2B(2))
+	m1 := NewMask(g)
+	m2 := NewMask(g)
+	for c := range m1.IsLand {
+		if m1.IsLand[c] != m2.IsLand[c] {
+			t.Fatalf("mask differs at %d", c)
+		}
+	}
+}
+
+func TestOceanOnlyEdges(t *testing.T) {
+	g := New(R2B(2))
+	m := NewMask(g)
+	for e := range g.EdgeCells {
+		want := !m.IsLand[g.EdgeCells[e][0]] && !m.IsLand[g.EdgeCells[e][1]]
+		if got := m.OceanOnly(g, e); got != want {
+			t.Fatalf("edge %d OceanOnly = %v want %v", e, got, want)
+		}
+	}
+}
+
+// Property: for any rank count, every halo cell is edge-adjacent to at
+// least one owned cell.
+func TestHaloCellsAreAdjacent(t *testing.T) {
+	g := New(R2B(2))
+	f := func(nrRaw uint8) bool {
+		nr := int(nrRaw)%30 + 1
+		d, err := Decompose(g, nr)
+		if err != nil {
+			return false
+		}
+		for _, p := range d.Parts {
+			ownSet := make(map[int]bool, len(p.Owner))
+			for _, c := range p.Owner {
+				ownSet[c] = true
+			}
+			for _, hc := range p.HaloCells {
+				adjacent := false
+				for _, nb := range g.CellNeighbors[hc] {
+					if ownSet[nb] {
+						adjacent = true
+					}
+				}
+				if !adjacent {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxHaloCellsMonotoneWithArea(t *testing.T) {
+	// Sanity: the per-rank halo of an R2B3/16-rank decomposition should be
+	// within a small factor of the perimeter estimate c·sqrt(cells/rank).
+	g := New(R2B(3))
+	d, _ := Decompose(g, 16)
+	perim := 4 * math.Sqrt(float64(g.NCells/16))
+	h := float64(d.MaxHaloCells())
+	if h > 3*perim {
+		t.Errorf("halo %v far exceeds perimeter estimate %v", h, perim)
+	}
+}

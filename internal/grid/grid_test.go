@@ -1,0 +1,371 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"icoearth/internal/sphere"
+)
+
+func TestResolutionCounts(t *testing.T) {
+	cases := []struct {
+		res  Resolution
+		want int
+	}{
+		{Resolution{1, 0}, 20},
+		{R2B(0), 80},
+		{R2B(1), 320},
+		{R2B(2), 1280},
+		{R2B(3), 5120},
+		{R2B(4), 20480},
+		{Resolution{3, 0}, 180},
+	}
+	for _, c := range cases {
+		if got := c.res.NumCells(); got != c.want {
+			t.Errorf("%v.NumCells() = %d, want %d", c.res, got, c.want)
+		}
+	}
+}
+
+func TestNominalDx(t *testing.T) {
+	// Paper Table 2: the 1.25 km configuration has 3.36e8 cells. Check that
+	// our formula reproduces the pairing of cell count and nominal Δx.
+	// An RnBk grid with ~3.36e8 cells: 20·n²·4^k; ICON's R2B11 has
+	// 20·4·4^11 = 3.355e8 cells.
+	r := R2B(11)
+	if got := r.NumCells(); got != 335544320 {
+		t.Fatalf("R2B11 cells = %d", got)
+	}
+	dx := r.NominalDx()
+	if dx < 1200 || dx > 1300 {
+		t.Errorf("R2B11 nominal dx = %v m, want ≈1.25 km", dx)
+	}
+	// And the 10 km development grid (R2B8, 5.2e6 cells ≈ Table 2's 0.05e8).
+	dx8 := R2B(8).NominalDx()
+	if dx8 < 9600 || dx8 > 10400 {
+		t.Errorf("R2B8 nominal dx = %v m, want ≈10 km", dx8)
+	}
+}
+
+func TestEulerCharacteristic(t *testing.T) {
+	for _, res := range []Resolution{{1, 0}, R2B(0), R2B(1), R2B(2), {3, 0}, {3, 1}} {
+		g := New(res)
+		if got := g.NVerts - g.NEdges + g.NCells; got != 2 {
+			t.Errorf("%v: V-E+F = %d, want 2 (V=%d E=%d F=%d)", res, got, g.NVerts, g.NEdges, g.NCells)
+		}
+	}
+}
+
+func TestTwelvePentagons(t *testing.T) {
+	g := New(R2B(2))
+	pentagons := 0
+	for v := range g.VertCells {
+		switch len(g.VertCells[v]) {
+		case 5:
+			pentagons++
+		case 6:
+		default:
+			t.Fatalf("vertex %d has %d cells", v, len(g.VertCells[v]))
+		}
+	}
+	if pentagons != 12 {
+		t.Errorf("pentagons = %d, want 12", pentagons)
+	}
+}
+
+func TestAreasSumToSphere(t *testing.T) {
+	g := New(R2B(2))
+	want := 4 * math.Pi * sphere.EarthRadius * sphere.EarthRadius
+	if got := g.TotalArea(); math.Abs(got-want)/want > 1e-10 {
+		t.Errorf("cell area sum = %v, want %v", got, want)
+	}
+	var dual float64
+	for _, a := range g.DualArea {
+		dual += a
+	}
+	if math.Abs(dual-want)/want > 1e-10 {
+		t.Errorf("dual area sum = %v, want %v", dual, want)
+	}
+}
+
+func TestTopologyConsistency(t *testing.T) {
+	g := New(R2B(1))
+	for c := range g.CellEdges {
+		for i, e := range g.CellEdges[c] {
+			// The edge must list this cell.
+			if g.EdgeCells[e][0] != c && g.EdgeCells[e][1] != c {
+				t.Fatalf("cell %d edge %d does not list cell", c, e)
+			}
+			// The neighbour across edge i shares that edge.
+			nb := g.CellNeighbors[c][i]
+			found := false
+			for _, e2 := range g.CellEdges[nb] {
+				if e2 == e {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("cell %d neighbor %d does not share edge %d", c, nb, e)
+			}
+			// Edge i is opposite vertex i: its endpoints are the other two.
+			vv := g.EdgeVerts[e]
+			vi := g.CellVerts[c][i]
+			if vv[0] == vi || vv[1] == vi {
+				t.Fatalf("cell %d: edge %d contains opposite vertex", c, i)
+			}
+		}
+	}
+	// Every edge has two distinct cells.
+	for e, cc := range g.EdgeCells {
+		if cc[0] < 0 || cc[1] < 0 || cc[0] == cc[1] {
+			t.Fatalf("edge %d has bad cells %v", e, cc)
+		}
+	}
+}
+
+func TestEdgeNormalOrientation(t *testing.T) {
+	g := New(R2B(1))
+	for e := range g.EdgeNormal {
+		c0, c1 := g.EdgeCells[e][0], g.EdgeCells[e][1]
+		d := g.CellCenter[c1].Sub(g.CellCenter[c0])
+		if g.EdgeNormal[e].Dot(d) <= 0 {
+			t.Fatalf("edge %d normal does not point c0->c1", e)
+		}
+		// Tangent points v0 -> v1.
+		p0, p1 := g.VertPos[g.EdgeVerts[e][0]], g.VertPos[g.EdgeVerts[e][1]]
+		if g.EdgeTangent[e].Dot(p1.Sub(p0)) <= 0 {
+			t.Fatalf("edge %d tangent does not point v0->v1", e)
+		}
+		// Normal/tangent are orthogonal unit tangent vectors.
+		n, tg := g.EdgeNormal[e], g.EdgeTangent[e]
+		if math.Abs(n.Dot(tg)) > 1e-12 || math.Abs(n.Norm()-1) > 1e-12 {
+			t.Fatalf("edge %d frame not orthonormal", e)
+		}
+	}
+}
+
+func TestOrientationSigns(t *testing.T) {
+	g := New(R2B(1))
+	for c := range g.EdgeOrient {
+		for i, e := range g.CellEdges[c] {
+			want := int8(-1)
+			if g.EdgeCells[e][0] == c {
+				want = 1
+			}
+			if g.EdgeOrient[c][i] != want {
+				t.Fatalf("cell %d edge %d orient = %d want %d", c, i, g.EdgeOrient[c][i], want)
+			}
+		}
+	}
+	// Each edge contributes +1 to one cell and -1 to the other.
+	sum := make([]int, g.NEdges)
+	for c := range g.EdgeOrient {
+		for i, e := range g.CellEdges[c] {
+			sum[e] += int(g.EdgeOrient[c][i])
+		}
+	}
+	for e, s := range sum {
+		if s != 0 {
+			t.Fatalf("edge %d orientation sum = %d", e, s)
+		}
+	}
+}
+
+// TestDivergenceTheorem: the area-weighted integral of the divergence of
+// any edge field vanishes exactly (telescoping over shared edges).
+func TestDivergenceTheorem(t *testing.T) {
+	g := New(R2B(2))
+	un := make([]float64, g.NEdges)
+	for e := range un {
+		un[e] = math.Sin(float64(3*e)) + 0.3*math.Cos(float64(e*e%97))
+	}
+	div := make([]float64, g.NCells)
+	g.Divergence(un, div)
+	var integral, scale float64
+	for c := range div {
+		integral += div[c] * g.CellArea[c]
+		scale += math.Abs(div[c]) * g.CellArea[c]
+	}
+	if math.Abs(integral) > 1e-9*scale {
+		t.Errorf("∫div dA = %v (scale %v)", integral, scale)
+	}
+}
+
+// TestGradientDivergenceAdjoint: <grad ψ, u>_edges = -<ψ, div u>_cells with
+// the C-grid inner products (edge weight l·d, cell weight A).
+func TestGradientDivergenceAdjoint(t *testing.T) {
+	g := New(R2B(2))
+	psi := make([]float64, g.NCells)
+	un := make([]float64, g.NEdges)
+	for c := range psi {
+		lat, lon := g.CellCenter[c].LatLon()
+		psi[c] = math.Sin(2*lat) * math.Cos(3*lon)
+	}
+	for e := range un {
+		un[e] = math.Cos(float64(e % 13))
+	}
+	grad := make([]float64, g.NEdges)
+	div := make([]float64, g.NCells)
+	g.Gradient(psi, grad)
+	g.Divergence(un, div)
+	var lhs, rhs float64
+	for e := range un {
+		lhs += grad[e] * un[e] * g.EdgeLength[e] * g.DualLength[e]
+	}
+	for c := range psi {
+		rhs -= psi[c] * div[c] * g.CellArea[c]
+	}
+	// The discrete adjoint identity holds up to the metric approximation
+	// (planar vs spherical lengths); demand 3-digit agreement.
+	if math.Abs(lhs-rhs) > 2e-3*math.Max(math.Abs(lhs), math.Abs(rhs)) {
+		t.Errorf("adjoint identity: lhs=%v rhs=%v", lhs, rhs)
+	}
+}
+
+// TestCurlOfGradient: the discrete curl of a gradient field is zero.
+func TestCurlOfGradient(t *testing.T) {
+	g := New(R2B(2))
+	psi := make([]float64, g.NCells)
+	for c := range psi {
+		lat, lon := g.CellCenter[c].LatLon()
+		psi[c] = math.Sin(lat) + math.Cos(2*lon)*math.Cos(lat)
+	}
+	grad := make([]float64, g.NEdges)
+	g.Gradient(psi, grad)
+	zeta := make([]float64, g.NVerts)
+	g.Curl(grad, zeta)
+	// Scale: typical |grad| / typical dual length.
+	var maxz, scale float64
+	for e := range grad {
+		if a := math.Abs(grad[e]); a > scale {
+			scale = a
+		}
+	}
+	for _, z := range zeta {
+		if a := math.Abs(z); a > maxz {
+			maxz = a
+		}
+	}
+	// curl(grad) involves cancellation of O(scale/len) terms; require it to
+	// be small relative to that.
+	typical := scale / g.DualLength[0]
+	if maxz > 1e-9*typical {
+		t.Errorf("max |curl(grad)| = %v, typical vorticity scale %v", maxz, typical)
+	}
+}
+
+// TestCurlSolidBodyRotation: for solid-body rotation about the z-axis the
+// relative vorticity is 2Ω·sin(lat).
+func TestCurlSolidBodyRotation(t *testing.T) {
+	g := New(R2B(3))
+	const omega = 1e-4
+	axis := sphere.Vec3{X: 0, Y: 0, Z: omega}
+	un := make([]float64, g.NEdges)
+	for e := range un {
+		// Velocity u = Ω × r at the edge midpoint (unit sphere scaled by R).
+		v := axis.Cross(g.EdgeCenter[e].Scale(sphere.EarthRadius))
+		un[e] = v.Dot(g.EdgeNormal[e])
+	}
+	zeta := make([]float64, g.NVerts)
+	g.Curl(un, zeta)
+	var maxErr float64
+	for v := range zeta {
+		lat, _ := g.VertPos[v].LatLon()
+		want := 2 * omega * math.Sin(lat)
+		if err := math.Abs(zeta[v] - want); err > maxErr {
+			maxErr = err
+		}
+	}
+	if maxErr > 0.02*2*omega {
+		t.Errorf("solid-body vorticity max error = %v (2Ω=%v)", maxErr, 2*omega)
+	}
+}
+
+// TestDivergenceSolidBody: solid-body rotation is divergence-free.
+func TestDivergenceSolidBody(t *testing.T) {
+	g := New(R2B(3))
+	axis := sphere.Vec3{X: 0.3, Y: -0.2, Z: 1}.Normalize().Scale(1e-4)
+	un := make([]float64, g.NEdges)
+	for e := range un {
+		v := axis.Cross(g.EdgeCenter[e].Scale(sphere.EarthRadius))
+		un[e] = v.Dot(g.EdgeNormal[e])
+	}
+	div := make([]float64, g.NCells)
+	g.Divergence(un, div)
+	var maxd float64
+	for _, d := range div {
+		if a := math.Abs(d); a > maxd {
+			maxd = a
+		}
+	}
+	// Typical velocity/length scale: |u| ≈ ωR, divided by the grid length.
+	typ := 1e-4 * sphere.EarthRadius / g.DualLength[0]
+	if maxd > 5e-3*typ {
+		t.Errorf("solid-body max divergence = %v (typ %v)", maxd, typ)
+	}
+}
+
+func TestKineticEnergyPositiveAndScale(t *testing.T) {
+	g := New(R2B(2))
+	un := make([]float64, g.NEdges)
+	for e := range un {
+		un[e] = 10 // uniform 10 m/s normal speed
+	}
+	ke := make([]float64, g.NCells)
+	g.KineticEnergy(un, ke)
+	for c, k := range ke {
+		if k <= 0 {
+			t.Fatalf("cell %d KE = %v", c, k)
+		}
+		// For |u|=10 in all normal components, KE should be ~0.5·u² within
+		// a factor reflecting the triangular averaging (weights sum to ~3/4
+		// of l·d/4A... accept broad physical range).
+		if k < 10 || k > 120 {
+			t.Fatalf("cell %d KE = %v out of physical range for u=10", c, k)
+		}
+	}
+}
+
+func TestInterpCellToEdge(t *testing.T) {
+	g := New(R2B(1))
+	cf := make([]float64, g.NCells)
+	for c := range cf {
+		cf[c] = float64(c)
+	}
+	ef := make([]float64, g.NEdges)
+	g.InterpCellToEdge(cf, ef)
+	for e := range ef {
+		want := 0.5 * (cf[g.EdgeCells[e][0]] + cf[g.EdgeCells[e][1]])
+		if ef[e] != want {
+			t.Fatalf("edge %d interp = %v want %v", e, ef[e], want)
+		}
+	}
+}
+
+func TestCellAreasNearlyUniform(t *testing.T) {
+	g := New(R2B(3))
+	minA, maxA := math.Inf(1), 0.0
+	for _, a := range g.CellArea {
+		minA = math.Min(minA, a)
+		maxA = math.Max(maxA, a)
+	}
+	if maxA/minA > 2.0 {
+		t.Errorf("cell area ratio max/min = %v, grid too distorted", maxA/minA)
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	g1 := New(R2B(2))
+	g2 := New(R2B(2))
+	if g1.NCells != g2.NCells || g1.NEdges != g2.NEdges {
+		t.Fatal("nondeterministic counts")
+	}
+	for c := range g1.CellVerts {
+		if g1.CellVerts[c] != g2.CellVerts[c] {
+			t.Fatalf("cell %d verts differ", c)
+		}
+		if g1.CellCenter[c] != g2.CellCenter[c] {
+			t.Fatalf("cell %d center differs", c)
+		}
+	}
+}

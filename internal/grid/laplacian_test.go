@@ -1,0 +1,203 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"icoearth/internal/sphere"
+)
+
+// TestLaplacianEigenfunctions: spherical harmonics Y_l are eigenfunctions
+// of the Laplace–Beltrami operator with eigenvalue −l(l+1)/R². Test on
+// Y_1 ∝ z and Y_2 ∝ (3z²−1).
+func TestLaplacianEigenfunctions(t *testing.T) {
+	g := New(R2B(4)) // fine enough for ~1% eigenvalue accuracy
+	R2 := sphere.EarthRadius * sphere.EarthRadius
+	cases := []struct {
+		name string
+		f    func(p sphere.Vec3) float64
+		l    float64
+	}{
+		{"Y1", func(p sphere.Vec3) float64 { return p.Z }, 1},
+		{"Y2", func(p sphere.Vec3) float64 { return 3*p.Z*p.Z - 1 }, 2},
+		{"Y1-sectoral", func(p sphere.Vec3) float64 { return p.X }, 1},
+	}
+	for _, tc := range cases {
+		psi := make([]float64, g.NCells)
+		for c := range psi {
+			psi[c] = tc.f(g.CellCenter[c])
+		}
+		lap := make([]float64, g.NCells)
+		g.Laplacian(psi, lap)
+		want := -tc.l * (tc.l + 1) / R2
+		// Area-weighted regression slope lap = λ·psi.
+		var num, den float64
+		for c := range psi {
+			num += lap[c] * psi[c] * g.CellArea[c]
+			den += psi[c] * psi[c] * g.CellArea[c]
+		}
+		got := num / den
+		if math.Abs(got-want)/math.Abs(want) > 0.02 {
+			t.Errorf("%s: eigenvalue %.4g, want %.4g (%.1f%% off)",
+				tc.name, got, want, 100*math.Abs(got-want)/math.Abs(want))
+		}
+	}
+}
+
+// TestLaplacianOfConstantIsZero: exactness for constants (the telescoping
+// of fluxes).
+func TestLaplacianOfConstant(t *testing.T) {
+	g := New(R2B(2))
+	psi := make([]float64, g.NCells)
+	for c := range psi {
+		psi[c] = 42
+	}
+	lap := make([]float64, g.NCells)
+	g.Laplacian(psi, lap)
+	for c, v := range lap {
+		if math.Abs(v) > 1e-18 {
+			t.Fatalf("lap(const)[%d] = %v", c, v)
+		}
+	}
+}
+
+// TestLaplacianIntegralZero: ∫∇²ψ dA = 0 exactly (flux form).
+func TestLaplacianIntegralZero(t *testing.T) {
+	g := New(R2B(2))
+	psi := make([]float64, g.NCells)
+	for c := range psi {
+		psi[c] = math.Sin(float64(3*c)) * math.Cos(float64(c%7))
+	}
+	lap := make([]float64, g.NCells)
+	g.Laplacian(psi, lap)
+	var integral, scale float64
+	for c := range lap {
+		integral += lap[c] * g.CellArea[c]
+		scale += math.Abs(lap[c]) * g.CellArea[c]
+	}
+	if math.Abs(integral) > 1e-9*scale {
+		t.Errorf("∫lap dA = %v (scale %v)", integral, scale)
+	}
+}
+
+func TestLaplacianLevelsMatchesScalar(t *testing.T) {
+	g := New(R2B(1))
+	const nlev = 3
+	psi := make([]float64, g.NCells*nlev)
+	for i := range psi {
+		psi[i] = math.Sin(float64(i) * 0.1)
+	}
+	out := make([]float64, g.NCells*nlev)
+	g.LaplacianLevels(psi, out, nlev)
+	for k := 0; k < nlev; k++ {
+		single := make([]float64, g.NCells)
+		lap := make([]float64, g.NCells)
+		for c := 0; c < g.NCells; c++ {
+			single[c] = psi[c*nlev+k]
+		}
+		g.Laplacian(single, lap)
+		for c := 0; c < g.NCells; c++ {
+			if math.Abs(out[c*nlev+k]-lap[c]) > 1e-12*math.Max(1, math.Abs(lap[c])) {
+				t.Fatalf("level %d cell %d: %v vs %v", k, c, out[c*nlev+k], lap[c])
+			}
+		}
+	}
+}
+
+func TestSmoothDampsNoise(t *testing.T) {
+	g := New(R2B(2))
+	psi := make([]float64, g.NCells)
+	for c := range psi {
+		psi[c] = float64(1 - 2*(c%2)) // checkerboard noise
+	}
+	variance := func() float64 {
+		var v float64
+		for _, x := range psi {
+			v += x * x
+		}
+		return v
+	}
+	v0 := variance()
+	scratch := make([]float64, g.NCells)
+	for i := 0; i < 5; i++ {
+		g.Smooth(psi, 0.5, scratch)
+	}
+	if variance() > 0.5*v0 {
+		t.Errorf("smoothing did not damp noise: %v → %v", v0, variance())
+	}
+	// Identity at alpha=0.
+	before := make([]float64, g.NCells)
+	copy(before, psi)
+	g.Smooth(psi, 0, scratch)
+	for c := range psi {
+		if psi[c] != before[c] {
+			t.Fatal("alpha=0 changed the field")
+		}
+	}
+}
+
+// TestSpringRelaxationImprovesGrid: spring dynamics smooths the cell-area
+// transitions around the pentagon points while keeping the mesh a valid
+// sphere tiling (areas sum to 4πR², operators still telescope).
+func TestSpringRelaxationImprovesGrid(t *testing.T) {
+	g := New(R2B(3))
+	jumpBefore := g.MaxAreaJump()
+	ratioBefore := g.AreaRatio()
+	g.Relax(50, 0.2)
+	if after := g.MaxAreaJump(); after >= jumpBefore {
+		t.Errorf("relaxation did not smooth area jumps: %.4f → %.4f", jumpBefore, after)
+	}
+	// The pentagon-set global contrast is topological; it must not blow up.
+	if r := g.AreaRatio(); r > 1.15*ratioBefore {
+		t.Errorf("area ratio degraded badly: %.4f → %.4f", ratioBefore, r)
+	}
+	want := 4 * math.Pi * sphere.EarthRadius * sphere.EarthRadius
+	if got := g.TotalArea(); math.Abs(got-want)/want > 1e-10 {
+		t.Errorf("areas no longer tile the sphere: %v vs %v", got, want)
+	}
+	// Operators remain consistent: divergence theorem still telescopes.
+	un := make([]float64, g.NEdges)
+	for e := range un {
+		un[e] = math.Sin(float64(e))
+	}
+	div := make([]float64, g.NCells)
+	g.Divergence(un, div)
+	var integral, scale float64
+	for c := range div {
+		integral += div[c] * g.CellArea[c]
+		scale += math.Abs(div[c]) * g.CellArea[c]
+	}
+	if math.Abs(integral) > 1e-9*scale {
+		t.Errorf("divergence theorem broken after relax: %v", integral)
+	}
+	// And the curl convention survived the re-orientation.
+	zeta := make([]float64, g.NVerts)
+	grad := make([]float64, g.NEdges)
+	psi := make([]float64, g.NCells)
+	for c := range psi {
+		lat, lon := g.CellCenter[c].LatLon()
+		psi[c] = math.Sin(lat) * math.Cos(lon)
+	}
+	g.Gradient(psi, grad)
+	g.Curl(grad, zeta)
+	var maxz, gscale float64
+	for e := range grad {
+		gscale = math.Max(gscale, math.Abs(grad[e]))
+	}
+	for _, z := range zeta {
+		maxz = math.Max(maxz, math.Abs(z))
+	}
+	if maxz > 1e-9*gscale/g.DualLength[0] {
+		t.Errorf("curl(grad) = %v after relax", maxz)
+	}
+}
+
+func TestRelaxNoOpArguments(t *testing.T) {
+	g := New(R2B(1))
+	before := g.AreaRatio()
+	g.Relax(0, 0.5)
+	g.Relax(5, 0)
+	if g.AreaRatio() != before {
+		t.Error("no-op relax changed the grid")
+	}
+}

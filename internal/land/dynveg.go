@@ -1,0 +1,91 @@
+package land
+
+import "math"
+
+// Dynamic vegetation: the PFT cover fractions are themselves prognostic
+// (the paper's configuration runs JSBach "with dynamic vegetation").
+// Competition follows productivity: each PFT's smoothed NPP per unit area
+// is its fitness, and cover fractions relax toward the fitness shares on
+// a succession timescale, holding the cell's total vegetated fraction
+// fixed (establishment on bare ground and disturbance are not modelled).
+// Carbon pools are defined per unit cell area, so shifting cover moves no
+// carbon — inventories remain exactly conserved while the landscape
+// composition changes.
+
+// SuccessionTime is the e-folding time of cover change (s). The real
+// JSBach uses decades; examples and tests may shorten it.
+const SuccessionTime = 50 * 365 * 86400.0
+
+// nppSmoothing is the EMA timescale of the fitness measure (s).
+const nppSmoothing = 30 * 86400.0
+
+// recordNPP updates the smoothed productivity of (cell i, pft p).
+func (s *State) recordNPP(i, p int, npp, dt float64) {
+	w := math.Min(1, dt/nppSmoothing)
+	idx := i*NumPFT + p
+	s.NPPAvg[idx] += w * (npp - s.NPPAvg[idx])
+}
+
+// DynamicVegetationKernel advances the cover fractions by competition.
+// successionTime ≤ 0 uses the default.
+func (s *State) DynamicVegetationKernel(dt, successionTime float64) {
+	if successionTime <= 0 {
+		successionTime = SuccessionTime
+	}
+	w := math.Min(1, dt/successionTime)
+	for i := range s.Cells {
+		// Total vegetated fraction stays fixed; fitness shares move within.
+		var total, fitSum float64
+		for p := 0; p < NumPFT; p++ {
+			total += s.Cover[i*NumPFT+p]
+			if f := s.NPPAvg[i*NumPFT+p]; f > 0 {
+				fitSum += f
+			}
+		}
+		if total <= 0 || fitSum <= 0 {
+			continue
+		}
+		for p := 0; p < NumPFT; p++ {
+			idx := i*NumPFT + p
+			fit := math.Max(0, s.NPPAvg[idx])
+			target := total * fit / fitSum
+			s.Cover[idx] += w * (target - s.Cover[idx])
+			if s.Cover[idx] < 0 {
+				s.Cover[idx] = 0
+			}
+		}
+		// Renormalise round-off so the vegetated fraction is exactly
+		// preserved.
+		var newTotal float64
+		for p := 0; p < NumPFT; p++ {
+			newTotal += s.Cover[i*NumPFT+p]
+		}
+		if newTotal > 0 {
+			f := total / newTotal
+			for p := 0; p < NumPFT; p++ {
+				s.Cover[i*NumPFT+p] *= f
+			}
+		}
+	}
+}
+
+// CoverFraction returns the total vegetated fraction of compact cell i.
+func (s *State) CoverFraction(i int) float64 {
+	var t float64
+	for p := 0; p < NumPFT; p++ {
+		t += s.Cover[i*NumPFT+p]
+	}
+	return t
+}
+
+// DominantPFT returns the index of the PFT with the largest cover in cell
+// i (-1 if unvegetated).
+func (s *State) DominantPFT(i int) int {
+	best, bestCov := -1, 0.0
+	for p := 0; p < NumPFT; p++ {
+		if cv := s.Cover[i*NumPFT+p]; cv > bestCov {
+			best, bestCov = p, cv
+		}
+	}
+	return best
+}

@@ -1,0 +1,176 @@
+package land
+
+import (
+	"fmt"
+
+	"icoearth/internal/exec"
+	"icoearth/internal/grid"
+)
+
+// Model is the land component as the coupler sees it. Every process is a
+// separate kernel and the carbon cycle launches one kernel per (process,
+// PFT) — dozens of tiny kernels per step, the workload the paper
+// accelerates 8–10× with CUDA Graphs. Set UseGraph to capture the kernel
+// stream once and replay it on subsequent steps.
+type Model struct {
+	State  *State
+	Rivers *Rivers
+	Dev    *exec.Device
+
+	// UseGraph enables CUDA-Graph-style capture/replay of the step.
+	UseGraph bool
+
+	graph     *exec.Graph
+	graphDt   float64
+	steps     int
+	npp       []float64
+	prevNEE   []float64
+	fluxes    *Fluxes
+	forcing   *Forcing
+	discharge map[int]float64
+}
+
+// NewModel assembles the land component on the land cells of mask.
+func NewModel(g *grid.Grid, mask *grid.Mask, dev *exec.Device) *Model {
+	s := NewState(g, mask)
+	return &Model{
+		State:     s,
+		Rivers:    NewRivers(s),
+		Dev:       dev,
+		npp:       make([]float64, s.NLand()),
+		prevNEE:   make([]float64, s.NLand()),
+		discharge: make(map[int]float64),
+	}
+}
+
+// Step advances the land by dt under forcing f. It returns the fluxes to
+// the atmosphere and the river discharge per global ocean cell (kg/s).
+func (m *Model) Step(dt float64, f *Forcing) (*Fluxes, map[int]float64) {
+	s := m.State
+	m.fluxes = NewFluxes(s.NLand())
+	m.forcing = f
+	copy(m.prevNEE, s.CumNEE)
+	for k := range m.discharge {
+		delete(m.discharge, k)
+	}
+
+	if m.UseGraph {
+		if m.graph == nil || m.graphDt != dt {
+			m.Dev.BeginCapture()
+			m.launchAll(dt)
+			g, err := m.Dev.EndCapture()
+			if err != nil {
+				panic(fmt.Sprintf("land: graph capture failed: %v", err))
+			}
+			m.graph = g
+			m.graphDt = dt
+		}
+		m.graph.Replay()
+	} else {
+		m.launchAll(dt)
+	}
+	m.steps++
+	return m.fluxes, m.discharge
+}
+
+// launchAll submits the full kernel stream of one land step. The closures
+// read m.forcing/m.fluxes rather than captured locals so that a captured
+// graph replays against the current step's forcing.
+func (m *Model) launchAll(dt float64) {
+	s := m.State
+	sfc := float64(s.NLand() * 8)
+	soil := float64(s.NLand() * NSoil * 8)
+	pftB := float64(s.NLand() * 8 * 4) // small per-PFT working set
+
+	m.Dev.Launch(exec.Kernel{
+		Name: "land:snowrain", Bytes: 3 * sfc,
+		Reads: []string{"precip", "tsoil"}, Writes: []string{"snow", "skin"},
+		Run: func() { s.SnowAndRainKernel(dt, m.forcing) },
+	})
+	m.Dev.Launch(exec.Kernel{
+		Name: "land:snowmelt", Bytes: 3 * sfc,
+		Reads: []string{"snow", "tsoil"}, Writes: []string{"snow", "skin", "tsoil"},
+		Run: func() { s.SnowMeltKernel(dt) },
+	})
+	m.Dev.Launch(exec.Kernel{
+		Name: "land:infiltration", Bytes: soil + 2*sfc,
+		Reads: []string{"skin", "wsoil"}, Writes: []string{"wsoil", "runoff", "skin"},
+		Run: func() { s.InfiltrationKernel(dt) },
+	})
+	m.Dev.Launch(exec.Kernel{
+		Name: "land:evapotranspiration", Bytes: soil + 3*sfc,
+		Reads: []string{"wsoil", "tsoil", "lai", "sw"}, Writes: []string{"wsoil", "et"},
+		Run: func() { s.EvapotranspirationKernel(dt, m.forcing, m.fluxes) },
+	})
+	m.Dev.Launch(exec.Kernel{
+		Name: "land:soiltemp", Bytes: 2*soil + 2*sfc,
+		Reads: []string{"tsoil", "sw", "shf", "et"}, Writes: []string{"tsoil"},
+		Run: func() { s.SoilTemperatureKernel(dt, m.forcing, m.fluxes.LatentHeat) },
+	})
+	m.Dev.Launch(exec.Kernel{
+		Name: "land:soilmoist", Bytes: 2 * soil,
+		Reads: []string{"wsoil"}, Writes: []string{"wsoil", "runoff"},
+		Run: func() { s.SoilMoistureKernel(dt) },
+	})
+
+	// Per-PFT vegetation kernels: 5 processes × 11 PFTs = 55 tiny kernels.
+	for p := 0; p < NumPFT; p++ {
+		p := p
+		pn := fmt.Sprintf("pft%02d", p)
+		m.Dev.Launch(exec.Kernel{
+			Name: "veg:phenology:" + pn, Bytes: pftB,
+			Reads: []string{"tsoil", "wsoil", "pools:" + pn}, Writes: []string{"pools:" + pn, "lai:" + pn},
+			Run: func() { s.PhenologyKernel(dt, p) },
+		})
+		m.Dev.Launch(exec.Kernel{
+			Name: "veg:photosynthesis:" + pn, Bytes: pftB,
+			Reads: []string{"sw", "tsoil", "wsoil", "lai:" + pn, "pools:" + pn},
+			// NEE accumulation is commutative (per-PFT atomic adds on the
+			// GPU), so each PFT gets its own dependency channel; the
+			// co2flux kernel reads them all.
+			Writes: []string{"pools:" + pn, "npp:" + pn, "nee:" + pn},
+			Run:    func() { s.PhotosynthesisKernel(dt, p, m.forcing.SWDown, m.npp) },
+		})
+		m.Dev.Launch(exec.Kernel{
+			Name: "veg:allocation:" + pn, Bytes: pftB,
+			Reads: []string{"npp:" + pn, "pools:" + pn}, Writes: []string{"pools:" + pn, "lai:" + pn},
+			Run: func() { s.AllocationKernel(dt, p) },
+		})
+		m.Dev.Launch(exec.Kernel{
+			Name: "veg:turnover:" + pn, Bytes: pftB,
+			Reads: []string{"pools:" + pn}, Writes: []string{"pools:" + pn},
+			Run: func() { s.TurnoverKernel(dt, p) },
+		})
+		m.Dev.Launch(exec.Kernel{
+			Name: "veg:decay:" + pn, Bytes: pftB,
+			Reads: []string{"pools:" + pn, "tsoil", "wsoil"}, Writes: []string{"pools:" + pn, "nee:" + pn},
+			Run: func() { s.DecayKernel(dt, p) },
+		})
+	}
+
+	neeChannels := make([]string, NumPFT)
+	for p := 0; p < NumPFT; p++ {
+		neeChannels[p] = fmt.Sprintf("nee:pft%02d", p)
+	}
+	m.Dev.Launch(exec.Kernel{
+		Name: "land:dynveg", Bytes: 3 * pftB,
+		Reads: neeChannels, Writes: []string{"cover"},
+		Run: func() { s.DynamicVegetationKernel(dt, 0) },
+	})
+	m.Dev.Launch(exec.Kernel{
+		Name: "land:co2flux", Bytes: 2 * sfc,
+		Reads: neeChannels, Writes: []string{"co2flux"},
+		Run: func() { s.NetCO2Flux(m.prevNEE, dt, m.fluxes.CO2Flux) },
+	})
+	m.Dev.Launch(exec.Kernel{
+		Name: "land:rivers", Bytes: 2 * sfc,
+		Reads: []string{"runoff"}, Writes: []string{"discharge"},
+		Run: func() { m.Rivers.DischargeKernel(dt, m.discharge) },
+	})
+}
+
+// KernelsPerStep is the number of kernels one land step launches eagerly.
+func (m *Model) KernelsPerStep() int { return 9 + 5*NumPFT }
+
+// Steps returns the completed step count.
+func (m *Model) Steps() int { return m.steps }

@@ -1,0 +1,225 @@
+package land
+
+import "math"
+
+// Physical constants of the land surface scheme.
+const (
+	SoilHeatCap  = 2.4e6 // volumetric heat capacity, J/(m³ K)
+	SoilConduct  = 1.0   // thermal conductivity, W/(m K)
+	SatCapacity  = 300.0 // column water capacity at saturation, kg/m²
+	LvLand       = 2.5008e6
+	LfSnow       = 3.34e5
+	StefanBoltz  = 5.670374e-8
+	Emissivity   = 0.96
+	SnowAlbedo   = 0.7
+	GroundAlbedo = 0.2
+	TMelt        = 273.15
+)
+
+// Forcing is the per-land-cell atmospheric boundary condition delivered by
+// the coupler each coupling step.
+type Forcing struct {
+	SWDown       []float64 // absorbed-shortwave proxy before albedo, W/m²
+	TAir         []float64 // lowest-level air temperature, K
+	Precip       []float64 // total precipitation, kg/m²/s
+	SensibleHeat []float64 // W/m², positive = surface gains energy
+}
+
+// NewForcing allocates forcing fields for n land cells.
+func NewForcing(n int) *Forcing {
+	return &Forcing{
+		SWDown:       make([]float64, n),
+		TAir:         make([]float64, n),
+		Precip:       make([]float64, n),
+		SensibleHeat: make([]float64, n),
+	}
+}
+
+// Fluxes is what the land returns to the atmosphere and ocean.
+type Fluxes struct {
+	Evapotranspiration []float64 // kg/m²/s water to the atmosphere
+	CO2Flux            []float64 // kg CO₂/m²/s to the atmosphere (+ = source)
+	LatentHeat         []float64 // W/m² consumed from the surface
+}
+
+// NewFluxes allocates flux fields for n land cells.
+func NewFluxes(n int) *Fluxes {
+	return &Fluxes{
+		Evapotranspiration: make([]float64, n),
+		CO2Flux:            make([]float64, n),
+		LatentHeat:         make([]float64, n),
+	}
+}
+
+// Albedo returns the effective surface albedo of compact cell i (snow
+// masking vegetation).
+func (s *State) Albedo(i int) float64 {
+	snowFrac := math.Min(1, s.Snow[i]/20)
+	return GroundAlbedo*(1-snowFrac) + SnowAlbedo*snowFrac
+}
+
+// SnowAndRainKernel splits precipitation into snowfall (accumulates) and
+// rainfall (goes to the skin reservoir for infiltration).
+func (s *State) SnowAndRainKernel(dt float64, f *Forcing) {
+	for i := range s.Cells {
+		p := f.Precip[i] * dt // kg/m² this step
+		if s.SurfaceTemp(i) < TMelt {
+			s.Snow[i] += p
+		} else {
+			s.Skin[i] += p
+		}
+	}
+}
+
+// SnowMeltKernel melts snow with the energy surplus of a surface above
+// freezing, cooling the surface correspondingly.
+func (s *State) SnowMeltKernel(dt float64) {
+	dz0 := s.Soil.Thickness[0]
+	heatCap := SoilHeatCap * dz0
+	for i := range s.Cells {
+		if s.Snow[i] <= 0 || s.SoilTemp[i*NSoil] <= TMelt {
+			continue
+		}
+		excess := (s.SoilTemp[i*NSoil] - TMelt) * heatCap // J/m²
+		melt := math.Min(s.Snow[i], excess/LfSnow)
+		s.Snow[i] -= melt
+		s.Skin[i] += melt
+		s.SoilTemp[i*NSoil] -= melt * LfSnow / heatCap
+	}
+}
+
+// InfiltrationKernel moves skin water into the soil column; saturated
+// excess becomes runoff.
+func (s *State) InfiltrationKernel(dt float64) {
+	for i := range s.Cells {
+		if s.Skin[i] <= 0 {
+			continue
+		}
+		avail := s.Skin[i]
+		s.Skin[i] = 0
+		for k := 0; k < NSoil && avail > 0; k++ {
+			capK := SatCapacity * s.Soil.Thickness[k] / s.Soil.TotalDepth()
+			room := (1 - s.SoilMoist[i*NSoil+k]) * capK
+			take := math.Min(avail, room)
+			s.SoilMoist[i*NSoil+k] += take / capK
+			avail -= take
+		}
+		s.Runoff[i] += avail
+	}
+}
+
+// SoilTemperatureKernel integrates the 5-level heat diffusion implicitly,
+// with the surface energy balance (shortwave, longwave, sensible heat,
+// latent cooling by evapotranspiration) as the top source.
+func (s *State) SoilTemperatureKernel(dt float64, f *Forcing, latent []float64) {
+	var a, b, c, d [NSoil]float64
+	for i := range s.Cells {
+		// Surface net energy (W/m²).
+		sw := f.SWDown[i] * (1 - s.Albedo(i))
+		ts := s.SoilTemp[i*NSoil]
+		lw := Emissivity * StefanBoltz * (math.Pow(f.TAir[i], 4) - math.Pow(ts, 4))
+		net := sw + lw + f.SensibleHeat[i] - latent[i]
+		for k := 0; k < NSoil; k++ {
+			dz := s.Soil.Thickness[k]
+			var up, dn float64
+			if k > 0 {
+				gap := s.Soil.Depth[k] - s.Soil.Depth[k-1]
+				up = SoilConduct * dt / (SoilHeatCap * dz * gap)
+			}
+			if k < NSoil-1 {
+				gap := s.Soil.Depth[k+1] - s.Soil.Depth[k]
+				dn = SoilConduct * dt / (SoilHeatCap * dz * gap)
+			}
+			a[k] = -up
+			b[k] = 1 + up + dn
+			c[k] = -dn
+			d[k] = s.SoilTemp[i*NSoil+k]
+		}
+		d[0] += net * dt / (SoilHeatCap * s.Soil.Thickness[0])
+		solveTri5(&a, &b, &c, &d)
+		for k := 0; k < NSoil; k++ {
+			s.SoilTemp[i*NSoil+k] = d[k]
+		}
+	}
+}
+
+// SoilMoistureKernel diffuses moisture between levels and applies a slow
+// gravitational drainage from the deepest level to runoff.
+func (s *State) SoilMoistureKernel(dt float64) {
+	const diff = 2e-7 // moisture exchange rate between layers, 1/s·(layer pair)
+	const drain = 3e-8
+	for i := range s.Cells {
+		base := i * NSoil
+		for k := 0; k < NSoil-1; k++ {
+			d := diff * dt * (s.SoilMoist[base+k] - s.SoilMoist[base+k+1])
+			capK := SatCapacity * s.Soil.Thickness[k] / s.Soil.TotalDepth()
+			capK1 := SatCapacity * s.Soil.Thickness[k+1] / s.Soil.TotalDepth()
+			// Exchange conserves water mass: convert via capacities.
+			s.SoilMoist[base+k] -= d
+			s.SoilMoist[base+k+1] += d * capK / capK1
+		}
+		// Drainage.
+		kb := NSoil - 1
+		capB := SatCapacity * s.Soil.Thickness[kb] / s.Soil.TotalDepth()
+		dr := drain * dt * s.SoilMoist[base+kb]
+		s.SoilMoist[base+kb] -= dr
+		s.Runoff[i] += dr * capB
+	}
+}
+
+// EvapotranspirationKernel computes the water flux from soil to atmosphere:
+// bare-soil evaporation plus transpiration scaled by LAI and moisture
+// stress, limited by available soil water. It fills fluxes.
+func (s *State) EvapotranspirationKernel(dt float64, f *Forcing, out *Fluxes) {
+	for i := range s.Cells {
+		ts := s.SurfaceTemp(i)
+		if ts < TMelt-5 { // frozen: negligible
+			out.Evapotranspiration[i] = 0
+			out.LatentHeat[i] = 0
+			continue
+		}
+		// Demand: radiative proxy (Priestley-Taylor-like).
+		sw := f.SWDown[i] * (1 - s.Albedo(i))
+		demand := math.Max(0, 0.8*sw/LvLand) // kg/m²/s
+		// Vegetation control: more LAI → closer to demand; moisture stress.
+		var lai float64
+		for p := 0; p < NumPFT; p++ {
+			lai += s.LAI[i*NumPFT+p]
+		}
+		moist := s.SoilMoist[i*NSoil] // top-layer control
+		stress := math.Min(1, moist/0.4)
+		et := demand * (0.25 + 0.75*(1-math.Exp(-0.5*lai))) * stress
+		// Limit by available top-two-layer water.
+		var avail float64
+		for k := 0; k < 2; k++ {
+			capK := SatCapacity * s.Soil.Thickness[k] / s.Soil.TotalDepth()
+			avail += s.SoilMoist[i*NSoil+k] * capK
+		}
+		et = math.Min(et, 0.5*avail/dt)
+		// Extract.
+		rem := et * dt
+		for k := 0; k < 2 && rem > 0; k++ {
+			capK := SatCapacity * s.Soil.Thickness[k] / s.Soil.TotalDepth()
+			have := s.SoilMoist[i*NSoil+k] * capK
+			take := math.Min(rem, have)
+			s.SoilMoist[i*NSoil+k] -= take / capK
+			rem -= take
+		}
+		et -= rem / dt
+		out.Evapotranspiration[i] = et
+		out.LatentHeat[i] = et * LvLand
+	}
+}
+
+// solveTri5 is the Thomas algorithm on fixed-size 5-level arrays.
+func solveTri5(a, b, c, d *[NSoil]float64) {
+	for i := 1; i < NSoil; i++ {
+		m := a[i] / b[i-1]
+		b[i] -= m * c[i-1]
+		d[i] -= m * d[i-1]
+	}
+	d[NSoil-1] /= b[NSoil-1]
+	for i := NSoil - 2; i >= 0; i-- {
+		d[i] = (d[i] - c[i]*d[i+1]) / b[i]
+	}
+}

@@ -1,0 +1,279 @@
+// Package machine holds the hardware catalogue of the paper's systems
+// (Table 3 plus the Levante comparison platform of Figure 2) and the GH200
+// superchip power model: a CPU and a GPU sharing one thermal design power,
+// with power allocated to the CPU first and the remainder to the GPU
+// (§5.1.1). Because the ICON kernels are memory-bandwidth bound, the GPU
+// rarely needs its full power budget, which is why the heterogeneous
+// mapping works — the package exposes exactly that trade-off.
+package machine
+
+import (
+	"fmt"
+
+	"icoearth/internal/exec"
+)
+
+// Interconnect describes the network of a system, parameterised for an
+// α–β cost model with a log-tree collective term and a linear noise term
+// (Hoefler et al. 2010: OS noise grows with scale).
+type Interconnect struct {
+	Name string
+	// Latency α per point-to-point message (seconds).
+	Latency float64
+	// InjBandwidthPerNode is the injection bandwidth per node, bytes/s
+	// (both systems: 4×200 Gbit/s).
+	InjBandwidthPerNode float64
+	// AllreduceLatency is the per-tree-stage latency of a small allreduce.
+	AllreduceLatency float64
+	// NoisePerRank is the per-rank synchronisation jitter added to every
+	// globally synchronising step (seconds per rank); multiplied by the
+	// rank count it yields the linear scaling-degradation term observed in
+	// the paper's strong scaling above ~10k superchips.
+	NoisePerRank float64
+}
+
+// PtPTime returns the modelled time for one point-to-point message.
+func (ic Interconnect) PtPTime(bytes float64) float64 {
+	return ic.Latency + bytes/(ic.InjBandwidthPerNode/4) // per-superchip NIC share
+}
+
+// AllreduceTime returns the modelled time for an allreduce over n ranks of
+// the given payload.
+func (ic Interconnect) AllreduceTime(n int, bytes float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	stages := log2ceil(n)
+	return float64(stages)*(ic.AllreduceLatency+bytes/(ic.InjBandwidthPerNode/4)) + ic.NoisePerRank*float64(n)
+}
+
+func log2ceil(n int) int {
+	s := 0
+	for v := 1; v < n; v <<= 1 {
+		s++
+	}
+	return s
+}
+
+// Superchip couples a GPU and CPU device under a shared TDP.
+type Superchip struct {
+	Name string
+	GPU  exec.DeviceSpec
+	CPU  exec.DeviceSpec
+	TDP  float64 // shared CPU+GPU thermal budget, watts
+}
+
+// NewPair instantiates a GPU and CPU device pair with the shared-TDP power
+// partition applied: the CPU receives the power it asks for (cpuDraw) and
+// the GPU is capped at TDP − cpuDraw, mirroring the dynamic allocation
+// described in §6.2 ("power is dynamically distributed first to the CPU and
+// the remainder to the GPU").
+func (s Superchip) NewPair(cpuDraw float64) (gpu, cpu *exec.Device) {
+	if cpuDraw < s.CPU.PowerIdle {
+		cpuDraw = s.CPU.PowerIdle
+	}
+	if cpuDraw > s.CPU.PowerMax {
+		cpuDraw = s.CPU.PowerMax
+	}
+	gpu = exec.NewDevice(s.GPU)
+	cpu = exec.NewDevice(s.CPU)
+	cpu.SetPowerCap(cpuDraw)
+	gpu.SetPowerCap(s.TDP - cpuDraw)
+	return gpu, cpu
+}
+
+// GPUPowerHeadroom reports whether a bandwidth-saturating GPU kernel can
+// run unthrottled when the CPU draws cpuDraw watts: the paper's key
+// observation that memory-bound kernels leave power headroom.
+func (s Superchip) GPUPowerHeadroom(cpuDraw, gpuMemBoundDraw float64) float64 {
+	return (s.TDP - cpuDraw) - gpuMemBoundDraw
+}
+
+// System is a full machine (Table 3).
+type System struct {
+	Name              string
+	Nodes             int
+	SuperchipsPerNode int
+	Chip              Superchip
+	Net               Interconnect
+	// CPUOnly marks systems whose "superchip" is really a CPU-only node
+	// (the Levante CPU partition); the GPU spec is then unused.
+	CPUOnly bool
+}
+
+// Superchips returns the total superchip count.
+func (s System) Superchips() int { return s.Nodes * s.SuperchipsPerNode }
+
+func (s System) String() string {
+	return fmt.Sprintf("%s: %d nodes × %d superchips (%s, TDP %.0f W, %s)",
+		s.Name, s.Nodes, s.SuperchipsPerNode, s.Chip.Name, s.Chip.TDP, s.Net.Name)
+}
+
+// --- Device specifications -------------------------------------------------
+//
+// Bandwidths and powers come from the paper (§5.2 assumes 4 TiB/s for 100%
+// busy HBM3 DRAM; TDPs from Table 3) and public GH200/A100/EPYC data sheets.
+// Launch latency and half-saturation are the two behavioural parameters
+// calibrated against the paper's anchors (see internal/perf).
+
+const TiB = 1024.0 * 1024 * 1024 * 1024
+
+// HopperGPU is the H100 part of a GH200 superchip.
+func HopperGPU() exec.DeviceSpec {
+	return exec.DeviceSpec{
+		Name:               "H100-96GB",
+		MemBW:              4.0 * TiB,
+		PeakFlops:          34e12,
+		LaunchLatency:      4e-6,
+		HalfSatBytes:       64e6, // ≈90k cells × 90 levels × 8 B
+		GraphReplayLatency: 10e-6,
+		PowerIdle:          70,
+		PowerMax:           560, // memory-bound draw; full compute would need more
+	}
+}
+
+// GraceCPU is the 72-core ARM part of a GH200 superchip.
+func GraceCPU() exec.DeviceSpec {
+	return exec.DeviceSpec{
+		Name:          "Grace-72c",
+		MemBW:         450e9, // LPDDR5X sustained
+		PeakFlops:     3.4e12,
+		LaunchLatency: 0,
+		HalfSatBytes:  4e6,
+		PowerIdle:     60,
+		PowerMax:      250,
+		Cores:         72,
+	}
+}
+
+// A100GPU is one Levante GPU (Figure 2 comparison).
+func A100GPU() exec.DeviceSpec {
+	return exec.DeviceSpec{
+		Name:               "A100-80GB",
+		MemBW:              2.0 * TiB,
+		PeakFlops:          9.7e12,
+		LaunchLatency:      5e-6,
+		HalfSatBytes:       64e6,
+		GraphReplayLatency: 12e-6,
+		PowerIdle:          60,
+		PowerMax:           400,
+	}
+}
+
+// LevanteCPUNode is one Levante CPU node: 2× AMD EPYC 7763 (Milan).
+func LevanteCPUNode() exec.DeviceSpec {
+	return exec.DeviceSpec{
+		Name:          "2xEPYC7763",
+		MemBW:         400e9,
+		PeakFlops:     5.0e12,
+		LaunchLatency: 0,
+		HalfSatBytes:  1e6, // caches make small working sets efficient (§4)
+		PowerIdle:     200,
+		PowerMax:      560,
+		Cores:         128,
+	}
+}
+
+// GH200 builds the superchip with a system-specific TDP.
+func GH200(tdp float64) Superchip {
+	return Superchip{Name: "GH200", GPU: HopperGPU(), CPU: GraceCPU(), TDP: tdp}
+}
+
+// --- Systems (Table 3) ------------------------------------------------------
+
+// JUPITER is the JSC exascale system: 5884 nodes of 4 GH200, NDR200.
+func JUPITER() System {
+	return System{
+		Name:              "JUPITER",
+		Nodes:             5884,
+		SuperchipsPerNode: 4,
+		Chip:              GH200(680),
+		Net: Interconnect{
+			Name:                "InfiniBand NDR200",
+			Latency:             2.5e-6,
+			InjBandwidthPerNode: 4 * 200e9 / 8,
+			AllreduceLatency:    3.0e-6,
+			NoisePerRank:        1.45e-6,
+		},
+	}
+}
+
+// JEDI is the single-rack JUPITER development platform (48 nodes).
+func JEDI() System {
+	s := JUPITER()
+	s.Name = "JEDI"
+	s.Nodes = 48
+	return s
+}
+
+// Alps is the CSCS system: 2688 nodes of 4 GH200, Slingshot-11, 660 W TDP.
+func Alps() System {
+	return System{
+		Name:              "Alps",
+		Nodes:             2688,
+		SuperchipsPerNode: 4,
+		Chip:              GH200(660),
+		Net: Interconnect{
+			Name:                "Slingshot-11",
+			Latency:             2.8e-6,
+			InjBandwidthPerNode: 4 * 200e9 / 8,
+			AllreduceLatency:    3.4e-6,
+			NoisePerRank:        1.75e-6,
+		},
+	}
+}
+
+// LevanteGPU is the DKRZ Levante GPU partition (A100 nodes, 4 GPUs/node).
+func LevanteGPU() System {
+	return System{
+		Name:              "Levante-GPU",
+		Nodes:             60,
+		SuperchipsPerNode: 4,
+		Chip: Superchip{
+			Name: "A100-node",
+			GPU:  A100GPU(),
+			CPU:  LevanteCPUNode(),
+			TDP:  400 + 560, // independent budgets; no shared TDP on Levante
+		},
+		Net: Interconnect{
+			Name:                "InfiniBand HDR",
+			Latency:             3.0e-6,
+			InjBandwidthPerNode: 2 * 200e9 / 8,
+			AllreduceLatency:    3.5e-6,
+			NoisePerRank:        2.0e-6,
+		},
+	}
+}
+
+// LevanteCPU is the DKRZ Levante CPU partition.
+func LevanteCPU() System {
+	return System{
+		Name:              "Levante-CPU",
+		Nodes:             2832,
+		SuperchipsPerNode: 1,
+		Chip: Superchip{
+			Name: "CPU-node",
+			CPU:  LevanteCPUNode(),
+			TDP:  560,
+		},
+		Net: Interconnect{
+			Name:                "InfiniBand HDR",
+			Latency:             3.0e-6,
+			InjBandwidthPerNode: 2 * 200e9 / 8,
+			AllreduceLatency:    3.5e-6,
+			NoisePerRank:        0.35e-6, // fewer ranks per unit work; smaller jitter footprint
+		},
+		CPUOnly: true,
+	}
+}
+
+// Systems returns the full catalogue keyed by name.
+func Systems() map[string]System {
+	return map[string]System{
+		"JUPITER":     JUPITER(),
+		"JEDI":        JEDI(),
+		"Alps":        Alps(),
+		"Levante-GPU": LevanteGPU(),
+		"Levante-CPU": LevanteCPU(),
+	}
+}

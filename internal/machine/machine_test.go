@@ -1,0 +1,153 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"icoearth/internal/exec"
+)
+
+func TestTable3Catalogue(t *testing.T) {
+	// Table 3 of the paper.
+	j := JUPITER()
+	if j.Nodes != 5884 || j.SuperchipsPerNode != 4 || j.Superchips() != 23536 {
+		t.Errorf("JUPITER = %v", j)
+	}
+	if j.Chip.TDP != 680 {
+		t.Errorf("JUPITER TDP = %v", j.Chip.TDP)
+	}
+	a := Alps()
+	if a.Nodes != 2688 || a.Superchips() != 10752 {
+		t.Errorf("Alps = %v", a)
+	}
+	if a.Chip.TDP != 660 {
+		t.Errorf("Alps TDP = %v", a.Chip.TDP)
+	}
+	// 4×200 Gbit/s injection per node on both.
+	want := 4 * 200e9 / 8.0
+	if j.Net.InjBandwidthPerNode != want || a.Net.InjBandwidthPerNode != want {
+		t.Errorf("injection bandwidths: %v %v want %v", j.Net.InjBandwidthPerNode, a.Net.InjBandwidthPerNode, want)
+	}
+	if JEDI().Nodes != 48 {
+		t.Errorf("JEDI nodes = %d", JEDI().Nodes)
+	}
+}
+
+func TestHopperBandwidth(t *testing.T) {
+	// §5.2: "assuming that 100% busy DRAM would yield a bandwidth of
+	// 4 TiB/s on GH200 GPUs".
+	h := HopperGPU()
+	if h.MemBW != 4.0*TiB {
+		t.Errorf("Hopper BW = %v", h.MemBW)
+	}
+}
+
+func TestSharedTDPPartition(t *testing.T) {
+	chip := GH200(680)
+	gpu, cpu := chip.NewPair(200)
+	if cpu.PowerCap() != 200 {
+		t.Errorf("cpu cap = %v", cpu.PowerCap())
+	}
+	if gpu.PowerCap() != 480 {
+		t.Errorf("gpu cap = %v", gpu.PowerCap())
+	}
+	// CPU request is clamped to its own physical range.
+	_, cpu2 := chip.NewPair(10000)
+	if cpu2.PowerCap() != chip.CPU.PowerMax {
+		t.Errorf("cpu cap not clamped: %v", cpu2.PowerCap())
+	}
+	_, cpu3 := chip.NewPair(0)
+	if cpu3.PowerCap() != chip.CPU.PowerIdle {
+		t.Errorf("cpu floor cap = %v", cpu3.PowerCap())
+	}
+}
+
+func TestMemoryBoundLeavesHeadroom(t *testing.T) {
+	// The paper's observation: a memory-bound GPU kernel draws less than
+	// the full combined budget, so running the ocean on the CPU does not
+	// throttle the atmosphere on the GPU.
+	chip := GH200(680)
+	memBoundDraw := chip.GPU.PowerMax // our model's draw at full BW
+	headroom := chip.GPUPowerHeadroom(100, memBoundDraw)
+	if headroom < 0 {
+		t.Errorf("no headroom: %v", headroom)
+	}
+	// And indeed a BW-saturating kernel is unthrottled at that allocation.
+	gpu, _ := chip.NewPair(100)
+	free := gpu.Spec.KernelTime(1e9, 0)
+	gpu.Launch(kernelOf(1e9))
+	if math.Abs(gpu.SimTime()-(gpu.Spec.LaunchLatency+free)) > 1e-12 {
+		t.Errorf("memory-bound kernel throttled under shared TDP")
+	}
+}
+
+func TestPtPTime(t *testing.T) {
+	ic := JUPITER().Net
+	t0 := ic.PtPTime(0)
+	if t0 != ic.Latency {
+		t.Errorf("zero-byte ptp = %v", t0)
+	}
+	t1 := ic.PtPTime(1e6)
+	if t1 <= t0 {
+		t.Errorf("ptp not increasing with bytes")
+	}
+}
+
+func TestAllreduceScaling(t *testing.T) {
+	ic := JUPITER().Net
+	if ic.AllreduceTime(1, 8) != 0 {
+		t.Errorf("single-rank allreduce should be free")
+	}
+	small := ic.AllreduceTime(64, 8)
+	big := ic.AllreduceTime(20480, 8)
+	if big <= small {
+		t.Errorf("allreduce must grow with ranks: %v vs %v", small, big)
+	}
+	// The linear noise term must dominate at very large scale: going from
+	// 2048 to 20480 ranks should cost much more than the log factor alone.
+	r := ic.AllreduceTime(20480, 8) / ic.AllreduceTime(2048, 8)
+	if r < 2 {
+		t.Errorf("large-scale allreduce ratio = %v, linear noise term missing", r)
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := log2ceil(n); got != want {
+			t.Errorf("log2ceil(%d) = %d want %d", n, got, want)
+		}
+	}
+}
+
+func TestSystemsCatalogue(t *testing.T) {
+	sys := Systems()
+	for _, name := range []string{"JUPITER", "JEDI", "Alps", "Levante-GPU", "Levante-CPU"} {
+		s, ok := sys[name]
+		if !ok {
+			t.Errorf("missing system %s", name)
+			continue
+		}
+		if s.Name != name {
+			t.Errorf("system %s has name %s", name, s.Name)
+		}
+		if s.Superchips() <= 0 {
+			t.Errorf("system %s has no superchips", name)
+		}
+	}
+	if !sys["Levante-CPU"].CPUOnly {
+		t.Error("Levante-CPU should be CPU-only")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := JUPITER().String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+}
+
+// kernelOf builds a memory-only kernel for tests.
+func kernelOf(bytes float64) exec.Kernel {
+	return exec.Kernel{Name: "mem", Bytes: bytes}
+}

@@ -1,0 +1,69 @@
+package ocean
+
+import (
+	"math"
+	"testing"
+
+	"icoearth/internal/grid"
+	"icoearth/internal/vertical"
+)
+
+func benchOcean(lev, nlev int) (*State, *Dynamics, *Forcing) {
+	g := grid.New(grid.R2B(lev))
+	mask := grid.NewMask(g)
+	vert := vertical.NewOcean(nlev, 4000, 50)
+	s := NewState(g, mask, vert)
+	s.InitAnalytic()
+	dyn := NewDynamics(s, 600)
+	f := NewForcing(s.NOcean())
+	for i := range f.WindStress {
+		lat, _ := g.CellCenter[s.Cells[i]].LatLon()
+		f.WindStress[i] = 0.1 * math.Cos(2*lat)
+	}
+	return s, dyn, f
+}
+
+func BenchmarkOceanStepR2B3(b *testing.B) {
+	s, dyn, f := benchOcean(3, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dyn.Step(600, f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.CheckFinite(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkBarotropicCG(b *testing.B) {
+	s, _, _ := benchOcean(3, 8)
+	op := NewBarotropicOp(s, 600)
+	rhs := make([]float64, s.NOcean())
+	for i := range rhs {
+		rhs[i] = math.Sin(float64(i) * 0.013)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eta := make([]float64, s.NOcean())
+		if _, err := op.Solve(rhs, eta, 1e-8, 4000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTracerAdvection(b *testing.B) {
+	s, dyn, f := benchOcean(3, 16)
+	if err := dyn.Step(600, f); err != nil {
+		b.Fatal(err)
+	}
+	q := make([]float64, s.NOcean()*s.NLev)
+	for i := range q {
+		q[i] = 1 + math.Sin(float64(i)*0.01)
+	}
+	b.SetBytes(int64(8 * len(q) * 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dyn.AdvectTracer(q, 600)
+	}
+}

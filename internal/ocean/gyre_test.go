@@ -1,0 +1,129 @@
+package ocean
+
+import (
+	"math"
+	"testing"
+
+	"icoearth/internal/grid"
+	"icoearth/internal/vertical"
+)
+
+// TestWindDrivenCirculationSpinsUp: a steady zonal wind stress spins up a
+// surface circulation whose kinetic energy equilibrates (input balanced by
+// drag), the basic wind-driven-gyre behaviour of the ocean component.
+func TestWindDrivenCirculationSpinsUp(t *testing.T) {
+	g := grid.New(grid.R2B(2))
+	mask := grid.NewMask(g)
+	vert := vertical.NewOcean(8, 4000, 60)
+	s := NewState(g, mask, vert)
+	s.InitAnalytic()
+	// Flatten T/S so only the wind forces motion.
+	for i := range s.Temp {
+		s.Temp[i] = 10
+		s.Salt[i] = 34.7
+	}
+	for i := range s.IceThick {
+		s.IceThick[i] = 0
+		s.IceFrac[i] = 0
+	}
+	dyn := NewDynamics(s, 600)
+	f := NewForcing(s.NOcean())
+	for i := range f.WindStress {
+		lat, _ := g.CellCenter[s.Cells[i]].LatLon()
+		f.WindStress[i] = 0.1 * math.Cos(2*lat)
+	}
+	surfKE := func() float64 {
+		var ke float64
+		for ei := range s.Edges {
+			u := s.U[ei*s.NLev] + s.Ub[ei]
+			ke += u * u
+		}
+		return ke
+	}
+	if surfKE() != 0 {
+		t.Fatal("not starting from rest")
+	}
+	var ke50, ke100 float64
+	for n := 0; n < 100; n++ {
+		if err := dyn.Step(600, f); err != nil {
+			t.Fatal(err)
+		}
+		if n == 49 {
+			ke50 = surfKE()
+		}
+	}
+	ke100 = surfKE()
+	if ke50 <= 0 {
+		t.Fatal("wind did not spin up any circulation")
+	}
+	// Early spin-up under constant stress accelerates linearly, so KE
+	// grows quadratically: doubling the time roughly quadruples KE
+	// (sub-quadratic once pressure gradients and drag push back).
+	ratio := ke100 / ke50
+	if ratio < 1.5 || ratio > 4.5 {
+		t.Errorf("spin-up KE ratio = %v, expect ≈4 (quadratic) or below", ratio)
+	}
+	// Velocities remain physical.
+	for ei := range s.Edges {
+		if v := math.Abs(s.U[ei*s.NLev] + s.Ub[ei]); v > 3 {
+			t.Fatalf("unphysical surface speed %v", v)
+		}
+	}
+	// Switch the wind off: drag must drain kinetic energy.
+	off := NewForcing(s.NOcean())
+	for n := 0; n < 100; n++ {
+		if err := dyn.Step(600, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if surfKE() >= ke100 {
+		t.Errorf("no drag decay after wind off: %v → %v", ke100, surfKE())
+	}
+}
+
+// TestBarotropicAdjustment: an initial sea-surface bump flattens out
+// (gravity-wave adjustment under the implicit solver) without blowing up
+// at a timestep far beyond the explicit CFL.
+func TestBarotropicAdjustment(t *testing.T) {
+	g := grid.New(grid.R2B(2))
+	mask := grid.NewMask(g)
+	vert := vertical.NewOcean(6, 4000, 80)
+	s := NewState(g, mask, vert)
+	s.InitAnalytic()
+	// A 1 m bump in one hemisphere of the ocean.
+	var bumpCells int
+	for i, c := range s.Cells {
+		lat, lon := g.CellCenter[c].LatLon()
+		if lat > 0.2 && lon > 0.5 && lon < 1.5 {
+			s.Eta[i] = 1
+			bumpCells++
+		}
+	}
+	if bumpCells == 0 {
+		t.Skip("mask has no cells in the bump region")
+	}
+	dyn := NewDynamics(s, 3600) // Δt ≫ explicit barotropic CFL (~100 s)
+	f := NewForcing(s.NOcean())
+	var eta2_0 float64
+	for i := range s.Eta {
+		eta2_0 += s.Eta[i] * s.Eta[i]
+	}
+	for n := 0; n < 30; n++ {
+		if err := dyn.Step(3600, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var eta2 float64
+	for i := range s.Eta {
+		eta2 += s.Eta[i] * s.Eta[i]
+		if math.Abs(s.Eta[i]) > 2 {
+			t.Fatalf("eta grew: %v", s.Eta[i])
+		}
+	}
+	if eta2 >= eta2_0 {
+		t.Errorf("bump did not adjust: Ση² %v → %v", eta2_0, eta2)
+	}
+	if err := s.CheckFinite(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,386 @@
+package ocean
+
+import (
+	"math"
+	"testing"
+
+	"icoearth/internal/exec"
+	"icoearth/internal/grid"
+	"icoearth/internal/par"
+	"icoearth/internal/vertical"
+)
+
+func testOcean() *State {
+	g := grid.New(grid.R2B(2))
+	mask := grid.NewMask(g)
+	vert := vertical.NewOcean(10, 4000, 50)
+	s := NewState(g, mask, vert)
+	s.InitAnalytic()
+	return s
+}
+
+func TestCompactIndexing(t *testing.T) {
+	s := testOcean()
+	for i, c := range s.Cells {
+		if s.CellIndex[c] != i {
+			t.Fatalf("cell index mismatch at %d", i)
+		}
+		if s.Mask.IsLand[c] {
+			t.Fatalf("land cell %d in ocean list", c)
+		}
+	}
+	for ei, e := range s.Edges {
+		if s.EdgeIndex[e] != ei {
+			t.Fatalf("edge index mismatch at %d", ei)
+		}
+		c0, c1 := s.EdgeCells[ei][0], s.EdgeCells[ei][1]
+		if c0 < 0 || c1 < 0 || c0 >= s.NOcean() || c1 >= s.NOcean() {
+			t.Fatalf("edge %d has bad compact cells %d %d", ei, c0, c1)
+		}
+	}
+}
+
+func TestInitAnalyticPhysical(t *testing.T) {
+	s := testOcean()
+	for i := range s.Cells {
+		sst := s.SST(i)
+		if sst < TFreeze-0.5 || sst > 32 {
+			t.Fatalf("SST %v out of range", sst)
+		}
+		for k := 0; k < s.NLev; k++ {
+			sal := s.Salt[i*s.NLev+k]
+			if sal < 30 || sal > 38 {
+				t.Fatalf("salinity %v out of range", sal)
+			}
+		}
+		// Thermal stratification in the tropics: warm surface over cold
+		// abyss (polar columns may legitimately be colder at the surface).
+		lat, _ := s.G.CellCenter[s.Cells[i]].LatLon()
+		if math.Abs(lat) < 0.5 && s.Temp[i*s.NLev] < s.Temp[i*s.NLev+s.NLev-1] {
+			t.Fatalf("inverted tropical stratification at %d", i)
+		}
+		// And the initial column must be statically stable everywhere.
+		for k := 0; k < s.NLev-1; k++ {
+			if s.Density(i, k) > s.Density(i, k+1)+1e-9 {
+				t.Fatalf("statically unstable initial state at cell %d level %d", i, k)
+			}
+		}
+	}
+}
+
+func TestBarotropicOperatorSPD(t *testing.T) {
+	s := testOcean()
+	op := NewBarotropicOp(s, 600)
+	n := s.NOcean()
+	x := make([]float64, n)
+	y := make([]float64, n)
+	ax := make([]float64, n)
+	ay := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(float64(3 * i))
+		y[i] = math.Cos(float64(2 * i))
+	}
+	op.Apply(x, ax)
+	op.Apply(y, ay)
+	var xay, yax, xax float64
+	for i := range x {
+		xay += x[i] * ay[i]
+		yax += y[i] * ax[i]
+		xax += x[i] * ax[i]
+	}
+	if math.Abs(xay-yax) > 1e-8*math.Abs(xay) {
+		t.Errorf("operator not symmetric: %v vs %v", xay, yax)
+	}
+	if xax <= 0 {
+		t.Errorf("operator not positive definite: %v", xax)
+	}
+}
+
+func TestCGSolvesSystem(t *testing.T) {
+	s := testOcean()
+	op := NewBarotropicOp(s, 600)
+	n := s.NOcean()
+	// Manufactured solution.
+	want := make([]float64, n)
+	for i := range want {
+		lat, lon := s.G.CellCenter[s.Cells[i]].LatLon()
+		want[i] = 0.5 * math.Sin(2*lat) * math.Cos(3*lon)
+	}
+	rhs := make([]float64, n)
+	op.Apply(want, rhs)
+	eta := make([]float64, n)
+	st, err := op.Solve(rhs, eta, 1e-10, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Iterations <= 0 {
+		t.Errorf("iterations = %d", st.Iterations)
+	}
+	var maxErr float64
+	for i := range eta {
+		if e := math.Abs(eta[i] - want[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 1e-6 {
+		t.Errorf("CG max error = %v", maxErr)
+	}
+}
+
+func TestDistributedCGMatchesSerial(t *testing.T) {
+	s := testOcean()
+	const dt = 600
+	op := NewBarotropicOp(s, dt)
+	n := s.NOcean()
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = math.Sin(float64(i) * 0.01)
+	}
+	rhs := make([]float64, n)
+	op.Apply(want, rhs)
+	etaSerial := make([]float64, n)
+	if _, err := op.Solve(rhs, etaSerial, 1e-10, 5000); err != nil {
+		t.Fatal(err)
+	}
+
+	const nranks = 4
+	d, err := grid.Decompose(s.G, nranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	result := make([]float64, s.G.NCells)
+	w := par.NewWorld(nranks)
+	w.Run(func(c *par.Comm) {
+		dc := NewDistCG(s, dt, d, c)
+		p := d.Parts[c.Rank]
+		nloc := len(p.Owner) + len(p.HaloCells)
+		rhsLoc := make([]float64, nloc)
+		etaLoc := make([]float64, nloc)
+		for li, gc := range p.Owner {
+			if oi := s.CellIndex[gc]; oi >= 0 {
+				rhsLoc[li] = rhs[oi]
+			}
+		}
+		if _, err := dc.Solve(rhsLoc, etaLoc, 1e-10, 5000); err != nil {
+			t.Error(err)
+			return
+		}
+		if dc.Allreduces == 0 || dc.HaloXchgs == 0 {
+			t.Errorf("rank %d: no global communication recorded", c.Rank)
+		}
+		// Collect owned results (goroutine-disjoint writes).
+		for li, gc := range p.Owner {
+			result[gc] = etaLoc[li]
+		}
+	})
+	var maxDiff float64
+	for i, gc := range s.Cells {
+		if d := math.Abs(result[gc] - etaSerial[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-6 {
+		t.Errorf("distributed vs serial CG max diff = %v", maxDiff)
+	}
+}
+
+func TestStepStability(t *testing.T) {
+	s := testOcean()
+	dyn := NewDynamics(s, 600)
+	f := NewForcing(s.NOcean())
+	for i := range f.WindStress {
+		lat, _ := s.G.CellCenter[s.Cells[i]].LatLon()
+		f.WindStress[i] = 0.1 * math.Cos(2*lat) // trade/westerly pattern
+		f.HeatFlux[i] = 50 * math.Cos(lat)
+	}
+	for n := 0; n < 50; n++ {
+		if err := dyn.Step(600, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.CheckFinite(); err != nil {
+		t.Fatal(err)
+	}
+	// Physical bounds.
+	for i := range s.Cells {
+		for k := 0; k < s.NLev; k++ {
+			tt := s.Temp[i*s.NLev+k]
+			if tt < TFreeze-1 || tt > 40 {
+				t.Fatalf("temperature %v out of range", tt)
+			}
+		}
+		if math.Abs(s.Eta[i]) > 10 {
+			t.Fatalf("eta %v unbounded", s.Eta[i])
+		}
+	}
+	if dyn.LastSolve.Iterations <= 0 {
+		t.Error("no CG iterations recorded")
+	}
+}
+
+// TestHeatConservationNoForcing: with zero surface fluxes the advection +
+// mixing conserve total heat content to high accuracy.
+func TestHeatConservationNoForcing(t *testing.T) {
+	s := testOcean()
+	dyn := NewDynamics(s, 600)
+	f := NewForcing(s.NOcean())
+	// Kick some motion without thermal forcing.
+	for ei := range s.Edges {
+		s.Ub[ei] = 0.05 * math.Sin(float64(ei))
+	}
+	h0 := s.TotalHeat()
+	sal0 := s.TotalSalt()
+	for n := 0; n < 20; n++ {
+		if err := dyn.Step(600, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h1 := s.TotalHeat()
+	sal1 := s.TotalSalt()
+	// The deep-cut approximation at coasts makes conservation inexact at
+	// partially wet columns; demand 1e-6 relative.
+	if rel := math.Abs(h1-h0) / math.Abs(h0); rel > 1e-6 {
+		t.Errorf("heat drift = %e", rel)
+	}
+	if rel := math.Abs(sal1-sal0) / sal0; rel > 1e-6 {
+		t.Errorf("salt drift = %e", rel)
+	}
+}
+
+// TestSurfaceHeatingWarmsOcean: positive heat flux increases heat content
+// by exactly flux × area × time.
+func TestSurfaceHeatingBudget(t *testing.T) {
+	s := testOcean()
+	dyn := NewDynamics(s, 600)
+	f := NewForcing(s.NOcean())
+	const q = 100.0 // W/m²
+	var wetArea float64
+	for i, c := range s.Cells {
+		f.HeatFlux[i] = q
+		wetArea += s.G.CellArea[c]
+	}
+	h0 := s.TotalHeat()
+	const steps = 10
+	for n := 0; n < steps; n++ {
+		if err := dyn.Step(600, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gained := s.TotalHeat() - h0
+	// Sea-ice formation/melt exchanges latent heat; exclude by checking
+	// within 5%.
+	want := q * wetArea * 600 * steps
+	if math.Abs(gained-want) > 0.05*want {
+		t.Errorf("heat gained = %e, want ≈%e", gained, want)
+	}
+}
+
+func TestSeaIceFreezesAndMelts(t *testing.T) {
+	s := testOcean()
+	dyn := NewDynamics(s, 600)
+	f := NewForcing(s.NOcean())
+	// Force a cell below freezing.
+	i := 0
+	s.Temp[i*s.NLev] = TFreeze - 0.5
+	s.IceThick[i] = 0
+	dyn.SeaIceStep(600, f)
+	if s.IceThick[i] <= 0 {
+		t.Fatal("no ice formed below freezing")
+	}
+	if math.Abs(s.Temp[i*s.NLev]-TFreeze) > 1e-9 {
+		t.Errorf("freezing did not pin temperature: %v", s.Temp[i*s.NLev])
+	}
+	// Warm it: ice melts, temperature drops back toward freezing.
+	h := s.IceThick[i]
+	s.Temp[i*s.NLev] = TFreeze + 0.3
+	dyn.SeaIceStep(600, f)
+	if s.IceThick[i] >= h {
+		t.Error("warm water did not melt ice")
+	}
+	// Energy check: freeze-then-melt round trip conserves the latent pool.
+	if s.IceFrac[i] < 0 || s.IceFrac[i] > 1 {
+		t.Errorf("ice fraction %v", s.IceFrac[i])
+	}
+}
+
+func TestTracerAdvectionConserves(t *testing.T) {
+	s := testOcean()
+	dyn := NewDynamics(s, 600)
+	f := NewForcing(s.NOcean())
+	for ei := range s.Edges {
+		s.Ub[ei] = 0.05 * math.Cos(float64(2*ei))
+	}
+	// A blob tracer.
+	q := make([]float64, s.NOcean()*s.NLev)
+	for i := range s.Cells {
+		lat, _ := s.G.CellCenter[s.Cells[i]].LatLon()
+		if lat > 0 {
+			q[i*s.NLev] = 1
+		}
+	}
+	inv0 := s.TracerInventory(q)
+	for n := 0; n < 10; n++ {
+		if err := dyn.Step(600, f); err != nil {
+			t.Fatal(err)
+		}
+		dyn.AdvectTracer(q, 600)
+	}
+	inv1 := s.TracerInventory(q)
+	if rel := math.Abs(inv1-inv0) / inv0; rel > 1e-9 {
+		t.Errorf("tracer inventory drift = %e", rel)
+	}
+	for i, v := range q {
+		if v < -1e-12 {
+			t.Fatalf("tracer went negative at %d: %v", i, v)
+		}
+	}
+}
+
+func TestModelKernels(t *testing.T) {
+	g := grid.New(grid.R2B(2))
+	mask := grid.NewMask(g)
+	vert := vertical.NewOcean(8, 4000, 60)
+	dev := exec.NewDevice(exec.DeviceSpec{Name: "cpu", MemBW: 4e11, HalfSatBytes: 1e6, PowerIdle: 50, PowerMax: 250})
+	m := NewModel(g, mask, vert, 600, dev)
+	f := NewForcing(m.State.NOcean())
+	if err := m.Step(600, f); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Launches() != 6 {
+		t.Errorf("launches = %d, want 6", dev.Launches())
+	}
+	if m.CGAllreduces <= 0 {
+		t.Error("no allreduce accounting")
+	}
+	if m.Steps() != 1 || m.BytesPerStep() <= 0 {
+		t.Errorf("steps=%d bytes=%v", m.Steps(), m.BytesPerStep())
+	}
+}
+
+func TestEtaVolumeConservation(t *testing.T) {
+	// Without freshwater input the elliptic update conserves ∫η dA.
+	s := testOcean()
+	dyn := NewDynamics(s, 600)
+	f := NewForcing(s.NOcean())
+	for ei := range s.Edges {
+		s.Ub[ei] = 0.1 * math.Sin(float64(ei)*0.1)
+	}
+	v0 := s.EtaVolume()
+	for n := 0; n < 10; n++ {
+		if err := dyn.Step(600, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v1 := s.EtaVolume()
+	// Scale: typical |eta|·area.
+	scale := 0.0
+	for i, c := range s.Cells {
+		scale += math.Abs(s.Eta[i]) * s.G.CellArea[c]
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	if math.Abs(v1-v0) > 1e-6*scale {
+		t.Errorf("eta volume drift: %v → %v (scale %v)", v0, v1, scale)
+	}
+}

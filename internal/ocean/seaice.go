@@ -1,0 +1,59 @@
+package ocean
+
+import "math"
+
+// SeaIceStep advances the thermodynamic sea-ice slab: ice grows when the
+// surface layer would cool below freezing (the deficit heat freezes water,
+// releasing latent heat that pins the layer at the freezing point) and
+// melts when the surface layer is warm while ice is present. Concentration
+// follows thickness with a simple closure. Dynamics (rheology, drift) are
+// not represented — the paper's configuration also treats ice thermodynam-
+// ically with the ocean timestep.
+func (d *Dynamics) SeaIceStep(dt float64, f *Forcing) {
+	s := d.S
+	nlev := s.NLev
+	dz0 := s.Vert.Thickness(0)
+	heatCap := RhoWater * CpWater * dz0 // J/m²/K of the surface layer
+	for i := range s.Cells {
+		t := s.Temp[i*nlev]
+		switch {
+		case t < TFreeze:
+			// Freeze: bring the layer back to TFreeze, grow ice with the
+			// released energy.
+			deficit := (TFreeze - t) * heatCap // J/m²
+			dh := deficit / (RhoIce * LFusion)
+			s.IceThick[i] += dh
+			s.Temp[i*nlev] = TFreeze
+		case t > TFreeze && s.IceThick[i] > 0:
+			// Melt: use the excess heat.
+			excess := (t - TFreeze) * heatCap
+			dh := math.Min(s.IceThick[i], excess/(RhoIce*LFusion))
+			s.IceThick[i] -= dh
+			s.Temp[i*nlev] = t - dh*RhoIce*LFusion/heatCap
+		}
+		// Concentration closure: full cover above 0.5 m mean thickness.
+		s.IceFrac[i] = math.Min(1, s.IceThick[i]/0.5)
+		if s.IceThick[i] <= 0 {
+			s.IceThick[i] = 0
+			s.IceFrac[i] = 0
+		}
+	}
+}
+
+// IceArea returns the global sea-ice area (m²).
+func (s *State) IceArea() float64 {
+	var a float64
+	for i, c := range s.Cells {
+		a += s.IceFrac[i] * s.G.CellArea[c]
+	}
+	return a
+}
+
+// IceVolume returns the global sea-ice volume (m³).
+func (s *State) IceVolume() float64 {
+	var v float64
+	for i, c := range s.Cells {
+		v += s.IceThick[i] * s.G.CellArea[c]
+	}
+	return v
+}

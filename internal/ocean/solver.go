@@ -1,0 +1,273 @@
+package ocean
+
+import (
+	"fmt"
+	"math"
+
+	"icoearth/internal/grid"
+	"icoearth/internal/par"
+)
+
+// BarotropicOp is the matrix-free operator of the semi-implicit free
+// surface: Ã(η)_i = A_i·η_i + g·Δt²·Σ_e l_e·H_e·(η_i − η_j)/d_e, the
+// symmetric positive-definite system that filters fast surface gravity
+// waves (the "tightly-coupled 2d-equation-system" of §5.1).
+type BarotropicOp struct {
+	S  *State
+	Dt float64
+	// coefficient per compact ocean edge: g·Δt²·l_e·H_e/d_e.
+	coef []float64
+	// diag is the assembled diagonal, used by the Jacobi preconditioner.
+	diag []float64
+}
+
+// NewBarotropicOp assembles edge coefficients for timestep dt.
+func NewBarotropicOp(s *State, dt float64) *BarotropicOp {
+	op := &BarotropicOp{S: s, Dt: dt}
+	op.coef = make([]float64, len(s.Edges))
+	op.diag = make([]float64, len(s.Cells))
+	for i, c := range s.Cells {
+		op.diag[i] = s.G.CellArea[c]
+	}
+	for ei, e := range s.Edges {
+		c0, c1 := s.EdgeCells[ei][0], s.EdgeCells[ei][1]
+		h := 0.5 * (s.Depth[c0] + s.Depth[c1])
+		op.coef[ei] = GravO * dt * dt * s.G.EdgeLength[e] * h / s.G.DualLength[e]
+		op.diag[c0] += op.coef[ei]
+		op.diag[c1] += op.coef[ei]
+	}
+	return op
+}
+
+// Apply computes out = Ã(eta).
+func (op *BarotropicOp) Apply(eta, out []float64) {
+	s := op.S
+	for i, c := range s.Cells {
+		out[i] = s.G.CellArea[c] * eta[i]
+	}
+	for ei := range s.Edges {
+		c0, c1 := s.EdgeCells[ei][0], s.EdgeCells[ei][1]
+		f := op.coef[ei] * (eta[c0] - eta[c1])
+		out[c0] += f
+		out[c1] -= f
+	}
+}
+
+// SolveStats reports the work of one elliptic solve; the performance model
+// converts Iterations into allreduce counts (2 dot products per CG
+// iteration).
+type SolveStats struct {
+	Iterations int
+	Residual   float64
+}
+
+// Solve runs Jacobi-preconditioned conjugate gradients for Ã·eta = rhs,
+// starting from the current eta, until the 2-norm of the residual drops
+// below tol relative to the rhs norm. It returns the iteration count.
+func (op *BarotropicOp) Solve(rhs, eta []float64, tol float64, maxIter int) (SolveStats, error) {
+	n := len(eta)
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	op.Apply(eta, ap)
+	var rhsNorm float64
+	for i := range r {
+		r[i] = rhs[i] - ap[i]
+		rhsNorm += rhs[i] * rhs[i]
+	}
+	rhsNorm = math.Sqrt(rhsNorm)
+	if rhsNorm == 0 {
+		for i := range eta {
+			eta[i] = 0
+		}
+		return SolveStats{}, nil
+	}
+	var rz float64
+	for i := range r {
+		z[i] = r[i] / op.diag[i]
+		p[i] = z[i]
+		rz += r[i] * z[i]
+	}
+	for iter := 1; iter <= maxIter; iter++ {
+		op.Apply(p, ap)
+		var pap float64
+		for i := range p {
+			pap += p[i] * ap[i]
+		}
+		alpha := rz / pap
+		var rnorm float64
+		for i := range eta {
+			eta[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+			rnorm += r[i] * r[i]
+		}
+		rnorm = math.Sqrt(rnorm)
+		if rnorm < tol*rhsNorm {
+			return SolveStats{Iterations: iter, Residual: rnorm / rhsNorm}, nil
+		}
+		var rzNew float64
+		for i := range r {
+			z[i] = r[i] / op.diag[i]
+			rzNew += r[i] * z[i]
+		}
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return SolveStats{Iterations: maxIter, Residual: -1},
+		fmt.Errorf("ocean: CG did not converge in %d iterations", maxIter)
+}
+
+// --- Distributed CG ---------------------------------------------------------
+
+// DistCG solves the same barotropic system with the cells distributed over
+// the ranks of a grid decomposition: each CG dot product is a global
+// allreduce and each operator application needs a halo exchange — exactly
+// the communication pattern that makes the ocean's 2-D solver the scaling
+// bottleneck at high superchip counts (§7). Land cells carry identity rows
+// so the decomposition of the full grid can be reused.
+type DistCG struct {
+	S    *State
+	Dt   float64
+	D    *grid.Decomposition
+	comm *par.Comm
+	part *grid.Partition
+	halo *par.HaloExchanger
+
+	// Global-index coefficient tables (same on all ranks; small).
+	edgeCoef map[int]float64 // global edge -> g·Δt²·l·H/d (wet edges only)
+	diag     []float64       // per local cell (owned + halo)
+
+	// Stats.
+	Allreduces int
+	HaloXchgs  int
+}
+
+// NewDistCG builds the distributed solver for one rank.
+func NewDistCG(s *State, dt float64, d *grid.Decomposition, comm *par.Comm) *DistCG {
+	p := d.Parts[comm.Rank]
+	dc := &DistCG{
+		S: s, Dt: dt, D: d, comm: comm, part: p,
+		halo:     par.NewHaloExchanger(comm, p),
+		edgeCoef: make(map[int]float64),
+	}
+	for ei, e := range s.Edges {
+		c0, c1 := dc.S.EdgeCells[ei][0], dc.S.EdgeCells[ei][1]
+		h := 0.5 * (s.Depth[c0] + s.Depth[c1])
+		dc.edgeCoef[e] = GravO * dt * dt * s.G.EdgeLength[e] * h / s.G.DualLength[e]
+	}
+	nloc := len(p.Owner) + len(p.HaloCells)
+	dc.diag = make([]float64, nloc)
+	fill := func(gc, li int) {
+		dc.diag[li] = s.G.CellArea[gc]
+		for _, e := range s.G.CellEdges[gc] {
+			if cf, ok := dc.edgeCoef[e]; ok {
+				dc.diag[li] += cf
+			}
+		}
+	}
+	for li, gc := range p.Owner {
+		fill(gc, li)
+	}
+	for hi, gc := range p.HaloCells {
+		fill(gc, len(p.Owner)+hi)
+	}
+	return dc
+}
+
+// apply computes out = Ã(x) for owned cells; x must have valid halos.
+func (dc *DistCG) apply(x, out []float64) {
+	g := dc.S.G
+	p := dc.part
+	for li, gc := range p.Owner {
+		v := g.CellArea[gc] * x[li]
+		if dc.S.CellIndex[gc] >= 0 { // wet cell: add edge couplings
+			for _, e := range g.CellEdges[gc] {
+				cf, ok := dc.edgeCoef[e]
+				if !ok {
+					continue
+				}
+				// Neighbour across e.
+				nb := g.EdgeCells[e][0]
+				if nb == gc {
+					nb = g.EdgeCells[e][1]
+				}
+				v += cf * (x[li] - x[p.LocalIndex[nb]])
+			}
+		}
+		out[li] = v
+	}
+}
+
+// dot computes the global dot product over owned cells.
+func (dc *DistCG) dot(a, b []float64) float64 {
+	var local float64
+	for li := range dc.part.Owner {
+		local += a[li] * b[li]
+	}
+	dc.Allreduces++
+	return dc.comm.AllreduceSum(local)
+}
+
+// Solve runs the distributed PCG. rhs and eta are local vectors (owned +
+// halo layout); on return eta's owned entries hold the solution and halos
+// are up to date. All ranks must call Solve collectively.
+func (dc *DistCG) Solve(rhs, eta []float64, tol float64, maxIter int) (SolveStats, error) {
+	p := dc.part
+	nloc := len(p.Owner) + len(p.HaloCells)
+	r := make([]float64, nloc)
+	z := make([]float64, nloc)
+	pv := make([]float64, nloc)
+	ap := make([]float64, nloc)
+
+	dc.halo.Exchange(eta, 1)
+	dc.HaloXchgs++
+	dc.apply(eta, ap)
+	for li := range p.Owner {
+		r[li] = rhs[li] - ap[li]
+	}
+	rhsNorm := math.Sqrt(dc.dot(rhs, rhs))
+	if rhsNorm == 0 {
+		for li := range eta {
+			eta[li] = 0
+		}
+		return SolveStats{}, nil
+	}
+	for li := range p.Owner {
+		z[li] = r[li] / dc.diag[li]
+		pv[li] = z[li]
+	}
+	rz := dc.dot(r, z)
+	for iter := 1; iter <= maxIter; iter++ {
+		dc.halo.Exchange(pv, 1)
+		dc.HaloXchgs++
+		dc.apply(pv, ap)
+		pap := dc.dot(pv, ap)
+		alpha := rz / pap
+		for li := range p.Owner {
+			eta[li] += alpha * pv[li]
+			r[li] -= alpha * ap[li]
+		}
+		rnorm := math.Sqrt(dc.dot(r, r))
+		if rnorm < tol*rhsNorm {
+			dc.halo.Exchange(eta, 1)
+			dc.HaloXchgs++
+			return SolveStats{Iterations: iter, Residual: rnorm / rhsNorm}, nil
+		}
+		for li := range p.Owner {
+			z[li] = r[li] / dc.diag[li]
+		}
+		rzNew := dc.dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for li := range p.Owner {
+			pv[li] = z[li] + beta*pv[li]
+		}
+	}
+	return SolveStats{Iterations: maxIter, Residual: -1},
+		fmt.Errorf("ocean: distributed CG did not converge in %d iterations", maxIter)
+}

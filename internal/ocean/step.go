@@ -1,0 +1,382 @@
+package ocean
+
+import (
+	"math"
+
+	"icoearth/internal/grid"
+	"icoearth/internal/sphere"
+)
+
+// Forcing carries the surface boundary conditions handed over by the
+// coupler at each coupling step, all on compact ocean-cell indexing.
+type Forcing struct {
+	HeatFlux   []float64 // W/m², positive = ocean gains heat
+	Freshwater []float64 // kg/m²/s, positive = ocean gains water (P−E+runoff)
+	WindStress []float64 // N/m², eastward surface stress magnitude proxy
+	WindSpeed  []float64 // m/s (used by the gas-transfer law in bgc)
+}
+
+// NewForcing allocates zero forcing for n ocean cells.
+func NewForcing(n int) *Forcing {
+	return &Forcing{
+		HeatFlux:   make([]float64, n),
+		Freshwater: make([]float64, n),
+		WindStress: make([]float64, n),
+		WindSpeed:  make([]float64, n),
+	}
+}
+
+// Dynamics advances the ocean state; it owns the barotropic solver and the
+// scratch space of the baroclinic step.
+type Dynamics struct {
+	S  *State
+	Op *BarotropicOp
+
+	// Mixing parameters.
+	VertDiffT  float64 // vertical diffusivity for T/S, m²/s
+	BottomDrag float64 // quadratic bottom drag coefficient
+
+	CGTol     float64
+	CGMaxIter int
+
+	// Last solve statistics (inspected by the perf model: iterations ×
+	// global reductions per ocean step).
+	LastSolve SolveStats
+
+	// Coriolis at ocean edges; Perot weights for the barotropic mode.
+	fEdge []float64
+
+	// Scratch.
+	rhs                []float64
+	tFlux              []float64
+	sFlux              []float64
+	w                  []float64 // diagnostic vertical velocity per column interface
+	thA, thB, thC, thD []float64
+	pBar               []float64 // baroclinic pressure anomaly / ρ0, per cell×level
+}
+
+// NewDynamics builds the ocean dynamics for timestep dt (the barotropic
+// coefficients depend on dt; use one Dynamics per timestep size).
+func NewDynamics(s *State, dt float64) *Dynamics {
+	d := &Dynamics{
+		S:          s,
+		Op:         NewBarotropicOp(s, dt),
+		VertDiffT:  1e-4,
+		BottomDrag: 1e-3,
+		CGTol:      1e-8,
+		CGMaxIter:  2000,
+	}
+	n, ne, nlev := s.NOcean(), s.NEdgesOcean(), s.NLev
+	d.rhs = make([]float64, n)
+	d.tFlux = make([]float64, ne)
+	d.sFlux = make([]float64, ne)
+	d.w = make([]float64, nlev+1)
+	d.thA = make([]float64, nlev)
+	d.thB = make([]float64, nlev)
+	d.thC = make([]float64, nlev)
+	d.thD = make([]float64, nlev)
+	d.pBar = make([]float64, n*nlev)
+	d.fEdge = make([]float64, ne)
+	for ei, e := range s.Edges {
+		lat, _ := s.G.EdgeCenter[e].LatLon()
+		d.fEdge[ei] = 2 * OmegaEarth * math.Sin(lat)
+	}
+	return d
+}
+
+// Step advances the ocean by dt with surface forcing f.
+func (d *Dynamics) Step(dt float64, f *Forcing) error {
+	d.baroclinicPressure()
+	d.momentum(dt, f)
+	if err := d.barotropic(dt, f); err != nil {
+		return err
+	}
+	d.advectTS(dt)
+	d.verticalMixing(dt, f)
+	d.convectiveAdjust()
+	d.SeaIceStep(dt, f)
+	return nil
+}
+
+// baroclinicPressure integrates the hydrostatic pressure anomaly
+// p'(k)/ρ0 = g/ρ0 Σ_{m≤k} ρ'(m)·Δz downward.
+func (d *Dynamics) baroclinicPressure() {
+	s := d.S
+	nlev := s.NLev
+	for i := range s.Cells {
+		var p float64
+		for k := 0; k < nlev; k++ {
+			rhoPrime := s.Density(i, k) - RhoWater
+			p += GravO * rhoPrime / RhoWater * s.Vert.Thickness(k) * 0.5
+			d.pBar[i*nlev+k] = p
+			p += GravO * rhoPrime / RhoWater * s.Vert.Thickness(k) * 0.5
+		}
+	}
+}
+
+// momentum updates the baroclinic velocity: baroclinic pressure gradient,
+// Coriolis (via a simple tangential proxy), vertical viscosity with wind
+// stress and bottom drag.
+func (d *Dynamics) momentum(dt float64, f *Forcing) {
+	s := d.S
+	g := s.G
+	nlev := s.NLev
+	for ei, e := range s.Edges {
+		c0, c1 := s.EdgeCells[ei][0], s.EdgeCells[ei][1]
+		wet := minInt(s.wetLevels(c0), s.wetLevels(c1))
+		for k := 0; k < wet; k++ {
+			gradP := (d.pBar[c1*nlev+k] - d.pBar[c0*nlev+k]) / g.DualLength[e]
+			u := s.U[ei*nlev+k]
+			// Semi-implicit Coriolis on the normal component damps the
+			// inertial mode without a full tangential reconstruction (the
+			// barotropic gyre circulation is driven by wind-stress curl
+			// entering through the edge-local stress projection below).
+			fcor := d.fEdge[ei]
+			u = (u - dt*gradP) / (1 + dt*dt*fcor*fcor)
+			s.U[ei*nlev+k] = u
+		}
+		// Wind stress accelerates the top layer along the edge normal
+		// (projection of an eastward stress).
+		east := eastComponentOcean(g, e)
+		tau := 0.5 * (f.WindStress[c0] + f.WindStress[c1]) * east
+		dz0 := s.Vert.Thickness(0)
+		s.U[ei*nlev] += dt * tau / (RhoWater * dz0)
+		// Quadratic bottom drag on the deepest wet level.
+		kb := wet - 1
+		ub := s.U[ei*nlev+kb]
+		s.U[ei*nlev+kb] = ub / (1 + dt*d.BottomDrag*math.Abs(ub)/s.Vert.Thickness(kb))
+		// Zero below the bottom.
+		for k := wet; k < nlev; k++ {
+			s.U[ei*nlev+k] = 0
+		}
+	}
+}
+
+// barotropic performs the semi-implicit free-surface update: assembles the
+// rhs from the depth-integrated transport divergence, solves the global
+// elliptic system for η, and corrects the barotropic velocity.
+func (d *Dynamics) barotropic(dt float64, f *Forcing) error {
+	s := d.S
+	g := s.G
+	nlev := s.NLev
+	// Depth-integrated transport U_e = Σ u·Δz + H·ub at wet edges.
+	for i, c := range s.Cells {
+		d.rhs[i] = s.Eta[i] * g.CellArea[c]
+		// Freshwater volume source.
+		d.rhs[i] += dt * f.Freshwater[i] / RhoWater * g.CellArea[c]
+	}
+	for ei, e := range s.Edges {
+		c0, c1 := s.EdgeCells[ei][0], s.EdgeCells[ei][1]
+		wet := minInt(s.wetLevels(c0), s.wetLevels(c1))
+		h := 0.5 * (s.Depth[c0] + s.Depth[c1])
+		var transport float64
+		for k := 0; k < wet; k++ {
+			transport += s.U[ei*nlev+k] * s.Vert.Thickness(k)
+		}
+		transport += s.Ub[ei] * h
+		flux := dt * transport * g.EdgeLength[e]
+		d.rhs[c0] -= flux
+		d.rhs[c1] += flux
+	}
+	st, err := d.Op.Solve(d.rhs, s.Eta, d.CGTol, d.CGMaxIter)
+	d.LastSolve = st
+	if err != nil {
+		return err
+	}
+	// Barotropic velocity correction: ub += −gΔt·∂nη with drag.
+	for ei, e := range s.Edges {
+		c0, c1 := s.EdgeCells[ei][0], s.EdgeCells[ei][1]
+		gradEta := (s.Eta[c1] - s.Eta[c0]) / g.DualLength[e]
+		ub := s.Ub[ei] - dt*GravO*gradEta
+		// Linear drag keeps the barotropic mode bounded.
+		s.Ub[ei] = ub / (1 + dt*1e-6)
+	}
+	return nil
+}
+
+// advectTS transports temperature and salinity with donor-cell upwind
+// horizontal fluxes of the total (baroclinic+barotropic) velocity, storing
+// the mass fluxes for the BGC tracers, and upwind vertical advection with
+// the continuity-implied vertical velocity.
+func (d *Dynamics) advectTS(dt float64) {
+	s := d.S
+	g := s.G
+	nlev := s.NLev
+	for k := 0; k < nlev; k++ {
+		// Horizontal fluxes at this level.
+		for ei, e := range s.Edges {
+			c0, c1 := s.EdgeCells[ei][0], s.EdgeCells[ei][1]
+			if s.Vert.ZIface[k] >= math.Min(s.Depth[c0], s.Depth[c1]) {
+				d.tFlux[ei], d.sFlux[ei] = 0, 0
+				s.MassFluxEdge[ei*nlev+k] = 0
+				continue
+			}
+			u := s.U[ei*nlev+k] + s.Ub[ei]
+			vol := u * g.EdgeLength[e] * s.Vert.Thickness(k) // m³/s
+			s.MassFluxEdge[ei*nlev+k] = vol
+			var tUp, sUp float64
+			if vol >= 0 {
+				tUp, sUp = s.Temp[c0*nlev+k], s.Salt[c0*nlev+k]
+			} else {
+				tUp, sUp = s.Temp[c1*nlev+k], s.Salt[c1*nlev+k]
+			}
+			d.tFlux[ei] = vol * tUp
+			d.sFlux[ei] = vol * sUp
+		}
+		for ei := range s.Edges {
+			c0, c1 := s.EdgeCells[ei][0], s.EdgeCells[ei][1]
+			volCell0 := g.CellArea[s.Cells[c0]] * s.Vert.Thickness(k)
+			volCell1 := g.CellArea[s.Cells[c1]] * s.Vert.Thickness(k)
+			s.Temp[c0*nlev+k] -= dt * d.tFlux[ei] / volCell0
+			s.Temp[c1*nlev+k] += dt * d.tFlux[ei] / volCell1
+			s.Salt[c0*nlev+k] -= dt * d.sFlux[ei] / volCell0
+			s.Salt[c1*nlev+k] += dt * d.sFlux[ei] / volCell1
+		}
+	}
+	// Vertical: w from continuity (integrate horizontal divergence from the
+	// bottom), then upwind advection of T/S.
+	for i, c := range s.Cells {
+		wet := s.wetLevels(i)
+		area := g.CellArea[c]
+		// Volume divergence per level.
+		for k := 0; k < nlev; k++ {
+			d.w[k] = 0
+		}
+		for _, e := range g.CellEdges[c] {
+			ei := s.EdgeIndex[e]
+			if ei < 0 {
+				continue
+			}
+			sign := -1.0
+			if s.EdgeCells[ei][0] == i {
+				sign = 1.0 // flux leaves cell i when positive
+			}
+			for k := 0; k < wet; k++ {
+				d.w[k] += sign * s.MassFluxEdge[ei*nlev+k]
+			}
+		}
+		// Vertical volume flux through interfaces (positive up) from
+		// continuity, integrating from the bottom: V_k = V_{k+1} − export_k.
+		var cum float64
+		s.MassFluxVert[i*(nlev+1)+wet] = 0
+		for k := wet - 1; k >= 1; k-- {
+			cum -= d.w[k] // d.w[k] is the net volume export of level k
+			s.MassFluxVert[i*(nlev+1)+k] = cum
+		}
+		s.MassFluxVert[i*(nlev+1)] = 0
+		// Upwind vertical advection of T and S.
+		advect := func(q []float64) {
+			var fAbove float64
+			for k := 0; k < wet; k++ {
+				var fBelow float64
+				if k < wet-1 {
+					mf := s.MassFluxVert[i*(nlev+1)+k+1]
+					var qUp float64
+					if mf >= 0 {
+						qUp = q[i*nlev+k+1]
+					} else {
+						qUp = q[i*nlev+k]
+					}
+					fBelow = mf * qUp
+				}
+				vol := area * s.Vert.Thickness(k)
+				q[i*nlev+k] += dt * (fBelow - fAbove) / vol
+				fAbove = fBelow
+			}
+		}
+		advect(s.Temp)
+		advect(s.Salt)
+	}
+}
+
+// verticalMixing applies implicit vertical diffusion to T and S, with the
+// surface heat and freshwater fluxes as top boundary conditions.
+func (d *Dynamics) verticalMixing(dt float64, f *Forcing) {
+	s := d.S
+	nlev := s.NLev
+	for i := range s.Cells {
+		wet := s.wetLevels(i)
+		if wet < 2 {
+			// Single-layer column: apply forcing directly.
+			dz := s.Vert.Thickness(0)
+			s.Temp[i*nlev] += dt * f.HeatFlux[i] / (RhoWater * CpWater * dz)
+			continue
+		}
+		mix := func(q []float64, sfcSrc float64) {
+			// Assemble implicit diffusion tridiagonal.
+			for k := 0; k < wet; k++ {
+				dz := s.Vert.Thickness(k)
+				var up, dn float64
+				if k > 0 {
+					up = d.VertDiffT * dt / (dz * (s.Vert.ZFull[k] - s.Vert.ZFull[k-1]))
+				}
+				if k < wet-1 {
+					dn = d.VertDiffT * dt / (dz * (s.Vert.ZFull[k+1] - s.Vert.ZFull[k]))
+				}
+				d.thA[k] = -up
+				d.thB[k] = 1 + up + dn
+				d.thC[k] = -dn
+				d.thD[k] = q[i*nlev+k]
+			}
+			d.thD[0] += sfcSrc
+			solveTri(d.thA[:wet], d.thB[:wet], d.thC[:wet], d.thD[:wet])
+			for k := 0; k < wet; k++ {
+				q[i*nlev+k] = d.thD[k]
+			}
+		}
+		dz0 := s.Vert.Thickness(0)
+		mix(s.Temp, dt*f.HeatFlux[i]/(RhoWater*CpWater*dz0))
+		// Freshwater flux dilutes surface salinity: dS = −S·Fw/(ρ·dz).
+		sSfc := s.Salt[i*nlev]
+		mix(s.Salt, -dt*sSfc*f.Freshwater[i]/(RhoWater*dz0))
+	}
+}
+
+// convectiveAdjust removes static instability by mixing adjacent levels.
+func (d *Dynamics) convectiveAdjust() {
+	s := d.S
+	nlev := s.NLev
+	for i := range s.Cells {
+		wet := s.wetLevels(i)
+		for pass := 0; pass < 2; pass++ {
+			for k := 0; k < wet-1; k++ {
+				if s.Density(i, k) > s.Density(i, k+1)+1e-12 {
+					dz0, dz1 := s.Vert.Thickness(k), s.Vert.Thickness(k+1)
+					wsum := dz0 + dz1
+					tm := (s.Temp[i*nlev+k]*dz0 + s.Temp[i*nlev+k+1]*dz1) / wsum
+					sm := (s.Salt[i*nlev+k]*dz0 + s.Salt[i*nlev+k+1]*dz1) / wsum
+					s.Temp[i*nlev+k], s.Temp[i*nlev+k+1] = tm, tm
+					s.Salt[i*nlev+k], s.Salt[i*nlev+k+1] = sm, sm
+				}
+			}
+		}
+	}
+}
+
+// solveTri is the Thomas algorithm (in place, d overwritten).
+func solveTri(a, b, c, d []float64) {
+	n := len(d)
+	for i := 1; i < n; i++ {
+		m := a[i] / b[i-1]
+		b[i] -= m * c[i-1]
+		d[i] -= m * d[i-1]
+	}
+	d[n-1] /= b[n-1]
+	for i := n - 2; i >= 0; i-- {
+		d[i] = (d[i] - c[i]*d[i+1]) / b[i]
+	}
+}
+
+// eastComponentOcean projects local east onto the normal of edge e.
+func eastComponentOcean(g *grid.Grid, e int) float64 {
+	p := g.EdgeCenter[e]
+	east := sphere.TangentEast(p)
+	return east.Dot(g.EdgeNormal[e])
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

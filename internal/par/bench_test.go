@@ -1,0 +1,51 @@
+package par
+
+import (
+	"testing"
+
+	"icoearth/internal/grid"
+)
+
+func BenchmarkHaloExchange(b *testing.B) {
+	g := grid.New(grid.R2B(3))
+	for _, nr := range []int{2, 4, 8} {
+		d, err := grid.Decompose(g, nr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(rankName(nr), func(b *testing.B) {
+			w := NewWorld(nr)
+			w.Run(func(c *Comm) {
+				p := d.Parts[c.Rank]
+				h := NewHaloExchanger(c, p)
+				field := make([]float64, (len(p.Owner)+len(p.HaloCells))*10)
+				if c.Rank == 0 {
+					b.ResetTimer()
+				}
+				for i := 0; i < b.N; i++ {
+					h.Exchange(field, 10)
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkAllreduce(b *testing.B) {
+	for _, nr := range []int{2, 4, 8} {
+		b.Run(rankName(nr), func(b *testing.B) {
+			w := NewWorld(nr)
+			w.Run(func(c *Comm) {
+				if c.Rank == 0 {
+					b.ResetTimer()
+				}
+				for i := 0; i < b.N; i++ {
+					c.AllreduceSum(float64(c.Rank))
+				}
+			})
+		})
+	}
+}
+
+func rankName(n int) string {
+	return string(rune('0'+n/10)) + string(rune('0'+n%10)) + "ranks"
+}

@@ -1,0 +1,121 @@
+package par
+
+import (
+	"sort"
+
+	"icoearth/internal/grid"
+)
+
+// HaloExchanger performs the ghost-cell update for one rank of a grid
+// decomposition: owned boundary values are packed and sent to each
+// neighbouring rank, and incoming values are scattered into the local halo
+// region. Fields use the local layout produced by grid.Partition: owned
+// cells first (in Owner order), then halo cells (in HaloCells order), each
+// cell carrying nlev contiguous levels.
+type HaloExchanger struct {
+	comm *Comm
+	part *grid.Partition
+
+	neighbors []int         // ranks we exchange with, ascending
+	sendLocal map[int][]int // local indices (cell-granularity) to pack per rank
+	recvLocal map[int][]int // local halo indices to fill per rank
+}
+
+// NewHaloExchanger precomputes pack/unpack index lists.
+func NewHaloExchanger(c *Comm, p *grid.Partition) *HaloExchanger {
+	h := &HaloExchanger{
+		comm:      c,
+		part:      p,
+		sendLocal: make(map[int][]int),
+		recvLocal: make(map[int][]int),
+	}
+	seen := map[int]bool{}
+	for r, cells := range p.Send {
+		loc := make([]int, len(cells))
+		for i, gc := range cells {
+			loc[i] = p.LocalIndex[gc]
+		}
+		h.sendLocal[r] = loc
+		seen[r] = true
+	}
+	for r, cells := range p.Halo {
+		loc := make([]int, len(cells))
+		for i, gc := range cells {
+			loc[i] = p.LocalIndex[gc]
+		}
+		h.recvLocal[r] = loc
+		seen[r] = true
+	}
+	for r := range seen {
+		h.neighbors = append(h.neighbors, r)
+	}
+	sort.Ints(h.neighbors)
+	return h
+}
+
+// Neighbors returns the ranks this rank exchanges with.
+func (h *HaloExchanger) Neighbors() []int { return h.neighbors }
+
+// Exchange updates the halo region of field (layout: local cell index ×
+// nlev levels, level-fastest). All ranks of the decomposition must call
+// Exchange collectively.
+func (h *HaloExchanger) Exchange(field []float64, nlev int) {
+	// Post all sends first; channels are buffered so this cannot block for
+	// the single outstanding message per neighbour pair.
+	for _, r := range h.neighbors {
+		loc := h.sendLocal[r]
+		if len(loc) == 0 {
+			continue
+		}
+		buf := make([]float64, len(loc)*nlev)
+		for i, li := range loc {
+			copy(buf[i*nlev:(i+1)*nlev], field[li*nlev:(li+1)*nlev])
+		}
+		h.comm.Send(r, tagHalo, buf)
+	}
+	for _, r := range h.neighbors {
+		loc := h.recvLocal[r]
+		if len(loc) == 0 {
+			continue
+		}
+		buf := h.comm.Recv(r, tagHalo)
+		for i, li := range loc {
+			copy(field[li*nlev:(li+1)*nlev], buf[i*nlev:(i+1)*nlev])
+		}
+	}
+}
+
+// ExchangeMany updates several same-shaped fields in one message per
+// neighbour (ICON aggregates variables per halo update to amortise α).
+func (h *HaloExchanger) ExchangeMany(fields [][]float64, nlev int) {
+	nf := len(fields)
+	for _, r := range h.neighbors {
+		loc := h.sendLocal[r]
+		if len(loc) == 0 {
+			continue
+		}
+		buf := make([]float64, len(loc)*nlev*nf)
+		o := 0
+		for _, f := range fields {
+			for _, li := range loc {
+				copy(buf[o:o+nlev], f[li*nlev:(li+1)*nlev])
+				o += nlev
+			}
+		}
+		h.comm.Send(r, tagHalo, buf)
+	}
+	for _, r := range h.neighbors {
+		loc := h.recvLocal[r]
+		if len(loc) == 0 {
+			continue
+		}
+		buf := h.comm.Recv(r, tagHalo)
+		o := 0
+		for _, f := range fields {
+			for _, li := range loc {
+				copy(f[li*nlev:(li+1)*nlev], buf[o:o+nlev])
+				o += nlev
+			}
+		}
+	}
+}

@@ -1,0 +1,274 @@
+// Package par is the message-passing runtime of icoearth: the stand-in for
+// ICON's MPI layer. Ranks are goroutines; point-to-point messages travel
+// over per-pair buffered channels with tag matching; collectives (barrier,
+// allreduce, gather, broadcast) use a generation-counted shared reducer.
+//
+// Every operation also accumulates traffic statistics (message count,
+// bytes, collective count) that the performance model converts into
+// network time with the machine's α–β parameters, so the laptop run yields
+// the communication volumes that drive the paper-scale projections.
+package par
+
+import (
+	"fmt"
+	"sync"
+)
+
+// message is one point-to-point payload.
+type message struct {
+	tag  int
+	data []float64
+}
+
+// World owns the channels and collective state for a fixed number of ranks.
+type World struct {
+	N     int
+	chans [][]chan message // chans[from][to]
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	genArr  int
+	arrived int
+	redVec  []float64
+	outVec  []float64
+}
+
+// NewWorld creates a communicator world with n ranks.
+func NewWorld(n int) *World {
+	if n < 1 {
+		panic(fmt.Sprintf("par: invalid world size %d", n))
+	}
+	w := &World{N: n}
+	w.cond = sync.NewCond(&w.mu)
+	w.chans = make([][]chan message, n)
+	for i := range w.chans {
+		w.chans[i] = make([]chan message, n)
+		for j := range w.chans[i] {
+			// Capacity bounds the number of outstanding messages per
+			// ordered pair; halo exchanges post at most a handful.
+			w.chans[i][j] = make(chan message, 128)
+		}
+	}
+	return w
+}
+
+// Run spawns one goroutine per rank executing body and waits for all of
+// them. Panics in rank bodies propagate after all ranks finish or deadlock
+// is avoided by the panic being re-raised on the caller's goroutine.
+func (w *World) Run(body func(c *Comm)) {
+	var wg sync.WaitGroup
+	panics := make([]any, w.N)
+	for r := 0; r < w.N; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[rank] = p
+					// Wake any rank stuck in a collective so Run returns.
+					w.mu.Lock()
+					w.cond.Broadcast()
+					w.mu.Unlock()
+				}
+			}()
+			body(&Comm{world: w, Rank: rank, pending: make(map[int][]message)})
+		}(r)
+	}
+	wg.Wait()
+	for r, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("par: rank %d panicked: %v", r, p))
+		}
+	}
+}
+
+// Stats counts the traffic a rank generated.
+type Stats struct {
+	Msgs        int64
+	BytesSent   int64
+	Collectives int64
+}
+
+// Comm is one rank's handle into the world.
+type Comm struct {
+	world *World
+	Rank  int
+	// pending buffers messages received ahead of their Recv call, keyed by
+	// sending rank.
+	pending map[int][]message
+
+	Stats Stats
+}
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.world.N }
+
+// Send delivers data to rank `to` with the given tag. The data slice is
+// copied, so the caller may reuse it immediately.
+func (c *Comm) Send(to, tag int, data []float64) {
+	if to < 0 || to >= c.world.N {
+		panic(fmt.Sprintf("par: send to invalid rank %d", to))
+	}
+	buf := make([]float64, len(data))
+	copy(buf, data)
+	c.Stats.Msgs++
+	c.Stats.BytesSent += int64(8 * len(data))
+	c.world.chans[c.Rank][to] <- message{tag: tag, data: buf}
+}
+
+// Recv blocks until a message with the given tag arrives from rank `from`
+// and returns its payload. Messages with other tags from the same sender
+// are buffered in order.
+func (c *Comm) Recv(from, tag int) []float64 {
+	if from < 0 || from >= c.world.N {
+		panic(fmt.Sprintf("par: recv from invalid rank %d", from))
+	}
+	q := c.pending[from]
+	for i, m := range q {
+		if m.tag == tag {
+			c.pending[from] = append(q[:i:i], q[i+1:]...)
+			return m.data
+		}
+	}
+	ch := c.world.chans[from][c.Rank]
+	for {
+		m := <-ch
+		if m.tag == tag {
+			return m.data
+		}
+		c.pending[from] = append(c.pending[from], m)
+	}
+}
+
+// Barrier blocks until all ranks have entered it.
+func (c *Comm) Barrier() {
+	c.Stats.Collectives++
+	w := c.world
+	w.mu.Lock()
+	gen := w.genArr
+	w.arrived++
+	if w.arrived == w.N {
+		w.arrived = 0
+		w.genArr++
+		w.cond.Broadcast()
+	} else {
+		for w.genArr == gen {
+			w.cond.Wait()
+		}
+	}
+	w.mu.Unlock()
+}
+
+// ReduceOp selects the elementwise reduction.
+type ReduceOp int
+
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+// AllreduceVec reduces x elementwise across all ranks and returns the
+// result (same on every rank). All ranks must pass slices of equal length.
+func (c *Comm) AllreduceVec(op ReduceOp, x []float64) []float64 {
+	c.Stats.Collectives++
+	w := c.world
+	w.mu.Lock()
+	gen := w.genArr
+	if w.arrived == 0 {
+		w.redVec = append(w.redVec[:0], x...)
+	} else {
+		if len(x) != len(w.redVec) {
+			w.mu.Unlock()
+			panic(fmt.Sprintf("par: allreduce length mismatch: %d vs %d", len(x), len(w.redVec)))
+		}
+		for i, v := range x {
+			switch op {
+			case OpSum:
+				w.redVec[i] += v
+			case OpMax:
+				if v > w.redVec[i] {
+					w.redVec[i] = v
+				}
+			case OpMin:
+				if v < w.redVec[i] {
+					w.redVec[i] = v
+				}
+			}
+		}
+	}
+	w.arrived++
+	if w.arrived == w.N {
+		w.arrived = 0
+		w.genArr++
+		w.outVec = append(w.outVec[:0], w.redVec...)
+		w.cond.Broadcast()
+	} else {
+		for w.genArr == gen {
+			w.cond.Wait()
+		}
+	}
+	out := make([]float64, len(w.outVec))
+	copy(out, w.outVec)
+	w.mu.Unlock()
+	return out
+}
+
+// AllreduceSum reduces a scalar sum across ranks.
+func (c *Comm) AllreduceSum(x float64) float64 {
+	return c.AllreduceVec(OpSum, []float64{x})[0]
+}
+
+// AllreduceMax reduces a scalar max across ranks.
+func (c *Comm) AllreduceMax(x float64) float64 {
+	return c.AllreduceVec(OpMax, []float64{x})[0]
+}
+
+// Gather collects every rank's slice at root; non-root ranks receive nil.
+// Slices may have different lengths.
+func (c *Comm) Gather(root int, data []float64) [][]float64 {
+	c.Stats.Collectives++
+	if c.Rank != root {
+		c.Send(root, tagGather, data)
+		c.Barrier()
+		return nil
+	}
+	out := make([][]float64, c.world.N)
+	for r := 0; r < c.world.N; r++ {
+		if r == root {
+			buf := make([]float64, len(data))
+			copy(buf, data)
+			out[r] = buf
+			continue
+		}
+		out[r] = c.Recv(r, tagGather)
+	}
+	c.Barrier()
+	return out
+}
+
+// Bcast sends root's data to every rank and returns it.
+func (c *Comm) Bcast(root int, data []float64) []float64 {
+	c.Stats.Collectives++
+	if c.Rank == root {
+		for r := 0; r < c.world.N; r++ {
+			if r != root {
+				c.Send(r, tagBcast, data)
+			}
+		}
+		out := make([]float64, len(data))
+		copy(out, data)
+		c.Barrier()
+		return out
+	}
+	out := c.Recv(root, tagBcast)
+	c.Barrier()
+	return out
+}
+
+// Reserved internal tags; user tags should be small non-negative ints.
+const (
+	tagGather = -1000 - iota
+	tagBcast
+	tagHalo
+)

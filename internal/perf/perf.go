@@ -1,0 +1,322 @@
+// Package perf is the paper-scale performance model: it projects the
+// coupled Earth system's throughput τ (simulated days per day) for any
+// (system, configuration, superchip count) triple, using a four-term
+// per-step cost,
+//
+//	t_step = T0 + c·wc + P/c + ν·n
+//
+// where c is cells per chip and n the chip count:
+//
+//   - T0  — fixed per-step cost (kernel launches + saturation floor),
+//   - wc  — per-cell cost at full bandwidth (memory-bound roofline),
+//   - P/c — sub-occupancy penalty: per-cell cost rises when too few cells
+//     remain per GPU (the paper's flattening at ~10 800 cells/GPU),
+//   - ν·n — system-noise/global-communication degradation that grows with
+//     the rank count (Hoefler et al. 2010; the §7 large-scale roll-off).
+//
+// The four parameters are calibrated against the paper's published anchor
+// points (Calibrate solves the 4×4 linear system exactly):
+//
+//	τ = 32.7 @ 2048, 59.5 @ 4096, 145.7 @ 20480 superchips (1.25 km,
+//	JUPITER, Figure 4 left) and τ ≈ 167 @ 384 superchips (10 km with the
+//	1.25 km timestep, the weak-scaling reference).
+//
+// Alps' larger noise coefficient is calibrated from its τ = 91.8 @ 8192.
+// Everything else in the package — Figure 2, Figure 4 right, Table 1's τ*,
+// the τ-limit analysis, the energy comparison — is *predicted* by the same
+// model, not fitted.
+package perf
+
+import (
+	"fmt"
+	"math"
+
+	"icoearth/internal/config"
+	"icoearth/internal/machine"
+)
+
+// Params are the calibrated model parameters for a GH200 superchip
+// reference.
+type Params struct {
+	T0 float64 // s per step
+	Wc float64 // s per cell per step (90-level column, all components on chip)
+	P  float64 // s·cells (sub-occupancy penalty)
+
+	// Per-system noise coefficients (s per rank per step).
+	Noise map[string]float64
+
+	// OceanBytesPerCell is the effective ocean+BGC traffic per ocean cell
+	// per *ocean* step on the host CPU, tuned so the CPU side stays just
+	// below the GPU side (§5.1.1 load balancing).
+	OceanBytesPerCell float64
+	// CGIterations is the barotropic solver iteration count entering the
+	// global-communication term.
+	CGIterations int
+
+	// LandGraphShare is the land fraction of the GPU-side step time with
+	// CUDA Graphs enabled; LandNoGraphFactor is the slowdown of the land
+	// part without graphs (§5.1: 8–10×).
+	LandGraphShare    float64
+	LandNoGraphFactor float64
+}
+
+// anchor is one published (n, τ, cellsPerChip, dt) point.
+type anchor struct {
+	n     int
+	tau   float64
+	cells float64
+	dt    float64
+}
+
+// jupiterAnchors are the Figure 4 strong-scaling points (1.25 km) plus the
+// 10 km weak-scaling reference with the 1.25 km timestep.
+func jupiterAnchors() []anchor {
+	oneKm := config.OneKm()
+	tenKm := config.TenKm()
+	return []anchor{
+		{2048, 32.7, oneKm.AtmosCells(), 10},
+		{4096, 59.5, oneKm.AtmosCells(), 10},
+		{20480, 145.7, oneKm.AtmosCells(), 10},
+		{384, 167, tenKm.AtmosCells(), 10},
+	}
+}
+
+// Calibrate solves the 4-parameter model exactly against the four JUPITER
+// anchors, then fits the Alps noise coefficient from its 8192-chip point.
+func Calibrate() Params {
+	an := jupiterAnchors()
+	// Linear system rows: [1, c, 1/c, n] · [T0, wc, P, ν] = dt/τ.
+	var a [4][5]float64
+	for i, p := range an {
+		c := p.cells / float64(p.n)
+		a[i][0] = 1
+		a[i][1] = c
+		a[i][2] = 1 / c
+		a[i][3] = float64(p.n)
+		a[i][4] = p.dt / p.tau
+	}
+	x := solve4(a)
+	prm := Params{
+		T0: x[0], Wc: x[1], P: x[2],
+		Noise: map[string]float64{
+			"JUPITER": x[3],
+			"JEDI":    x[3],
+		},
+		CGIterations:      80,
+		LandGraphShare:    0.08,
+		LandNoGraphFactor: 9,
+	}
+	// Alps: τ = 91.8 at 8192 chips (1.25 km).
+	oneKm := config.OneKm()
+	cAlps := oneKm.AtmosCells() / 8192
+	tTarget := 10.0 / 91.8
+	prm.Noise["Alps"] = (tTarget - prm.T0 - cAlps*prm.Wc - prm.P/cAlps) / 8192
+	// Levante: same noise class as JUPITER for the GPU partition; the CPU
+	// partition runs fewer, fatter ranks.
+	prm.Noise["Levante-GPU"] = x[3]
+	prm.Noise["Levante-CPU"] = x[3]
+	// Ocean+BGC on the Grace CPU: tuned to 85% of the GPU-side time at the
+	// tightest anchor (2048 chips), the paper's load-balancing target.
+	grace := machine.GraceCPU()
+	tAtm := prm.stepTimeGPU(machine.JUPITER(), oneKm.AtmosCells(), 2048, true)
+	ocStepsPerAtm := oneKm.OceanDt() / oneKm.AtmosDt()
+	cellsOc := oneKm.OceanCells() / 2048
+	prm.OceanBytesPerCell = 0.85 * tAtm * ocStepsPerAtm * grace.MemBW / cellsOc
+	return prm
+}
+
+// solve4 performs Gaussian elimination with partial pivoting on a 4×5
+// augmented matrix.
+func solve4(a [4][5]float64) [4]float64 {
+	for col := 0; col < 4; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < 4; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[p][col]) {
+				p = r
+			}
+		}
+		a[col], a[p] = a[p], a[col]
+		for r := col + 1; r < 4; r++ {
+			f := a[r][col] / a[col][col]
+			for k := col; k < 5; k++ {
+				a[r][k] -= f * a[col][k]
+			}
+		}
+	}
+	var x [4]float64
+	for r := 3; r >= 0; r-- {
+		v := a[r][4]
+		for k := r + 1; k < 4; k++ {
+			v -= a[r][k] * x[k]
+		}
+		x[r] = v / a[r][r]
+	}
+	return x
+}
+
+// DefaultParams returns the calibrated parameters (computed once).
+var defaultParams *Params
+
+func DefaultParams() Params {
+	if defaultParams == nil {
+		p := Calibrate()
+		defaultParams = &p
+	}
+	return *defaultParams
+}
+
+// gpuScale returns the cost multiplier of a system's accelerator relative
+// to the GH200 reference (bandwidth-bound: inverse bandwidth ratio).
+func gpuScale(sys machine.System) float64 {
+	if sys.CPUOnly {
+		return machine.HopperGPU().MemBW / sys.Chip.CPU.MemBW
+	}
+	return machine.HopperGPU().MemBW / sys.Chip.GPU.MemBW
+}
+
+// noise returns the system's per-rank noise coefficient.
+func (p Params) noise(sys machine.System) float64 {
+	if v, ok := p.Noise[sys.Name]; ok {
+		return v
+	}
+	return p.Noise["JUPITER"]
+}
+
+// stepTimeGPU returns the GPU-side (atmosphere+land) time per atmosphere
+// step on n chips.
+func (p Params) stepTimeGPU(sys machine.System, atmosCells float64, n int, graphs bool) float64 {
+	c := atmosCells / float64(n)
+	scale := gpuScale(sys)
+	t := p.T0 + scale*(c*p.Wc+p.P/c) + p.noise(sys)*float64(n)
+	if sys.CPUOnly {
+		// CPU execution: no launch-latency floor, caches hide the
+		// sub-occupancy penalty (§4: "increased cache efficiency partially
+		// offsets the lack of computation").
+		t = 0.005 + scale*c*p.Wc + p.noise(sys)*float64(n)
+	}
+	if !graphs && !sys.CPUOnly {
+		// Without CUDA Graphs the land/vegetation part slows 8–10×.
+		t *= 1 + p.LandGraphShare*(p.LandNoGraphFactor-1)
+	}
+	return t
+}
+
+// stepTimeOcean returns the CPU-side (ocean+sea-ice+BGC) time per *ocean*
+// step on n superchips (Grace CPUs), including the barotropic solver's
+// global reductions.
+func (p Params) stepTimeOcean(sys machine.System, oceanCells float64, n int) float64 {
+	c := oceanCells / float64(n)
+	grace := sys.Chip.CPU
+	t := c * p.OceanBytesPerCell / grace.MemBW
+	// Global CG reductions: 2 allreduces per iteration, log-tree latency
+	// (the machine's noise term is already charged on the GPU side per
+	// step; here only the tree latency enters).
+	stages := int(math.Ceil(math.Log2(float64(n + 1))))
+	t += float64(p.CGIterations) * 2 * float64(stages) * sys.Net.AllreduceLatency
+	return t
+}
+
+// Result summarises one projected configuration point.
+type Result struct {
+	System     string
+	Superchips int
+	Model      string
+	// Per-atmosphere-step times (seconds).
+	GPUStep, OceanPerAtmStep float64
+	// Achieved temporal compression.
+	Tau float64
+	// CouplingWaitFrac is the fraction of GPU time lost waiting for the
+	// ocean (0 when the ocean hides completely).
+	CouplingWaitFrac float64
+	// PowerMW is the machine section's electrical power (MW).
+	PowerMW float64
+}
+
+// Project computes the coupled throughput of configuration m on n
+// superchips of sys.
+func Project(sys machine.System, m config.Model, n int) Result {
+	return ProjectOpt(sys, m, n, true)
+}
+
+// ProjectOpt allows disabling the land CUDA-Graph optimisation.
+func ProjectOpt(sys machine.System, m config.Model, n int, landGraphs bool) Result {
+	p := DefaultParams()
+	tGPU := p.stepTimeGPU(sys, m.AtmosCells(), n, landGraphs)
+	ocPerAtm := 0.0
+	if !sys.CPUOnly {
+		ocStepsPerAtm := m.AtmosDt() / m.OceanDt() // <1: ocean steps less often
+		tOc := p.stepTimeOcean(sys, m.OceanCells(), n)
+		ocPerAtm = tOc * ocStepsPerAtm
+	}
+	// The coupled step advances at the pace of the slower side.
+	tStep := math.Max(tGPU, ocPerAtm)
+	wait := 0.0
+	if ocPerAtm > tGPU {
+		wait = (ocPerAtm - tGPU) / ocPerAtm
+	}
+	tau := m.AtmosDt() / tStep
+	// Power per chip: a CPU node draws its package power; a GH200-style
+	// superchip is capped by the shared TDP (the CPU-side ocean pushes the
+	// combined draw against it); a discrete-GPU node (Levante) adds the
+	// GPU's draw to its share of the host.
+	var chipPower float64
+	switch {
+	case sys.CPUOnly:
+		chipPower = sys.Chip.CPU.PowerMax
+	case sys.Chip.TDP < sys.Chip.GPU.PowerMax+sys.Chip.CPU.PowerMax:
+		chipPower = sys.Chip.TDP
+	default:
+		chipPower = sys.Chip.GPU.PowerMax + sys.Chip.CPU.PowerMax/float64(sys.SuperchipsPerNode)
+	}
+	return Result{
+		System:           sys.Name,
+		Superchips:       n,
+		Model:            m.Name,
+		GPUStep:          tGPU,
+		OceanPerAtmStep:  ocPerAtm,
+		Tau:              tau,
+		CouplingWaitFrac: wait,
+		PowerMW:          float64(n) * chipPower / 1e6,
+	}
+}
+
+// TauStar rescales a throughput measured at grid spacing dx to the
+// expected value at 1.25 km on the same resource: τ* = (1.25/Δx)³·τ
+// (the paper's Table 1).
+func TauStar(tau, dxKm float64) float64 {
+	r := 1.25 / dxKm
+	return r * r * r * tau
+}
+
+// EnergyToSolution returns the electrical energy (J) to simulate simDays
+// of configuration m on n superchips of sys.
+func EnergyToSolution(sys machine.System, m config.Model, n int, simDays float64) float64 {
+	r := Project(sys, m, n)
+	wallSeconds := simDays * 86400 / r.Tau
+	return r.PowerMW * 1e6 * wallSeconds
+}
+
+// MatchThroughput finds the superchip count of sys needed to reach at
+// least the target τ with configuration m (or maxN if unreachable).
+func MatchThroughput(sys machine.System, m config.Model, targetTau float64, maxN int) int {
+	lo, hi := 1, maxN
+	if Project(sys, m, hi).Tau < targetTau {
+		return hi
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if Project(sys, m, mid).Tau >= targetTau {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s %s n=%d: τ=%.1f (gpu %.4fs, ocean %.4fs, wait %.0f%%, %.2f MW)",
+		r.System, r.Model, r.Superchips, r.Tau, r.GPUStep, r.OceanPerAtmStep,
+		100*r.CouplingWaitFrac, r.PowerMW)
+}

@@ -1,0 +1,366 @@
+package perf
+
+import (
+	"math"
+	"os"
+	"strings"
+	"testing"
+
+	"icoearth/internal/config"
+	"icoearth/internal/machine"
+)
+
+func relErr(got, want float64) float64 { return math.Abs(got-want) / math.Abs(want) }
+
+// TestCalibrationReproducesAnchors: the model must hit the paper's
+// published points exactly (they define the calibration).
+func TestCalibrationReproducesAnchors(t *testing.T) {
+	oneKm := config.OneKm()
+	jup := machine.JUPITER()
+	anchors := []struct {
+		n   int
+		tau float64
+	}{
+		{2048, 32.7},
+		{4096, 59.5},
+		{20480, 145.7},
+	}
+	for _, a := range anchors {
+		got := Project(jup, oneKm, a.n).Tau
+		if relErr(got, a.tau) > 0.01 {
+			t.Errorf("JUPITER 1.25km n=%d: τ=%.2f, paper %.1f", a.n, got, a.tau)
+		}
+	}
+	// Alps 8192 → 91.8.
+	if got := Project(machine.Alps(), oneKm, 8192).Tau; relErr(got, 91.8) > 0.01 {
+		t.Errorf("Alps 8192: τ=%.2f, paper 91.8", got)
+	}
+}
+
+// TestParamsPhysical: calibrated parameters are positive and of sane
+// magnitude.
+func TestParamsPhysical(t *testing.T) {
+	p := DefaultParams()
+	if p.T0 <= 0 || p.T0 > 0.2 {
+		t.Errorf("T0 = %v", p.T0)
+	}
+	if p.Wc <= 0 || p.Wc > 1e-4 {
+		t.Errorf("Wc = %v", p.Wc)
+	}
+	if p.P <= 0 {
+		t.Errorf("P = %v", p.P)
+	}
+	for sys, nu := range p.Noise {
+		if nu <= 0 || nu > 1e-4 {
+			t.Errorf("noise[%s] = %v", sys, nu)
+		}
+	}
+	// Alps is noisier than JUPITER (it scales worse at 8192).
+	if p.Noise["Alps"] <= p.Noise["JUPITER"] {
+		t.Errorf("Alps noise %v should exceed JUPITER %v", p.Noise["Alps"], p.Noise["JUPITER"])
+	}
+}
+
+// TestWeakScalingReference: the 10 km configuration with the 1.25 km
+// timestep reaches τ≈167 on 384 superchips (§7).
+func TestWeakScalingReference(t *testing.T) {
+	tenKm := config.TenKm()
+	tenKm.Components[0].Dt = 10
+	got := Project(machine.JUPITER(), tenKm, 384).Tau
+	if relErr(got, 167) > 0.02 {
+		t.Errorf("10km@10s @384: τ=%.1f, paper ≈167", got)
+	}
+}
+
+// TestFullJupiterProjection: the paper projects τ=150 for the full
+// machine (24 576 superchips) from 90% weak scaling.
+func TestFullJupiterProjection(t *testing.T) {
+	got := Project(machine.JUPITER(), config.OneKm(), 24576).Tau
+	if relErr(got, 150) > 0.05 {
+		t.Errorf("JUPITER 24576: τ=%.1f, paper projects ≈150", got)
+	}
+	eff := WeakScalingEfficiency(384)
+	if eff < 0.8 || eff > 1.0 {
+		t.Errorf("weak scaling efficiency = %.2f, paper ≈0.9", eff)
+	}
+}
+
+// TestTable1TauStar: the rescaling law and the headline comparison — this
+// work outperforms the rescaled earlier systems.
+func TestTable1TauStar(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byModel := map[string]Table1Row{}
+	for _, r := range rows {
+		byModel[r.Model] = r
+	}
+	// τ* = (1.25/Δx)³·τ: SCREAM 458 @3.25 km → 26; NICAM 365 @3.5 → 17.
+	if s := byModel["SCREAM"]; math.Abs(s.TauStar-26) > 0.5 {
+		t.Errorf("SCREAM τ* = %.1f, paper 26", s.TauStar)
+	}
+	if n := byModel["NICAM"]; math.Abs(n.TauStar-17) > 0.5 {
+		t.Errorf("NICAM τ* = %.1f, paper 17", n.TauStar)
+	}
+	// ICON at 1.25 km is unscaled.
+	if i := byModel["ICON"]; i.TauStar != i.Tau {
+		t.Errorf("ICON τ* = %v ≠ τ = %v", i.TauStar, i.Tau)
+	}
+	// This work beats every rescaled competitor (the paper's headline).
+	tw := byModel["this work"]
+	if relErr(tw.Tau, 145.7) > 0.01 {
+		t.Errorf("this work τ = %.1f", tw.Tau)
+	}
+	for _, other := range []string{"SCREAM", "ICON", "NICAM"} {
+		if tw.TauStar <= byModel[other].TauStar {
+			t.Errorf("this work τ*=%.1f does not beat %s τ*=%.1f",
+				tw.TauStar, other, byModel[other].TauStar)
+		}
+	}
+}
+
+// TestTable2DoF: degrees of freedom match the paper (1.2e10 and 7.9e11).
+func TestTable2DoF(t *testing.T) {
+	if d := config.TenKm().DegreesOfFreedom(); relErr(d, 1.2e10) > 0.1 {
+		t.Errorf("10 km DoF = %.3g, paper 1.2e10", d)
+	}
+	if d := config.OneKm().DegreesOfFreedom(); relErr(d, 7.9e11) > 0.06 {
+		t.Errorf("1.25 km DoF = %.3g, paper 7.9e11", d)
+	}
+	// Memory floor ≈ 8 TiB for ~1e12 DoF (§3).
+	mem := config.OneKm().MemoryBytes()
+	if mem < 5e12 || mem > 9e12 {
+		t.Errorf("state memory = %.3g B, paper says ≈8 TiB at 1e12 DoF", mem)
+	}
+	if Table2Text() == "" {
+		t.Error("empty table 2")
+	}
+}
+
+// TestRestartSizes: §7 file sizes (9265.50 GiB atmosphere, 7030.91 GiB
+// ocean).
+func TestRestartSizes(t *testing.T) {
+	atm, oc := config.OneKm().RestartBytes()
+	const gib = 1024 * 1024 * 1024
+	if relErr(atm/gib, 9265.50) > 0.02 {
+		t.Errorf("atmosphere restart = %.1f GiB, paper 9265.50", atm/gib)
+	}
+	if relErr(oc/gib, 7030.91) > 0.02 {
+		t.Errorf("ocean restart = %.1f GiB, paper 7030.91", oc/gib)
+	}
+}
+
+// TestFigure4LeftShape: strong scaling rises monotonically but with
+// decaying efficiency; Alps sits below JUPITER at equal chip count.
+func TestFigure4LeftShape(t *testing.T) {
+	series := Figure4Left()
+	if len(series) != 3 {
+		t.Fatalf("series = %d", len(series))
+	}
+	jup := series[0]
+	prevTau := 0.0
+	prevEff := math.Inf(1)
+	base := jup.Points[0]
+	for i, p := range jup.Points {
+		if p.Tau <= prevTau {
+			t.Errorf("JUPITER scaling not monotone at n=%d", p.N)
+		}
+		if i > 0 {
+			// Cumulative parallel efficiency relative to the first point
+			// must decay monotonically and never exceed 1.
+			eff := (p.Tau / base.Tau) / (float64(p.N) / float64(base.N))
+			if eff > prevEff+1e-9 {
+				t.Errorf("cumulative efficiency increased at n=%d: %v after %v", p.N, eff, prevEff)
+			}
+			if eff >= 1.001 {
+				t.Errorf("superlinear scaling at n=%d", p.N)
+			}
+			prevEff = eff
+		}
+		prevTau = p.Tau
+	}
+	// Alps below JUPITER at 8192.
+	var alps8192, jup8192 float64
+	for _, p := range series[1].Points {
+		if p.N == 8192 {
+			alps8192 = p.Tau
+		}
+	}
+	for _, p := range jup.Points {
+		if p.N == 8192 {
+			jup8192 = p.Tau
+		}
+	}
+	if alps8192 >= jup8192 {
+		t.Errorf("Alps (%.1f) should be below JUPITER (%.1f) at 8192", alps8192, jup8192)
+	}
+}
+
+// TestFigure4RightFlattening: the 10 km curve flattens approaching 512
+// superchips (~10⁴ cells/GPU).
+func TestFigure4RightFlattening(t *testing.T) {
+	series := Figure4Right()
+	alps := series[1]
+	n := len(alps.Points)
+	if n < 4 {
+		t.Fatal("too few points")
+	}
+	firstEff := (alps.Points[1].Tau / alps.Points[0].Tau) / 2    // 32→64 chips
+	lastEff := (alps.Points[n-1].Tau / alps.Points[n-2].Tau) / 2 // 256→512
+	if firstEff < 0.85 {
+		t.Errorf("early strong scaling efficiency = %.2f, should be near-ideal", firstEff)
+	}
+	if lastEff > 0.7*firstEff {
+		t.Errorf("no flattening: efficiency %.2f → %.2f", firstEff, lastEff)
+	}
+	// GPU decline point: τ around 700–1000 at 160 chips (paper: τ≈798
+	// where strong scaling begins to decline on 40 GH200 nodes).
+	tenKm := config.TenKm()
+	gh := machine.System{Name: "GH200", Nodes: 256, SuperchipsPerNode: 4,
+		Chip: machine.GH200(680), Net: machine.JUPITER().Net}
+	tau160 := Project(gh, tenKm, 160).Tau
+	if tau160 < 600 || tau160 > 1100 {
+		t.Errorf("GH200 10km @160 chips: τ=%.0f, paper's decline point ≈798", tau160)
+	}
+}
+
+// TestFigure2CPUvsGPU: the Levante comparison — GH200 about 2× the A100
+// throughput; the CPU partition scales further but starts lower.
+func TestFigure2CPUvsGPU(t *testing.T) {
+	series := Figure2Left()
+	if len(series) != 3 {
+		t.Fatalf("series = %d", len(series))
+	}
+	cpu, a100, gh := series[0], series[1], series[2]
+	// GH200 vs A100 at the same chip count: factor ≈2 (paper: "about a
+	// factor of 2 less throughput on the A100 nodes").
+	for i := range a100.Points {
+		r := gh.Points[i].Tau / a100.Points[i].Tau
+		if r < 1.4 || r > 2.6 {
+			t.Errorf("GH200/A100 ratio at n=%d: %.2f, paper ≈2", a100.Points[i].N, r)
+		}
+	}
+	// The CPU partition reaches higher τ at its (much larger) full size
+	// than the A100 partition at its sweep end.
+	if cpu.Points[len(cpu.Points)-1].Tau < a100.Points[len(a100.Points)-1].Tau {
+		t.Errorf("CPU partition should reach higher τ at full scale")
+	}
+}
+
+// TestFigure2EnergyRatio: ≈4.4× more power on CPUs for the same
+// time-to-solution.
+func TestFigure2EnergyRatio(t *testing.T) {
+	e := Figure2Energy(160)
+	if relErr(e.CPUTau, e.GPUTau) > 0.05 {
+		t.Errorf("throughputs not matched: cpu %.0f vs gpu %.0f", e.CPUTau, e.GPUTau)
+	}
+	if e.PowerRatio < 3.5 || e.PowerRatio > 5.5 {
+		t.Errorf("power ratio = %.2f, paper: 4.4", e.PowerRatio)
+	}
+}
+
+// TestTauLimit: the §4 practical limit — about τ≈3200 at Δx=40 km using
+// ~10 superchips (2.5 nodes).
+func TestTauLimit(t *testing.T) {
+	pts := TauLimit([]float64{10, 20, 40})
+	if len(pts) != 3 {
+		t.Fatal("points")
+	}
+	p40 := pts[2]
+	if p40.Superchips < 8 || p40.Superchips > 12 {
+		t.Errorf("40 km minimal chips = %d, paper: 2.5 nodes = 10 chips", p40.Superchips)
+	}
+	if p40.Tau < 2500 || p40.Tau > 4200 {
+		t.Errorf("40 km τ limit = %.0f, paper ≈3192", p40.Tau)
+	}
+	// τ grows as resolution coarsens, but sublinearly in the cell ratio.
+	if !(pts[0].Tau < pts[1].Tau && pts[1].Tau < pts[2].Tau) {
+		t.Errorf("τ limit not increasing: %+v", pts)
+	}
+}
+
+// TestOceanForFree: across the strong-scaling range the CPU-side ocean
+// stays hidden behind the GPU-side atmosphere (coupling wait ≈ 0 for the
+// atmosphere).
+func TestOceanForFree(t *testing.T) {
+	oneKm := config.OneKm()
+	jup := machine.JUPITER()
+	for _, n := range []int{2048, 4096, 8192, 20480} {
+		r := Project(jup, oneKm, n)
+		if r.CouplingWaitFrac > 1e-9 {
+			t.Errorf("n=%d: atmosphere waits %.1f%% for the ocean", n, 100*r.CouplingWaitFrac)
+		}
+		if r.OceanPerAtmStep <= 0 || r.OceanPerAtmStep >= r.GPUStep {
+			t.Errorf("n=%d: ocean %.4fs vs gpu %.4fs — not load balanced", n, r.OceanPerAtmStep, r.GPUStep)
+		}
+	}
+}
+
+// TestLandGraphAblation: disabling CUDA Graphs slows the GPU side
+// measurably (land share × (factor−1)).
+func TestLandGraphAblation(t *testing.T) {
+	oneKm := config.OneKm()
+	jup := machine.JUPITER()
+	with := ProjectOpt(jup, oneKm, 20480, true)
+	without := ProjectOpt(jup, oneKm, 20480, false)
+	slowdown := with.Tau / without.Tau
+	if slowdown < 1.3 || slowdown > 2.5 {
+		t.Errorf("no-graphs slowdown = %.2f, expect ≈1.6 for 8%% land share ×9", slowdown)
+	}
+}
+
+// TestMatchThroughput: binary search returns a count achieving the target.
+func TestMatchThroughput(t *testing.T) {
+	tenKm := config.TenKm()
+	sys := machine.LevanteCPU()
+	n := MatchThroughput(sys, tenKm, 500, sys.Superchips())
+	if Project(sys, tenKm, n).Tau < 500 {
+		t.Errorf("matched n=%d gives τ=%v < 500", n, Project(sys, tenKm, n).Tau)
+	}
+	if n > 1 && Project(sys, tenKm, n-1).Tau >= 500 {
+		t.Errorf("n=%d not minimal", n)
+	}
+}
+
+// TestEnergyToSolution: energy scales inversely with τ at fixed power.
+func TestEnergyToSolution(t *testing.T) {
+	oneKm := config.OneKm()
+	jup := machine.JUPITER()
+	e1 := EnergyToSolution(jup, oneKm, 2048, 1)
+	e2 := EnergyToSolution(jup, oneKm, 20480, 1)
+	if e1 <= 0 || e2 <= 0 {
+		t.Fatal("nonpositive energy")
+	}
+	// Ten times the chips for ~4.5× the speed: energy per simulated day
+	// rises at scale (the price of time compression).
+	if e2 <= e1 {
+		t.Errorf("energy at 20480 (%.3g) should exceed 2048 (%.3g)", e2, e1)
+	}
+}
+
+func TestFormatAndStrings(t *testing.T) {
+	if FormatSeries(Figure4Right()) == "" {
+		t.Error("empty series text")
+	}
+	r := Project(machine.JUPITER(), config.OneKm(), 2048)
+	if r.String() == "" {
+		t.Error("empty result string")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/fig4.csv"
+	if err := WriteCSV(path, Figure4Right()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "series,superchips,tau") ||
+		!strings.Contains(string(data), "Alps 10 km") {
+		t.Errorf("csv content:\n%s", data)
+	}
+}

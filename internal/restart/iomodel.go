@@ -1,0 +1,59 @@
+package restart
+
+import "math"
+
+// FSModel is the parallel-filesystem performance model used to project the
+// §7 I/O rates at paper scale: every participating rank contributes its
+// per-rank streaming bandwidth until the filesystem's aggregate capability
+// saturates. Writes contend harder than reads (write-back, RAID parity),
+// and staggered reading avoids metadata/OST contention so it keeps the
+// per-rank efficiency high.
+type FSModel struct {
+	// PerRankBW is one process's streaming bandwidth to storage (B/s).
+	PerRankBW float64
+	// WriteCap and ReadCap are the filesystem's aggregate limits (B/s).
+	WriteCap float64
+	// ReadCap applies to staggered reading.
+	ReadCap float64
+	// UnstaggeredPenalty divides the read rate when all ranks read
+	// simultaneously instead of staggering (contention on the same files).
+	UnstaggeredPenalty float64
+}
+
+const GiB = 1024.0 * 1024 * 1024
+
+// JupiterFS returns the filesystem model calibrated to the paper's §7
+// measurements on 8000 superchips with up to 2579 I/O processes: ocean
+// restart written at 198.19 GiB/s and staggered-read at 615.61 GiB/s.
+func JupiterFS() FSModel {
+	return FSModel{
+		PerRankBW:          1.2 * GiB,
+		WriteCap:           198.19 * GiB,
+		ReadCap:            615.61 * GiB,
+		UnstaggeredPenalty: 3.5,
+	}
+}
+
+// WriteRate returns the aggregate write bandwidth with n writer ranks.
+func (m FSModel) WriteRate(n int) float64 {
+	return math.Min(float64(n)*m.PerRankBW, m.WriteCap)
+}
+
+// ReadRate returns the aggregate read bandwidth with n reader ranks.
+func (m FSModel) ReadRate(n int, staggered bool) float64 {
+	r := math.Min(float64(n)*m.PerRankBW, m.ReadCap)
+	if !staggered {
+		r /= m.UnstaggeredPenalty
+	}
+	return r
+}
+
+// WriteTime returns the seconds to write `bytes` with n ranks.
+func (m FSModel) WriteTime(bytes float64, n int) float64 {
+	return bytes / m.WriteRate(n)
+}
+
+// ReadTime returns the seconds to read `bytes` with n ranks.
+func (m FSModel) ReadTime(bytes float64, n int, staggered bool) float64 {
+	return bytes / m.ReadRate(n, staggered)
+}

@@ -1,0 +1,220 @@
+// Package restart implements ICON's checkpoint/restart and output I/O
+// schemes (§6.4): synchronous multi-file checkpointing where a
+// configurable subset of ranks collects variables and writes one file
+// each, staggered reading with redistribution, and asynchronous output
+// servers that receive fields via one-sided-style mailboxes and write
+// concurrently with model integration.
+//
+// Real files are written at laptop scale (with bit-identical round-trip
+// guarantees); the parallel-filesystem performance model in iomodel.go
+// projects the §7 rates (615.61 GiB/s staggered read, 198.19 GiB/s write
+// for the 1.25 km ocean restart).
+package restart
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Snapshot is a named collection of model fields — the full state of one
+// component to be checkpointed.
+type Snapshot struct {
+	Fields map[string][]float64
+}
+
+// NewSnapshot creates an empty snapshot.
+func NewSnapshot() *Snapshot {
+	return &Snapshot{Fields: map[string][]float64{}}
+}
+
+// Add registers a field (the slice is referenced, not copied).
+func (s *Snapshot) Add(name string, data []float64) { s.Fields[name] = data }
+
+// TotalBytes returns the payload size.
+func (s *Snapshot) TotalBytes() int64 {
+	var n int64
+	for _, f := range s.Fields {
+		n += int64(8 * len(f))
+	}
+	return n
+}
+
+// names returns the field names in deterministic order.
+func (s *Snapshot) names() []string {
+	out := make([]string, 0, len(s.Fields))
+	for n := range s.Fields {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Checksum returns a deterministic checksum over all fields.
+func (s *Snapshot) Checksum() uint64 {
+	h := crc64.New(crcTable)
+	var buf [8]byte
+	for _, name := range s.names() {
+		io.WriteString(h, name)
+		for _, v := range s.Fields[name] {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
+}
+
+const magic = uint64(0x49434F4E52535431) // "ICONRST1"
+
+// WriteMultiFile writes the snapshot as nfiles files in dir, mirroring
+// ICON's synchronous multi-file scheme: the fields are distributed
+// round-robin over the writer "ranks", each producing one self-describing
+// file. Returns the total bytes written.
+func WriteMultiFile(s *Snapshot, dir string, nfiles int) (int64, error) {
+	if nfiles < 1 {
+		return 0, fmt.Errorf("restart: nfiles = %d", nfiles)
+	}
+	names := s.names()
+	if nfiles > len(names) {
+		nfiles = len(names)
+	}
+	var total int64
+	for w := 0; w < nfiles; w++ {
+		path := filepath.Join(dir, fmt.Sprintf("restart_%04d.bin", w))
+		f, err := os.Create(path)
+		if err != nil {
+			return total, err
+		}
+		n, err := writeFile(f, s, names, w, nfiles)
+		f.Close()
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func writeFile(f *os.File, s *Snapshot, names []string, w, nfiles int) (int64, error) {
+	var mine []string
+	for i := w; i < len(names); i += nfiles {
+		mine = append(mine, names[i])
+	}
+	var count int64
+	put64 := func(v uint64) error {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		n, err := f.Write(buf[:])
+		count += int64(n)
+		return err
+	}
+	if err := put64(magic); err != nil {
+		return count, err
+	}
+	if err := put64(uint64(len(mine))); err != nil {
+		return count, err
+	}
+	for _, name := range mine {
+		data := s.Fields[name]
+		if err := put64(uint64(len(name))); err != nil {
+			return count, err
+		}
+		n, err := f.Write([]byte(name))
+		count += int64(n)
+		if err != nil {
+			return count, err
+		}
+		if err := put64(uint64(len(data))); err != nil {
+			return count, err
+		}
+		buf := make([]byte, 8*len(data))
+		for i, v := range data {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+		}
+		n, err = f.Write(buf)
+		count += int64(n)
+		if err != nil {
+			return count, err
+		}
+	}
+	return count, nil
+}
+
+// ReadMultiFile reads every restart file in dir (staggered over the given
+// number of reader "ranks" — the stagger only affects the performance
+// model; correctness-wise all files are read) and reassembles the
+// snapshot.
+func ReadMultiFile(dir string) (*Snapshot, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "restart_*.bin"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("restart: no restart files in %s", dir)
+	}
+	sort.Strings(paths)
+	s := NewSnapshot()
+	for _, p := range paths {
+		if err := readFile(p, s); err != nil {
+			return nil, fmt.Errorf("restart: %s: %w", p, err)
+		}
+	}
+	return s, nil
+}
+
+func readFile(path string, s *Snapshot) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	get64 := func() (uint64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(f, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:]), nil
+	}
+	m, err := get64()
+	if err != nil {
+		return err
+	}
+	if m != magic {
+		return fmt.Errorf("bad magic %x", m)
+	}
+	nf, err := get64()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nf; i++ {
+		nameLen, err := get64()
+		if err != nil {
+			return err
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(f, nameBuf); err != nil {
+			return err
+		}
+		dataLen, err := get64()
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, 8*dataLen)
+		if _, err := io.ReadFull(f, buf); err != nil {
+			return err
+		}
+		data := make([]float64, dataLen)
+		for j := range data {
+			data[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:]))
+		}
+		s.Fields[string(nameBuf)] = data
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package restart
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"icoearth/internal/config"
+)
+
+func sampleSnapshot(n int) *Snapshot {
+	s := NewSnapshot()
+	mk := func(seed int) []float64 {
+		f := make([]float64, n)
+		for i := range f {
+			f[i] = math.Sin(float64(i*seed)) * 1e3
+		}
+		return f
+	}
+	s.Add("rho", mk(3))
+	s.Add("theta", mk(5))
+	s.Add("vn", mk(7))
+	s.Add("w", mk(11))
+	s.Add("qv", mk(13))
+	s.Add("temp", mk(17))
+	s.Add("salt", mk(19))
+	return s
+}
+
+func TestRoundTripBitIdentical(t *testing.T) {
+	for _, nfiles := range []int{1, 2, 3, 7, 99} {
+		dir := t.TempDir()
+		s := sampleSnapshot(1000)
+		sum0 := s.Checksum()
+		written, err := WriteMultiFile(s, dir, nfiles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if written < s.TotalBytes() {
+			t.Errorf("nfiles=%d: wrote %d < payload %d", nfiles, written, s.TotalBytes())
+		}
+		got, err := ReadMultiFile(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Checksum() != sum0 {
+			t.Fatalf("nfiles=%d: checksum mismatch", nfiles)
+		}
+		for name, want := range s.Fields {
+			gf := got.Fields[name]
+			if len(gf) != len(want) {
+				t.Fatalf("field %s length", name)
+			}
+			for i := range want {
+				if gf[i] != want[i] {
+					t.Fatalf("field %s differs at %d", name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSpecialValuesSurvive(t *testing.T) {
+	dir := t.TempDir()
+	s := NewSnapshot()
+	s.Add("weird", []float64{0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1), math.NaN(), 1e-308, 1e308})
+	if _, err := WriteMultiFile(s, dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMultiFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := got.Fields["weird"]
+	if !math.IsNaN(w[4]) || !math.IsInf(w[2], 1) || !math.IsInf(w[3], -1) {
+		t.Errorf("special values corrupted: %v", w)
+	}
+	if math.Signbit(w[0]) || !math.Signbit(w[1]) {
+		t.Errorf("zero signs corrupted")
+	}
+}
+
+func TestReadMissingDir(t *testing.T) {
+	if _, err := ReadMultiFile(t.TempDir()); err == nil {
+		t.Error("want error for empty dir")
+	}
+}
+
+func TestCorruptFileRejected(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(dir+"/restart_0000.bin", []byte("garbage..."), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMultiFile(dir); err == nil {
+		t.Error("corrupt file accepted")
+	}
+}
+
+func TestChecksumSensitive(t *testing.T) {
+	s := sampleSnapshot(100)
+	sum := s.Checksum()
+	s.Fields["rho"][50] += 1e-12
+	if s.Checksum() == sum {
+		t.Error("checksum insensitive to data change")
+	}
+}
+
+// TestPaperIORates: the §7 measurements — ocean restart (7030.91 GiB)
+// written at 198.19 GiB/s and staggered-read at 615.61 GiB/s with ≤2579
+// I/O processes.
+func TestPaperIORates(t *testing.T) {
+	fs := JupiterFS()
+	_, ocBytes := config.OneKm().RestartBytes()
+	const n = 2579
+	wr := fs.WriteRate(n) / GiB
+	rr := fs.ReadRate(n, true) / GiB
+	if math.Abs(wr-198.19) > 1 {
+		t.Errorf("write rate = %.2f GiB/s, paper 198.19", wr)
+	}
+	if math.Abs(rr-615.61) > 1 {
+		t.Errorf("staggered read = %.2f GiB/s, paper 615.61", rr)
+	}
+	// Times for the actual restart sizes are minutes, not hours.
+	wt := fs.WriteTime(ocBytes, n)
+	rt := fs.ReadTime(ocBytes, n, true)
+	if wt < 20 || wt > 60 {
+		t.Errorf("ocean restart write time = %.0f s, expect ≈35 s", wt)
+	}
+	if rt >= wt {
+		t.Errorf("staggered read (%.0fs) should beat write (%.0fs)", rt, wt)
+	}
+}
+
+func TestFSModelScaling(t *testing.T) {
+	fs := JupiterFS()
+	// Few ranks: bandwidth-limited by the ranks themselves.
+	if got, want := fs.WriteRate(10), 10*fs.PerRankBW; got != want {
+		t.Errorf("10-rank write = %v want %v", got, want)
+	}
+	// Many ranks: capped.
+	if got := fs.WriteRate(100000); got != fs.WriteCap {
+		t.Errorf("capped write = %v", got)
+	}
+	// Unstaggered reading pays the contention penalty.
+	if fs.ReadRate(2579, false) >= fs.ReadRate(2579, true) {
+		t.Error("no stagger benefit")
+	}
+}
+
+func TestAsyncOutputWritesEverything(t *testing.T) {
+	dir := t.TempDir()
+	a := NewAsyncOutput(dir, 3, 16)
+	data := make([]float64, 500)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	const jobs = 25
+	for s := 0; s < jobs; s++ {
+		a.Put("phyto", s, data)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := os.ReadDir(dir)
+	if len(files) != jobs {
+		t.Errorf("files = %d, want %d", len(files), jobs)
+	}
+	if a.BytesWritten() <= int64(jobs*500*8) {
+		t.Errorf("bytes written = %d", a.BytesWritten())
+	}
+	// Close is idempotent.
+	if err := a.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAsyncOutputDoesNotBlockModel(t *testing.T) {
+	dir := t.TempDir()
+	a := NewAsyncOutput(dir, 2, 64)
+	defer a.Close()
+	data := make([]float64, 100)
+	// With a deep queue, TryPut must accept a burst without blocking.
+	accepted := 0
+	for s := 0; s < 32; s++ {
+		if a.TryPut("field", s, data) {
+			accepted++
+		}
+	}
+	if accepted < 32 {
+		t.Errorf("accepted %d/32 with empty queue", accepted)
+	}
+}
+
+func TestAsyncOutputCopiesData(t *testing.T) {
+	dir := t.TempDir()
+	a := NewAsyncOutput(dir, 1, 4)
+	data := []float64{1, 2, 3}
+	a.Put("f", 0, data)
+	data[0] = -99 // must not corrupt the queued copy
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMultiFile(dir) // out files share the format? No: read directly
+	if err == nil {
+		_ = got
+	}
+	// Read the single output file back via its own path pattern.
+	files, _ := os.ReadDir(dir)
+	if len(files) != 1 {
+		t.Fatalf("files = %d", len(files))
+	}
+	s := NewSnapshot()
+	if err := readFile(dir+"/"+files[0].Name(), s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Fields["f"][0] != 1 {
+		t.Errorf("queued data was not copied: %v", s.Fields["f"])
+	}
+}

@@ -1,0 +1,105 @@
+package restart
+
+import (
+	"fmt"
+	"math"
+)
+
+// OutputStream implements the reduction side of ICON's asynchronous output
+// (§6.4: "additional operations (averaging, accumulating, interpolation to
+// different output grid …) can be applied"): the model pushes a field
+// every step; the stream applies the configured reduction and emits the
+// reduced field to the async output servers at the requested interval.
+type OutputStream struct {
+	Name     string
+	Op       ReduceOp
+	Interval int // steps between emissions
+
+	sink  *AsyncOutput
+	accum []float64
+	count int
+	step  int
+	emits int
+}
+
+// ReduceOp selects the temporal reduction of an output stream.
+type ReduceOp int
+
+const (
+	// OpInstant emits the latest field unchanged.
+	OpInstant ReduceOp = iota
+	// OpMean emits the time mean over the interval.
+	OpMean
+	// OpAccumulate emits the running sum over the interval (precipitation-
+	// style accumulation).
+	OpAccumulate
+	// OpMax emits the interval maximum (gust-style diagnostics).
+	OpMax
+)
+
+// NewOutputStream attaches a reduced stream to an async output sink.
+func NewOutputStream(name string, op ReduceOp, interval int, sink *AsyncOutput) *OutputStream {
+	if interval < 1 {
+		interval = 1
+	}
+	return &OutputStream{Name: name, Op: op, Interval: interval, sink: sink}
+}
+
+// Push hands the stream one model step's field; when the interval
+// completes, the reduction is sent to the output servers.
+func (o *OutputStream) Push(field []float64) {
+	if o.accum == nil {
+		o.accum = make([]float64, len(field))
+		o.reset()
+	}
+	if len(field) != len(o.accum) {
+		panic(fmt.Sprintf("restart: stream %s: field length changed %d → %d",
+			o.Name, len(o.accum), len(field)))
+	}
+	switch o.Op {
+	case OpInstant:
+		copy(o.accum, field)
+	case OpMean, OpAccumulate:
+		for i, v := range field {
+			o.accum[i] += v
+		}
+	case OpMax:
+		for i, v := range field {
+			if v > o.accum[i] {
+				o.accum[i] = v
+			}
+		}
+	}
+	o.count++
+	o.step++
+	if o.count >= o.Interval {
+		out := make([]float64, len(o.accum))
+		copy(out, o.accum)
+		if o.Op == OpMean {
+			inv := 1 / float64(o.count)
+			for i := range out {
+				out[i] *= inv
+			}
+		}
+		o.sink.Put(o.Name, o.step, out)
+		o.emits++
+		o.reset()
+	}
+}
+
+// Emissions returns the number of reduced fields sent so far.
+func (o *OutputStream) Emissions() int { return o.emits }
+
+func (o *OutputStream) reset() {
+	o.count = 0
+	switch o.Op {
+	case OpMax:
+		for i := range o.accum {
+			o.accum[i] = math.Inf(-1)
+		}
+	default:
+		for i := range o.accum {
+			o.accum[i] = 0
+		}
+	}
+}

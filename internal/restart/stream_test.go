@@ -1,0 +1,135 @@
+package restart
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"icoearth/internal/par"
+)
+
+func TestOutputStreamMean(t *testing.T) {
+	dir := t.TempDir()
+	a := NewAsyncOutput(dir, 1, 8)
+	st := NewOutputStream("tmean", OpMean, 4, a)
+	field := make([]float64, 10)
+	for step := 1; step <= 8; step++ {
+		for i := range field {
+			field[i] = float64(step)
+		}
+		st.Push(field)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Emissions() != 2 {
+		t.Fatalf("emissions = %d", st.Emissions())
+	}
+	// First emission: mean of steps 1..4 = 2.5; second: mean 5..8 = 6.5.
+	files, _ := os.ReadDir(dir)
+	if len(files) != 2 {
+		t.Fatalf("files = %d", len(files))
+	}
+	got := map[float64]bool{}
+	for _, f := range files {
+		s := NewSnapshot()
+		if err := readFile(dir+"/"+f.Name(), s); err != nil {
+			t.Fatal(err)
+		}
+		got[s.Fields["tmean"][0]] = true
+	}
+	if !got[2.5] || !got[6.5] {
+		t.Errorf("means = %v, want 2.5 and 6.5", got)
+	}
+}
+
+func TestOutputStreamAccumulate(t *testing.T) {
+	dir := t.TempDir()
+	a := NewAsyncOutput(dir, 1, 8)
+	st := NewOutputStream("precip", OpAccumulate, 3, a)
+	field := []float64{1, 2}
+	for step := 0; step < 3; step++ {
+		st.Push(field)
+	}
+	a.Close()
+	files, _ := os.ReadDir(dir)
+	if len(files) != 1 {
+		t.Fatalf("files = %d", len(files))
+	}
+	s := NewSnapshot()
+	if err := readFile(dir+"/"+files[0].Name(), s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Fields["precip"][0] != 3 || s.Fields["precip"][1] != 6 {
+		t.Errorf("accumulated = %v", s.Fields["precip"])
+	}
+}
+
+func TestOutputStreamMax(t *testing.T) {
+	dir := t.TempDir()
+	a := NewAsyncOutput(dir, 1, 8)
+	st := NewOutputStream("gust", OpMax, 2, a)
+	st.Push([]float64{1, -5})
+	st.Push([]float64{-2, 7})
+	a.Close()
+	files, _ := os.ReadDir(dir)
+	s := NewSnapshot()
+	if err := readFile(dir+"/"+files[0].Name(), s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Fields["gust"][0] != 1 || s.Fields["gust"][1] != 7 {
+		t.Errorf("max = %v", s.Fields["gust"])
+	}
+}
+
+func TestOutputStreamInstant(t *testing.T) {
+	dir := t.TempDir()
+	a := NewAsyncOutput(dir, 1, 8)
+	st := NewOutputStream("snap", OpInstant, 2, a)
+	st.Push([]float64{1})
+	st.Push([]float64{42})
+	a.Close()
+	files, _ := os.ReadDir(dir)
+	s := NewSnapshot()
+	if err := readFile(dir+"/"+files[0].Name(), s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Fields["snap"][0] != 42 {
+		t.Errorf("instant = %v, want the latest value", s.Fields["snap"])
+	}
+}
+
+func TestScatterReadAllRanksGetEverything(t *testing.T) {
+	dir := t.TempDir()
+	snap := sampleSnapshot(400)
+	want := snap.Checksum()
+	if _, err := WriteMultiFile(snap, dir, 5); err != nil {
+		t.Fatal(err)
+	}
+	for _, nReaders := range []int{1, 2, 3} {
+		const nranks = 4
+		w := par.NewWorld(nranks)
+		w.Run(func(c *par.Comm) {
+			got, err := ScatterRead(c, dir, nReaders)
+			if err != nil {
+				t.Errorf("rank %d: %v", c.Rank, err)
+				return
+			}
+			if got.Checksum() != want {
+				t.Errorf("rank %d (readers=%d): checksum mismatch", c.Rank, nReaders)
+			}
+		})
+	}
+}
+
+func TestScatterReadMissingDir(t *testing.T) {
+	w := par.NewWorld(2)
+	dir := t.TempDir()
+	w.Run(func(c *par.Comm) {
+		_, err := ScatterRead(c, dir, 2)
+		if err == nil {
+			t.Errorf("rank %d: want error for empty dir", c.Rank)
+		}
+		_ = math.Pi
+	})
+}

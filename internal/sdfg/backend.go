@@ -1,0 +1,409 @@
+package sdfg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bindings connects the abstract array names of a kernel to concrete
+// storage. Field arrays are float64 slices with either one subscript
+// (horizontal only) or two (horizontal × vertical, level-fastest layout as
+// everywhere in icoearth). Index tables are int slices with one subscript,
+// used inside other arrays' subscripts (the icosahedral neighbour tables).
+type Bindings struct {
+	NOuter int // horizontal extent
+	NInner int // vertical extent (1 for 2-D kernels)
+
+	Fields map[string][]float64 // flattened [h*NInner + k] or [h]
+	Dims   map[string]int       // 1 or 2 subscripts
+	Tables map[string][]int     // index tables (1 subscript)
+
+	// LookupCount counts executed integer index-table lookups; both
+	// backends increment it so the 8× reduction of §5.2 is measurable.
+	LookupCount int64
+}
+
+// NewBindings creates an empty binding set for the given extents.
+func NewBindings(nOuter, nInner int) *Bindings {
+	return &Bindings{
+		NOuter: nOuter,
+		NInner: nInner,
+		Fields: map[string][]float64{},
+		Dims:   map[string]int{},
+		Tables: map[string][]int{},
+	}
+}
+
+// BindField registers a field array with the given number of subscripts.
+func (b *Bindings) BindField(name string, data []float64, dims int) {
+	b.Fields[name] = data
+	b.Dims[name] = dims
+}
+
+// BindTable registers an index table (values are 0-based indices).
+func (b *Bindings) BindTable(name string, data []int) {
+	b.Tables[name] = data
+	b.Dims[name] = 1
+}
+
+func (b *Bindings) has(name string) bool {
+	if _, ok := b.Fields[name]; ok {
+		return true
+	}
+	_, ok := b.Tables[name]
+	return ok
+}
+
+// IsTable reports whether name is bound as an index table.
+func (b *Bindings) IsTable(name string) bool {
+	_, ok := b.Tables[name]
+	return ok
+}
+
+// --- Interpreter backend (the "directive" baseline) -------------------------
+
+// Interpret executes the kernel by walking the expression trees once per
+// element per statement: one full sweep over the iteration space per
+// statement, no fusion, no lookup hoisting — the behavioural stand-in for
+// the unfused directive-annotated loops.
+func Interpret(g *SDFG, b *Bindings) error {
+	if err := g.Validate(b); err != nil {
+		return err
+	}
+	k := g.K
+	inner := b.NInner
+	if k.InnerVar == "" {
+		inner = 1
+	}
+	for _, st := range k.Stmts {
+		for jc := 0; jc < b.NOuter; jc++ {
+			for jk := k.InnerLo; jk < inner; jk++ {
+				v, err := evalExpr(st.RHS, jc, jk, k, b)
+				if err != nil {
+					return err
+				}
+				if err := storeLHS(st.LHS, jc, jk, k, b, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func evalExpr(e Expr, jc, jk int, k *Kernel, b *Bindings) (float64, error) {
+	switch v := e.(type) {
+	case NumLit:
+		return v.Val, nil
+	case VarRef:
+		switch v.Name {
+		case k.OuterVar:
+			return float64(jc), nil
+		case k.InnerVar:
+			return float64(jk), nil
+		}
+		return 0, fmt.Errorf("sdfg: unknown variable %q", v.Name)
+	case Neg:
+		x, err := evalExpr(v.X, jc, jk, k, b)
+		return -x, err
+	case BinOp:
+		l, err := evalExpr(v.L, jc, jk, k, b)
+		if err != nil {
+			return 0, err
+		}
+		r, err := evalExpr(v.R, jc, jk, k, b)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case '+':
+			return l + r, nil
+		case '-':
+			return l - r, nil
+		case '*':
+			return l * r, nil
+		case '/':
+			return l / r, nil
+		case '^':
+			if r == 2 {
+				return l * l, nil
+			}
+			return math.Pow(l, r), nil
+		}
+		return 0, fmt.Errorf("sdfg: unknown op %q", string(v.Op))
+	case ArrayRef:
+		idx, err := flatIndex(v, jc, jk, k, b)
+		if err != nil {
+			return 0, err
+		}
+		if tab, ok := b.Tables[v.Name]; ok {
+			b.LookupCount++
+			return float64(tab[idx]), nil
+		}
+		return b.Fields[v.Name][idx], nil
+	}
+	return 0, fmt.Errorf("sdfg: unknown expression %T", e)
+}
+
+// flatIndex resolves the subscripts of an array reference to a flat index.
+func flatIndex(a ArrayRef, jc, jk int, k *Kernel, b *Bindings) (int, error) {
+	subs := make([]int, len(a.Subs))
+	for i, s := range a.Subs {
+		v, err := evalExpr(s, jc, jk, k, b)
+		if err != nil {
+			return 0, err
+		}
+		subs[i] = int(v)
+	}
+	dims, ok := b.Dims[a.Name]
+	if !ok {
+		return 0, fmt.Errorf("sdfg: unbound array %q", a.Name)
+	}
+	if dims != len(subs) {
+		return 0, fmt.Errorf("sdfg: array %q expects %d subscripts, got %d", a.Name, dims, len(subs))
+	}
+	if dims == 1 {
+		return subs[0], nil
+	}
+	return subs[0]*b.NInner + subs[1], nil
+}
+
+func storeLHS(a ArrayRef, jc, jk int, k *Kernel, b *Bindings, v float64) error {
+	idx, err := flatIndex(a, jc, jk, k, b)
+	if err != nil {
+		return err
+	}
+	f, ok := b.Fields[a.Name]
+	if !ok {
+		return fmt.Errorf("sdfg: cannot assign to index table %q", a.Name)
+	}
+	f[idx] = v
+	return nil
+}
+
+// --- Compiled backend (the "DaCe" fast version) ------------------------------
+
+// Compiled is an executable, optimised form of a kernel: statements fused
+// into groups, expressions specialised to closures over the bound slices,
+// and index-table lookups hoisted out of the vertical loop (computed once
+// per horizontal point and reused — the §5.2 index-reuse optimisation).
+type Compiled struct {
+	g    *SDFG
+	b    *Bindings
+	prog []fusedGroup
+	// hoist computes each distinct index lookup once per horizontal point.
+	hoist []func(jc int) int
+
+	// HoistedLookups is the number of distinct lookups executed per
+	// horizontal point (after CSE); NaiveLookups is what the interpreter
+	// executes for the same kernel per horizontal point.
+	HoistedLookups int
+	NaiveLookups   int
+}
+
+type fusedGroup struct {
+	stmts []compiledStmt
+}
+
+type compiledStmt struct {
+	eval  func(jc, jk int, hoisted []int) float64
+	store func(jc, jk int, hoisted []int, v float64)
+}
+
+// Compile builds the optimised executable. The returned Compiled is
+// reusable; Run may be called many times.
+func Compile(g *SDFG, b *Bindings) (*Compiled, error) {
+	if err := g.Validate(b); err != nil {
+		return nil, err
+	}
+	c := &Compiled{g: g, b: b}
+
+	// Hoisting plan: every distinct index-table lookup expression gets a
+	// slot, computed once per jc.
+	distinct, occ := g.IndexLookups(b.IsTable)
+	slot := map[string]int{}
+	for i, d := range distinct {
+		slot[d] = i
+	}
+	c.HoistedLookups = len(distinct)
+	inner := b.NInner
+	if g.K.InnerVar == "" {
+		inner = 1
+	}
+	c.NaiveLookups = occ * inner
+
+	for _, group := range g.FusableGroups() {
+		fg := fusedGroup{}
+		for _, si := range group {
+			st := g.K.Stmts[si]
+			ev, err := compileExpr(st.RHS, g.K, b, slot)
+			if err != nil {
+				return nil, err
+			}
+			storeIdx, err := compileIndex(st.LHS, g.K, b, slot)
+			if err != nil {
+				return nil, err
+			}
+			field := b.Fields[st.LHS.Name]
+			if field == nil {
+				return nil, fmt.Errorf("sdfg: cannot assign to %q", st.LHS.Name)
+			}
+			fg.stmts = append(fg.stmts, compiledStmt{
+				eval: ev,
+				store: func(jc, jk int, hoisted []int, v float64) {
+					field[storeIdx(jc, jk, hoisted)] = v
+				},
+			})
+		}
+		c.prog = append(c.prog, fg)
+	}
+
+	// The hoist prologue.
+	c.hoist = make([]func(jc int) int, len(distinct))
+	for i, d := range distinct {
+		// Parse the printed lookup back (cheap and robust since lookups
+		// are simple table(expr) forms).
+		e, err := parseExpr(d)
+		if err != nil {
+			return nil, fmt.Errorf("sdfg: internal: reparse %q: %w", d, err)
+		}
+		ar := e.(ArrayRef)
+		tab := b.Tables[ar.Name]
+		// Subscripts of hoisted lookups are compiled without hoist slots
+		// (they may only reference loop variables and other tables).
+		sub, err := compileExpr(ar.Subs[0], g.K, b, map[string]int{})
+		if err != nil {
+			return nil, err
+		}
+		c.hoist[i] = func(jc int) int {
+			return tab[int(sub(jc, 0, nil))]
+		}
+	}
+	return c, nil
+}
+
+// Run executes the compiled kernel over the full iteration space.
+func (c *Compiled) Run() {
+	b := c.b
+	inner := b.NInner
+	if c.g.K.InnerVar == "" {
+		inner = 1
+	}
+	hoisted := make([]int, len(c.hoist))
+	lo := c.g.K.InnerLo
+	for jc := 0; jc < b.NOuter; jc++ {
+		for i, h := range c.hoist {
+			hoisted[i] = h(jc)
+			b.LookupCount++
+		}
+		for _, fg := range c.prog {
+			for jk := lo; jk < inner; jk++ {
+				for _, st := range fg.stmts {
+					st.store(jc, jk, hoisted, st.eval(jc, jk, hoisted))
+				}
+			}
+		}
+	}
+}
+
+// compileExpr produces a closure evaluating e. Index-table lookups with a
+// hoist slot read the precomputed value instead of chasing the table.
+func compileExpr(e Expr, k *Kernel, b *Bindings, slot map[string]int) (func(jc, jk int, hoisted []int) float64, error) {
+	switch v := e.(type) {
+	case NumLit:
+		val := v.Val
+		return func(int, int, []int) float64 { return val }, nil
+	case VarRef:
+		switch v.Name {
+		case k.OuterVar:
+			return func(jc, _ int, _ []int) float64 { return float64(jc) }, nil
+		case k.InnerVar:
+			return func(_, jk int, _ []int) float64 { return float64(jk) }, nil
+		}
+		return nil, fmt.Errorf("sdfg: unknown variable %q", v.Name)
+	case Neg:
+		x, err := compileExpr(v.X, k, b, slot)
+		if err != nil {
+			return nil, err
+		}
+		return func(jc, jk int, h []int) float64 { return -x(jc, jk, h) }, nil
+	case BinOp:
+		l, err := compileExpr(v.L, k, b, slot)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileExpr(v.R, k, b, slot)
+		if err != nil {
+			return nil, err
+		}
+		switch v.Op {
+		case '+':
+			return func(jc, jk int, h []int) float64 { return l(jc, jk, h) + r(jc, jk, h) }, nil
+		case '-':
+			return func(jc, jk int, h []int) float64 { return l(jc, jk, h) - r(jc, jk, h) }, nil
+		case '*':
+			return func(jc, jk int, h []int) float64 { return l(jc, jk, h) * r(jc, jk, h) }, nil
+		case '/':
+			return func(jc, jk int, h []int) float64 { return l(jc, jk, h) / r(jc, jk, h) }, nil
+		case '^':
+			if n, ok := v.R.(NumLit); ok && n.Val == 2 {
+				return func(jc, jk int, h []int) float64 {
+					x := l(jc, jk, h)
+					return x * x
+				}, nil
+			}
+			return func(jc, jk int, h []int) float64 {
+				return math.Pow(l(jc, jk, h), r(jc, jk, h))
+			}, nil
+		}
+		return nil, fmt.Errorf("sdfg: unknown op %q", string(v.Op))
+	case ArrayRef:
+		if b.IsTable(v.Name) {
+			if si, ok := slot[v.String()]; ok {
+				return func(_, _ int, h []int) float64 { return float64(h[si]) }, nil
+			}
+			tab := b.Tables[v.Name]
+			sub, err := compileExpr(v.Subs[0], k, b, slot)
+			if err != nil {
+				return nil, err
+			}
+			return func(jc, jk int, h []int) float64 {
+				b.LookupCount++
+				return float64(tab[int(sub(jc, jk, h))])
+			}, nil
+		}
+		idx, err := compileIndex(v, k, b, slot)
+		if err != nil {
+			return nil, err
+		}
+		field := b.Fields[v.Name]
+		return func(jc, jk int, h []int) float64 { return field[idx(jc, jk, h)] }, nil
+	}
+	return nil, fmt.Errorf("sdfg: unknown expression %T", e)
+}
+
+// compileIndex produces the flat-index closure of an array reference.
+func compileIndex(a ArrayRef, k *Kernel, b *Bindings, slot map[string]int) (func(jc, jk int, hoisted []int) int, error) {
+	dims, ok := b.Dims[a.Name]
+	if !ok {
+		return nil, fmt.Errorf("sdfg: unbound array %q", a.Name)
+	}
+	if dims != len(a.Subs) {
+		return nil, fmt.Errorf("sdfg: array %q expects %d subscripts, got %d", a.Name, dims, len(a.Subs))
+	}
+	s0, err := compileExpr(a.Subs[0], k, b, slot)
+	if err != nil {
+		return nil, err
+	}
+	if dims == 1 {
+		return func(jc, jk int, h []int) int { return int(s0(jc, jk, h)) }, nil
+	}
+	s1, err := compileExpr(a.Subs[1], k, b, slot)
+	if err != nil {
+		return nil, err
+	}
+	nInner := b.NInner
+	return func(jc, jk int, h []int) int {
+		return int(s0(jc, jk, h))*nInner + int(s1(jc, jk, h))
+	}, nil
+}

@@ -1,0 +1,120 @@
+package sdfg
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"icoearth/internal/grid"
+)
+
+func TestCodegenEkinh(t *testing.T) {
+	g := grid.New(grid.R2B(1))
+	kine := make([]float64, g.NEdges*4)
+	sd, b, _, err := BindEkinh(g, 4, kine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := CodegenGo(sd, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structural assertions: hoisted lookups visible, fused group marked,
+	// the nested loop present.
+	for _, want := range []string{
+		"func kernel_z_ekinh(",
+		"hoist0 :=",
+		"hoist1 :=",
+		"hoist2 :=",
+		"// fused group 0",
+		"for jc := 0; jc < nOuter; jc++",
+		"for jk := 0; jk < nInner; jk++",
+		"a_ekinh[jc*nInner + jk] =",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated code missing %q:\n%s", want, src)
+		}
+	}
+	// Lookups inside the inner loop would defeat the hoist: the table
+	// locals must not be indexed inside the jk loop body.
+	inner := src[strings.Index(src, "for jk"):]
+	if strings.Contains(inner, "a_iel1[") {
+		t.Error("index table accessed inside the inner loop (hoist failed)")
+	}
+}
+
+// TestCodegenParsesAsGo: the emitted text must be syntactically valid Go
+// (wrapped in a file with the helpers the generator assumes).
+func TestCodegenParsesAsGo(t *testing.T) {
+	g := grid.New(grid.R2B(1))
+	kine := make([]float64, g.NEdges*4)
+	for _, bindCase := range []string{"ekinh", "div", "grad", "theta"} {
+		var (
+			sd  *SDFG
+			b   *Bindings
+			err error
+		)
+		switch bindCase {
+		case "ekinh":
+			sd, b, _, err = BindEkinh(g, 4, kine)
+		case "div":
+			sd, b, _, err = BindDivergence(g, 4, kine)
+		case "grad":
+			psi := make([]float64, g.NCells*4)
+			sd, b, _, err = BindGradient(g, 4, psi)
+		case "theta":
+			k, perr := Parse(ThetaFluxSource)
+			if perr != nil {
+				t.Fatal(perr)
+			}
+			sd = Build(k)
+			b = NewBindings(g.NEdges, 4)
+			for _, f := range []string{"rhoe", "flx", "dbg", "vn"} {
+				b.BindField(f, make([]float64, g.NEdges*4), 2)
+			}
+			b.BindField("rho", make([]float64, g.NCells*4), 2)
+			c1 := make([]int, g.NEdges)
+			c2 := make([]int, g.NEdges)
+			for e := 0; e < g.NEdges; e++ {
+				c1[e], c2[e] = g.EdgeCells[e][0], g.EdgeCells[e][1]
+			}
+			b.BindTable("icell1", c1)
+			b.BindTable("icell2", c2)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := CodegenGo(sd, b)
+		if err != nil {
+			t.Fatalf("%s: %v", bindCase, err)
+		}
+		file := "package gen\nimport \"math\"\nvar _ = math.Pow\nfunc sq(x float64) float64 { return x * x }\n" + src
+		fset := token.NewFileSet()
+		if _, err := parser.ParseFile(fset, "gen.go", file, 0); err != nil {
+			t.Errorf("%s: generated code does not parse: %v\n%s", bindCase, err, src)
+		}
+	}
+}
+
+func TestCodegenDeterministic(t *testing.T) {
+	g := grid.New(grid.R2B(1))
+	kine := make([]float64, g.NEdges*2)
+	sd, b, _, err := BindEkinh(g, 2, kine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := CodegenGo(sd, b)
+	bb, _ := CodegenGo(sd, b)
+	if a != bb {
+		t.Error("codegen not deterministic")
+	}
+}
+
+func TestCodegenUnboundFails(t *testing.T) {
+	k, _ := Parse(EkinhSource)
+	sd := Build(k)
+	if _, err := CodegenGo(sd, NewBindings(4, 2)); err == nil {
+		t.Error("want error for unbound arrays")
+	}
+}

@@ -1,0 +1,400 @@
+package sdfg
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a sequential Fortran-style kernel of the form
+//
+//	KERNEL z_ekinh
+//	DO jc = 1, ncells
+//	  DO jk = 1, nlev
+//	    ekinh(jc,jk) = w1(jc)*vn(e1(jc),jk)**2 + w2(jc)*vn(e2(jc),jk)**2
+//	  END DO
+//	END DO
+//	END KERNEL
+//
+// Comments start with '!'. The parser accepts exactly the pragma-free
+// "cleanest form" of §5.2; use StripDirectives first for sources that
+// still carry OpenACC/OpenMP/vendor annotations.
+func Parse(src string) (*Kernel, error) {
+	lines := make([]string, 0, 32)
+	for _, ln := range strings.Split(src, "\n") {
+		if i := strings.IndexByte(ln, '!'); i >= 0 {
+			ln = ln[:i]
+		}
+		ln = strings.TrimSpace(ln)
+		if ln != "" {
+			lines = append(lines, ln)
+		}
+	}
+	p := &lineParser{lines: lines}
+	return p.kernel()
+}
+
+type lineParser struct {
+	lines []string
+	pos   int
+}
+
+func (p *lineParser) next() (string, error) {
+	if p.pos >= len(p.lines) {
+		return "", fmt.Errorf("sdfg: unexpected end of source at line %d", p.pos)
+	}
+	ln := p.lines[p.pos]
+	p.pos++
+	return ln, nil
+}
+
+func (p *lineParser) kernel() (*Kernel, error) {
+	ln, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(ln)
+	if len(fields) != 2 || !strings.EqualFold(fields[0], "KERNEL") {
+		return nil, fmt.Errorf("sdfg: expected 'KERNEL name', got %q", ln)
+	}
+	k := &Kernel{Name: fields[1]}
+
+	outer, err := p.doHeader()
+	if err != nil {
+		return nil, err
+	}
+	k.OuterVar = outer
+
+	// Optional inner loop.
+	ln, err = p.next()
+	if err != nil {
+		return nil, err
+	}
+	if v, lo, ok := parseDoHeaderLo(ln); ok {
+		k.InnerVar = v
+		k.InnerLo = lo
+	} else {
+		p.pos--
+	}
+
+	// Statements until END DO.
+	for {
+		ln, err = p.next()
+		if err != nil {
+			return nil, err
+		}
+		if isEnd(ln, "DO") {
+			break
+		}
+		st, err := parseAssign(ln)
+		if err != nil {
+			return nil, err
+		}
+		k.Stmts = append(k.Stmts, st)
+	}
+	if k.InnerVar != "" {
+		ln, err = p.next()
+		if err != nil {
+			return nil, err
+		}
+		if !isEnd(ln, "DO") {
+			return nil, fmt.Errorf("sdfg: expected END DO for outer loop, got %q", ln)
+		}
+	}
+	ln, err = p.next()
+	if err != nil {
+		return nil, err
+	}
+	if !isEnd(ln, "KERNEL") {
+		return nil, fmt.Errorf("sdfg: expected END KERNEL, got %q", ln)
+	}
+	if len(k.Stmts) == 0 {
+		return nil, fmt.Errorf("sdfg: kernel %s has no statements", k.Name)
+	}
+	return k, nil
+}
+
+func (p *lineParser) doHeader() (string, error) {
+	ln, err := p.next()
+	if err != nil {
+		return "", err
+	}
+	v, ok := parseDoHeader(ln)
+	if !ok {
+		return "", fmt.Errorf("sdfg: expected DO loop, got %q", ln)
+	}
+	return v, nil
+}
+
+// parseDoHeader matches "DO var = lo, hi".
+func parseDoHeader(ln string) (string, bool) {
+	v, _, ok := parseDoHeaderLo(ln)
+	return v, ok
+}
+
+// parseDoHeaderLo also extracts the numeric lower bound (1-based Fortran;
+// returned 0-based). Non-numeric lower bounds parse as 0.
+func parseDoHeaderLo(ln string) (string, int, bool) {
+	fields := strings.Fields(ln)
+	if len(fields) < 3 || !strings.EqualFold(fields[0], "DO") {
+		return "", 0, false
+	}
+	if !strings.Contains(ln, "=") {
+		return "", 0, false
+	}
+	lo := 0
+	if eq := strings.Index(ln, "="); eq >= 0 {
+		rest := strings.TrimSpace(ln[eq+1:])
+		if c := strings.Index(rest, ","); c > 0 {
+			if n, err := strconv.Atoi(strings.TrimSpace(rest[:c])); err == nil && n >= 1 {
+				lo = n - 1
+			}
+		}
+	}
+	return fields[1], lo, true
+}
+
+func isEnd(ln, what string) bool {
+	fields := strings.Fields(ln)
+	return len(fields) == 2 && strings.EqualFold(fields[0], "END") &&
+		strings.EqualFold(fields[1], what)
+}
+
+func parseAssign(ln string) (Assign, error) {
+	eq := strings.Index(ln, "=")
+	if eq < 0 {
+		return Assign{}, fmt.Errorf("sdfg: statement without '=': %q", ln)
+	}
+	lhsE, err := parseExpr(ln[:eq])
+	if err != nil {
+		return Assign{}, fmt.Errorf("sdfg: bad LHS %q: %w", ln[:eq], err)
+	}
+	lhs, ok := lhsE.(ArrayRef)
+	if !ok {
+		return Assign{}, fmt.Errorf("sdfg: LHS must be an array reference: %q", ln[:eq])
+	}
+	rhs, err := parseExpr(ln[eq+1:])
+	if err != nil {
+		return Assign{}, fmt.Errorf("sdfg: bad RHS %q: %w", ln[eq+1:], err)
+	}
+	return Assign{LHS: lhs, RHS: rhs}, nil
+}
+
+// --- Expression parsing (recursive descent, ** right-associative) ---------
+
+type tokenizer struct {
+	src []rune
+	pos int
+}
+
+func (t *tokenizer) skipSpace() {
+	for t.pos < len(t.src) && unicode.IsSpace(t.src[t.pos]) {
+		t.pos++
+	}
+}
+
+func (t *tokenizer) peek() rune {
+	t.skipSpace()
+	if t.pos >= len(t.src) {
+		return 0
+	}
+	return t.src[t.pos]
+}
+
+func (t *tokenizer) ident() string {
+	t.skipSpace()
+	start := t.pos
+	for t.pos < len(t.src) && (unicode.IsLetter(t.src[t.pos]) || unicode.IsDigit(t.src[t.pos]) || t.src[t.pos] == '_' || t.src[t.pos] == '%') {
+		t.pos++
+	}
+	return string(t.src[start:t.pos])
+}
+
+func (t *tokenizer) number() (float64, error) {
+	t.skipSpace()
+	start := t.pos
+	for t.pos < len(t.src) {
+		c := t.src[t.pos]
+		if unicode.IsDigit(c) || c == '.' {
+			t.pos++
+			continue
+		}
+		// Exponent part.
+		if (c == 'e' || c == 'E' || c == 'd' || c == 'D') && t.pos+1 < len(t.src) {
+			n := t.src[t.pos+1]
+			if unicode.IsDigit(n) || n == '+' || n == '-' {
+				t.pos += 2
+				for t.pos < len(t.src) && unicode.IsDigit(t.src[t.pos]) {
+					t.pos++
+				}
+				continue
+			}
+		}
+		break
+	}
+	s := strings.Map(func(r rune) rune {
+		if r == 'd' || r == 'D' {
+			return 'e'
+		}
+		return r
+	}, string(t.src[start:t.pos]))
+	return strconv.ParseFloat(s, 64)
+}
+
+func parseExpr(s string) (Expr, error) {
+	t := &tokenizer{src: []rune(s)}
+	e, err := t.addSub()
+	if err != nil {
+		return nil, err
+	}
+	t.skipSpace()
+	if t.pos != len(t.src) {
+		return nil, fmt.Errorf("trailing input at %d: %q", t.pos, string(t.src[t.pos:]))
+	}
+	return e, nil
+}
+
+func (t *tokenizer) addSub() (Expr, error) {
+	l, err := t.mulDiv()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch t.peek() {
+		case '+':
+			t.pos++
+			r, err := t.mulDiv()
+			if err != nil {
+				return nil, err
+			}
+			l = BinOp{'+', l, r}
+		case '-':
+			t.pos++
+			r, err := t.mulDiv()
+			if err != nil {
+				return nil, err
+			}
+			l = BinOp{'-', l, r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (t *tokenizer) mulDiv() (Expr, error) {
+	l, err := t.power()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch t.peek() {
+		case '*':
+			// Distinguish ** from *.
+			if t.pos+1 < len(t.src) && t.src[t.pos+1] == '*' {
+				return l, nil // handled by power level below via caller? No:
+			}
+			t.pos++
+			r, err := t.power()
+			if err != nil {
+				return nil, err
+			}
+			l = BinOp{'*', l, r}
+		case '/':
+			t.pos++
+			r, err := t.power()
+			if err != nil {
+				return nil, err
+			}
+			l = BinOp{'/', l, r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+// power handles unary and exponentiation — Fortran's ** or the printed
+// form ^ — right associative, binding tighter than * and /.
+func (t *tokenizer) power() (Expr, error) {
+	base, err := t.unary()
+	if err != nil {
+		return nil, err
+	}
+	t.skipSpace()
+	isPow := false
+	if t.pos+1 < len(t.src) && t.src[t.pos] == '*' && t.src[t.pos+1] == '*' {
+		t.pos += 2
+		isPow = true
+	} else if t.pos < len(t.src) && t.src[t.pos] == '^' {
+		t.pos++
+		isPow = true
+	}
+	if isPow {
+		exp, err := t.power()
+		if err != nil {
+			return nil, err
+		}
+		return BinOp{'^', base, exp}, nil
+	}
+	return base, nil
+}
+
+func (t *tokenizer) unary() (Expr, error) {
+	switch t.peek() {
+	case '-':
+		t.pos++
+		x, err := t.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Neg{x}, nil
+	case '+':
+		t.pos++
+		return t.unary()
+	case '(':
+		t.pos++
+		e, err := t.addSub()
+		if err != nil {
+			return nil, err
+		}
+		if t.peek() != ')' {
+			return nil, fmt.Errorf("missing ')'")
+		}
+		t.pos++
+		return e, nil
+	}
+	c := t.peek()
+	if unicode.IsDigit(c) || c == '.' {
+		v, err := t.number()
+		if err != nil {
+			return nil, err
+		}
+		return NumLit{v}, nil
+	}
+	if unicode.IsLetter(c) || c == '_' {
+		name := t.ident()
+		if t.peek() == '(' {
+			t.pos++
+			var subs []Expr
+			for {
+				sub, err := t.addSub()
+				if err != nil {
+					return nil, err
+				}
+				subs = append(subs, sub)
+				if t.peek() == ',' {
+					t.pos++
+					continue
+				}
+				break
+			}
+			if t.peek() != ')' {
+				return nil, fmt.Errorf("missing ')' after subscripts of %s", name)
+			}
+			t.pos++
+			return ArrayRef{Name: name, Subs: subs}, nil
+		}
+		return VarRef{name}, nil
+	}
+	return nil, fmt.Errorf("unexpected character %q", string(c))
+}

@@ -1,0 +1,143 @@
+// Package sphere provides spherical geometry primitives used by the
+// icosahedral grid generator and the component models: unit vectors on the
+// sphere, great-circle arcs, spherical triangle areas, and local tangent
+// frames.
+//
+// All positions are represented as unit vectors in Cartesian coordinates
+// (Vec3) rather than latitude/longitude pairs; this avoids pole singularities
+// and keeps the geometry code branch-free. Conversions to and from
+// geographic coordinates are provided for I/O and diagnostics.
+package sphere
+
+import "math"
+
+// EarthRadius is the mean Earth radius in metres, as used by ICON.
+const EarthRadius = 6.371229e6
+
+// Vec3 is a vector in 3-D Cartesian space. Grid positions are unit vectors;
+// intermediate results (sums, cross products) generally are not.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns s*v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{s * v.X, s * v.Y, s * v.Z} }
+
+// Dot returns the scalar product v·w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the vector product v×w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Normalize returns v scaled to unit length. The zero vector is returned
+// unchanged.
+func (v Vec3) Normalize() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Midpoint returns the spherical midpoint of two unit vectors, i.e. the
+// normalized chord midpoint. For antipodal points the result is undefined
+// but finite.
+func Midpoint(a, b Vec3) Vec3 {
+	return a.Add(b).Normalize()
+}
+
+// Centroid returns the normalized centroid of three unit vectors; this is
+// the circumcentre-free barycentre used for triangle cell centres.
+func Centroid(a, b, c Vec3) Vec3 {
+	return a.Add(b).Add(c).Normalize()
+}
+
+// Circumcenter returns the circumcentre of the spherical triangle (a,b,c):
+// the unit vector equidistant from all three vertices. The orientation is
+// chosen so the centre lies on the same side as the triangle barycentre.
+// Circumcentres of the primal triangles are the vertices of the dual
+// (hexagon/pentagon) grid.
+func Circumcenter(a, b, c Vec3) Vec3 {
+	n := b.Sub(a).Cross(c.Sub(a)).Normalize()
+	if n.Dot(Centroid(a, b, c)) < 0 {
+		n = n.Scale(-1)
+	}
+	return n
+}
+
+// ArcLength returns the great-circle distance between unit vectors a and b
+// in radians. It uses atan2 of the cross/dot products, which is accurate for
+// both small and near-antipodal separations.
+func ArcLength(a, b Vec3) float64 {
+	return math.Atan2(a.Cross(b).Norm(), a.Dot(b))
+}
+
+// TriangleArea returns the area of the spherical triangle with unit-vector
+// vertices a, b, c on the unit sphere (steradians), using L'Huilier's
+// theorem. The result is always non-negative.
+func TriangleArea(a, b, c Vec3) float64 {
+	la := ArcLength(b, c)
+	lb := ArcLength(c, a)
+	lc := ArcLength(a, b)
+	s := (la + lb + lc) / 2
+	t := math.Tan(s/2) * math.Tan((s-la)/2) * math.Tan((s-lb)/2) * math.Tan((s-lc)/2)
+	if t <= 0 {
+		return 0
+	}
+	return 4 * math.Atan(math.Sqrt(t))
+}
+
+// LatLon converts a unit vector to (latitude, longitude) in radians.
+// Latitude is in [-π/2, π/2], longitude in (-π, π].
+func (v Vec3) LatLon() (lat, lon float64) {
+	lat = math.Asin(math.Max(-1, math.Min(1, v.Z)))
+	lon = math.Atan2(v.Y, v.X)
+	return lat, lon
+}
+
+// FromLatLon builds a unit vector from latitude and longitude in radians.
+func FromLatLon(lat, lon float64) Vec3 {
+	c := math.Cos(lat)
+	return Vec3{c * math.Cos(lon), c * math.Sin(lon), math.Sin(lat)}
+}
+
+// TangentEast returns the unit vector pointing locally east at p.
+// At the poles the direction is arbitrary but well-defined.
+func TangentEast(p Vec3) Vec3 {
+	e := Vec3{-p.Y, p.X, 0}
+	if e.Norm() < 1e-12 {
+		return Vec3{1, 0, 0}
+	}
+	return e.Normalize()
+}
+
+// TangentNorth returns the unit vector pointing locally north at p.
+func TangentNorth(p Vec3) Vec3 {
+	return p.Cross(TangentEast(p)).Normalize()
+}
+
+// Slerp performs spherical linear interpolation between unit vectors a and b
+// with parameter t in [0,1].
+func Slerp(a, b Vec3, t float64) Vec3 {
+	omega := ArcLength(a, b)
+	if omega < 1e-12 {
+		return a
+	}
+	so := math.Sin(omega)
+	return a.Scale(math.Sin((1-t)*omega) / so).Add(b.Scale(math.Sin(t*omega) / so)).Normalize()
+}

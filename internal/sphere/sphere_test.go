@@ -1,0 +1,157 @@
+package sphere
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVecOps(t *testing.T) {
+	a := Vec3{1, 2, 3}
+	b := Vec3{-2, 0.5, 4}
+	if got := a.Add(b); got != (Vec3{-1, 2.5, 7}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Vec3{3, 1.5, -1}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Dot(b); got != -2+1+12 {
+		t.Errorf("Dot = %v", got)
+	}
+	c := a.Cross(b)
+	if !almostEq(c.Dot(a), 0, 1e-12) || !almostEq(c.Dot(b), 0, 1e-12) {
+		t.Errorf("Cross not orthogonal: %v", c)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := Vec3{3, 4, 0}.Normalize()
+	if !almostEq(v.Norm(), 1, 1e-15) {
+		t.Errorf("Norm after Normalize = %v", v.Norm())
+	}
+	z := Vec3{}
+	if z.Normalize() != z {
+		t.Errorf("zero vector should normalize to itself")
+	}
+}
+
+func TestLatLonRoundTrip(t *testing.T) {
+	f := func(lat, lon float64) bool {
+		lat = math.Mod(lat, math.Pi/2*0.999)
+		lon = math.Mod(lon, math.Pi*0.999)
+		p := FromLatLon(lat, lon)
+		la, lo := p.LatLon()
+		return almostEq(la, lat, 1e-12) && almostEq(lo, lon, 1e-12) && almostEq(p.Norm(), 1, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArcLength(t *testing.T) {
+	a := Vec3{1, 0, 0}
+	b := Vec3{0, 1, 0}
+	if !almostEq(ArcLength(a, b), math.Pi/2, 1e-14) {
+		t.Errorf("quarter arc = %v", ArcLength(a, b))
+	}
+	if !almostEq(ArcLength(a, a), 0, 1e-14) {
+		t.Errorf("zero arc = %v", ArcLength(a, a))
+	}
+	c := Vec3{-1, 0, 0}
+	if !almostEq(ArcLength(a, c), math.Pi, 1e-14) {
+		t.Errorf("antipodal arc = %v", ArcLength(a, c))
+	}
+}
+
+func TestArcLengthSymmetric(t *testing.T) {
+	f := func(a1, a2, b1, b2 float64) bool {
+		p := FromLatLon(math.Mod(a1, 1.5), math.Mod(a2, 3))
+		q := FromLatLon(math.Mod(b1, 1.5), math.Mod(b2, 3))
+		return almostEq(ArcLength(p, q), ArcLength(q, p), 1e-13)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleAreaOctant(t *testing.T) {
+	// One octant of the sphere has area 4π/8 = π/2.
+	a := Vec3{1, 0, 0}
+	b := Vec3{0, 1, 0}
+	c := Vec3{0, 0, 1}
+	if got := TriangleArea(a, b, c); !almostEq(got, math.Pi/2, 1e-12) {
+		t.Errorf("octant area = %v want %v", got, math.Pi/2)
+	}
+}
+
+func TestTriangleAreaDegenerate(t *testing.T) {
+	a := Vec3{1, 0, 0}
+	if got := TriangleArea(a, a, a); got != 0 {
+		t.Errorf("degenerate area = %v", got)
+	}
+}
+
+func TestCircumcenterEquidistant(t *testing.T) {
+	a := FromLatLon(0.3, 0.1)
+	b := FromLatLon(0.5, 0.4)
+	c := FromLatLon(0.2, 0.5)
+	cc := Circumcenter(a, b, c)
+	da := ArcLength(cc, a)
+	db := ArcLength(cc, b)
+	dc := ArcLength(cc, c)
+	if !almostEq(da, db, 1e-12) || !almostEq(db, dc, 1e-12) {
+		t.Errorf("circumcenter not equidistant: %v %v %v", da, db, dc)
+	}
+	if cc.Dot(Centroid(a, b, c)) < 0 {
+		t.Errorf("circumcenter on wrong side")
+	}
+}
+
+func TestMidpointSlerpAgree(t *testing.T) {
+	a := FromLatLon(0.3, 0.1)
+	b := FromLatLon(-0.2, 1.4)
+	m := Midpoint(a, b)
+	s := Slerp(a, b, 0.5)
+	if !almostEq(ArcLength(m, s), 0, 1e-12) {
+		t.Errorf("midpoint != slerp(0.5): %v vs %v", m, s)
+	}
+}
+
+func TestTangentFrame(t *testing.T) {
+	p := FromLatLon(0.7, -1.2)
+	e := TangentEast(p)
+	n := TangentNorth(p)
+	if !almostEq(e.Dot(p), 0, 1e-12) || !almostEq(n.Dot(p), 0, 1e-12) {
+		t.Errorf("tangents not tangent")
+	}
+	if !almostEq(e.Dot(n), 0, 1e-12) {
+		t.Errorf("east/north not orthogonal")
+	}
+	// North should increase latitude.
+	q := p.Add(n.Scale(1e-6)).Normalize()
+	latp, _ := p.LatLon()
+	latq, _ := q.LatLon()
+	if latq <= latp {
+		t.Errorf("north tangent decreases latitude")
+	}
+	// East should increase longitude.
+	r := p.Add(e.Scale(1e-6)).Normalize()
+	_, lonp := p.LatLon()
+	_, lonr := r.LatLon()
+	if lonr <= lonp {
+		t.Errorf("east tangent decreases longitude")
+	}
+}
+
+func TestSlerpEndpoints(t *testing.T) {
+	a := FromLatLon(0.3, 0.1)
+	b := FromLatLon(-0.9, 2.0)
+	if d := ArcLength(Slerp(a, b, 0), a); !almostEq(d, 0, 1e-12) {
+		t.Errorf("slerp(0) != a")
+	}
+	if d := ArcLength(Slerp(a, b, 1), b); !almostEq(d, 0, 1e-12) {
+		t.Errorf("slerp(1) != b")
+	}
+}

@@ -1,0 +1,179 @@
+// Package vertical generates the vertical coordinates of the component
+// models: the atmosphere's terrain-following hybrid sigma-height grid
+// (a SLEVE-like generalisation, Leuenberger et al. 2010), the ocean's
+// stretched depth levels, and the land model's soil layers.
+//
+// Conventions: atmosphere levels are ordered top-down (k=0 is the model
+// top, k=nlev-1 the lowest layer), matching ICON; interfaces ("half
+// levels") number 0..nlev with interface k above full level k. Ocean levels
+// are ordered surface-down. Heights are metres above the reference sphere;
+// ocean depths are positive downwards.
+package vertical
+
+import (
+	"fmt"
+	"math"
+)
+
+// Atmosphere holds the flat (terrain-free) atmospheric level heights.
+type Atmosphere struct {
+	NLev   int
+	Top    float64   // model top height (m)
+	ZIface []float64 // nlev+1 interface heights, ZIface[0] = Top, descending
+	ZFull  []float64 // nlev full-level heights (midpoints)
+	// DecayScale controls how quickly terrain influence decays with
+	// height (SLEVE-like single-scale decay).
+	DecayScale float64
+}
+
+// NewAtmosphere builds a stretched height grid with nlev levels up to top
+// metres: layer thickness grows geometrically from dzBottom at the surface.
+func NewAtmosphere(nlev int, top, dzBottom float64) *Atmosphere {
+	if nlev < 2 || top <= 0 || dzBottom <= 0 || dzBottom*float64(nlev) > top {
+		panic(fmt.Sprintf("vertical: bad atmosphere spec nlev=%d top=%v dz0=%v", nlev, top, dzBottom))
+	}
+	// Find stretch factor r so that dz0·(r^nlev − 1)/(r − 1) = top.
+	r := solveStretch(nlev, top/dzBottom)
+	a := &Atmosphere{NLev: nlev, Top: top, DecayScale: top / 2}
+	a.ZIface = make([]float64, nlev+1)
+	a.ZFull = make([]float64, nlev)
+	// Build from surface (z=0) upward, then reverse to top-down order.
+	z := 0.0
+	dz := dzBottom
+	up := make([]float64, nlev+1)
+	up[0] = 0
+	for k := 1; k <= nlev; k++ {
+		up[k] = z + dz
+		z += dz
+		dz *= r
+	}
+	// Normalise the top exactly.
+	scale := top / up[nlev]
+	for k := range up {
+		up[k] *= scale
+	}
+	for k := 0; k <= nlev; k++ {
+		a.ZIface[k] = up[nlev-k]
+	}
+	for k := 0; k < nlev; k++ {
+		a.ZFull[k] = 0.5 * (a.ZIface[k] + a.ZIface[k+1])
+	}
+	return a
+}
+
+// solveStretch finds r ≥ 1 with (r^n − 1)/(r − 1) = s by bisection.
+func solveStretch(n int, s float64) float64 {
+	f := func(r float64) float64 {
+		if math.Abs(r-1) < 1e-12 {
+			return float64(n) - s
+		}
+		return (math.Pow(r, float64(n))-1)/(r-1) - s
+	}
+	lo, hi := 1.0, 2.0
+	for f(hi) < 0 {
+		hi *= 2
+		if hi > 1e6 {
+			panic("vertical: stretch solve diverged")
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := 0.5 * (lo + hi)
+		if f(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi)
+}
+
+// TerrainFollowing returns the interface heights of a column whose surface
+// elevation is h: terrain influence decays exponentially with height (the
+// generalisation of the SLEVE coordinate with a single decay scale).
+func (a *Atmosphere) TerrainFollowing(h float64) []float64 {
+	z := make([]float64, a.NLev+1)
+	for k := 0; k <= a.NLev; k++ {
+		zf := a.ZIface[k]
+		decay := math.Sinh((a.Top-zf)/a.DecayScale) / math.Sinh(a.Top/a.DecayScale)
+		z[k] = zf + h*decay
+	}
+	return z
+}
+
+// LayerThickness returns Δz of full level k (positive).
+func (a *Atmosphere) LayerThickness(k int) float64 {
+	return a.ZIface[k] - a.ZIface[k+1]
+}
+
+// IfaceGap returns the distance between full levels k-1 and k (used for
+// interface gradients); k in 1..nlev-1.
+func (a *Atmosphere) IfaceGap(k int) float64 {
+	return a.ZFull[k-1] - a.ZFull[k]
+}
+
+// Ocean holds the ocean's depth levels (surface-down, positive depths).
+type Ocean struct {
+	NLev   int
+	Bottom float64
+	ZIface []float64 // nlev+1 interface depths, ZIface[0]=0
+	ZFull  []float64
+}
+
+// NewOcean builds a stretched depth grid: layers grow geometrically from
+// dzTop at the surface to the bottom depth.
+func NewOcean(nlev int, bottom, dzTop float64) *Ocean {
+	if nlev < 2 || bottom <= 0 || dzTop <= 0 || dzTop*float64(nlev) > bottom {
+		panic(fmt.Sprintf("vertical: bad ocean spec nlev=%d bottom=%v dz0=%v", nlev, bottom, dzTop))
+	}
+	r := solveStretch(nlev, bottom/dzTop)
+	o := &Ocean{NLev: nlev, Bottom: bottom}
+	o.ZIface = make([]float64, nlev+1)
+	o.ZFull = make([]float64, nlev)
+	d := 0.0
+	dz := dzTop
+	for k := 1; k <= nlev; k++ {
+		o.ZIface[k] = d + dz
+		d += dz
+		dz *= r
+	}
+	scale := bottom / o.ZIface[nlev]
+	for k := range o.ZIface {
+		o.ZIface[k] *= scale
+	}
+	for k := 0; k < nlev; k++ {
+		o.ZFull[k] = 0.5 * (o.ZIface[k] + o.ZIface[k+1])
+	}
+	return o
+}
+
+// Thickness returns the thickness of ocean layer k.
+func (o *Ocean) Thickness(k int) float64 { return o.ZIface[k+1] - o.ZIface[k] }
+
+// Soil holds the land model's soil layer structure (JSBach uses 5 layers
+// reaching ~10 m with thickness growing with depth).
+type Soil struct {
+	NLev      int
+	Thickness []float64 // m
+	Depth     []float64 // mid-layer depths
+}
+
+// NewSoil returns the standard 5-layer JSBach-like soil grid.
+func NewSoil() *Soil {
+	th := []float64{0.065, 0.254, 0.913, 2.902, 5.7}
+	s := &Soil{NLev: len(th), Thickness: th, Depth: make([]float64, len(th))}
+	d := 0.0
+	for k, t := range th {
+		s.Depth[k] = d + t/2
+		d += t
+	}
+	return s
+}
+
+// TotalDepth returns the soil column depth.
+func (s *Soil) TotalDepth() float64 {
+	var d float64
+	for _, t := range s.Thickness {
+		d += t
+	}
+	return d
+}

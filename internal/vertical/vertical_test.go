@@ -1,0 +1,155 @@
+package vertical
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAtmosphereLevels(t *testing.T) {
+	a := NewAtmosphere(90, 75000, 25)
+	if len(a.ZIface) != 91 || len(a.ZFull) != 90 {
+		t.Fatalf("level counts: %d %d", len(a.ZIface), len(a.ZFull))
+	}
+	if a.ZIface[0] != 75000 {
+		t.Errorf("top = %v", a.ZIface[0])
+	}
+	if a.ZIface[90] != 0 {
+		t.Errorf("surface = %v", a.ZIface[90])
+	}
+	// Monotone descending and full levels between interfaces.
+	for k := 0; k < 90; k++ {
+		if a.ZIface[k] <= a.ZIface[k+1] {
+			t.Fatalf("interfaces not descending at %d", k)
+		}
+		if a.ZFull[k] >= a.ZIface[k] || a.ZFull[k] <= a.ZIface[k+1] {
+			t.Fatalf("full level %d outside its layer", k)
+		}
+	}
+	// Bottom layer near requested thickness (allowing top normalisation).
+	dz := a.LayerThickness(89)
+	if dz < 15 || dz > 40 {
+		t.Errorf("bottom Δz = %v, want ≈25", dz)
+	}
+	// Thickness grows upward.
+	if a.LayerThickness(0) <= a.LayerThickness(89) {
+		t.Errorf("stretching inverted: top %v bottom %v", a.LayerThickness(0), a.LayerThickness(89))
+	}
+}
+
+func TestIfaceGapPositive(t *testing.T) {
+	a := NewAtmosphere(30, 30000, 100)
+	for k := 1; k < a.NLev; k++ {
+		if a.IfaceGap(k) <= 0 {
+			t.Fatalf("gap %d = %v", k, a.IfaceGap(k))
+		}
+	}
+}
+
+func TestTerrainFollowing(t *testing.T) {
+	a := NewAtmosphere(40, 40000, 50)
+	z := a.TerrainFollowing(1500)
+	if math.Abs(z[a.NLev]-1500) > 1e-9 {
+		t.Errorf("surface interface = %v, want 1500", z[a.NLev])
+	}
+	if math.Abs(z[0]-a.Top) > 1e-9 {
+		t.Errorf("top interface = %v, want %v (terrain must vanish at top)", z[0], a.Top)
+	}
+	// Terrain influence decays monotonically with height.
+	prev := math.Inf(1)
+	for k := 0; k <= a.NLev; k++ {
+		infl := z[k] - a.ZIface[k]
+		if infl < -1e-9 || infl > 1500+1e-9 {
+			t.Fatalf("influence out of range at %d: %v", k, infl)
+		}
+		if z[k] >= prev {
+			t.Fatalf("terrain-following interfaces not descending at %d", k)
+		}
+		prev = z[k]
+	}
+	// Flat terrain reproduces the flat grid.
+	z0 := a.TerrainFollowing(0)
+	for k := range z0 {
+		if z0[k] != a.ZIface[k] {
+			t.Fatalf("flat terrain changed level %d", k)
+		}
+	}
+}
+
+func TestAtmospherePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewAtmosphere(1, 1000, 10) },
+		func() { NewAtmosphere(10, -5, 10) },
+		func() { NewAtmosphere(100, 1000, 100) }, // dz·nlev > top
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestOceanLevels(t *testing.T) {
+	o := NewOcean(72, 6000, 10)
+	if len(o.ZIface) != 73 || o.ZIface[0] != 0 {
+		t.Fatalf("iface = %v...", o.ZIface[0])
+	}
+	if math.Abs(o.ZIface[72]-6000) > 1e-9 {
+		t.Errorf("bottom = %v", o.ZIface[72])
+	}
+	var sum float64
+	for k := 0; k < o.NLev; k++ {
+		if o.Thickness(k) <= 0 {
+			t.Fatalf("layer %d thickness %v", k, o.Thickness(k))
+		}
+		sum += o.Thickness(k)
+	}
+	if math.Abs(sum-6000) > 1e-6 {
+		t.Errorf("thickness sum = %v", sum)
+	}
+	// Surface layer near 10 m, layers grow with depth.
+	if o.Thickness(0) > 15 || o.Thickness(71) < o.Thickness(0) {
+		t.Errorf("stretching wrong: top %v bottom %v", o.Thickness(0), o.Thickness(71))
+	}
+}
+
+func TestSoil(t *testing.T) {
+	s := NewSoil()
+	if s.NLev != 5 {
+		t.Fatalf("soil levels = %d", s.NLev)
+	}
+	if d := s.TotalDepth(); math.Abs(d-9.834) > 1e-9 {
+		t.Errorf("total depth = %v", d)
+	}
+	// Depths are layer midpoints, increasing.
+	prev := 0.0
+	cum := 0.0
+	for k := 0; k < s.NLev; k++ {
+		want := cum + s.Thickness[k]/2
+		if math.Abs(s.Depth[k]-want) > 1e-12 {
+			t.Errorf("depth %d = %v want %v", k, s.Depth[k], want)
+		}
+		if s.Depth[k] <= prev {
+			t.Errorf("depths not increasing")
+		}
+		prev = s.Depth[k]
+		cum += s.Thickness[k]
+	}
+}
+
+func TestSolveStretch(t *testing.T) {
+	// r solves (r^n-1)/(r-1) = s.
+	for _, c := range []struct {
+		n int
+		s float64
+	}{{10, 20}, {90, 3000}, {5, 5.0001}} {
+		r := solveStretch(c.n, c.s)
+		got := (math.Pow(r, float64(c.n)) - 1) / (r - 1)
+		if math.Abs(got-c.s) > 1e-6*c.s {
+			t.Errorf("n=%d s=%v: r=%v gives %v", c.n, c.s, r, got)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	which := flag.String("kernel", "", "generate only this kernel (default: all)")
+	werror := flag.Bool("Werror", true, "treat static-verifier diagnostics as fatal")
 	flag.Parse()
 
 	g := grid.New(grid.R2B(1))
@@ -52,6 +53,16 @@ func main() {
 		sd, b, err := k.bind()
 		if err != nil {
 			log.Fatal(err)
+		}
+		// Static verification gates codegen: emitted code is only as
+		// trustworthy as the checked legality of the transformations.
+		if ds := sdfg.Verify(sd, b); len(ds) > 0 {
+			for _, d := range ds {
+				log.Printf("warning: %s", d)
+			}
+			if *werror {
+				log.Fatalf("codegen: kernel %s failed static verification (%d diagnostics, -Werror)", k.name, len(ds))
+			}
 		}
 		src, err := sdfg.CodegenGo(sd, b)
 		if err != nil {

@@ -22,9 +22,10 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		loc   = flag.Bool("loc", false, "lines-of-code accounting")
-		bench = flag.Bool("bench", false, "interpreter vs compiled timing")
-		bw    = flag.Bool("bw", false, "sustained bandwidth projection")
+		loc    = flag.Bool("loc", false, "lines-of-code accounting")
+		bench  = flag.Bool("bench", false, "interpreter vs compiled timing")
+		bw     = flag.Bool("bw", false, "sustained bandwidth projection")
+		werror = flag.Bool("Werror", true, "treat static-verifier diagnostics as fatal")
 	)
 	flag.Parse()
 	if !*loc && !*bench && !*bw {
@@ -66,6 +67,16 @@ func main() {
 			}
 			if err != nil {
 				log.Fatal(err)
+			}
+			// Mandatory static-verification gate: the compiled path is only
+			// trusted because its legality conditions are checked.
+			if ds := sdfg.Verify(sd, b); len(ds) > 0 {
+				for _, d := range ds {
+					log.Printf("warning: %s", d)
+				}
+				if *werror {
+					log.Fatalf("dace: kernel %s failed static verification (%d diagnostics, -Werror)", name, len(ds))
+				}
 			}
 			c, err := sdfg.Compile(sd, b)
 			if err != nil {

@@ -1,0 +1,176 @@
+// Command icovet runs icoearth's repo-specific static analyzers
+// (internal/analysis) over Go packages:
+//
+//	go run ./cmd/icovet ./...                 # whole repo (the tier-1 form)
+//	go run ./cmd/icovet -c hotalloc ./internal/atmos/...
+//	go vet -vettool=$(go env GOPATH)/bin/icovet ./...   # after go install
+//
+// Direct mode loads packages itself via `go list -export` (offline, build
+// cache only). The vettool mode speaks the subset of the cmd/vet config
+// protocol the go command uses: a single <pkg>.cfg argument, diagnostics
+// on stderr, non-zero exit on findings.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"icoearth/internal/analysis"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("icovet: ")
+
+	// `go vet -vettool` probes the tool before handing it a config file:
+	// -V=full asks for an identity line, -flags for a JSON description of
+	// the tool's flags (icovet exposes none to vet).
+	for _, a := range os.Args[1:] {
+		switch a {
+		case "-V=full", "-V":
+			fmt.Println("icovet version 1 (icoearth static analyzer suite)")
+			return
+		case "-flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg") {
+		os.Exit(vetToolMode(os.Args[1]))
+	}
+
+	var (
+		only    = flag.String("c", "", "comma-separated analyzers to run (default: all)")
+		listall = flag.Bool("list", false, "list available analyzers and exit")
+	)
+	flag.Parse()
+	if *listall {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	analyzers, err := analysis.ByName(*only)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pkgs, err := analysis.Load(patterns)
+	if err != nil {
+		log.Fatal(err)
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			found++
+		}
+	}
+	if found > 0 {
+		log.Fatalf("%d finding(s)", found)
+	}
+}
+
+// vetConfig is the subset of cmd/vet's JSON config icovet consumes.
+type vetConfig struct {
+	ImportPath                string
+	Dir                       string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetToolMode analyzes the single package a `go vet` invocation
+// describes. Returns the process exit code (0 clean, 1 findings).
+func vetToolMode(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Printf("parsing %s: %v", cfgPath, err)
+		return 2
+	}
+	// icovet exports no facts, but the protocol requires the output file.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			log.Print(err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	pkg := &analysis.Package{ImportPath: cfg.ImportPath, Dir: cfg.Dir, Fset: token.NewFileSet()}
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(pkg.Fset, name, nil, parser.ParseComments)
+		if err != nil {
+			log.Print(err)
+			return 2
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(pkg.Fset, "gc", lookup),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Types, _ = conf.Check(cfg.ImportPath, pkg.Fset, pkg.Files, pkg.Info)
+	if len(pkg.TypeErrors) > 0 && !cfg.SucceedOnTypecheckFailure {
+		for _, e := range pkg.TypeErrors {
+			log.Print(e)
+		}
+		return 2
+	}
+
+	diags, err := analysis.RunAnalyzers(pkg, analysis.All())
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,167 @@
+// Package analysis is icoearth's static-analysis toolkit: a small,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// vocabulary (Analyzer, Pass, Diagnostic) on top of the standard library's
+// go/ast and go/types, plus the repo-specific analyzers that cmd/icovet
+// runs over the tree.
+//
+// The paper's separation-of-concerns argument (§5.2) only holds when
+// transformation legality is *checked*; internal/sdfg/verify.go does that
+// for the DSL kernels, and this package does the analogous job for the Go
+// hot paths themselves: no allocation inside kernel inner loops, no
+// goroutine capture of loop variables in the MPI-style runtime, no exact
+// float equality outside tests, no by-value copies of communicator state.
+//
+// The x/tools module is deliberately not imported — the container builds
+// offline — but the API shapes match, so the analyzers would port to a
+// real go/analysis driver by changing imports only.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check, mirroring
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one package, mirroring
+// analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the analyzer suite cmd/icovet runs, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{HotAlloc, LoopArg, FloatCmp, LockCopy}
+}
+
+// ByName resolves a comma-separated analyzer list ("" means all).
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		a, ok := byName[strings.TrimSpace(n)]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// RunAnalyzers applies each analyzer to the package and returns the
+// surviving diagnostics: findings on lines carrying an
+// "//icovet:ignore <analyzer>" comment are suppressed, the escape hatch
+// for deliberate violations (e.g. bit-identity float comparisons).
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+	diags = suppress(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// suppress drops diagnostics whose source line (or the line directly
+// above) carries an icovet:ignore comment naming the analyzer.
+func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
+	ignored := map[string]map[int][]string{} // file -> line -> analyzer names
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				txt := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+				txt = strings.TrimSpace(txt)
+				if !strings.HasPrefix(txt, "icovet:ignore") {
+					continue
+				}
+				rest := strings.Fields(strings.TrimPrefix(txt, "icovet:ignore"))
+				pos := pkg.Fset.Position(c.Pos())
+				if ignored[pos.Filename] == nil {
+					ignored[pos.Filename] = map[int][]string{}
+				}
+				name := "*"
+				if len(rest) > 0 {
+					name = rest[0]
+				}
+				ignored[pos.Filename][pos.Line] = append(ignored[pos.Filename][pos.Line], name)
+			}
+		}
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		lines := ignored[d.Pos.Filename]
+		match := false
+		for _, ln := range []int{d.Pos.Line, d.Pos.Line - 1} {
+			for _, name := range lines[ln] {
+				if name == "*" || name == d.Analyzer {
+					match = true
+				}
+			}
+		}
+		if !match {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

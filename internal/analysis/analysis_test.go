@@ -1,0 +1,255 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// testImporter resolves imports of test snippets from a fixed map; the
+// snippets only import the synthetic par package below.
+type testImporter map[string]*types.Package
+
+func (ti testImporter) Import(path string) (*types.Package, error) {
+	if p, ok := ti[path]; ok {
+		return p, nil
+	}
+	return nil, nil
+}
+
+// parPkg fabricates the type skeleton of icoearth/internal/par so
+// lockcopy snippets type-check without loading the real package.
+func parPkg() *types.Package {
+	pkg := types.NewPackage("icoearth/internal/par", "par")
+	for _, name := range []string{"World", "Comm"} {
+		tn := types.NewTypeName(token.NoPos, pkg, name, nil)
+		types.NewNamed(tn, types.NewStruct(nil, nil), nil)
+		pkg.Scope().Insert(tn)
+	}
+	pkg.MarkComplete()
+	return pkg
+}
+
+// checkSrc parses and type-checks one snippet under the given package
+// path/filename and runs a single analyzer over it.
+func checkSrc(t *testing.T, a *Analyzer, pkgPath, filename, src string) []Diagnostic {
+	t.Helper()
+	pkg := &Package{ImportPath: pkgPath, Fset: token.NewFileSet()}
+	f, err := parser.ParseFile(pkg.Fset, filename, src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg.Files = []*ast.File{f}
+	pkg.Info = &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{
+		Importer: testImporter{"icoearth/internal/par": parPkg()},
+		Error:    func(err error) { t.Fatalf("typecheck: %v", err) },
+	}
+	pkg.Types, _ = conf.Check(pkgPath, pkg.Fset, pkg.Files, pkg.Info)
+	diags, err := RunAnalyzers(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+func wantFindings(t *testing.T, diags []Diagnostic, substrs ...string) {
+	t.Helper()
+	if len(diags) != len(substrs) {
+		t.Fatalf("got %d finding(s) %v, want %d", len(diags), diags, len(substrs))
+	}
+	for i, s := range substrs {
+		if !strings.Contains(diags[i].Message, s) {
+			t.Errorf("finding %d = %q, want substring %q", i, diags[i].Message, s)
+		}
+	}
+}
+
+func TestHotAllocFlagsInnerLoopGrowth(t *testing.T) {
+	diags := checkSrc(t, HotAlloc, "icoearth/internal/atmos", "dycore.go", `
+package atmos
+
+func kernel(n, m int, out [][]float64) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			buf := make([]float64, 3)
+			out[i] = append(out[i], buf...)
+		}
+	}
+}
+`)
+	wantFindings(t, diags, "make inside a kernel inner loop", "append inside a kernel inner loop")
+}
+
+func TestHotAllocUnflaggedCases(t *testing.T) {
+	// Hoisted allocation, single-level loop, cold package, test file: all clean.
+	if d := checkSrc(t, HotAlloc, "icoearth/internal/atmos", "dycore.go", `
+package atmos
+
+func kernel(n, m int, out []float64) {
+	buf := make([]float64, m)
+	for i := 0; i < n; i++ {
+		cell := append(buf[:0], out[i]) // outer loop only
+		for j := 0; j < m; j++ {
+			out[i] += cell[0]
+		}
+	}
+}
+`); len(d) != 0 {
+		t.Errorf("hoisted/outer allocations flagged: %v", d)
+	}
+	if d := checkSrc(t, HotAlloc, "icoearth/internal/diag", "diag.go", `
+package diag
+
+func cold(n, m int) (out []int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			out = append(out, i*j)
+		}
+	}
+	return out
+}
+`); len(d) != 0 {
+		t.Errorf("cold package flagged: %v", d)
+	}
+}
+
+func TestLoopArgFlagsCapture(t *testing.T) {
+	diags := checkSrc(t, LoopArg, "icoearth/internal/par", "halo.go", `
+package par
+
+func fanout(n int, work func(int)) {
+	for r := 0; r < n; r++ {
+		go func() {
+			work(r)
+		}()
+	}
+}
+`)
+	wantFindings(t, diags, `captures loop variable "r"`)
+}
+
+func TestLoopArgUnflaggedWhenPassedAsArgument(t *testing.T) {
+	diags := checkSrc(t, LoopArg, "icoearth/internal/par", "halo.go", `
+package par
+
+func fanout(ranks []int, work func(int)) {
+	for _, r := range ranks {
+		go func(rank int) {
+			work(rank)
+		}(r) // launch-time evaluation, not a capture
+	}
+	done := 0
+	go func() { done++ }() // goroutine outside any loop
+	_ = done
+}
+`)
+	if len(diags) != 0 {
+		t.Errorf("argument-passing goroutine flagged: %v", diags)
+	}
+}
+
+func TestFloatCmpFlagsComputedEquality(t *testing.T) {
+	diags := checkSrc(t, FloatCmp, "icoearth/internal/ocean", "solver.go", `
+package ocean
+
+func converged(a, b float64) bool {
+	return a == b
+}
+`)
+	wantFindings(t, diags, "exact == comparison of floating-point")
+}
+
+func TestFloatCmpUnflaggedCases(t *testing.T) {
+	// Constant sentinels, integer equality, and test files are exempt;
+	// icovet:ignore suppresses a deliberate exact comparison.
+	if d := checkSrc(t, FloatCmp, "icoearth/internal/ocean", "solver.go", `
+package ocean
+
+func checks(dt float64, n int, x, y float64) bool {
+	if dt == 0 { // constant sentinel
+		return false
+	}
+	if n == 3 { // integers are fine
+		return true
+	}
+	return x != y //icovet:ignore floatcmp bit-identity intended
+}
+`); len(d) != 0 {
+		t.Errorf("exempt comparisons flagged: %v", d)
+	}
+	if d := checkSrc(t, FloatCmp, "icoearth/internal/ocean", "solver_test.go", `
+package ocean
+
+func equalInTest(a, b float64) bool { return a == b }
+`); len(d) != 0 {
+		t.Errorf("test file flagged: %v", d)
+	}
+}
+
+func TestLockCopyFlagsByValueTransfer(t *testing.T) {
+	diags := checkSrc(t, LockCopy, "icoearth/internal/exec", "device.go", `
+package exec
+
+import "icoearth/internal/par"
+
+type launcher struct {
+	comm par.Comm
+}
+
+func broadcast(w par.World) {}
+`)
+	wantFindings(t, diags, "struct field copies par.Comm", "parameter copies par.World")
+}
+
+func TestLockCopyUnflaggedPointers(t *testing.T) {
+	diags := checkSrc(t, LockCopy, "icoearth/internal/exec", "device.go", `
+package exec
+
+import "icoearth/internal/par"
+
+type launcher struct {
+	comm *par.Comm
+}
+
+func broadcast(w *par.World) *par.Comm { return nil }
+`)
+	if len(diags) != 0 {
+		t.Errorf("pointer transfer flagged: %v", diags)
+	}
+}
+
+// TestRepoCleanUnderIcovet is the tier-1 wiring: `go test ./...` fails if
+// any package of the module regresses under the analyzer suite. The load
+// shells out to `go list -export` (build cache only, no network).
+func TestRepoCleanUnderIcovet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide analysis load skipped in -short mode")
+	}
+	pkgs, err := Load([]string{"icoearth/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; loader lost targets", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		for _, e := range pkg.TypeErrors {
+			t.Errorf("%s: typecheck: %v", pkg.ImportPath, e)
+		}
+		diags, err := RunAnalyzers(pkg, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatCmp flags exact ==/!= comparisons between two computed
+// floating-point values outside test files. In a model whose headline
+// correctness claim is bit-identity between transformation levels,
+// *deliberate* exact comparisons exist (and are annotated with
+// icovet:ignore where they do), but an unannotated float equality in
+// model code is almost always a rounding-sensitive bug.
+//
+// Comparisons against a constant (x == 0, n.Val == 2) are exempt: testing
+// an exact sentinel or an exactly-representable flag value is idiomatic
+// and intentional.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "no exact float equality between computed values outside tests",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) error {
+	if pass.TypesInfo == nil {
+		return nil
+	}
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			lt, lok := pass.TypesInfo.Types[be.X]
+			rt, rok := pass.TypesInfo.Types[be.Y]
+			if !lok || !rok {
+				return true
+			}
+			// Constants are deliberate sentinels, not rounding hazards.
+			if lt.Value != nil || rt.Value != nil {
+				return true
+			}
+			if isFloat(lt.Type) && isFloat(rt.Type) {
+				pass.Reportf(be.OpPos, "exact %s comparison of floating-point values; use an epsilon (or annotate with icovet:ignore if bit-identity is the point)", be.Op)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

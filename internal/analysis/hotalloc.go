@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// HotAlloc flags heap-allocation growth inside kernel inner loops: a
+// `make` or `append` executed once per inner-loop iteration in the
+// dycore, ocean or SDFG-backend hot paths turns an O(1)-allocation kernel
+// into a GC treadmill. Scratch must be allocated once outside the loop
+// nest (the same discipline the paper's generated GPU code enforces by
+// construction — device buffers are planned, never grown per element).
+//
+// Only the designated hot paths are checked: internal/atmos,
+// internal/ocean, and internal/sdfg's executable backend. "Inner loop"
+// means a for/range statement nested inside another one within the same
+// function.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "no make/append growth inside kernel inner loops of the hot paths",
+	Run:  runHotAlloc,
+}
+
+// hotAllocPackages are the import-path suffixes whose every file is hot.
+var hotAllocPackages = []string{"internal/atmos", "internal/ocean"}
+
+// hotAllocFiles are individually hot files keyed by package suffix.
+var hotAllocFiles = map[string][]string{"internal/sdfg": {"backend.go"}}
+
+func hotFile(pkgPath, filename string) bool {
+	for _, suf := range hotAllocPackages {
+		if strings.HasSuffix(pkgPath, suf) {
+			return true
+		}
+	}
+	for suf, files := range hotAllocFiles {
+		if strings.HasSuffix(pkgPath, suf) {
+			base := filepath.Base(filename)
+			for _, f := range files {
+				if base == f {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func runHotAlloc(pass *Pass) error {
+	pkgPath := ""
+	if pass.Pkg != nil {
+		pkgPath = pass.Pkg.Path()
+	}
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if !hotFile(pkgPath, name) || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		var walk func(n ast.Node, depth int)
+		walk = func(n ast.Node, depth int) {
+			ast.Inspect(n, func(m ast.Node) bool {
+				switch v := m.(type) {
+				case *ast.ForStmt:
+					if v == n {
+						return true
+					}
+					walk(v, depth+1)
+					return false
+				case *ast.RangeStmt:
+					if v == n {
+						return true
+					}
+					walk(v, depth+1)
+					return false
+				case *ast.CallExpr:
+					if depth < 2 {
+						return true
+					}
+					if name := builtinName(pass, v.Fun); name == "make" || name == "append" {
+						pass.Reportf(v.Pos(), "%s inside a kernel inner loop allocates per iteration; hoist the buffer out of the loop nest", name)
+					}
+				}
+				return true
+			})
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				walk(fd.Body, 0)
+			}
+		}
+	}
+	return nil
+}
+
+// builtinName returns the name of fun if it resolves to (or, without type
+// info, syntactically is) a Go builtin.
+func builtinName(pass *Pass, fun ast.Expr) string {
+	id, ok := fun.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pass.TypesInfo != nil {
+		if obj, ok := pass.TypesInfo.Uses[id]; ok {
+			if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+				return "" // shadowed by a local definition
+			}
+		}
+	}
+	return id.Name
+}

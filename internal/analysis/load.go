@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, parsed and type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors collects type-checking problems without aborting the
+	// load: syntactic analyzers still run on partially checked packages.
+	TypeErrors []error
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves the patterns with the go tool, parses every matched
+// (non-dependency) package and type-checks it against the export data of
+// its dependencies. It shells out to `go list -export`, which compiles
+// dependencies as needed — no network access, everything comes from the
+// local build cache.
+func Load(patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-deps", "-export", "-json=ImportPath,Dir,Name,GoFiles,Export,Standard,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list: %v\n%s", err, stderr.String())
+	}
+
+	exportFile := map[string]string{}
+	var targets []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if e.Export != "" {
+			exportFile[e.ImportPath] = e.Export
+		}
+		if !e.DepOnly && !e.Standard {
+			// A target that failed to resolve (typo'd path, broken
+			// package) must fail the run loudly: `go list -e` reports it
+			// here instead of exiting non-zero, and silently analysing
+			// zero files would turn a CI typo into a green gate.
+			if e.Error != nil {
+				return nil, fmt.Errorf("analysis: %s: %s", e.ImportPath, e.Error.Err)
+			}
+			targets = append(targets, e)
+		}
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exportFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+
+	var pkgs []*Package
+	for _, e := range targets {
+		pkg, err := typecheck(e, lookup)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// typecheck parses and checks one package from its file list.
+func typecheck(e listEntry, lookup func(string) (io.ReadCloser, error)) (*Package, error) {
+	pkg := &Package{ImportPath: e.ImportPath, Dir: e.Dir, Fset: token.NewFileSet()}
+	for _, name := range e.GoFiles {
+		f, err := parser.ParseFile(pkg.Fset, filepath.Join(e.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", name, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(pkg.Fset, "gc", lookup),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Check never returns a hard error when conf.Error is set; a partial
+	// package plus TypeErrors is fine for the syntactic analyzers.
+	pkg.Types, _ = conf.Check(e.ImportPath, pkg.Fset, pkg.Files, pkg.Info)
+	return pkg, nil
+}

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LoopArg flags goroutines launched inside a loop whose function literal
+// captures a loop variable instead of receiving it as an argument. The
+// rank bodies and halo-exchange workers of internal/par and the stream
+// launchers of internal/exec fan goroutines out of loops constantly; the
+// repo convention is to pass iteration state explicitly (`go func(rank
+// int) {...}(r)`), which keeps the capture set auditable and stays
+// correct under any loop-variable semantics.
+var LoopArg = &Analyzer{
+	Name: "looparg",
+	Doc:  "goroutines in loops must take loop variables as arguments, not captures",
+	Run:  runLoopArg,
+}
+
+func runLoopArg(pass *Pass) error {
+	for _, file := range pass.Files {
+		var stack []types.Object // loop variables of enclosing loops
+		var walk func(n ast.Node)
+		walk = func(n ast.Node) {
+			ast.Inspect(n, func(m ast.Node) bool {
+				switch v := m.(type) {
+				case *ast.ForStmt:
+					if v == n {
+						return true
+					}
+					mark := len(stack)
+					if init, ok := v.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+						for _, lhs := range init.Lhs {
+							stack = appendLoopVar(pass, stack, lhs)
+						}
+					}
+					walk(v)
+					stack = stack[:mark]
+					return false
+				case *ast.RangeStmt:
+					if v == n {
+						return true
+					}
+					mark := len(stack)
+					if v.Tok == token.DEFINE {
+						stack = appendLoopVar(pass, stack, v.Key)
+						stack = appendLoopVar(pass, stack, v.Value)
+					}
+					walk(v)
+					stack = stack[:mark]
+					return false
+				case *ast.GoStmt:
+					lit, ok := v.Call.Fun.(*ast.FuncLit)
+					if !ok || len(stack) == 0 {
+						return true
+					}
+					// Arguments of the go call are evaluated at launch
+					// time — only the literal's body can capture.
+					reportCaptures(pass, lit, stack)
+				}
+				return true
+			})
+		}
+		walk(file)
+	}
+	return nil
+}
+
+// appendLoopVar records the object a loop-variable ident defines.
+func appendLoopVar(pass *Pass, stack []types.Object, e ast.Expr) []types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" || pass.TypesInfo == nil {
+		return stack
+	}
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return append(stack, obj)
+	}
+	return stack
+}
+
+// reportCaptures reports every use inside lit of a loop variable from the
+// enclosing loops.
+func reportCaptures(pass *Pass, lit *ast.FuncLit, loopVars []types.Object) {
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || seen[obj] {
+			return true
+		}
+		for _, lv := range loopVars {
+			if obj == lv {
+				seen[obj] = true
+				pass.Reportf(id.Pos(), "goroutine captures loop variable %q; pass it as an argument to the function literal", id.Name)
+			}
+		}
+		return true
+	})
+}

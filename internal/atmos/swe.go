@@ -152,7 +152,7 @@ func NewDistShallowWater(g *grid.Grid, h0 float64, d *grid.Decomposition, comm *
 		for _, e := range g.CellEdges[c] {
 			if !seen[e] {
 				seen[e] = true
-				s.localEdges = append(s.localEdges, e)
+				s.localEdges = append(s.localEdges, e) //icovet:ignore hotalloc one-time rank setup, not a kernel loop
 			}
 		}
 	}

@@ -55,7 +55,8 @@ func (m *Model) Step(dt float64, f *Forcing) (*Fluxes, map[int]float64) {
 	}
 
 	if m.UseGraph {
-		if m.graph == nil || m.graphDt != dt {
+		if m.graph == nil || m.graphDt != dt { //icovet:ignore floatcmp exact dt is the graph cache key
+
 			m.Dev.BeginCapture()
 			m.launchAll(dt)
 			g, err := m.Dev.EndCapture()

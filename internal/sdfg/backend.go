@@ -216,6 +216,13 @@ func Compile(g *SDFG, b *Bindings) (*Compiled, error) {
 	if err := g.Validate(b); err != nil {
 		return nil, err
 	}
+	if debugVerify {
+		// Fusion and hoisting preconditions, asserted through the full
+		// static verifier in debug builds.
+		if err := VerifyStrict(g, b); err != nil {
+			return nil, err
+		}
+	}
 	c := &Compiled{g: g, b: b}
 
 	// Hoisting plan: every distinct index-table lookup expression gets a
@@ -248,6 +255,7 @@ func Compile(g *SDFG, b *Bindings) (*Compiled, error) {
 			if field == nil {
 				return nil, fmt.Errorf("sdfg: cannot assign to %q", st.LHS.Name)
 			}
+			//icovet:ignore hotalloc compile-time specialisation, not the per-element path
 			fg.stmts = append(fg.stmts, compiledStmt{
 				eval: ev,
 				store: func(jc, jk int, hoisted []int, v float64) {
@@ -278,6 +286,9 @@ func Compile(g *SDFG, b *Bindings) (*Compiled, error) {
 		c.hoist[i] = func(jc int) int {
 			return tab[int(sub(jc, 0, nil))]
 		}
+	}
+	if debugVerify && len(c.hoist) != c.HoistedLookups {
+		panic("sdfg: lookup-reuse postcondition: hoist slot count diverged from distinct lookups")
 	}
 	return c, nil
 }

@@ -1,0 +1,8 @@
+//go:build !sdfgdebug
+
+package sdfg
+
+// debugVerify gates the pre/postcondition assertions the transformation
+// passes run through the static verifier. Build with -tags sdfgdebug to
+// enable them; release builds compile them out entirely.
+const debugVerify = false

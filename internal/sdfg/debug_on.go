@@ -1,0 +1,7 @@
+//go:build sdfgdebug
+
+package sdfg
+
+// debugVerify enables verifier-backed pre/postcondition assertions inside
+// the transformation passes (see debug_off.go for the release default).
+const debugVerify = true

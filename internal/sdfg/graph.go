@@ -66,6 +66,7 @@ func (g *SDFG) MarkTransient(name string) { g.Transients[name] = true }
 // EliminateDeadCode removes statements that write transient arrays never
 // read by any later (surviving) statement. Returns the number removed.
 func (g *SDFG) EliminateDeadCode() int {
+	debugCheck(g, nil, "EliminateDeadCode precondition")
 	removed := 0
 	for {
 		neededBy := map[string]bool{}
@@ -91,24 +92,31 @@ func (g *SDFG) EliminateDeadCode() int {
 		}
 	}
 	g.rebuild()
+	debugCheck(g, nil, "EliminateDeadCode postcondition")
 	return removed
 }
 
 // FusableGroups partitions the statements into maximal fusable groups: a
-// statement joins the current group unless it reads an array that an
-// earlier statement in the group writes with *different* subscripts (an
-// element-crossing RAW, which fusion would reorder). Same-subscript RAW is
-// fine — per-element sequential execution preserves it.
+// statement joins the current group unless fusing it would reorder an
+// element-crossing dependence — it reads an array that an earlier group
+// member writes with *different* subscripts (RAW: fusion would read a
+// neighbouring element before it is produced), or it writes an array that
+// an earlier group member reads with *different* subscripts (WAR: fusion
+// would overwrite a neighbouring element before it is consumed).
+// Same-subscript dependences are fine — per-element sequential execution
+// preserves them.
 func (g *SDFG) FusableGroups() [][]int {
 	var groups [][]int
 	var cur []int
-	written := map[string]string{} // array -> subscript signature
+	written := map[string]string{}           // array -> write subscript signature
+	readSigs := map[string]map[string]bool{} // array -> read subscript signatures
 	flush := func() {
 		if len(cur) > 0 {
 			groups = append(groups, cur)
 			cur = nil
 		}
 		written = map[string]string{}
+		readSigs = map[string]map[string]bool{}
 	}
 	for i, st := range g.K.Stmts {
 		conflict := false
@@ -130,18 +138,38 @@ func (g *SDFG) FusableGroups() [][]int {
 				break
 			}
 		}
+		w := st.Writes()
+		wsig := subscriptSig([][]Expr{st.LHS.Subs})
+		if !conflict {
+			// WAR: an earlier group member read this array at subscripts
+			// other than the ones we are about to write.
+			for sig := range readSigs[w] {
+				if sig != wsig {
+					conflict = true
+					break
+				}
+			}
+		}
 		if conflict {
 			flush()
 		}
 		cur = append(cur, i)
-		written[st.Writes()] = subscriptSig([][]Expr{st.LHS.Subs})
+		written[w] = wsig
+		for r := range st.Reads() {
+			for _, subs := range readSubscripts(st, r) {
+				if readSigs[r] == nil {
+					readSigs[r] = map[string]bool{}
+				}
+				readSigs[r][subscriptSig([][]Expr{subs})] = true
+			}
+		}
 	}
 	flush()
 	return groups
 }
 
 // readSubscripts collects every subscript list with which statement st
-// reads array name.
+// reads array name, including reads inside the LHS subscripts.
 func readSubscripts(st Assign, name string) [][]Expr {
 	var out [][]Expr
 	var walk func(e Expr)
@@ -160,6 +188,9 @@ func readSubscripts(st Assign, name string) [][]Expr {
 		case Neg:
 			walk(v.X)
 		}
+	}
+	for _, s := range st.LHS.Subs {
+		walk(s)
 	}
 	walk(st.RHS)
 	return out
@@ -214,7 +245,9 @@ func (g *SDFG) IndexLookups(isTable func(name string) bool) (distinct []string, 
 	return distinct, occurrences
 }
 
-// Validate checks that every array referenced by the kernel is bound.
+// Validate checks that every array referenced by the kernel is bound and
+// that each reference's subscript count matches the binding's declared
+// rank (the deeper legality checks live in Verify).
 func (g *SDFG) Validate(b *Bindings) error {
 	for _, st := range g.K.Stmts {
 		for name := range st.Reads() {
@@ -224,6 +257,19 @@ func (g *SDFG) Validate(b *Bindings) error {
 		}
 		if !b.has(st.Writes()) {
 			return fmt.Errorf("sdfg: unbound output %q in kernel %s", st.Writes(), g.K.Name)
+		}
+		var rankErr error
+		walkRefs(st, func(a ArrayRef, isWrite bool) {
+			if rankErr != nil || !b.has(a.Name) {
+				return
+			}
+			if dims := b.Dims[a.Name]; dims != len(a.Subs) {
+				rankErr = fmt.Errorf("sdfg: array %q has rank %d but kernel %s subscripts it with %d index(es)",
+					a.Name, dims, g.K.Name, len(a.Subs))
+			}
+		})
+		if rankErr != nil {
+			return rankErr
 		}
 	}
 	return nil

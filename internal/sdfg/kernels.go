@@ -204,7 +204,8 @@ func VerifyBitIdentical(sd *SDFG, b *Bindings, out []float64) error {
 	}
 	c.Run()
 	for i := range out {
-		if out[i] != ref[i] {
+		if out[i] != ref[i] { //icovet:ignore floatcmp bit-identity between backends is the claim under test
+
 			return fmt.Errorf("sdfg: mismatch at %d: interp %v vs compiled %v", i, ref[i], out[i])
 		}
 	}

@@ -9,6 +9,17 @@ package icoearth
 //
 // regenerates every number the paper reports (EXPERIMENTS.md records the
 // comparison).
+//
+// Custom metric names are part of the repo's perf-regression contract:
+// cmd/benchgate keys its BENCH_<n>.json baselines on them, so they are
+// stable snake_case identifiers — renaming one invalidates every
+// committed baseline (benchgate flags the old name as missing). The
+// wall-clock-derived ones (tau_simdays_per_day, cells_per_sec,
+// tau_simulated) are gated; the model-projection ones are recorded as
+// informational trajectory (see internal/bench's policy table).
+//
+// The multi-simulation benchmarks are guarded behind -short so tier-1
+// (`go test -short ./...`) and `benchgate -short` stay fast.
 
 import (
 	"fmt"
@@ -40,9 +51,10 @@ func BenchmarkTable1TauStar(b *testing.B) {
 		rows = perf.Table1()
 	}
 	for _, r := range rows {
-		b.ReportMetric(r.TauStar, "taustar:"+strings.ReplaceAll(r.Model, " ", "-"))
+		name := strings.ToLower(strings.ReplaceAll(r.Model, " ", "_"))
+		b.ReportMetric(r.TauStar, "taustar_"+name)
 	}
-	b.ReportMetric(rows[3].Tau, "tau:this-work")
+	b.ReportMetric(rows[3].Tau, "tau_this_work")
 }
 
 // BenchmarkTable2DoF regenerates Table 2's degrees-of-freedom accounting.
@@ -52,8 +64,8 @@ func BenchmarkTable2DoF(b *testing.B) {
 		d10 = config.TenKm().DegreesOfFreedom()
 		d1 = config.OneKm().DegreesOfFreedom()
 	}
-	b.ReportMetric(d10/1e10, "DoF-10km/1e10")
-	b.ReportMetric(d1/1e11, "DoF-1.25km/1e11")
+	b.ReportMetric(d10/1e10, "dof_10km_e10")
+	b.ReportMetric(d1/1e11, "dof_1p25km_e11")
 }
 
 // BenchmarkFigure2StrongScaling10km regenerates the Levante CPU-vs-GPU
@@ -75,8 +87,8 @@ func BenchmarkFigure2StrongScaling10km(b *testing.B) {
 			gh = p.Tau
 		}
 	}
-	b.ReportMetric(gh/a100, "GH200/A100@160")
-	b.ReportMetric(gh, "tau:GH200@160chips")
+	b.ReportMetric(gh/a100, "gh200_vs_a100_160")
+	b.ReportMetric(gh, "tau_gh200_160")
 }
 
 // BenchmarkFigure2Energy regenerates the energy comparison (Figure 2
@@ -86,7 +98,7 @@ func BenchmarkFigure2Energy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e = perf.Figure2Energy(160)
 	}
-	b.ReportMetric(e.PowerRatio, "CPU/GPU-power-ratio")
+	b.ReportMetric(e.PowerRatio, "cpu_gpu_power_ratio")
 }
 
 // BenchmarkFigure4StrongScaling1km regenerates Figure 4 (left): the
@@ -97,11 +109,11 @@ func BenchmarkFigure4StrongScaling1km(b *testing.B) {
 		series = perf.Figure4Left()
 	}
 	for _, p := range series[0].Points { // JUPITER
-		b.ReportMetric(p.Tau, fmt.Sprintf("tau:JUPITER@%d", p.N))
+		b.ReportMetric(p.Tau, fmt.Sprintf("tau_jupiter_%d", p.N))
 	}
 	for _, p := range series[1].Points {
 		if p.N == 8192 {
-			b.ReportMetric(p.Tau, "tau:Alps@8192")
+			b.ReportMetric(p.Tau, "tau_alps_8192")
 		}
 	}
 }
@@ -115,7 +127,7 @@ func BenchmarkFigure4StrongScaling10km(b *testing.B) {
 	}
 	alps := series[1]
 	for _, p := range alps.Points {
-		b.ReportMetric(p.Tau, fmt.Sprintf("tau:Alps10km@%d", p.N))
+		b.ReportMetric(p.Tau, fmt.Sprintf("tau_alps10km_%d", p.N))
 	}
 }
 
@@ -154,7 +166,7 @@ func BenchmarkLandCUDAGraphs(b *testing.B) {
 				graph := run(true)
 				speedup = eager / graph
 			}
-			b.ReportMetric(speedup, "graph-speedup")
+			b.ReportMetric(speedup, "graph_speedup")
 		})
 	}
 }
@@ -164,6 +176,9 @@ func BenchmarkLandCUDAGraphs(b *testing.B) {
 // everything serialised on one device, plus the paper-scale wait
 // fractions.
 func BenchmarkHeterogeneousMapping(b *testing.B) {
+	if testing.Short() {
+		b.Skip("runs two full coupled simulations per iteration")
+	}
 	var tauSplit, tauFused float64
 	for i := 0; i < b.N; i++ {
 		// Both variants run without land graph capture so the comparison
@@ -191,16 +206,16 @@ func BenchmarkHeterogeneousMapping(b *testing.B) {
 		}
 		tauFused = simB.Tau()
 	}
-	b.ReportMetric(tauSplit/tauFused, "heterogeneous-speedup-laptop")
+	b.ReportMetric(tauSplit/tauFused, "heterogeneous_speedup")
 	// Paper scale: what serialising the CPU-side work onto the GPUs would
 	// cost at the tightest load-balance point (2048 chips the ocean is
 	// 85% of the atmosphere's step time) and at the hero run.
 	for _, n := range []int{2048, 20480} {
 		r := perf.Project(machine.JUPITER(), config.OneKm(), n)
 		b.ReportMetric((r.GPUStep+r.OceanPerAtmStep)/r.GPUStep,
-			fmt.Sprintf("serialised-penalty@%d", n))
+			fmt.Sprintf("serialised_penalty_%d", n))
 		if n == 20480 {
-			b.ReportMetric(r.CouplingWaitFrac, "atm-wait-frac@20480")
+			b.ReportMetric(r.CouplingWaitFrac, "atm_wait_frac_20480")
 		}
 	}
 }
@@ -234,7 +249,7 @@ func BenchmarkDaCeVsOpenACC(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			c.Run()
 		}
-		b.ReportMetric(float64(c.NaiveLookups)/float64(c.HoistedLookups), "index-lookup-reduction")
+		b.ReportMetric(float64(c.NaiveLookups)/float64(c.HoistedLookups), "index_lookup_reduction")
 	})
 }
 
@@ -244,8 +259,8 @@ func BenchmarkDaCeLoC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r = sdfg.Report(sdfg.EkinhDirectiveSource)
 	}
-	b.ReportMetric(r.Ratio(), "clean/directive-ratio")
-	b.ReportMetric(sdfg.PaperReport().Ratio(), "paper-dycore-ratio")
+	b.ReportMetric(r.Ratio(), "clean_directive_ratio")
+	b.ReportMetric(sdfg.PaperReport().Ratio(), "paper_dycore_ratio")
 }
 
 // BenchmarkSustainedBandwidth regenerates the §5.2 bandwidth figure: the
@@ -260,7 +275,7 @@ func BenchmarkSustainedBandwidth(b *testing.B) {
 		bytes := cells * 90 * 8 * 4
 		agg = h.EffBandwidth(bytes) * 20480
 	}
-	b.ReportMetric(agg/(1<<50), "aggregate-PiB/s@20480")
+	b.ReportMetric(agg/(1<<50), "aggregate_pib_per_s_20480")
 	// Also measure a real device's sustained bandwidth at laptop scale.
 	g := grid.New(grid.R2B(3))
 	vert := vertical.NewAtmosphere(20, 30000, 150)
@@ -272,7 +287,7 @@ func BenchmarkSustainedBandwidth(b *testing.B) {
 		bc.Tsfc[c] = 288
 	}
 	m.Step(120, bc)
-	b.ReportMetric(dev.SustainedBandwidth()/(1<<40), "laptop-sustained-TiB/s")
+	b.ReportMetric(dev.SustainedBandwidth()/(1<<40), "sustained_tib_per_s")
 }
 
 // BenchmarkRestartIO regenerates the §7 I/O measurements: real multi-file
@@ -300,8 +315,8 @@ func BenchmarkRestartIO(b *testing.B) {
 	}
 	b.SetBytes(2 * bytes)
 	fs := restart.JupiterFS()
-	b.ReportMetric(fs.WriteRate(2579)/restart.GiB, "paper-write-GiB/s")
-	b.ReportMetric(fs.ReadRate(2579, true)/restart.GiB, "paper-read-GiB/s")
+	b.ReportMetric(fs.WriteRate(2579)/restart.GiB, "paper_write_gib_per_s")
+	b.ReportMetric(fs.ReadRate(2579, true)/restart.GiB, "paper_read_gib_per_s")
 }
 
 // BenchmarkTauPracticalLimit regenerates the §4 τ-limit analysis.
@@ -310,12 +325,15 @@ func BenchmarkTauPracticalLimit(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		pts = perf.TauLimit([]float64{40})
 	}
-	b.ReportMetric(pts[0].Tau, "tau-limit@40km")
-	b.ReportMetric(float64(pts[0].Superchips), "chips@40km")
+	b.ReportMetric(pts[0].Tau, "tau_limit_40km")
+	b.ReportMetric(float64(pts[0].Superchips), "chips_limit_40km")
 }
 
 // BenchmarkCoupledStepWallClock measures the real wall-clock cost of one
-// coupled window at laptop scale (the library's own throughput).
+// coupled window at laptop scale (the library's own throughput). Its two
+// custom metrics are the repo's gated headline numbers: the achieved
+// temporal compression (simulated days per wall-clock day, the paper's
+// τ) and the atmosphere cell-update rate.
 func BenchmarkCoupledStepWallClock(b *testing.B) {
 	sim, err := NewSimulation(Options{})
 	if err != nil {
@@ -327,7 +345,10 @@ func BenchmarkCoupledStepWallClock(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(sim.ES.SimTime()/b.Elapsed().Seconds()/86400*86400, "sim-seconds-per-second")
+	wall := b.Elapsed().Seconds()
+	b.ReportMetric(sim.ES.SimTime()/wall, "tau_simdays_per_day")
+	atmSteps := sim.ES.SimTime() / sim.ES.Cfg.AtmDt
+	b.ReportMetric(float64(sim.ES.G.NCells)*atmSteps/wall, "cells_per_sec")
 }
 
 // BenchmarkOceanSolverScaling measures the distributed CG solver (the
@@ -378,7 +399,7 @@ func BenchmarkOceanSolverScaling(b *testing.B) {
 						allreduces = int64(dc.Allreduces)
 					}
 				})
-				b.ReportMetric(float64(allreduces), "allreduces/solve")
+				b.ReportMetric(float64(allreduces), "allreduces_per_solve")
 			}
 		})
 	}
@@ -391,6 +412,9 @@ func BenchmarkOceanSolverScaling(b *testing.B) {
 func BenchmarkRealCodeScaling(b *testing.B) {
 	for _, lev := range []int{1, 2, 3} {
 		b.Run(fmt.Sprintf("R2B%d", lev), func(b *testing.B) {
+			if testing.Short() && lev > 2 {
+				b.Skip("R2B3 builds and runs a full-size coupled simulation")
+			}
 			var tau float64
 			for i := 0; i < b.N; i++ {
 				sim, err := NewSimulation(Options{GridLevel: lev})
@@ -402,7 +426,7 @@ func BenchmarkRealCodeScaling(b *testing.B) {
 				}
 				tau = sim.Tau()
 			}
-			b.ReportMetric(tau, "tau-simulated")
+			b.ReportMetric(tau, "tau_simulated")
 		})
 	}
 }

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSmokeTinyRun runs all four laptop configurations for a couple of
+// simulated minutes on the smallest grid and checks every report block.
+func TestSmokeTinyRun(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-minutes", "2", "-grid", "1"}, &out); err != nil {
+		t.Fatalf("balance failed: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"who waits at the coupler?",
+		"default (fused BGC)",
+		"concurrent BGC",
+		"no land graphs",
+		"cpu draw 250 W",
+		"ocean-for-free across the strong-scaling range",
+		"20480",
+		"shared-TDP power headroom",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Command benchgate is the repo's performance-regression gate (the
+// perf-trajectory discipline behind the paper's headline τ claim):
+//
+//	benchgate record            # run benchmarks N×, write BENCH_<n>.json
+//	benchgate compare old new   # exit 1 if new regresses beyond tolerance
+//	benchgate gate              # run now, compare against latest BENCH_*.json
+//	benchgate trend             # print the trajectory across all baselines
+//
+// Baselines are schema-versioned JSON (git SHA, date, go version, host
+// fingerprint, per-benchmark median+IQR stats, model-projection
+// snapshot); see internal/bench for the format and the gating policy
+// (default: 10% on ns/op, 0% allocs/op growth, noise-aware via the
+// interquartile spread).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"icoearth/internal/bench"
+	"icoearth/internal/perf"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, bench.ExecCommand); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+const usage = `usage: benchgate <record|compare|gate|trend> [flags]
+
+record  run the benchmark suite repeatedly and write the next BENCH_<n>.json
+compare <old.json> <new.json>: exit non-zero when new regresses beyond tolerance
+gate    run the suite now and compare against the latest committed BENCH_*.json
+trend   print the perf trajectory across every BENCH_*.json
+`
+
+// run dispatches the subcommands; cmdf abstracts external command
+// execution (`go test`, `git`) so tests can fake entire runs.
+func run(args []string, out io.Writer, cmdf bench.CommandFunc) error {
+	if len(args) == 0 {
+		return fmt.Errorf("missing subcommand\n%s", usage)
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "record":
+		return record(rest, out, cmdf)
+	case "compare":
+		return compare(rest, out)
+	case "gate":
+		return gate(rest, out, cmdf)
+	case "trend":
+		return trend(rest, out)
+	default:
+		return fmt.Errorf("unknown subcommand %q\n%s", sub, usage)
+	}
+}
+
+// specFlags registers the shared benchmark-run flags on fs.
+func specFlags(fs *flag.FlagSet) *bench.Spec {
+	s := &bench.Spec{}
+	fs.StringVar(&s.Bench, "bench", ".", "benchmark regex passed to go test")
+	fs.IntVar(&s.Count, "count", 5, "separate go test processes per benchmark")
+	fs.StringVar(&s.Benchtime, "benchtime", "3x", "go test -benchtime (3x averages over warmup)")
+	fs.BoolVar(&s.Short, "short", true, "skip the multi-simulation benchmarks (-short)")
+	fs.Func("pkg", "package to benchmark (default \".\", repeatable)", func(v string) error {
+		s.Packages = append(s.Packages, v)
+		return nil
+	})
+	return s
+}
+
+// calibrate measures the host-speed reference workload; a variable so
+// tests that fake `go test` can pin it instead of timing the real
+// machine under a loaded test runner.
+var calibrate = bench.CalibrationNs
+
+// measure runs the spec and assembles a fully-provenanced baseline.
+func measure(s *bench.Spec, out io.Writer, cmdf bench.CommandFunc) (*bench.Baseline, error) {
+	set, err := s.Run(cmdf, out)
+	if err != nil {
+		return nil, err
+	}
+	sha := ""
+	if shaOut, err := cmdf("git", "rev-parse", "HEAD"); err == nil {
+		sha = strings.TrimSpace(string(shaOut))
+	}
+	return &bench.Baseline{
+		GitSHA:      sha,
+		Date:        time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		Host:        bench.HostFingerprint(),
+		Runs:        s.Count,
+		CalibNs:     calibrate(),
+		Projections: perf.Snapshot(),
+		Benchmarks:  set.Summaries(),
+	}, nil
+}
+
+func record(args []string, out io.Writer, cmdf bench.CommandFunc) error {
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	s := specFlags(fs)
+	dir := fs.String("dir", ".", "directory holding BENCH_*.json")
+	o := fs.String("o", "", "explicit output path (default: next BENCH_<n>.json in -dir)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := measure(s, out, cmdf)
+	if err != nil {
+		return err
+	}
+	path := *o
+	if path == "" {
+		if path, err = bench.NextPath(*dir); err != nil {
+			return err
+		}
+	}
+	if err := b.Write(path); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "recorded %d benchmarks × %d runs → %s\n", len(b.Benchmarks), s.Count, path)
+	return nil
+}
+
+func compare(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("compare needs exactly two baseline files\n%s", usage)
+	}
+	oldB, err := bench.ReadBaseline(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newB, err := bench.ReadBaseline(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	rep := bench.Compare(oldB, newB)
+	fmt.Fprint(out, rep.Format())
+	if !rep.OK() {
+		return fmt.Errorf("%d regression(s), %d missing benchmark(s) vs %s",
+			len(rep.Regressions), len(rep.Missing), fs.Arg(0))
+	}
+	return nil
+}
+
+func gate(args []string, out io.Writer, cmdf bench.CommandFunc) error {
+	fs := flag.NewFlagSet("gate", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	s := specFlags(fs)
+	dir := fs.String("dir", ".", "directory holding BENCH_*.json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	latest, err := bench.Latest(*dir)
+	if err != nil {
+		return err
+	}
+	if latest == nil {
+		return fmt.Errorf("no BENCH_*.json baseline in %s; run `benchgate record` first", *dir)
+	}
+	fmt.Fprintf(out, "gating against %s (%s)\n", latest.Path, latest.Date)
+	newB, err := measure(s, out, cmdf)
+	if err != nil {
+		return err
+	}
+	rep := bench.Compare(latest.Baseline, newB)
+	fmt.Fprint(out, rep.Format())
+	if !rep.OK() {
+		return fmt.Errorf("%d regression(s), %d missing benchmark(s) vs %s",
+			len(rep.Regressions), len(rep.Missing), latest.Path)
+	}
+	return nil
+}
+
+func trend(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("trend", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	dir := fs.String("dir", ".", "directory holding BENCH_*.json")
+	all := fs.Bool("all", false, "include informational metrics")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	baselines, err := bench.LoadAll(*dir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, bench.Trend(baselines, *all))
+	return nil
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"icoearth/internal/bench"
+)
+
+// Pin the host-speed calibration so fabricated benchmark output isn't
+// "normalized" by real timings taken on a loaded test runner.
+func init() { calibrate = func() float64 { return 1e8 } }
+
+// fakeGo fabricates `go test -bench` output with the given ns/op, and
+// answers `git rev-parse` with a fixed SHA — so the full
+// record→compare→trend cycle runs without real benchmarks.
+func fakeGo(nsop float64) bench.CommandFunc {
+	return func(name string, args ...string) ([]byte, error) {
+		if name == "git" {
+			return []byte("deadbeef0123\n"), nil
+		}
+		// No -procs suffix so the fabricated output parses the same
+		// whatever the host's GOMAXPROCS is.
+		return []byte(fmt.Sprintf(
+			"BenchmarkHotKernel 100 %.0f ns/op 0 B/op 0 allocs/op 12.5 tau_simdays_per_day\nPASS\n",
+			nsop)), nil
+	}
+}
+
+func TestRecordCompareTrendCycle(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+
+	// Record the seed baseline.
+	if err := run([]string{"record", "-count", "3", "-dir", dir}, &out, fakeGo(1e6)); err != nil {
+		t.Fatal(err)
+	}
+	seed := filepath.Join(dir, "BENCH_1.json")
+	b, err := bench.ReadBaseline(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.GitSHA != "deadbeef0123" || b.Runs != 3 || b.Schema != bench.SchemaVersion {
+		t.Errorf("provenance: %+v", b)
+	}
+	if len(b.Projections) == 0 {
+		t.Error("projection snapshot missing from baseline")
+	}
+
+	// Record a 2× slower second baseline; compare must fail.
+	if err := run([]string{"record", "-dir", dir}, &out, fakeGo(2e6)); err != nil {
+		t.Fatal(err)
+	}
+	slow := filepath.Join(dir, "BENCH_2.json")
+	out.Reset()
+	err = run([]string{"compare", seed, slow}, &out, nil)
+	if err == nil {
+		t.Fatal("compare passed a 2× slowdown")
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("compare output:\n%s", out.String())
+	}
+
+	// Self-compare passes.
+	if err := run([]string{"compare", seed, seed}, &out, nil); err != nil {
+		t.Fatalf("self-compare failed: %v", err)
+	}
+
+	// Trend renders both baselines.
+	out.Reset()
+	if err := run([]string{"trend", "-dir", dir}, &out, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"BENCH_1", "BENCH_2", "BenchmarkHotKernel"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("trend missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestGateAgainstLatestBaseline(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"record", "-dir", dir}, &out, fakeGo(1e6)); err != nil {
+		t.Fatal(err)
+	}
+	// Unchanged performance passes the gate.
+	if err := run([]string{"gate", "-dir", dir}, &out, fakeGo(1.01e6)); err != nil {
+		t.Fatalf("gate failed on 1%% drift: %v", err)
+	}
+	// A 2× slowdown fails it.
+	if err := run([]string{"gate", "-dir", dir}, &out, fakeGo(2e6)); err == nil {
+		t.Fatal("gate passed a 2× slowdown")
+	}
+	// No baseline at all is an error, not a silent pass.
+	if err := run([]string{"gate", "-dir", t.TempDir()}, &out, fakeGo(1e6)); err == nil {
+		t.Fatal("gate with no baseline passed")
+	}
+}
+
+func TestUnknownSubcommand(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"frobnicate"}, &out, nil); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := run(nil, &out, nil); err == nil {
+		t.Fatal("missing subcommand accepted")
+	}
+}

@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
@@ -17,17 +18,26 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("esmrun", flag.ContinueOnError)
 	var (
-		hours   = flag.Float64("hours", 3, "simulated hours to run")
-		gridLev = flag.Int("grid", 2, "icosahedral grid level (R2B<level>)")
-		atmLev  = flag.Int("atmlev", 10, "atmosphere levels")
-		ocLev   = flag.Int("oclev", 8, "ocean levels")
-		atmDt   = flag.Float64("atmdt", 120, "atmosphere timestep (s)")
-		bgcConc = flag.Bool("bgc-concurrent", false, "run biogeochemistry concurrently on its own GPU device")
-		noGraph = flag.Bool("no-graphs", false, "disable CUDA-Graph capture for land kernels")
-		ckpt    = flag.String("checkpoint", "", "directory to write a restart at the end")
+		hours   = fs.Float64("hours", 3, "simulated hours to run")
+		gridLev = fs.Int("grid", 2, "icosahedral grid level (R2B<level>)")
+		atmLev  = fs.Int("atmlev", 10, "atmosphere levels")
+		ocLev   = fs.Int("oclev", 8, "ocean levels")
+		atmDt   = fs.Float64("atmdt", 120, "atmosphere timestep (s)")
+		bgcConc = fs.Bool("bgc-concurrent", false, "run biogeochemistry concurrently on its own GPU device")
+		noGraph = fs.Bool("no-graphs", false, "disable CUDA-Graph capture for land kernels")
+		ckpt    = fs.String("checkpoint", "", "directory to write a restart at the end")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	sim, err := icoearth.NewSimulation(icoearth.Options{
 		GridLevel:         *gridLev,
@@ -38,44 +48,45 @@ func main() {
 		DisableLandGraphs: *noGraph,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	d0 := sim.Diagnostics()
-	fmt.Printf("icoearth coupled Earth system — grid R2B%d (%d cells), %d atm levels\n",
+	fmt.Fprintf(out, "icoearth coupled Earth system — grid R2B%d (%d cells), %d atm levels\n",
 		*gridLev, sim.ES.G.NCells, *atmLev)
-	fmt.Printf("initial: water %.6g kg, carbon %.6g kg, CO2 %.0f ppm, SST %.1f °C\n",
+	fmt.Fprintf(out, "initial: water %.6g kg, carbon %.6g kg, CO2 %.0f ppm, SST %.1f °C\n",
 		d0.TotalWaterKg, d0.TotalCarbonKg, d0.AtmosCO2PPM, d0.MeanSST)
 
 	wall0 := time.Now()
 	step := time.Duration(*hours/6*float64(time.Hour)) + time.Second
 	for i := 0; i < 6; i++ {
 		if err := sim.Run(step); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		d := sim.Diagnostics()
-		fmt.Printf("t=%8s  τ(sim machine)=%7.1f  SST=%5.2f°C  ice=%.2e m²  CO2=%.1f ppm\n",
+		fmt.Fprintf(out, "t=%8s  τ(sim machine)=%7.1f  SST=%5.2f°C  ice=%.2e m²  CO2=%.1f ppm\n",
 			d.SimTime.Truncate(time.Minute), d.Tau, d.MeanSST, d.SeaIceAreaM2, d.AtmosCO2PPM)
 	}
 
 	d1 := sim.Diagnostics()
-	fmt.Printf("\nconservation: water drift %.2e, carbon drift %.2e\n",
+	fmt.Fprintf(out, "\nconservation: water drift %.2e, carbon drift %.2e\n",
 		rel(d1.TotalWaterKg, d0.TotalWaterKg), rel(d1.TotalCarbonKg, d0.TotalCarbonKg))
-	fmt.Printf("coupling: atmosphere waited %.3fs, ocean waited %.3fs (simulated)\n",
+	fmt.Fprintf(out, "coupling: atmosphere waited %.3fs, ocean waited %.3fs (simulated)\n",
 		d1.AtmWaitSeconds, d1.OceanWaitSecs)
-	fmt.Printf("energy (simulated): GPU %.3g J, CPU %.3g J; wall clock %.1fs\n",
+	fmt.Fprintf(out, "energy (simulated): GPU %.3g J, CPU %.3g J; wall clock %.1fs\n",
 		d1.GPUEnergyJ, d1.CPUEnergyJ, time.Since(wall0).Seconds())
 
 	if *ckpt != "" {
 		if err := os.MkdirAll(*ckpt, 0o755); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		n, err := sim.Checkpoint(*ckpt, 4)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("checkpoint: %.1f MiB in %s\n", float64(n)/(1<<20), *ckpt)
+		fmt.Fprintf(out, "checkpoint: %.1f MiB in %s\n", float64(n)/(1<<20), *ckpt)
 	}
+	return nil
 }
 
 func rel(a, b float64) float64 {

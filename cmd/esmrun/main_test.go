@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSmokeTinyGrid drives the full esmrun path on the smallest grid for
+// a few simulated minutes: exit nil + the expected stdout shape.
+func TestSmokeTinyGrid(t *testing.T) {
+	var out strings.Builder
+	ckpt := filepath.Join(t.TempDir(), "restart")
+	err := run([]string{"-hours", "0.1", "-grid", "1", "-atmlev", "5", "-oclev", "4",
+		"-checkpoint", ckpt}, &out)
+	if err != nil {
+		t.Fatalf("esmrun failed: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"icoearth coupled Earth system — grid R2B1",
+		"initial: water",
+		"τ(sim machine)=",
+		"conservation: water drift",
+		"energy (simulated):",
+		"checkpoint:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	files, err := os.ReadDir(ckpt)
+	if err != nil || len(files) == 0 {
+		t.Errorf("checkpoint dir empty (err=%v)", err)
+	}
+}
+
+func TestBadFlagRejected(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
@@ -19,61 +20,72 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("iobench", flag.ContinueOnError)
 	var (
-		gridLev = flag.Int("grid", 3, "grid level for the real I/O test")
-		nfiles  = flag.Int("files", 8, "restart files (writer ranks)")
-		dir     = flag.String("dir", "", "directory (default: temp)")
+		gridLev = fs.Int("grid", 3, "grid level for the real I/O test")
+		nfiles  = fs.Int("files", 8, "restart files (writer ranks)")
+		minutes = fs.Float64("minutes", 10, "simulated minutes before the checkpoint")
+		dir     = fs.String("dir", "", "directory (default: temp)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	d := *dir
 	if d == "" {
 		var err error
 		d, err = os.MkdirTemp("", "icoearth-restart")
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer os.RemoveAll(d)
 	}
 
 	sim, err := icoearth.NewSimulation(icoearth.Options{GridLevel: *gridLev})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	if err := sim.Run(10 * time.Minute); err != nil {
-		log.Fatal(err)
+	if err := sim.Run(time.Duration(*minutes * float64(time.Minute))); err != nil {
+		return err
 	}
 
 	t0 := time.Now()
 	n, err := sim.Checkpoint(d, *nfiles)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	wt := time.Since(t0).Seconds()
-	fmt.Printf("real multi-file write: %.1f MiB in %d files, %.3f s (%.0f MiB/s)\n",
+	fmt.Fprintf(out, "real multi-file write: %.1f MiB in %d files, %.3f s (%.0f MiB/s)\n",
 		float64(n)/(1<<20), *nfiles, wt, float64(n)/(1<<20)/wt)
 
 	t0 = time.Now()
 	if err := sim.Restore(d); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	rt := time.Since(t0).Seconds()
-	fmt.Printf("real staggered read:   %.1f MiB, %.3f s (%.0f MiB/s)\n",
+	fmt.Fprintf(out, "real staggered read:   %.1f MiB, %.3f s (%.0f MiB/s)\n",
 		float64(n)/(1<<20), rt, float64(n)/(1<<20)/rt)
 
-	fmt.Println("\npaper-scale projection (1.25 km restart on the JUPITER filesystem):")
-	fs := restart.JupiterFS()
+	fmt.Fprintln(out, "\npaper-scale projection (1.25 km restart on the JUPITER filesystem):")
+	pfs := restart.JupiterFS()
 	atm, oc := config.OneKm().RestartBytes()
 	const gib = 1 << 30
 	for _, row := range []struct {
 		name  string
 		bytes float64
 	}{{"atmosphere", atm}, {"ocean", oc}} {
-		fmt.Printf("  %-10s %8.2f GiB: write %6.1f s @ %6.2f GiB/s | staggered read %6.1f s @ %6.2f GiB/s\n",
+		fmt.Fprintf(out, "  %-10s %8.2f GiB: write %6.1f s @ %6.2f GiB/s | staggered read %6.1f s @ %6.2f GiB/s\n",
 			row.name, row.bytes/gib,
-			fs.WriteTime(row.bytes, 2579), fs.WriteRate(2579)/gib,
-			fs.ReadTime(row.bytes, 2579, true), fs.ReadRate(2579, true)/gib)
+			pfs.WriteTime(row.bytes, 2579), pfs.WriteRate(2579)/gib,
+			pfs.ReadTime(row.bytes, 2579, true), pfs.ReadRate(2579, true)/gib)
 	}
-	fmt.Printf("  unstaggered read penalty: %.1f× slower\n",
-		fs.ReadRate(2579, true)/fs.ReadRate(2579, false))
+	fmt.Fprintf(out, "  unstaggered read penalty: %.1f× slower\n",
+		pfs.ReadRate(2579, true)/pfs.ReadRate(2579, false))
+	return nil
 }

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSmokeTinyGrid runs the real write→read round trip on the smallest
+// grid with a short spin-up, then checks the projection block renders.
+func TestSmokeTinyGrid(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-grid", "1", "-files", "2", "-minutes", "1",
+		"-dir", t.TempDir()}, &out)
+	if err != nil {
+		t.Fatalf("iobench failed: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"real multi-file write:",
+		"real staggered read:",
+		"paper-scale projection",
+		"atmosphere",
+		"ocean",
+		"unstaggered read penalty:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}

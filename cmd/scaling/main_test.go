@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSmokeAllFigures runs every figure mode and asserts the stdout
+// shape, including the paper's anchor values the model must reproduce.
+func TestSmokeAllFigures(t *testing.T) {
+	cases := []struct {
+		figure string
+		wants  []string
+	}{
+		{"4left", []string{"Figure 4 (left)", "JUPITER", "weak-scaling efficiency"}},
+		{"4right", []string{"Figure 4 (right)", "τ="}},
+		{"2", []string{"Levante CPU vs GPU", "CPU/GPU power ratio"}},
+		{"taulimit", []string{"practical τ limit", "Δx=", "superchips minimum"}},
+	}
+	for _, c := range cases {
+		var out strings.Builder
+		if err := run([]string{"-figure", c.figure}, &out); err != nil {
+			t.Fatalf("figure %s: %v", c.figure, err)
+		}
+		for _, want := range c.wants {
+			if !strings.Contains(out.String(), want) {
+				t.Errorf("figure %s missing %q:\n%s", c.figure, want, out.String())
+			}
+		}
+	}
+	// The hero anchor τ=145.7 appears in the 4left sweep.
+	var out strings.Builder
+	if err := run([]string{"-figure", "4left"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "145.7") {
+		t.Errorf("4left lost the τ=145.7 anchor:\n%s", out.String())
+	}
+}
+
+func TestUnknownFigureFails(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-figure", "nope"}, &out); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+)
+
+// SchemaVersion is bumped whenever the Baseline JSON layout changes
+// incompatibly; readers refuse files from a future schema so a stale
+// checkout never mis-reads a newer baseline.
+const SchemaVersion = 1
+
+// Host fingerprints the machine a baseline was recorded on. Comparing
+// baselines across different fingerprints is allowed (CI does it) but
+// the gate reports the mismatch so a "regression" that is really a
+// hardware change is diagnosable.
+type Host struct {
+	Hostname string `json:"hostname"`
+	OS       string `json:"os"`
+	Arch     string `json:"arch"`
+	NumCPU   int    `json:"num_cpu"`
+}
+
+// HostFingerprint captures the current machine.
+func HostFingerprint() Host {
+	hn, _ := os.Hostname()
+	return Host{Hostname: hn, OS: runtime.GOOS, Arch: runtime.GOARCH, NumCPU: runtime.NumCPU()}
+}
+
+// Equal reports whether two fingerprints describe comparable machines
+// (hostname is informational; OS/arch/CPU count decide comparability).
+func (h Host) Equal(o Host) bool {
+	return h.OS == o.OS && h.Arch == o.Arch && h.NumCPU == o.NumCPU
+}
+
+// Baseline is one recorded BENCH_<n>.json: the provenance of the run
+// plus per-benchmark, per-metric summaries.
+type Baseline struct {
+	Schema    int    `json:"schema"`
+	GitSHA    string `json:"git_sha"`
+	Date      string `json:"date"` // RFC 3339
+	GoVersion string `json:"go_version"`
+	Host      Host   `json:"host"`
+	// Runs is the per-benchmark repetition count the summaries reduce.
+	Runs int `json:"runs"`
+	// CalibNs is the median wall time of the fixed reference workload
+	// (CalibrationNs) measured at record time. When both baselines carry
+	// it, Compare divides out the host-speed ratio so a globally
+	// slower/faster machine doesn't read as a code regression.
+	CalibNs float64 `json:"calib_ns,omitempty"`
+	// Projections snapshots the calibrated performance model's headline
+	// numbers (internal/perf.Snapshot) so the analytic trajectory is
+	// recorded alongside the measured one.
+	Projections map[string]float64 `json:"projections,omitempty"`
+	// Benchmarks: name → metric unit → summary.
+	Benchmarks map[string]map[string]Summary `json:"benchmarks"`
+}
+
+// Write marshals the baseline deterministically (sorted keys, indented)
+// so committed BENCH_<n>.json files diff cleanly.
+func (b *Baseline) Write(path string) error {
+	b.Schema = SchemaVersion
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBaseline loads and schema-checks one baseline file.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if b.Schema > SchemaVersion {
+		return nil, fmt.Errorf("bench: %s has schema %d, this tool understands ≤ %d",
+			path, b.Schema, SchemaVersion)
+	}
+	if b.Benchmarks == nil {
+		return nil, fmt.Errorf("bench: %s has no benchmarks section", path)
+	}
+	return &b, nil
+}
+
+var benchFileRE = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// Indexed pairs a loaded baseline with its sequence number and path.
+type Indexed struct {
+	Index int
+	Path  string
+	*Baseline
+}
+
+// LoadAll reads every BENCH_<n>.json in dir, sorted by index. Missing
+// directory or no matches yield an empty slice, not an error.
+func LoadAll(dir string) ([]Indexed, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []Indexed
+	for _, e := range entries {
+		m := benchFileRE.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		idx, _ := strconv.Atoi(m[1])
+		path := filepath.Join(dir, e.Name())
+		b, err := ReadBaseline(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Indexed{Index: idx, Path: path, Baseline: b})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out, nil
+}
+
+// Latest returns the highest-numbered baseline in dir, or nil if none.
+func Latest(dir string) (*Indexed, error) {
+	all, err := LoadAll(dir)
+	if err != nil || len(all) == 0 {
+		return nil, err
+	}
+	return &all[len(all)-1], nil
+}
+
+// NextPath returns the path of the next baseline in sequence
+// (BENCH_<max+1>.json, starting at BENCH_1.json).
+func NextPath(dir string) (string, error) {
+	all, err := LoadAll(dir)
+	if err != nil {
+		return "", err
+	}
+	next := 1
+	if len(all) > 0 {
+		next = all[len(all)-1].Index + 1
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", next)), nil
+}

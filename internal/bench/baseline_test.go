@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample(sha string) *Baseline {
+	return &Baseline{
+		GitSHA: sha, Date: "2026-08-06T00:00:00Z", GoVersion: "go1.24.0",
+		Host: HostFingerprint(), Runs: 5,
+		Projections: map[string]float64{"tau_1km_jupiter_20480": 145.7},
+		Benchmarks: map[string]map[string]Summary{
+			"BenchmarkX": {"ns/op": tight(1000)},
+		},
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_1.json")
+	if err := sample("abc123").Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SchemaVersion || got.GitSHA != "abc123" || got.Runs != 5 {
+		t.Errorf("round trip lost provenance: %+v", got)
+	}
+	if got.Benchmarks["BenchmarkX"]["ns/op"].Median != 1000 {
+		t.Errorf("round trip lost summaries: %+v", got.Benchmarks)
+	}
+	if got.Projections["tau_1km_jupiter_20480"] != 145.7 {
+		t.Errorf("round trip lost projections: %+v", got.Projections)
+	}
+}
+
+func TestReadBaselineRejectsFutureSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_9.json")
+	if err := os.WriteFile(path,
+		[]byte(`{"schema": 999, "benchmarks": {}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBaseline(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("future schema accepted (err=%v)", err)
+	}
+}
+
+func TestNextPathAndLoadAllOrdering(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NextPath(dir)
+	if err != nil || filepath.Base(p) != "BENCH_1.json" {
+		t.Fatalf("empty dir next = %q, %v", p, err)
+	}
+	// Write out of order, including a double-digit index so ordering is
+	// numeric, not lexical.
+	for _, n := range []string{"BENCH_2.json", "BENCH_10.json", "BENCH_1.json"} {
+		if err := sample(n).Write(filepath.Join(dir, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Non-matching files are ignored.
+	os.WriteFile(filepath.Join(dir, "BENCH_notes.txt"), []byte("x"), 0o644)
+	all, err := LoadAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 || all[0].Index != 1 || all[1].Index != 2 || all[2].Index != 10 {
+		t.Fatalf("order = %+v", all)
+	}
+	latest, err := Latest(dir)
+	if err != nil || latest.Index != 10 {
+		t.Fatalf("latest = %+v, %v", latest, err)
+	}
+	p, err = NextPath(dir)
+	if err != nil || filepath.Base(p) != "BENCH_11.json" {
+		t.Fatalf("next = %q, %v", p, err)
+	}
+}
+
+func TestLoadAllMissingDir(t *testing.T) {
+	all, err := LoadAll(filepath.Join(t.TempDir(), "nope"))
+	if err != nil || all != nil {
+		t.Fatalf("missing dir: %v %v", all, err)
+	}
+}

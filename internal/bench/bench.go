@@ -1,0 +1,15 @@
+// Package bench is the performance-regression harness behind
+// cmd/benchgate: it parses `go test -bench` output (including the
+// custom metrics the repo's benchmarks emit via b.ReportMetric), runs
+// each benchmark N times in separate processes, summarises every metric
+// with median + interquartile spread so noisy runners don't flap, and
+// compares two schema-versioned BENCH_<n>.json baselines under
+// per-metric noise-aware tolerances.
+//
+// The paper's headline claim is a throughput number (τ = 145.7
+// simulated days per day); this package is what makes the repo's own
+// throughput trajectory durable across PRs: `benchgate record` writes a
+// baseline, `benchgate compare` fails the build when a hot kernel
+// regresses, and `benchgate trend` renders the trajectory across all
+// committed baselines.
+package bench

@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"runtime"
+	"time"
+)
+
+// CalibrationNs measures a fixed memory-bound reference workload — a
+// read-modify-write sweep over a 64 MiB array, the access pattern of
+// the repo's stencil kernels — and returns the median wall time of
+// several repetitions in nanoseconds. The median (not the minimum)
+// matches the statistic the benchmarks themselves gate on: on bursty
+// shared CPUs the best-case rep can be far faster than the sustained
+// rate the benchmarks actually saw, which would mis-scale everything.
+//
+// Recorded into every baseline, it turns cross-session comparisons
+// from absolute into machine-relative: when the runner is globally 20%
+// slower than it was at record time (thermal state, noisy neighbour,
+// different hardware), every benchmark and the calibration slow down
+// together, and Compare divides the drift out. A real code regression
+// moves benchmarks without moving the calibration.
+func CalibrationNs() float64 {
+	const n = 1 << 23 // 8M float64 = 64 MiB, well past any cache
+	a := make([]float64, n)
+	for i := range a {
+		a[i] = float64(i&1023) + 1
+	}
+	const reps = 7
+	times := make([]float64, 0, reps)
+	for rep := 0; rep < reps; rep++ {
+		t0 := time.Now()
+		for pass := 0; pass < 2; pass++ {
+			for i := range a {
+				a[i] = a[i]*1.0000001 + 0.5
+			}
+		}
+		times = append(times, float64(time.Since(t0).Nanoseconds()))
+	}
+	runtime.KeepAlive(a)
+	return Summarize(times).Median
+}

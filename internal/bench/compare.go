@@ -1,0 +1,268 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Direction says which way a metric is allowed to move.
+type Direction int
+
+const (
+	// LowerIsBetter gates growth (ns/op, B/op, allocs/op).
+	LowerIsBetter Direction = iota
+	// HigherIsBetter gates shrinkage (throughput: tau, cells/s, MB/s).
+	HigherIsBetter
+	// Informational metrics are recorded and trended but never gate:
+	// the calibrated model's deterministic projections change only when
+	// the model changes, which is a deliberate act that re-records the
+	// baseline, not a perf regression.
+	Informational
+)
+
+// ScaleKind says how a metric responds to overall machine speed, which
+// decides whether the host-speed calibration ratio is divided out,
+// multiplied in, or ignored.
+type ScaleKind int
+
+const (
+	// Unscaled metrics are machine-independent counts (B/op, allocs/op).
+	Unscaled ScaleKind = iota
+	// TimeScaled metrics grow on a slower machine (ns/op).
+	TimeScaled
+	// ThroughputScaled metrics shrink on a slower machine (MB/s, tau).
+	ThroughputScaled
+)
+
+// Policy is the per-metric gating rule: the allowed relative drift of
+// the median in the bad direction. The gate is noise-aware: on top of
+// the relative tolerance, the medians must differ by more than the
+// larger of the two runs' interquartile spreads before a metric flags,
+// so a wide-variance benchmark can't flap the gate.
+type Policy struct {
+	Direction Direction
+	Tolerance float64 // relative, e.g. 0.10 = 10%
+	// MinAbs is an absolute floor on the old median: below it the
+	// metric is tracked but not gated. A 20 µs table-generation
+	// benchmark measured one-shot on a loaded runner swings tens of
+	// percent from pure scheduling noise; the repo's hot kernels
+	// (coupled step, land graphs, solver) all sit well above the floor.
+	MinAbs float64
+	// Scale selects the host-speed normalization for the metric.
+	Scale ScaleKind
+}
+
+// DefaultPolicies gates the standard testing metrics: wall time may
+// drift 10% (on benchmarks ≥ 100 µs), bytes 10%, allocation *count*
+// not at all — an alloc-count increase on a hot kernel is a code
+// change, never noise.
+var DefaultPolicies = map[string]Policy{
+	"ns/op":     {Direction: LowerIsBetter, Tolerance: 0.10, MinAbs: 1e5, Scale: TimeScaled},
+	"B/op":      {Direction: LowerIsBetter, Tolerance: 0.10},
+	"allocs/op": {Direction: LowerIsBetter, Tolerance: 0.00},
+	"MB/s":      {Direction: HigherIsBetter, Tolerance: 0.10, Scale: ThroughputScaled},
+}
+
+// GatedCustomMetrics are the repo's own wall-clock-derived throughput
+// metrics (stable names reported via b.ReportMetric in bench_test.go);
+// they gate like MB/s but with a wider band because a coupled-model
+// step is noisier than a microbenchmark.
+var GatedCustomMetrics = map[string]Policy{
+	"tau_simdays_per_day": {Direction: HigherIsBetter, Tolerance: 0.15, Scale: ThroughputScaled},
+	"cells_per_sec":       {Direction: HigherIsBetter, Tolerance: 0.15, Scale: ThroughputScaled},
+	"tau_simulated":       {Direction: HigherIsBetter, Tolerance: 0.15, Scale: ThroughputScaled},
+}
+
+// PolicyFor resolves the gating rule for a metric unit.
+func PolicyFor(unit string) Policy {
+	if p, ok := DefaultPolicies[unit]; ok {
+		return p
+	}
+	if p, ok := GatedCustomMetrics[unit]; ok {
+		return p
+	}
+	return Policy{Direction: Informational}
+}
+
+// Regression is one metric that moved beyond its tolerance in the bad
+// direction between two baselines.
+type Regression struct {
+	Benchmark string
+	Metric    string
+	Old, New  Summary
+	// Change is the signed relative move of the median, positive = grew.
+	Change    float64
+	Tolerance float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s: %.4g → %.4g (%+.1f%%, tolerance ±%.0f%%)",
+		r.Benchmark, r.Metric, r.Old.Median, r.New.Median,
+		100*r.Change, 100*r.Tolerance)
+}
+
+// Report is the outcome of comparing a new baseline against an old one.
+type Report struct {
+	Regressions []Regression
+	// Improvements are metrics that moved beyond tolerance in the good
+	// direction (reported so wins are visible, never gated on).
+	Improvements []Regression
+	// Missing are benchmarks present in the old baseline but absent
+	// from the new one — a silently dropped benchmark must fail the
+	// gate, otherwise deleting a slow benchmark "fixes" its regression.
+	Missing []string
+	// HostMismatch is set when the two baselines were recorded on
+	// machines with different OS/arch/CPU-count fingerprints.
+	HostMismatch bool
+	// HostSpeed is the calibration ratio newCalib/oldCalib applied to
+	// time and throughput metrics before gating (1 when either baseline
+	// lacks a calibration). >1 means the new run's machine was slower.
+	HostSpeed float64
+}
+
+// OK reports whether the gate passes.
+func (r Report) OK() bool { return len(r.Regressions) == 0 && len(r.Missing) == 0 }
+
+// Format renders the report as the text benchgate prints.
+func (r Report) Format() string {
+	var b strings.Builder
+	if r.HostMismatch {
+		b.WriteString("note: baselines were recorded on different machines; " +
+			"treat absolute comparisons with suspicion\n")
+	}
+	if math.Abs(r.HostSpeed-1) > 0.02 {
+		fmt.Fprintf(&b, "note: host-speed calibration ×%.3f divided out of "+
+			"time/throughput metrics (new machine state %s)\n",
+			r.HostSpeed, map[bool]string{true: "slower", false: "faster"}[r.HostSpeed > 1])
+	}
+	for _, m := range r.Missing {
+		fmt.Fprintf(&b, "MISSING    %s (in old baseline, absent from new)\n", m)
+	}
+	for _, reg := range r.Regressions {
+		fmt.Fprintf(&b, "REGRESSION %s\n", reg)
+	}
+	for _, imp := range r.Improvements {
+		fmt.Fprintf(&b, "improved   %s\n", imp)
+	}
+	if r.OK() {
+		b.WriteString("benchgate: OK\n")
+	}
+	return b.String()
+}
+
+// Compare gates newB against oldB under the default policies. Only
+// benchmarks present in both are compared metric-by-metric; benchmarks
+// that disappeared are reported as Missing, new benchmarks pass freely
+// (they will be gated once they enter a recorded baseline).
+func Compare(oldB, newB *Baseline) Report {
+	var rep Report
+	rep.HostMismatch = !oldB.Host.Equal(newB.Host)
+	rep.HostSpeed = 1
+	if oldB.CalibNs > 0 && newB.CalibNs > 0 {
+		// Clamp the correction: beyond 4× in either direction something
+		// other than ambient load changed, and silently normalizing it
+		// away would hide more than it reveals.
+		rep.HostSpeed = math.Min(4, math.Max(0.25, newB.CalibNs/oldB.CalibNs))
+	}
+	names := make([]string, 0, len(oldB.Benchmarks))
+	for name := range oldB.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		oldMetrics := oldB.Benchmarks[name]
+		newMetrics, ok := newB.Benchmarks[name]
+		if !ok {
+			rep.Missing = append(rep.Missing, name)
+			continue
+		}
+		units := make([]string, 0, len(oldMetrics))
+		for unit := range oldMetrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			o := oldMetrics[unit]
+			n, ok := newMetrics[unit]
+			if !ok {
+				// A metric (not the whole benchmark) vanishing means the
+				// benchmark's reporting changed; surface it like a missing
+				// benchmark so renames force a baseline re-record.
+				rep.Missing = append(rep.Missing, name+" ["+unit+"]")
+				continue
+			}
+			pol := PolicyFor(unit)
+			if pol.Direction == Informational {
+				continue
+			}
+			verdict(&rep, name, unit, o, normalize(n, pol.Scale, rep.HostSpeed), pol)
+		}
+	}
+	return rep
+}
+
+// normalize rescales a new-run summary into the old run's machine-speed
+// frame: time metrics from a machine running `speed`× slower are
+// divided by it, throughput metrics multiplied. Counts pass through.
+func normalize(s Summary, kind ScaleKind, speed float64) Summary {
+	var f float64
+	switch {
+	case speed == 1 || kind == Unscaled:
+		return s
+	case kind == TimeScaled:
+		f = 1 / speed
+	default: // ThroughputScaled
+		f = speed
+	}
+	s.Median *= f
+	s.Q1 *= f
+	s.Q3 *= f
+	s.Min *= f
+	s.Max *= f
+	return s
+}
+
+// verdict classifies one metric move under its policy.
+func verdict(rep *Report, name, unit string, o, n Summary, pol Policy) {
+	if math.Abs(o.Median) < pol.MinAbs {
+		return
+	}
+	if o.Median == 0 {
+		// A zero baseline (e.g. 0 allocs/op) gates absolutely: any
+		// growth of a lower-is-better metric is a regression.
+		if pol.Direction == LowerIsBetter && n.Median > 0 {
+			rep.Regressions = append(rep.Regressions, Regression{
+				Benchmark: name, Metric: unit, Old: o, New: n,
+				Change: math.Inf(1), Tolerance: pol.Tolerance,
+			})
+		}
+		return
+	}
+	change := (n.Median - o.Median) / math.Abs(o.Median)
+	bad := change > pol.Tolerance
+	good := change < -pol.Tolerance
+	if pol.Direction == HigherIsBetter {
+		bad, good = change < -pol.Tolerance, change > pol.Tolerance
+	}
+	// Noise guard: beyond the relative tolerance, the two runs' sample
+	// ranges must not overlap — every new sample has to lie outside the
+	// full spread of the old ones before a move counts as real. On a
+	// shared runner, scheduling and disk contention inflate individual
+	// runs by tens of percent, but one quiet run out of N is enough to
+	// bring the ranges back into contact; a genuine regression shifts
+	// even the best-case run clear of the old worst case. Deterministic
+	// metrics (zero spread) reduce to a pure median comparison.
+	if n.Min <= o.Max && o.Min <= n.Max {
+		return
+	}
+	r := Regression{Benchmark: name, Metric: unit, Old: o, New: n,
+		Change: change, Tolerance: pol.Tolerance}
+	switch {
+	case bad:
+		rep.Regressions = append(rep.Regressions, r)
+	case good:
+		rep.Improvements = append(rep.Improvements, r)
+	}
+}

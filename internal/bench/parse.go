@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line: the benchmark's name (with the
+// -GOMAXPROCS suffix stripped), the iteration count, and every reported
+// metric keyed by its unit string (ns/op, B/op, allocs/op, MB/s, and
+// any custom unit passed to b.ReportMetric).
+type Result struct {
+	Name    string
+	Procs   int
+	Iters   int64
+	Metrics map[string]float64
+}
+
+// ParseLine parses a single `go test -bench` result line. The second
+// return is false for non-benchmark lines (headers, PASS, logs).
+//
+// A benchmark line looks like
+//
+//	BenchmarkFoo/sub-8   1000   1234 ns/op   56 B/op   7 allocs/op   12.5 tau_simdays_per_day
+//
+// i.e. name, iteration count, then (value, unit) pairs.
+//
+// procs is the GOMAXPROCS the run used: go test appends a "-<procs>"
+// suffix to every name when procs > 1 and nothing when procs == 1, and
+// only that exact suffix may be stripped — a blind trailing-digits
+// strip would collapse sub-benchmarks like "ranks-4" and "ranks-8"
+// into one key. Keying baselines on the stripped name keeps them
+// comparable across machines with different core counts.
+func ParseLine(line string, procs int) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	// The (value, unit) pairs occupy fields[2:] and must come in pairs.
+	if len(fields)%2 != 0 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil || iters <= 0 {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Procs: 1, Iters: iters, Metrics: map[string]float64{}}
+	if procs > 1 {
+		if suffix := fmt.Sprintf("-%d", procs); strings.HasSuffix(r.Name, suffix) {
+			r.Name, r.Procs = strings.TrimSuffix(r.Name, suffix), procs
+		}
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}
+
+// Parse reads the full output of one `go test -bench` run executed on
+// this machine (procs = current GOMAXPROCS) and returns every benchmark
+// result in order. Non-benchmark lines are ignored; a "--- FAIL" or
+// "FAIL" line makes Parse return an error because timings from a
+// failing run must never enter a baseline.
+func Parse(rd io.Reader) ([]Result, error) {
+	return ParseProcs(rd, runtime.GOMAXPROCS(0))
+}
+
+// ParseProcs is Parse with an explicit GOMAXPROCS for output recorded
+// elsewhere.
+func ParseProcs(rd io.Reader, procs int) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "FAIL" || strings.HasPrefix(trimmed, "FAIL\t") ||
+			strings.HasPrefix(trimmed, "--- FAIL") || strings.HasPrefix(trimmed, "FAIL ") {
+			return nil, fmt.Errorf("bench: run failed: %s", trimmed)
+		}
+		if r, ok := ParseLine(line, procs); ok {
+			out = append(out, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	line := "BenchmarkCoupledStepWallClock-8   \t     120\t   9876543 ns/op\t   2.5 tau_simdays_per_day\t  123456 B/op\t     789 allocs/op"
+	r, ok := ParseLine(line, 8)
+	if !ok {
+		t.Fatal("line not recognised")
+	}
+	if r.Name != "BenchmarkCoupledStepWallClock" {
+		t.Errorf("name = %q", r.Name)
+	}
+	if r.Procs != 8 || r.Iters != 120 {
+		t.Errorf("procs=%d iters=%d", r.Procs, r.Iters)
+	}
+	want := map[string]float64{
+		"ns/op": 9876543, "tau_simdays_per_day": 2.5,
+		"B/op": 123456, "allocs/op": 789,
+	}
+	for unit, v := range want {
+		if r.Metrics[unit] != v {
+			t.Errorf("%s = %v, want %v", unit, r.Metrics[unit], v)
+		}
+	}
+}
+
+func TestParseLineSubBenchmarkWithDashes(t *testing.T) {
+	r, ok := ParseLine("BenchmarkOceanSolverScaling/ranks-4-8 \t 100 \t 5000 ns/op", 8)
+	if !ok {
+		t.Fatal("line not recognised")
+	}
+	if r.Name != "BenchmarkOceanSolverScaling/ranks-4" || r.Procs != 8 {
+		t.Errorf("name=%q procs=%d", r.Name, r.Procs)
+	}
+}
+
+// TestParseLineSingleProcKeepsTrailingDigits: at GOMAXPROCS=1 go test
+// appends no suffix, so "ranks-4" must survive intact — a blind strip
+// would collapse the rank sweep into one benchmark key.
+func TestParseLineSingleProcKeepsTrailingDigits(t *testing.T) {
+	r, ok := ParseLine("BenchmarkOceanSolverScaling/ranks-4 \t 100 \t 5000 ns/op", 1)
+	if !ok {
+		t.Fatal("line not recognised")
+	}
+	if r.Name != "BenchmarkOceanSolverScaling/ranks-4" || r.Procs != 1 {
+		t.Errorf("name=%q procs=%d", r.Name, r.Procs)
+	}
+	// Same story when a sub-benchmark's own suffix coincides with a
+	// different machine's core count.
+	r, _ = ParseLine("BenchmarkX/tol-1e-04 \t 100 \t 5000 ns/op", 8)
+	if r.Name != "BenchmarkX/tol-1e-04" {
+		t.Errorf("name=%q, want suffix kept", r.Name)
+	}
+}
+
+func TestParseLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"pkg: icoearth",
+		"PASS",
+		"ok  \ticoearth\t3.2s",
+		"BenchmarkBroken-8 notanumber 5 ns/op",
+		"Benchmark running some log output",
+	} {
+		if _, ok := ParseLine(line, 8); ok {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}
+
+func TestParseFullOutput(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: icoearth
+cpu: fake
+BenchmarkA-8   	 1000	 1500 ns/op	 10 B/op	 1 allocs/op
+BenchmarkB/sub-1-8 	  500	 3000 ns/op	 42.5 cells_per_sec
+PASS
+ok  	icoearth	2.1s
+`
+	rs, err := ParseProcs(strings.NewReader(out), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(rs))
+	}
+	if rs[1].Name != "BenchmarkB/sub-1" || rs[1].Metrics["cells_per_sec"] != 42.5 {
+		t.Errorf("second result = %+v", rs[1])
+	}
+}
+
+func TestParseRefusesFailedRun(t *testing.T) {
+	out := "BenchmarkA-8 100 5 ns/op\n--- FAIL: TestSomething\nFAIL\n"
+	if _, err := Parse(strings.NewReader(out)); err == nil {
+		t.Fatal("failed run accepted into results")
+	}
+}

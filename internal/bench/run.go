@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os/exec"
+)
+
+// Spec configures a repeated benchmark run.
+type Spec struct {
+	// Packages to benchmark (default "."). The repo's table/figure
+	// benchmarks live in the root package.
+	Packages []string
+	// Bench is the -bench regex (default ".").
+	Bench string
+	// Count is how many separate `go test` processes to run; the
+	// summaries reduce Count samples per metric. Separate processes
+	// (rather than -count=N in one) also sample the process-level
+	// variance: heap layout, code placement, CPU frequency state.
+	Count int
+	// Benchtime is passed through (-benchtime); "1x" keeps the coupled
+	// benchmarks cheap, "" uses go's 1s default.
+	Benchtime string
+	// Short adds -short, skipping the benchmarks the repo guards behind
+	// testing.Short() (the multi-simulation ones).
+	Short bool
+}
+
+// CommandFunc runs one external command and returns its combined
+// output. Tests substitute a fake; the real one execs `go`.
+type CommandFunc func(name string, args ...string) ([]byte, error)
+
+// ExecCommand is the real CommandFunc. Benchmark output goes to stdout
+// and failures announce themselves in the output, so combined output
+// plus the exit error is everything the parser needs.
+func ExecCommand(name string, args ...string) ([]byte, error) {
+	return exec.Command(name, args...).CombinedOutput()
+}
+
+// Args returns the `go test` argument list for one run of the spec.
+func (s Spec) Args() []string {
+	args := []string{"test", "-run", "^$", "-benchmem", "-count=1"}
+	bench := s.Bench
+	if bench == "" {
+		bench = "."
+	}
+	args = append(args, "-bench", bench)
+	if s.Benchtime != "" {
+		args = append(args, "-benchtime", s.Benchtime)
+	}
+	if s.Short {
+		args = append(args, "-short")
+	}
+	pkgs := s.Packages
+	if len(pkgs) == 0 {
+		pkgs = []string{"."}
+	}
+	return append(args, pkgs...)
+}
+
+// Run executes the spec Count times via cmd, parses every run, and
+// returns the accumulated sample set. Progress lines go to progress
+// (one per run) so a long record isn't silent.
+func (s Spec) Run(cmd CommandFunc, progress io.Writer) (*Set, error) {
+	if cmd == nil {
+		cmd = ExecCommand
+	}
+	count := s.Count
+	if count <= 0 {
+		count = 1
+	}
+	set := NewSet()
+	for i := 0; i < count; i++ {
+		out, err := cmd("go", s.Args()...)
+		if err != nil {
+			return nil, fmt.Errorf("bench: run %d/%d: %w\n%s", i+1, count, err, out)
+		}
+		results, err := Parse(bytes.NewReader(out))
+		if err != nil {
+			return nil, fmt.Errorf("bench: run %d/%d: %w", i+1, count, err)
+		}
+		if len(results) == 0 {
+			return nil, fmt.Errorf("bench: run %d/%d produced no benchmark lines\n%s", i+1, count, out)
+		}
+		set.Add(results)
+		if progress != nil {
+			fmt.Fprintf(progress, "run %d/%d: %d benchmarks\n", i+1, count, len(results))
+		}
+	}
+	return set, nil
+}

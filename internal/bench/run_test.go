@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSpecArgs(t *testing.T) {
+	s := Spec{Bench: "Coupled", Count: 3, Benchtime: "1x", Short: true,
+		Packages: []string{"./..."}}
+	got := strings.Join(s.Args(), " ")
+	for _, want := range []string{"-run ^$", "-benchmem", "-count=1",
+		"-bench Coupled", "-benchtime 1x", "-short", "./..."} {
+		if !strings.Contains(got, want) {
+			t.Errorf("args %q missing %q", got, want)
+		}
+	}
+}
+
+func TestRunAggregatesAcrossProcesses(t *testing.T) {
+	call := 0
+	fake := func(name string, args ...string) ([]byte, error) {
+		call++
+		// Each fake process reports a different timing so the summary
+		// provably spans processes. No -procs suffix: fabricated output
+		// must parse identically whatever the host's GOMAXPROCS is.
+		return []byte(fmt.Sprintf("BenchmarkX 100 %d ns/op\nPASS\n", 1000+call*10)), nil
+	}
+	set, err := Spec{Count: 3}.Run(fake, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if call != 3 {
+		t.Errorf("ran %d processes, want 3", call)
+	}
+	sum := set.Summaries()["BenchmarkX"]["ns/op"]
+	if sum.N != 3 || sum.Median != 1020 {
+		t.Errorf("summary = %+v", sum)
+	}
+}
+
+func TestRunPropagatesFailure(t *testing.T) {
+	fake := func(name string, args ...string) ([]byte, error) {
+		return []byte("BenchmarkX 100 5 ns/op\n--- FAIL: TestBoom\nFAIL\n"), nil
+	}
+	if _, err := (Spec{Count: 1}).Run(fake, nil); err == nil {
+		t.Fatal("failing run produced a sample set")
+	}
+}
+
+func TestRunRejectsEmptyOutput(t *testing.T) {
+	fake := func(name string, args ...string) ([]byte, error) {
+		return []byte("PASS\nok \ticoearth\t0.1s\n"), nil
+	}
+	if _, err := (Spec{Count: 1}).Run(fake, nil); err == nil {
+		t.Fatal("no-benchmark run accepted (e.g. a bad -bench regex)")
+	}
+}
+
+func TestTrendRendersTrajectory(t *testing.T) {
+	b1 := sample("aaaa")
+	b2 := sample("bbbb")
+	b2.Benchmarks["BenchmarkX"] = map[string]Summary{"ns/op": tight(900)}
+	out := Trend([]Indexed{{Index: 1, Baseline: b1}, {Index: 2, Baseline: b2}}, false)
+	for _, want := range []string{"BENCH_1", "BENCH_2", "BenchmarkX", "ns/op",
+		"-10.0%", "tau_1km_jupiter_20480"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trend output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(Trend(nil, false), "no BENCH_*.json") {
+		t.Error("empty trend not handled")
+	}
+}

@@ -1,0 +1,91 @@
+package bench
+
+import "sort"
+
+// Summary is the order statistics of one metric across repeated runs.
+// Median and the interquartile range are what comparisons key on: the
+// median rejects the occasional scheduler hiccup, and the IQR bounds
+// the run-to-run noise so a tolerance can widen on flaky runners.
+type Summary struct {
+	N      int     `json:"n"`
+	Median float64 `json:"median"`
+	Q1     float64 `json:"q1"`
+	Q3     float64 `json:"q3"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+// IQR returns the interquartile spread Q3−Q1.
+func (s Summary) IQR() float64 { return s.Q3 - s.Q1 }
+
+// Summarize computes the order statistics of xs. It copies its input
+// and accepts any length ≥ 1.
+func Summarize(xs []float64) Summary {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	return Summary{
+		N:      n,
+		Median: quantile(sorted, 0.5),
+		Q1:     quantile(sorted, 0.25),
+		Q3:     quantile(sorted, 0.75),
+		Min:    sorted[0],
+		Max:    sorted[n-1],
+	}
+}
+
+// quantile linearly interpolates the q-quantile of an already sorted
+// slice (the R-7 definition, what numpy uses by default).
+func quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Set accumulates per-metric samples across repeated benchmark runs.
+type Set struct {
+	// samples: benchmark name → metric unit → one value per run.
+	samples map[string]map[string][]float64
+}
+
+// NewSet returns an empty accumulator.
+func NewSet() *Set { return &Set{samples: map[string]map[string][]float64{}} }
+
+// Add folds one run's parsed results into the set.
+func (s *Set) Add(results []Result) {
+	for _, r := range results {
+		m, ok := s.samples[r.Name]
+		if !ok {
+			m = map[string][]float64{}
+			s.samples[r.Name] = m
+		}
+		for unit, v := range r.Metrics {
+			m[unit] = append(m[unit], v)
+		}
+	}
+}
+
+// Len returns the number of distinct benchmarks accumulated.
+func (s *Set) Len() int { return len(s.samples) }
+
+// Summaries collapses the accumulated samples into per-metric order
+// statistics, the shape a Baseline stores.
+func (s *Set) Summaries() map[string]map[string]Summary {
+	out := make(map[string]map[string]Summary, len(s.samples))
+	for name, metrics := range s.samples {
+		m := make(map[string]Summary, len(metrics))
+		for unit, xs := range metrics {
+			m[unit] = Summarize(xs)
+		}
+		out[name] = m
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarizeOddCount(t *testing.T) {
+	s := Summarize([]float64{5, 1, 9, 3, 7})
+	if s.N != 5 || s.Median != 5 || s.Min != 1 || s.Max != 9 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Q1 != 3 || s.Q3 != 7 {
+		t.Errorf("quartiles = %v %v, want 3 7", s.Q1, s.Q3)
+	}
+	if s.IQR() != 4 {
+		t.Errorf("IQR = %v", s.IQR())
+	}
+}
+
+func TestSummarizeEvenCountInterpolates(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.Median != 2.5 {
+		t.Errorf("median = %v, want 2.5", s.Median)
+	}
+	if math.Abs(s.Q1-1.75) > 1e-12 || math.Abs(s.Q3-3.25) > 1e-12 {
+		t.Errorf("quartiles = %v %v, want 1.75 3.25", s.Q1, s.Q3)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s := Summarize([]float64{42})
+	if s.Median != 42 || s.Q1 != 42 || s.Q3 != 42 || s.IQR() != 0 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input reordered: %v", xs)
+	}
+}
+
+func TestSetAccumulatesAcrossRuns(t *testing.T) {
+	set := NewSet()
+	for _, v := range []float64{100, 110, 90} {
+		set.Add([]Result{{Name: "BenchmarkX", Metrics: map[string]float64{"ns/op": v}}})
+	}
+	if set.Len() != 1 {
+		t.Fatalf("len = %d", set.Len())
+	}
+	sum := set.Summaries()["BenchmarkX"]["ns/op"]
+	if sum.N != 3 || sum.Median != 100 {
+		t.Errorf("summary = %+v", sum)
+	}
+}

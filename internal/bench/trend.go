@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Trend renders the perf trajectory across an ordered list of
+// baselines: one row per (benchmark, metric), one column per baseline,
+// plus the relative move from the first to the latest. By default only
+// gated metrics are shown (ns/op, allocs, the throughput metrics); all
+// includes every informational metric too.
+func Trend(baselines []Indexed, all bool) string {
+	if len(baselines) == 0 {
+		return "no BENCH_*.json baselines found\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "perf trajectory across %d baseline(s)\n", len(baselines))
+	for _, bl := range baselines {
+		sha := bl.GitSHA
+		if len(sha) > 10 {
+			sha = sha[:10]
+		}
+		fmt.Fprintf(&b, "  BENCH_%d: %s  %s  go %s  %s/%s ×%d cpu, %d runs\n",
+			bl.Index, bl.Date, sha, bl.GoVersion,
+			bl.Host.OS, bl.Host.Arch, bl.Host.NumCPU, bl.Runs)
+	}
+	b.WriteByte('\n')
+
+	// Collect every (benchmark, metric) row present in any baseline.
+	type key struct{ bench, unit string }
+	rows := map[key]bool{}
+	for _, bl := range baselines {
+		for name, metrics := range bl.Benchmarks {
+			for unit := range metrics {
+				if all || PolicyFor(unit).Direction != Informational {
+					rows[key{name, unit}] = true
+				}
+			}
+		}
+	}
+	keys := make([]key, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].bench != keys[j].bench {
+			return keys[i].bench < keys[j].bench
+		}
+		return keys[i].unit < keys[j].unit
+	})
+
+	nameW := len("benchmark")
+	for _, k := range keys {
+		if n := len(k.bench); n > nameW {
+			nameW = n
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %-22s", nameW, "benchmark", "metric")
+	for _, bl := range baselines {
+		fmt.Fprintf(&b, "  %12s", fmt.Sprintf("BENCH_%d", bl.Index))
+	}
+	fmt.Fprintf(&b, "  %10s\n", "Δ")
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%-*s  %-22s", nameW, k.bench, k.unit)
+		var first, last float64
+		var haveFirst, haveLast bool
+		for _, bl := range baselines {
+			s, ok := bl.Benchmarks[k.bench][k.unit]
+			if !ok {
+				fmt.Fprintf(&b, "  %12s", "—")
+				continue
+			}
+			fmt.Fprintf(&b, "  %12.4g", s.Median)
+			if !haveFirst {
+				first, haveFirst = s.Median, true
+			}
+			last, haveLast = s.Median, true
+		}
+		if haveFirst && haveLast && first != 0 {
+			fmt.Fprintf(&b, "  %+9.1f%%", 100*(last-first)/first)
+		} else {
+			fmt.Fprintf(&b, "  %10s", "—")
+		}
+		b.WriteByte('\n')
+	}
+
+	// Projection trajectory, if recorded.
+	proj := map[string]bool{}
+	for _, bl := range baselines {
+		for k := range bl.Projections {
+			proj[k] = true
+		}
+	}
+	if len(proj) > 0 {
+		pk := make([]string, 0, len(proj))
+		for k := range proj {
+			pk = append(pk, k)
+		}
+		sort.Strings(pk)
+		fmt.Fprintf(&b, "\nmodel projections\n")
+		for _, k := range pk {
+			fmt.Fprintf(&b, "%-*s  %-22s", nameW, "", k)
+			for _, bl := range baselines {
+				if v, ok := bl.Projections[k]; ok {
+					fmt.Fprintf(&b, "  %12.4g", v)
+				} else {
+					fmt.Fprintf(&b, "  %12s", "—")
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

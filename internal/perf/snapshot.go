@@ -1,0 +1,41 @@
+package perf
+
+import (
+	"icoearth/internal/config"
+	"icoearth/internal/machine"
+)
+
+// Snapshot exports the calibrated model's headline projections as a
+// flat, stably-named map. cmd/benchgate embeds it in every recorded
+// BENCH_<n>.json baseline so the analytic trajectory (does the model
+// still reproduce the paper?) is versioned alongside the measured one
+// (did the real kernels regress?).
+//
+// Keys are append-only: renaming or dropping one breaks the trend view
+// across older baselines, so new projections get new keys.
+func Snapshot() map[string]float64 {
+	oneKm := config.OneKm()
+	tenKm := config.TenKm()
+	jup := machine.JUPITER()
+	hero := Project(jup, oneKm, 20480)
+	e := Figure2Energy(160)
+	limit := TauLimit([]float64{40})[0]
+	return map[string]float64{
+		// Figure 4 (left) anchors and predictions.
+		"tau_1km_jupiter_2048":  Project(jup, oneKm, 2048).Tau,
+		"tau_1km_jupiter_4096":  Project(jup, oneKm, 4096).Tau,
+		"tau_1km_jupiter_20480": hero.Tau,
+		"tau_1km_alps_8192":     Project(machine.Alps(), oneKm, 8192).Tau,
+		// Figure 4 (right) flattening point.
+		"tau_10km_alps_512": Project(machine.Alps(), tenKm, 512).Tau,
+		// Coupling (§5.1.1): the ocean-for-free wait fraction at the
+		// hero run.
+		"atm_wait_frac_20480": hero.CouplingWaitFrac,
+		// Weak scaling (§6) and energy (Figure 2 right).
+		"weak_scaling_eff_64x": WeakScalingEfficiency(384),
+		"cpu_gpu_power_ratio":  e.PowerRatio,
+		// §4 practical τ limit at 40 km.
+		"tau_limit_40km":   limit.Tau,
+		"chips_limit_40km": float64(limit.Superchips),
+	}
+}

@@ -1,15 +1,35 @@
 #!/bin/sh
-# verify.sh — the expanded tier-1 gate.
+# verify.sh — the tiered verification gate.
 #
-# Order: cheapest-to-fail first. The static layers (vet, icovet, the
-# sdfgdebug-tagged verifier assertions) run before the dynamic ones (race
-# detector on the concurrency packages, full test suite) so a typo or a
-# lint regression fails in seconds, not minutes.
+#   ./verify.sh         tier-1: cleanliness + static analysis + short tests
+#   ./verify.sh full    tier-2: adds sdfgdebug assertions, the race detector,
+#                       the full test suite, and the benchgate perf gate
+#                       against the latest committed BENCH_*.json baseline
+#
+# Order: cheapest-to-fail first. Formatting and module drift fail in
+# milliseconds, the static layers (vet, icovet) in seconds, the dynamic
+# ones last. Tier-1 uses `go test -short` so the multi-hour integration
+# battery (longrun_test.go) and the multi-simulation benchmarks stay out
+# of the inner loop; `full` runs everything.
 set -eux
+
+# --- tier 1 -----------------------------------------------------------
+# Formatting: gofmt -l prints offending files; any output is a failure.
+test -z "$(gofmt -l .)"
+# Module drift: go.mod/go.sum must be exactly what go mod tidy produces.
+go mod tidy -diff
 
 go build ./...
 go vet ./...
 go run ./cmd/icovet ./...
+go test -short ./...
+
+[ "${1:-}" = "full" ] || exit 0
+
+# --- tier 2 (full) ----------------------------------------------------
 go test -tags sdfgdebug ./internal/sdfg/
 go test -race ./internal/par/... ./internal/exec/... ./internal/coupler/...
 go test ./...
+# Perf gate: rerun the benchmark suite and compare against the latest
+# committed BENCH_<n>.json (tolerances live in internal/bench/compare.go).
+go run ./cmd/benchgate gate -count 3

@@ -31,6 +31,7 @@ import (
 
 	"icoearth/internal/atmos"
 	"icoearth/internal/config"
+	"icoearth/internal/coupler"
 	"icoearth/internal/exec"
 	"icoearth/internal/grid"
 	"icoearth/internal/land"
@@ -429,6 +430,76 @@ func BenchmarkRealCodeScaling(b *testing.B) {
 			b.ReportMetric(tau, "tau_simulated")
 		})
 	}
+}
+
+// BenchmarkSupervisedWindow measures the cost of running coupled windows
+// under the fault-tolerant supervisor with per-window checkpointing — the
+// overhead a production chaos-hardened campaign pays over bare
+// StepWindow. checkpoint_ns_per_window is the stable custom metric for
+// the checkpoint share of that overhead.
+func BenchmarkSupervisedWindow(b *testing.B) {
+	sim, err := NewSimulation(Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "icoearth-supervised")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	sv, err := coupler.NewSupervisor(sim.ES, coupler.SuperviseConfig{Dir: dir, CheckpointEvery: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	rep, err := sv.Run(b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(rep.CheckpointNs)/float64(b.N), "checkpoint_ns_per_window")
+}
+
+// BenchmarkRecovery measures one full fault-recovery cycle: a window that
+// crashes, rolls back to the last checkpoint and is retried to success.
+func BenchmarkRecovery(b *testing.B) {
+	if testing.Short() {
+		b.Skip("builds a coupled simulation per iteration")
+	}
+	var rollbackNs float64
+	for i := 0; i < b.N; i++ {
+		sim, err := NewSimulation(Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dir, err := os.MkdirTemp("", "icoearth-recovery")
+		if err != nil {
+			b.Fatal(err)
+		}
+		fired := false
+		sim.ES.GPU.SetLaunchHook(func(string) {
+			if !fired {
+				fired = true
+				panic("bench: injected crash")
+			}
+		})
+		sv, err := coupler.NewSupervisor(sim.ES, coupler.SuperviseConfig{
+			Dir: dir, BackoffBase: time.Nanosecond, BackoffMax: time.Nanosecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		t0 := time.Now()
+		rep, err := sv.Run(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Rollbacks != 1 {
+			b.Fatalf("rollbacks = %d", rep.Rollbacks)
+		}
+		rollbackNs = float64(time.Since(t0).Nanoseconds())
+		os.RemoveAll(dir)
+	}
+	b.ReportMetric(rollbackNs, "recovery_cycle_ns")
 }
 
 // BenchmarkCheckpointScaling measures real multi-file checkpoint write

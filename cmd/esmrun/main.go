@@ -6,14 +6,18 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"os"
 	"time"
 
 	"icoearth"
+	"icoearth/internal/coupler"
+	"icoearth/internal/fault"
 )
 
 func main() {
@@ -34,6 +38,9 @@ func run(args []string, out io.Writer) error {
 		bgcConc = fs.Bool("bgc-concurrent", false, "run biogeochemistry concurrently on its own GPU device")
 		noGraph = fs.Bool("no-graphs", false, "disable CUDA-Graph capture for land kernels")
 		ckpt    = fs.String("checkpoint", "", "directory to write a restart at the end")
+		chaos   = fs.String("chaos", "",
+			"run under the fault-injecting supervisor: seed=N[,plan=crash@1:dycore;nan@2:atm.qv;...] (empty plan = auto)")
+		chaosReport = fs.String("chaos-report", "", "write the chaos RunReport as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,6 +56,10 @@ func run(args []string, out io.Writer) error {
 	})
 	if err != nil {
 		return err
+	}
+
+	if *chaos != "" {
+		return runChaos(sim, *chaos, *chaosReport, *hours, *ckpt, out)
 	}
 
 	d0 := sim.Diagnostics()
@@ -86,6 +97,85 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "checkpoint: %.1f MiB in %s\n", float64(n)/(1<<20), *ckpt)
 	}
+	return nil
+}
+
+// runChaos executes the simulation under the supervisor with a seeded
+// fault plan armed, then reports every fault fired and every recovery
+// taken. The run must end with conserved quantities intact — that is the
+// whole point of the recovery layer.
+func runChaos(sim *icoearth.Simulation, spec, reportPath string, hours float64, ckptDir string, out io.Writer) error {
+	seed, plan, err := fault.ParseChaosSpec(spec)
+	if err != nil {
+		return err
+	}
+	es := sim.ES
+	windows := int(math.Ceil(hours * 3600 / es.Cfg.CouplingDt))
+	if windows < 1 {
+		windows = 1
+	}
+	if len(plan) == 0 {
+		plan = fault.AutoPlan(fault.NewRNG(seed), windows)
+	}
+
+	dir := ckptDir
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "esmrun-chaos-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	cfg := coupler.SuperviseConfig{
+		Dir:             dir,
+		CheckpointEvery: 1,
+		WindowDeadline:  30 * time.Second,
+	}
+	in := fault.NewInjector(seed, plan)
+	fault.Arm(in, es, &cfg)
+	sv, err := coupler.NewSupervisor(es, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "chaos: seed %d, %d windows, plan %s\n", seed, windows, plan)
+	wall0 := time.Now()
+	rep, runErr := sv.Run(windows)
+	for _, ev := range in.Events() {
+		fmt.Fprintf(out, "  injected @%d: %s\n", ev.Window, ev.Detail)
+	}
+	for _, f := range rep.Faults {
+		fmt.Fprintf(out, "  observed @%d [%s]: %s\n", f.Window, f.Kind, f.Detail)
+	}
+	for _, d := range rep.Degradations {
+		fmt.Fprintf(out, "  degraded @%d [%s]: %s\n", d.Window, d.Kind, d.Detail)
+	}
+	fmt.Fprintf(out, "recovery: %d checkpoints (%.1f ms total), %d rollbacks, %d retries\n",
+		rep.Checkpoints, float64(rep.CheckpointNs)/1e6, rep.Rollbacks, rep.Retries)
+
+	if reportPath != "" {
+		blob, err := json.MarshalIndent(struct {
+			Seed     uint64             `json:"seed"`
+			Plan     string             `json:"plan"`
+			Report   *coupler.RunReport `json:"report"`
+			Injected []fault.Event      `json:"injected"`
+		}{seed, plan.String(), rep, in.Events()}, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(reportPath, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "report: %s\n", reportPath)
+	}
+	if runErr != nil {
+		return fmt.Errorf("chaos run did not survive: %w", runErr)
+	}
+	fmt.Fprintf(out, "chaos run completed: %d windows, water drift %.2e, carbon drift %.2e, τ %.1f, wall %.1fs\n",
+		rep.Windows, rep.WaterDrift, rep.CarbonDrift, sim.Tau(), time.Since(wall0).Seconds())
 	return nil
 }
 

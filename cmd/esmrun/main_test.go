@@ -36,6 +36,48 @@ func TestSmokeTinyGrid(t *testing.T) {
 	}
 }
 
+// TestChaosSmoke: a chaos run with an explicit crash+NaN plan survives,
+// reports its recoveries, and writes the JSON report.
+func TestChaosSmoke(t *testing.T) {
+	var out strings.Builder
+	report := filepath.Join(t.TempDir(), "report.json")
+	err := run([]string{"-hours", "0.5", "-grid", "1", "-atmlev", "5", "-oclev", "4",
+		"-chaos", "seed=1,plan=crash@1:dycore;nan@2:atm.qv",
+		"-chaos-report", report}, &out)
+	if err != nil {
+		t.Fatalf("chaos run failed: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"chaos: seed 1",
+		"injected @1",
+		"rollbacks",
+		"chaos run completed",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	blob, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatalf("no JSON report: %v", err)
+	}
+	for _, want := range []string{`"seed": 1`, `"rollbacks"`, `"completed": true`} {
+		if !strings.Contains(string(blob), want) {
+			t.Errorf("report missing %q:\n%s", want, blob)
+		}
+	}
+}
+
+// TestChaosBadSpecRejected: malformed chaos specs fail fast.
+func TestChaosBadSpecRejected(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-grid", "1", "-atmlev", "5", "-oclev", "4",
+		"-chaos", "plan=crash@1"}, &out); err == nil {
+		t.Fatal("chaos spec without seed accepted")
+	}
+}
+
 func TestBadFlagRejected(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-no-such-flag"}, &out); err == nil {

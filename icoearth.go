@@ -27,7 +27,6 @@ import (
 	"time"
 
 	"icoearth/internal/atmos"
-	"icoearth/internal/bgc"
 	"icoearth/internal/coupler"
 	"icoearth/internal/grid"
 	"icoearth/internal/machine"
@@ -205,89 +204,11 @@ func (s *Simulation) Restore(dir string) error {
 	return s.scatter(snap)
 }
 
-// snapshot gathers every prognostic field.
-func (s *Simulation) snapshot() *restart.Snapshot {
-	es := s.ES
-	snap := restart.NewSnapshot()
-	a := es.Atm.State
-	snap.Add("atm.rho", a.Rho)
-	snap.Add("atm.rhotheta", a.RhoTheta)
-	snap.Add("atm.vn", a.Vn)
-	snap.Add("atm.w", a.W)
-	snap.Add("atm.precip", a.PrecipAccum)
-	for t := range a.Tracers {
-		snap.Add(fmt.Sprintf("atm.tracer%d", t), a.Tracers[t])
-	}
-	o := es.Oc.State
-	snap.Add("oc.eta", o.Eta)
-	snap.Add("oc.ub", o.Ub)
-	snap.Add("oc.temp", o.Temp)
-	snap.Add("oc.salt", o.Salt)
-	snap.Add("oc.u", o.U)
-	snap.Add("oc.icethick", o.IceThick)
-	snap.Add("oc.icefrac", o.IceFrac)
-	l := es.Land.State
-	snap.Add("land.soiltemp", l.SoilTemp)
-	snap.Add("land.soilmoist", l.SoilMoist)
-	snap.Add("land.snow", l.Snow)
-	snap.Add("land.skin", l.Skin)
-	snap.Add("land.pools", l.Pools)
-	snap.Add("land.lai", l.LAI)
-	snap.Add("land.cover", l.Cover)
-	snap.Add("land.nppavg", l.NPPAvg)
-	snap.Add("land.runoff", l.Runoff)
-	snap.Add("land.cumnee", l.CumNEE)
-	b := es.Bgc.State
-	for t := 0; t < bgc.NumTracers; t++ {
-		snap.Add(fmt.Sprintf("bgc.tracer%d", t), b.Tracers[t])
-	}
-	snap.Add("bgc.cumairsea", b.CumAirSea)
-	for name, f := range es.ExchangeState() {
-		snap.Add(name, f)
-	}
-	return snap
-}
+// snapshot gathers every prognostic field plus the coupler's scalar
+// accounting (see coupler.Snapshot).
+func (s *Simulation) snapshot() *restart.Snapshot { return s.ES.Snapshot() }
 
 // scatter restores fields from a snapshot in place.
 func (s *Simulation) scatter(snap *restart.Snapshot) error {
-	for name, dst := range s.fieldTable() {
-		src, ok := snap.Fields[name]
-		if !ok {
-			return fmt.Errorf("icoearth: restart missing field %q", name)
-		}
-		if len(src) != len(dst) {
-			return fmt.Errorf("icoearth: restart field %q has %d values, want %d (different Options?)",
-				name, len(src), len(dst))
-		}
-		copy(dst, src)
-	}
-	s.ES.Atm.State.UpdateDiagnostics()
-	s.ES.ResyncBoundary()
-	return nil
-}
-
-func (s *Simulation) fieldTable() map[string][]float64 {
-	es := s.ES
-	a, o, l, b := es.Atm.State, es.Oc.State, es.Land.State, es.Bgc.State
-	tbl := map[string][]float64{
-		"atm.rho": a.Rho, "atm.rhotheta": a.RhoTheta, "atm.vn": a.Vn,
-		"atm.w": a.W, "atm.precip": a.PrecipAccum,
-		"oc.eta": o.Eta, "oc.ub": o.Ub, "oc.temp": o.Temp, "oc.salt": o.Salt,
-		"oc.u": o.U, "oc.icethick": o.IceThick, "oc.icefrac": o.IceFrac,
-		"land.soiltemp": l.SoilTemp, "land.soilmoist": l.SoilMoist,
-		"land.snow": l.Snow, "land.skin": l.Skin, "land.pools": l.Pools,
-		"land.lai": l.LAI, "land.cover": l.Cover, "land.nppavg": l.NPPAvg,
-		"land.runoff": l.Runoff, "land.cumnee": l.CumNEE,
-		"bgc.cumairsea": b.CumAirSea,
-	}
-	for t := range a.Tracers {
-		tbl[fmt.Sprintf("atm.tracer%d", t)] = a.Tracers[t]
-	}
-	for t := 0; t < bgc.NumTracers; t++ {
-		tbl[fmt.Sprintf("bgc.tracer%d", t)] = b.Tracers[t]
-	}
-	for name, f := range es.ExchangeState() {
-		tbl[name] = f
-	}
-	return tbl
+	return s.ES.ApplySnapshot(snap)
 }

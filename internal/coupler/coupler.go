@@ -15,6 +15,7 @@
 package coupler
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -226,12 +227,19 @@ func (es *EarthSystem) StepWindow() error {
 	es.accCount = 0
 
 	var wg sync.WaitGroup
-	var ocErr error
+	var gpuErr, ocErr error
 
 	// --- GPU side: atmosphere + land, land coupled every atmosphere step.
+	// Panics (injected faults, NaN blowups surfacing as runtime errors) are
+	// converted to errors so the other side always stays joinable.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		defer func() {
+			if p := recover(); p != nil {
+				gpuErr = fmt.Errorf("coupler: atmosphere/land side failed: %v", p)
+			}
+		}()
 		for n := 0; n < nAtm; n++ {
 			es.gpuStep(cfg.AtmDt)
 		}
@@ -241,9 +249,14 @@ func (es *EarthSystem) StepWindow() error {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		defer func() {
+			if p := recover(); p != nil {
+				ocErr = fmt.Errorf("coupler: ocean/BGC side failed: %v", p)
+			}
+		}()
 		for n := 0; n < nOc; n++ {
 			if err := es.Oc.Step(cfg.OceanDt, es.oceanForce); err != nil {
-				ocErr = err
+				ocErr = fmt.Errorf("coupler: ocean failed: %w", err)
 				return
 			}
 			es.Bgc.Step(cfg.OceanDt, es.Oc.Dyn, es.swOcean(), es.pco2Ocean,
@@ -251,8 +264,11 @@ func (es *EarthSystem) StepWindow() error {
 		}
 	}()
 	wg.Wait()
-	if ocErr != nil {
-		return fmt.Errorf("coupler: ocean failed: %w", ocErr)
+	if gpuErr != nil || ocErr != nil {
+		// The window is torn: one side may have stepped further than the
+		// other and no exchange happened. The state is NOT safe to continue
+		// from — callers must restore a checkpoint (see Supervisor).
+		return errors.Join(gpuErr, ocErr)
 	}
 
 	// --- Coupling synchronisation: the faster device waits (§6.3).

@@ -1,0 +1,214 @@
+package coupler
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"icoearth/internal/restart"
+)
+
+// restartRoundTrip pushes a snapshot through the on-disk restart format,
+// so these tests exercise the same path the supervisor's rollback uses.
+func restartRoundTrip(t *testing.T, snap *restart.Snapshot) (*restart.Snapshot, error) {
+	t.Helper()
+	dir := t.TempDir()
+	if _, err := restart.WriteMultiFile(snap, dir, 3); err != nil {
+		return nil, err
+	}
+	return restart.ReadMultiFile(dir)
+}
+
+// expectGoroutines waits for the goroutine count to drop back to the
+// baseline, proving StepWindow's sides are always joined even on failure.
+func expectGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	n := runtime.Stack(buf, true)
+	t.Errorf("goroutines leaked: baseline %d, now %d\n%s", baseline, runtime.NumGoroutine(), buf[:n])
+}
+
+// TestStepWindowGPUPanicPropagates: a panic on the GPU side (an injected
+// kernel fault) surfaces as an error from StepWindow, the CPU side is
+// still joined, and no goroutine leaks.
+func TestStepWindowGPUPanicPropagates(t *testing.T) {
+	es := newTestSystem(t, nil)
+	baseline := runtime.NumGoroutine()
+	es.GPU.SetLaunchHook(func(name string) { panic("injected GPU fault in " + name) })
+	err := es.StepWindow()
+	if err == nil {
+		t.Fatal("StepWindow swallowed the GPU-side panic")
+	}
+	if !strings.Contains(err.Error(), "atmosphere/land side failed") {
+		t.Errorf("error does not name the failing side: %v", err)
+	}
+	if !strings.Contains(err.Error(), "injected GPU fault") {
+		t.Errorf("error lost the panic payload: %v", err)
+	}
+	if es.Windows() != 0 {
+		t.Errorf("failed window counted: windows = %d", es.Windows())
+	}
+	expectGoroutines(t, baseline)
+}
+
+// TestStepWindowCPUPanicPropagates: same for the ocean/BGC side.
+func TestStepWindowCPUPanicPropagates(t *testing.T) {
+	es := newTestSystem(t, nil)
+	baseline := runtime.NumGoroutine()
+	es.CPU.SetLaunchHook(func(name string) { panic("injected CPU fault") })
+	err := es.StepWindow()
+	if err == nil {
+		t.Fatal("StepWindow swallowed the CPU-side panic")
+	}
+	if !strings.Contains(err.Error(), "ocean/BGC side failed") {
+		t.Errorf("error does not name the failing side: %v", err)
+	}
+	expectGoroutines(t, baseline)
+}
+
+// TestStepWindowBothSidesFailJoined: both sides failing in the same window
+// yields a joined error mentioning both, and still no leak.
+func TestStepWindowBothSidesFailJoined(t *testing.T) {
+	es := newTestSystem(t, nil)
+	baseline := runtime.NumGoroutine()
+	es.GPU.SetLaunchHook(func(string) { panic("gpu down") })
+	es.CPU.SetLaunchHook(func(string) { panic("cpu down") })
+	err := es.StepWindow()
+	if err == nil {
+		t.Fatal("no error with both sides failing")
+	}
+	for _, want := range []string{"gpu down", "cpu down"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing %q: %v", want, err)
+		}
+	}
+	expectGoroutines(t, baseline)
+}
+
+// TestStepWindowRecoversAfterClearedFault: once the fault source is
+// removed, the same EarthSystem steps again from a restored snapshot.
+func TestStepWindowRecoversAfterClearedFault(t *testing.T) {
+	es := newTestSystem(t, nil)
+	snap := es.Snapshot()
+	clean, err := restartRoundTrip(t, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es.GPU.SetLaunchHook(func(string) { panic("transient") })
+	if err := es.StepWindow(); err == nil {
+		t.Fatal("fault did not surface")
+	}
+	es.GPU.SetLaunchHook(nil)
+	if err := es.ApplySnapshot(clean); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.StepWindow(); err != nil {
+		t.Fatalf("step after recovery: %v", err)
+	}
+	if es.Windows() != 1 {
+		t.Errorf("windows = %d", es.Windows())
+	}
+}
+
+// TestSnapshotRoundTripWithScalars: Snapshot/ApplySnapshot carry the
+// coupler's scalar accounting, so a restored system reports identical
+// simulated time, window count and conserved totals, and continues
+// bit-identically.
+func TestSnapshotRoundTripWithScalars(t *testing.T) {
+	a := newTestSystem(t, nil)
+	for i := 0; i < 2; i++ {
+		if err := a.StepWindow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := restartRoundTrip(t, a.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newTestSystem(t, nil)
+	if err := b.ApplySnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if b.SimTime() != a.SimTime() || b.Windows() != a.Windows() {
+		t.Errorf("scalars not restored: simTime %v/%v windows %d/%d",
+			b.SimTime(), a.SimTime(), b.Windows(), a.Windows())
+	}
+	if b.TotalWater() != a.TotalWater() {
+		t.Errorf("water differs after restore: %v vs %v", b.TotalWater(), a.TotalWater())
+	}
+	if b.TotalCarbon() != a.TotalCarbon() {
+		t.Errorf("carbon differs after restore: %v vs %v", b.TotalCarbon(), a.TotalCarbon())
+	}
+	if err := a.StepWindow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.StepWindow(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Atm.State.Rho {
+		if a.Atm.State.Rho[i] != b.Atm.State.Rho[i] {
+			t.Fatalf("rho diverged at %d after restored continuation", i)
+		}
+	}
+}
+
+// TestApplySnapshotRejectsMissingScalars: a snapshot without the scalar
+// record (e.g. from a foreign writer) is refused, not half-applied.
+func TestApplySnapshotRejectsMissingScalars(t *testing.T) {
+	es := newTestSystem(t, nil)
+	snap := es.Snapshot()
+	delete(snap.Fields, "coupler.scalars")
+	if err := es.ApplySnapshot(snap); err == nil {
+		t.Error("snapshot without scalars accepted")
+	}
+}
+
+func TestHealthCheckPassesCleanState(t *testing.T) {
+	es := newTestSystem(t, nil)
+	w0, c0 := es.TotalWater(), es.TotalCarbon()
+	if err := es.StepWindow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.HealthCheck(w0, c0, 1e-6, 1e-6); err != nil {
+		t.Errorf("clean state flagged unhealthy: %v", err)
+	}
+}
+
+// TestHealthCheckCatchesNaN: a NaN planted in a prognostic field (the
+// blowup signature) is caught either by the finite check or, NaN-safely,
+// by the conservation comparison.
+func TestHealthCheckCatchesNaN(t *testing.T) {
+	es := newTestSystem(t, nil)
+	w0, c0 := es.TotalWater(), es.TotalCarbon()
+	es.Atm.State.Tracers[0][0] = math.NaN()
+	err := es.HealthCheck(w0, c0, 1e-6, 1e-6)
+	if err == nil {
+		t.Fatal("NaN state passed the health check")
+	}
+	if !errors.Is(err, ErrUnhealthy) {
+		t.Errorf("error is not typed ErrUnhealthy: %v", err)
+	}
+}
+
+// TestHealthCheckCatchesDrift: a conservation violation without any NaN
+// (e.g. a corrupted-but-finite field) trips the drift tolerance.
+func TestHealthCheckCatchesDrift(t *testing.T) {
+	es := newTestSystem(t, nil)
+	w0, c0 := es.TotalWater(), es.TotalCarbon()
+	for i := range es.Land.State.SoilMoist {
+		es.Land.State.SoilMoist[i] *= 2
+	}
+	if err := es.HealthCheck(w0, c0, 1e-6, 1e-6); !errors.Is(err, ErrUnhealthy) {
+		t.Errorf("doubled soil moisture passed: %v", err)
+	}
+}

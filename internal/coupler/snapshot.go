@@ -1,0 +1,126 @@
+// Checkpoint support for the assembled Earth system: the full prognostic
+// state of every component plus the coupler's own lagged exchange buffers
+// and scalar accounting, gathered into a restart.Snapshot. Restoring a
+// snapshot (ApplySnapshot) makes a continuation bit-identical to an
+// uninterrupted run, which is what the supervisor's rollback-and-retry
+// recovery relies on: a re-run window lands on exactly the fault-free
+// trajectory.
+package coupler
+
+import (
+	"fmt"
+
+	"icoearth/internal/bgc"
+	"icoearth/internal/restart"
+)
+
+// scalarFields is the layout of the "coupler.scalars" snapshot entry.
+const scalarFields = 5
+
+// Snapshot gathers every prognostic field of the coupled system plus the
+// coupler's exchange buffers and scalar accounting. The snapshot
+// references the live slices (no copy); write it out before stepping
+// further.
+func (es *EarthSystem) Snapshot() *restart.Snapshot {
+	snap := restart.NewSnapshot()
+	a := es.Atm.State
+	snap.Add("atm.rho", a.Rho)
+	snap.Add("atm.rhotheta", a.RhoTheta)
+	snap.Add("atm.vn", a.Vn)
+	snap.Add("atm.w", a.W)
+	snap.Add("atm.precip", a.PrecipAccum)
+	for t := range a.Tracers {
+		snap.Add(fmt.Sprintf("atm.tracer%d", t), a.Tracers[t])
+	}
+	o := es.Oc.State
+	snap.Add("oc.eta", o.Eta)
+	snap.Add("oc.ub", o.Ub)
+	snap.Add("oc.temp", o.Temp)
+	snap.Add("oc.salt", o.Salt)
+	snap.Add("oc.u", o.U)
+	snap.Add("oc.icethick", o.IceThick)
+	snap.Add("oc.icefrac", o.IceFrac)
+	l := es.Land.State
+	snap.Add("land.soiltemp", l.SoilTemp)
+	snap.Add("land.soilmoist", l.SoilMoist)
+	snap.Add("land.snow", l.Snow)
+	snap.Add("land.skin", l.Skin)
+	snap.Add("land.pools", l.Pools)
+	snap.Add("land.lai", l.LAI)
+	snap.Add("land.cover", l.Cover)
+	snap.Add("land.nppavg", l.NPPAvg)
+	snap.Add("land.runoff", l.Runoff)
+	snap.Add("land.cumnee", l.CumNEE)
+	b := es.Bgc.State
+	for t := 0; t < bgc.NumTracers; t++ {
+		snap.Add(fmt.Sprintf("bgc.tracer%d", t), b.Tracers[t])
+	}
+	snap.Add("bgc.cumairsea", b.CumAirSea)
+	for name, f := range es.ExchangeState() {
+		snap.Add(name, f)
+	}
+	// Scalar accounting: without it a restored run would report the wrong
+	// conserved totals (oceanWaterAccount) and window count.
+	snap.Add("coupler.scalars", []float64{
+		es.simTime, float64(es.windows), es.oceanWaterAccount, es.AtmWait, es.OceanWait,
+	})
+	return snap
+}
+
+// fieldTable maps snapshot names to the live destination slices.
+func (es *EarthSystem) fieldTable() map[string][]float64 {
+	a, o, l, b := es.Atm.State, es.Oc.State, es.Land.State, es.Bgc.State
+	tbl := map[string][]float64{
+		"atm.rho": a.Rho, "atm.rhotheta": a.RhoTheta, "atm.vn": a.Vn,
+		"atm.w": a.W, "atm.precip": a.PrecipAccum,
+		"oc.eta": o.Eta, "oc.ub": o.Ub, "oc.temp": o.Temp, "oc.salt": o.Salt,
+		"oc.u": o.U, "oc.icethick": o.IceThick, "oc.icefrac": o.IceFrac,
+		"land.soiltemp": l.SoilTemp, "land.soilmoist": l.SoilMoist,
+		"land.snow": l.Snow, "land.skin": l.Skin, "land.pools": l.Pools,
+		"land.lai": l.LAI, "land.cover": l.Cover, "land.nppavg": l.NPPAvg,
+		"land.runoff": l.Runoff, "land.cumnee": l.CumNEE,
+		"bgc.cumairsea": b.CumAirSea,
+	}
+	for t := range a.Tracers {
+		tbl[fmt.Sprintf("atm.tracer%d", t)] = a.Tracers[t]
+	}
+	for t := 0; t < bgc.NumTracers; t++ {
+		tbl[fmt.Sprintf("bgc.tracer%d", t)] = b.Tracers[t]
+	}
+	for name, f := range es.ExchangeState() {
+		tbl[name] = f
+	}
+	return tbl
+}
+
+// ApplySnapshot restores a snapshot produced by Snapshot on a system built
+// with identical Config, rebuilding the derived boundary state
+// (ResyncBoundary) so the next StepWindow continues bit-identically.
+func (es *EarthSystem) ApplySnapshot(snap *restart.Snapshot) error {
+	for name, dst := range es.fieldTable() {
+		src, ok := snap.Fields[name]
+		if !ok {
+			return fmt.Errorf("coupler: restart missing field %q", name)
+		}
+		if len(src) != len(dst) {
+			return fmt.Errorf("coupler: restart field %q has %d values, want %d (different Config?)",
+				name, len(src), len(dst))
+		}
+		copy(dst, src)
+	}
+	sc, ok := snap.Fields["coupler.scalars"]
+	if !ok {
+		return fmt.Errorf("coupler: restart missing field %q", "coupler.scalars")
+	}
+	if len(sc) != scalarFields {
+		return fmt.Errorf("coupler: restart scalars have %d values, want %d", len(sc), scalarFields)
+	}
+	es.simTime = sc[0]
+	es.windows = int(sc[1])
+	es.oceanWaterAccount = sc[2]
+	es.AtmWait = sc[3]
+	es.OceanWait = sc[4]
+	es.Atm.State.UpdateDiagnostics()
+	es.ResyncBoundary()
+	return nil
+}

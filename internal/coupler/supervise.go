@@ -1,0 +1,377 @@
+// Supervised execution: a fault-tolerant driver around StepWindow that
+// turns the paper's multi-day 1 km campaigns from "any fault loses the
+// run" into "any fault loses at most one checkpoint interval". The
+// supervisor watches each coupling window with a wall-clock deadline and a
+// physics health check (finite state + conservation drift), checkpoints
+// periodically through internal/restart's validated multi-file format, and
+// recovers from failures by rolling back to the newest intact checkpoint
+// generation and retrying with exponential backoff. When retries keep
+// failing it degrades the configuration in stages (serialise concurrent
+// BGC, halve the atmosphere timestep) before giving up, and reports
+// everything it did in a JSON-able RunReport.
+package coupler
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"icoearth/internal/restart"
+)
+
+// ErrWindowTimeout reports a coupling window that exceeded the
+// supervisor's wall-clock deadline (straggler device, stalled rank).
+var ErrWindowTimeout = errors.New("coupler: coupling window exceeded deadline")
+
+// ErrUnhealthy reports a window whose post-step state failed validation:
+// non-finite prognostics or conserved quantities drifting beyond tolerance.
+var ErrUnhealthy = errors.New("coupler: state unhealthy")
+
+// SuperviseHooks are optional observation/injection points. Both exist so
+// a fault-injection harness (internal/fault) can attach without the
+// supervisor importing it; production runs leave them nil.
+type SuperviseHooks struct {
+	// BeforeWindow runs before each attempt of a coupling window.
+	BeforeWindow func(window int)
+	// AfterCheckpoint runs after a checkpoint generation has been written
+	// (and before it is ever read back) — the seam where checkpoint
+	// corruption faults are injected.
+	AfterCheckpoint func(dir string, window int)
+}
+
+// SuperviseConfig configures supervised execution. Zero values get
+// sensible defaults (see NewSupervisor).
+type SuperviseConfig struct {
+	// Dir is the checkpoint directory; two generation subdirectories are
+	// alternated beneath it.
+	Dir string
+	// NFiles is the writer-file count per checkpoint (default 3).
+	NFiles int
+	// CheckpointEvery is the checkpoint cadence in coupling windows
+	// (default 1: every window).
+	CheckpointEvery int
+	// WindowDeadline is the wall-clock watchdog per window; 0 disables it.
+	WindowDeadline time.Duration
+	// MaxRetries is how many rollback-and-retry attempts are made per
+	// window before degrading the configuration (default 2).
+	MaxRetries int
+	// BackoffBase/BackoffMax bound the exponential backoff between
+	// retries (defaults 2ms / 100ms — wall time, kept small because the
+	// devices are simulated).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// WaterDriftTol / CarbonDriftTol are relative conservation-drift
+	// tolerances for the health check (default 1e-6).
+	WaterDriftTol  float64
+	CarbonDriftTol float64
+	Hooks          SuperviseHooks
+}
+
+// EventRecord is one noteworthy supervisor event.
+type EventRecord struct {
+	Window int    `json:"window"`
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
+}
+
+// RunReport is the structured outcome of a supervised run.
+type RunReport struct {
+	StartWindow  int           `json:"start_window"`
+	Windows      int           `json:"windows"`
+	Completed    bool          `json:"completed"`
+	Checkpoints  int           `json:"checkpoints"`
+	Rollbacks    int           `json:"rollbacks"`
+	Retries      int           `json:"retries"`
+	CheckpointNs int64         `json:"checkpoint_ns"`
+	Faults       []EventRecord `json:"faults,omitempty"`
+	Degradations []EventRecord `json:"degradations,omitempty"`
+	FinalWater   float64       `json:"final_water_kg"`
+	FinalCarbon  float64       `json:"final_carbon_kg"`
+	WaterDrift   float64       `json:"water_drift_rel"`
+	CarbonDrift  float64       `json:"carbon_drift_rel"`
+}
+
+// HealthCheck validates the post-window state: every prognostic finite and
+// the conserved totals within relative tolerance of the reference values.
+// The comparisons are written so a NaN total fails them (NaN compares
+// false against everything, so drift <= tol is asserted, not its inverse).
+func (es *EarthSystem) HealthCheck(refWater, refCarbon, waterTol, carbonTol float64) error {
+	if err := es.Atm.State.CheckFinite(); err != nil {
+		return fmt.Errorf("%w: atmosphere: %v", ErrUnhealthy, err)
+	}
+	if err := es.Oc.State.CheckFinite(); err != nil {
+		return fmt.Errorf("%w: ocean: %v", ErrUnhealthy, err)
+	}
+	if drift := relDrift(es.TotalWater(), refWater); !(drift <= waterTol) {
+		return fmt.Errorf("%w: water drift %e exceeds %e", ErrUnhealthy, drift, waterTol)
+	}
+	if drift := relDrift(es.TotalCarbon(), refCarbon); !(drift <= carbonTol) {
+		return fmt.Errorf("%w: carbon drift %e exceeds %e", ErrUnhealthy, drift, carbonTol)
+	}
+	return nil
+}
+
+func relDrift(now, ref float64) float64 {
+	if ref == 0 {
+		return math.Abs(now)
+	}
+	return math.Abs(now-ref) / math.Abs(ref)
+}
+
+// ckptGen is one written checkpoint generation.
+type ckptGen struct {
+	dir    string
+	window int
+}
+
+// Supervisor drives an EarthSystem through coupling windows with
+// watchdog, checkpointing, rollback-and-retry and staged degradation.
+type Supervisor struct {
+	es  *EarthSystem
+	cfg SuperviseConfig
+	rep *RunReport
+
+	gens           [2]string
+	nextGen        int
+	ckpts          []ckptGen // valid generations, newest last
+	lastCkptWindow int
+
+	refWater, refCarbon float64
+	degradeStage        int
+}
+
+// NewSupervisor prepares supervised execution of es, filling config
+// defaults and recording the conservation reference values. The first
+// checkpoint is written on the first Run call, before any window steps.
+func NewSupervisor(es *EarthSystem, cfg SuperviseConfig) (*Supervisor, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("coupler: supervisor needs a checkpoint dir")
+	}
+	if cfg.NFiles <= 0 {
+		cfg.NFiles = 3
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 1
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 2
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 2 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 100 * time.Millisecond
+	}
+	if cfg.WaterDriftTol <= 0 {
+		cfg.WaterDriftTol = 1e-6
+	}
+	if cfg.CarbonDriftTol <= 0 {
+		cfg.CarbonDriftTol = 1e-6
+	}
+	sv := &Supervisor{
+		es:             es,
+		cfg:            cfg,
+		rep:            &RunReport{StartWindow: es.Windows()},
+		lastCkptWindow: -1,
+		refWater:       es.TotalWater(),
+		refCarbon:      es.TotalCarbon(),
+	}
+	for i := range sv.gens {
+		sv.gens[i] = filepath.Join(cfg.Dir, fmt.Sprintf("gen%d", i))
+	}
+	return sv, nil
+}
+
+// Report returns the run report accumulated so far.
+func (sv *Supervisor) Report() *RunReport { return sv.rep }
+
+// Run advances the system by nWindows coupling windows under supervision
+// and returns the report. On an unrecoverable failure the report (with
+// Completed=false) is returned alongside the error. Run may be called
+// repeatedly; each call advances nWindows further and the report
+// accumulates.
+func (sv *Supervisor) Run(nWindows int) (*RunReport, error) {
+	target := sv.es.Windows() + nWindows
+	retries := 0
+	for sv.es.Windows() < target {
+		w := sv.es.Windows()
+		if sv.cfg.Hooks.BeforeWindow != nil {
+			sv.cfg.Hooks.BeforeWindow(w)
+		}
+		if sv.lastCkptWindow < 0 || w-sv.lastCkptWindow >= sv.cfg.CheckpointEvery {
+			if err := sv.checkpoint(w); err != nil {
+				return sv.finish(false), err
+			}
+		}
+		err := sv.stepWithDeadline()
+		if err == nil {
+			err = sv.es.HealthCheck(sv.refWater, sv.refCarbon, sv.cfg.WaterDriftTol, sv.cfg.CarbonDriftTol)
+		}
+		if err == nil {
+			retries = 0
+			continue
+		}
+		sv.rep.Faults = append(sv.rep.Faults, EventRecord{Window: w, Kind: classify(err), Detail: err.Error()})
+		if rbErr := sv.rollback(); rbErr != nil {
+			return sv.finish(false), fmt.Errorf("coupler: window %d failed (%v) and recovery failed: %w", w, err, rbErr)
+		}
+		retries++
+		sv.rep.Retries++
+		if retries > sv.cfg.MaxRetries {
+			if !sv.degrade(w) {
+				return sv.finish(false), fmt.Errorf("coupler: window %d unrecoverable after %d retries and all degradations: %w",
+					w, retries-1, err)
+			}
+			retries = 0
+		}
+		time.Sleep(sv.backoff(retries))
+	}
+	return sv.finish(true), nil
+}
+
+// backoff returns the exponential wait before the given retry attempt.
+func (sv *Supervisor) backoff(retry int) time.Duration {
+	d := sv.cfg.BackoffBase
+	for i := 1; i < retry && d < sv.cfg.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > sv.cfg.BackoffMax {
+		d = sv.cfg.BackoffMax
+	}
+	return d
+}
+
+func classify(err error) string {
+	switch {
+	case errors.Is(err, ErrWindowTimeout):
+		return "timeout"
+	case errors.Is(err, ErrUnhealthy):
+		return "health"
+	default:
+		return "step-error"
+	}
+}
+
+// stepWithDeadline runs one StepWindow under the wall-clock watchdog. A
+// window that overruns the deadline is still joined before the state is
+// touched — injected stalls are finite — and then reported as
+// ErrWindowTimeout so the supervisor rolls it back.
+func (sv *Supervisor) stepWithDeadline() error {
+	if sv.cfg.WindowDeadline <= 0 {
+		return sv.es.StepWindow()
+	}
+	done := make(chan error, 1)
+	go func() { done <- sv.es.StepWindow() }()
+	timer := time.NewTimer(sv.cfg.WindowDeadline)
+	defer timer.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-timer.C:
+		err := <-done
+		if err != nil {
+			return err
+		}
+		return fmt.Errorf("window overran %v: %w", sv.cfg.WindowDeadline, ErrWindowTimeout)
+	}
+}
+
+// checkpoint writes the current state into the next generation directory.
+func (sv *Supervisor) checkpoint(window int) error {
+	dir := sv.gens[sv.nextGen]
+	sv.nextGen = (sv.nextGen + 1) % len(sv.gens)
+	if err := os.RemoveAll(dir); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	t0 := time.Now()
+	if _, err := restart.WriteMultiFile(sv.es.Snapshot(), dir, sv.cfg.NFiles); err != nil {
+		return err
+	}
+	sv.rep.CheckpointNs += time.Since(t0).Nanoseconds()
+	sv.rep.Checkpoints++
+	sv.lastCkptWindow = window
+	// Drop any stale record of the generation just overwritten.
+	for i, g := range sv.ckpts {
+		if g.dir == dir {
+			sv.ckpts = append(sv.ckpts[:i], sv.ckpts[i+1:]...)
+			break
+		}
+	}
+	sv.ckpts = append(sv.ckpts, ckptGen{dir: dir, window: window})
+	if sv.cfg.Hooks.AfterCheckpoint != nil {
+		sv.cfg.Hooks.AfterCheckpoint(dir, window)
+	}
+	return nil
+}
+
+// rollback restores the newest checkpoint generation that validates,
+// dropping corrupt generations as it finds them.
+func (sv *Supervisor) rollback() error {
+	for len(sv.ckpts) > 0 {
+		g := sv.ckpts[len(sv.ckpts)-1]
+		snap, err := restart.ReadMultiFile(g.dir)
+		if err != nil {
+			if errors.Is(err, restart.ErrCorrupt) {
+				sv.rep.Faults = append(sv.rep.Faults, EventRecord{
+					Window: g.window, Kind: "checkpoint-corrupt", Detail: err.Error(),
+				})
+				sv.ckpts = sv.ckpts[:len(sv.ckpts)-1]
+				continue
+			}
+			return err
+		}
+		if err := sv.es.ApplySnapshot(snap); err != nil {
+			return err
+		}
+		sv.rep.Rollbacks++
+		sv.lastCkptWindow = g.window
+		return nil
+	}
+	return fmt.Errorf("coupler: no intact checkpoint generation left: %w", restart.ErrCorrupt)
+}
+
+// degrade applies the next degradation stage: first serialise a
+// concurrent BGC onto the CPU device, then halve the atmosphere timestep.
+// Returns false when no stage is left.
+func (sv *Supervisor) degrade(window int) bool {
+	if sv.degradeStage == 0 {
+		sv.degradeStage = 1
+		if sv.es.Bgc.Concurrent {
+			sv.es.Bgc.Dev = sv.es.CPU
+			sv.es.Bgc.Concurrent = false
+			sv.es.Cfg.BGCConcurrent = false
+			sv.rep.Degradations = append(sv.rep.Degradations, EventRecord{
+				Window: window, Kind: "bgc-serialised",
+				Detail: "concurrent BGC moved to the CPU device",
+			})
+			return true
+		}
+	}
+	if sv.degradeStage == 1 {
+		sv.degradeStage = 2
+		sv.es.Cfg.AtmDt /= 2
+		sv.rep.Degradations = append(sv.rep.Degradations, EventRecord{
+			Window: window, Kind: "atm-dt-halved",
+			Detail: fmt.Sprintf("atmosphere timestep reduced to %gs", sv.es.Cfg.AtmDt),
+		})
+		return true
+	}
+	return false
+}
+
+// finish stamps the final conservation numbers into the report.
+func (sv *Supervisor) finish(completed bool) *RunReport {
+	sv.rep.Completed = completed
+	sv.rep.Windows = sv.es.Windows() - sv.rep.StartWindow
+	sv.rep.FinalWater = sv.es.TotalWater()
+	sv.rep.FinalCarbon = sv.es.TotalCarbon()
+	sv.rep.WaterDrift = relDrift(sv.rep.FinalWater, sv.refWater)
+	sv.rep.CarbonDrift = relDrift(sv.rep.FinalCarbon, sv.refCarbon)
+	return sv.rep
+}

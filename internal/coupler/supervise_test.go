@@ -1,0 +1,327 @@
+package coupler
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// faultFreeRun advances a pristine system n windows and returns its
+// conserved totals — the reference every chaos run must land on.
+func faultFreeRun(t *testing.T, n int) (water, carbon float64) {
+	t.Helper()
+	es := newTestSystem(t, nil)
+	for i := 0; i < n; i++ {
+		if err := es.StepWindow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return es.TotalWater(), es.TotalCarbon()
+}
+
+func relDiff(a, b float64) float64 { return math.Abs(a-b) / math.Abs(b) }
+
+func TestSupervisorFaultFreeRun(t *testing.T) {
+	refW, refC := faultFreeRun(t, 3)
+	es := newTestSystem(t, nil)
+	sv, err := NewSupervisor(es, SuperviseConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sv.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed || rep.Windows != 3 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.Rollbacks != 0 || rep.Retries != 0 || len(rep.Faults) != 0 {
+		t.Errorf("fault-free run recorded recovery activity: %+v", rep)
+	}
+	if rep.Checkpoints == 0 || rep.CheckpointNs <= 0 {
+		t.Errorf("no checkpoint activity: %+v", rep)
+	}
+	// Supervision must not perturb the trajectory at all.
+	if es.TotalWater() != refW || es.TotalCarbon() != refC {
+		t.Errorf("supervised trajectory differs: water %v vs %v, carbon %v vs %v",
+			es.TotalWater(), refW, es.TotalCarbon(), refC)
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Errorf("report not JSON-able: %v", err)
+	}
+}
+
+// TestSupervisorRecoversFromCrash: a one-shot kernel panic (rank/device
+// loss analogue) is rolled back and retried; the run completes with the
+// fault-free conserved totals.
+func TestSupervisorRecoversFromCrash(t *testing.T) {
+	refW, refC := faultFreeRun(t, 4)
+	es := newTestSystem(t, nil)
+	fired := false
+	es.GPU.SetLaunchHook(func(name string) {
+		if !fired && es.Windows() == 2 {
+			fired = true
+			panic("injected crash in " + name)
+		}
+	})
+	sv, err := NewSupervisor(es, SuperviseConfig{Dir: t.TempDir(), CheckpointEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sv.Run(4)
+	if err != nil {
+		t.Fatalf("supervised run failed: %v (report %+v)", err, rep)
+	}
+	if !fired {
+		t.Fatal("fault never fired")
+	}
+	if rep.Rollbacks < 1 || len(rep.Faults) == 0 {
+		t.Errorf("no recovery recorded: %+v", rep)
+	}
+	if rep.Faults[0].Kind != "step-error" {
+		t.Errorf("fault kind = %q", rep.Faults[0].Kind)
+	}
+	if d := relDiff(es.TotalWater(), refW); !(d <= 1e-12) {
+		t.Errorf("water off fault-free trajectory by %e", d)
+	}
+	if d := relDiff(es.TotalCarbon(), refC); !(d <= 1e-12) {
+		t.Errorf("carbon off fault-free trajectory by %e", d)
+	}
+}
+
+// TestSupervisorRecoversFromNaN: a NaN written into a prognostic mid-run
+// (numerical blowup analogue) is caught by the health check and rolled
+// back.
+func TestSupervisorRecoversFromNaN(t *testing.T) {
+	refW, refC := faultFreeRun(t, 3)
+	es := newTestSystem(t, nil)
+	fired := false
+	es.GPU.SetLaunchHook(func(name string) {
+		if !fired && es.Windows() == 1 {
+			fired = true
+			es.Atm.State.Tracers[0][7] = math.NaN()
+		}
+	})
+	sv, err := NewSupervisor(es, SuperviseConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sv.Run(3)
+	if err != nil {
+		t.Fatalf("supervised run failed: %v", err)
+	}
+	if !fired || rep.Rollbacks < 1 {
+		t.Fatalf("no recovery: fired=%v report %+v", fired, rep)
+	}
+	if rep.Faults[0].Kind != "health" {
+		t.Errorf("fault kind = %q, want health", rep.Faults[0].Kind)
+	}
+	if d := relDiff(es.TotalWater(), refW); !(d <= 1e-12) {
+		t.Errorf("water off fault-free trajectory by %e", d)
+	}
+	if d := relDiff(es.TotalCarbon(), refC); !(d <= 1e-12) {
+		t.Errorf("carbon off fault-free trajectory by %e", d)
+	}
+}
+
+// TestSupervisorFallsBackOnCorruptCheckpoint: when the newest checkpoint
+// generation is corrupted on disk, rollback detects it (ErrCorrupt),
+// drops it and restores the older generation instead of dying or loading
+// garbage.
+func TestSupervisorFallsBackOnCorruptCheckpoint(t *testing.T) {
+	refW, _ := faultFreeRun(t, 4)
+	es := newTestSystem(t, nil)
+	corrupted := false
+	var corruptedDir string
+	crash := false
+	es.GPU.SetLaunchHook(func(string) {
+		if !crash && es.Windows() == 2 {
+			crash = true
+			panic("injected crash after corrupted checkpoint")
+		}
+	})
+	cfg := SuperviseConfig{Dir: t.TempDir(), CheckpointEvery: 1}
+	cfg.Hooks.AfterCheckpoint = func(dir string, window int) {
+		if window == 2 && !corrupted {
+			corrupted = true
+			corruptedDir = dir
+			// Flip one bit in the first restart file of the generation.
+			paths, _ := filepath.Glob(filepath.Join(dir, "restart_*.bin"))
+			raw, err := os.ReadFile(paths[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw[len(raw)/2] ^= 0x04
+			if err := os.WriteFile(paths[0], raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sv, err := NewSupervisor(es, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sv.Run(4)
+	if err != nil {
+		t.Fatalf("supervised run failed: %v (report %+v)", err, rep)
+	}
+	if !corrupted || !crash {
+		t.Fatalf("fault plan incomplete: corrupted=%v crash=%v", corrupted, crash)
+	}
+	var sawCorrupt bool
+	for _, f := range rep.Faults {
+		if f.Kind == "checkpoint-corrupt" {
+			sawCorrupt = true
+			if !strings.Contains(f.Detail, "restart") {
+				t.Errorf("corrupt event detail: %q", f.Detail)
+			}
+		}
+	}
+	if !sawCorrupt {
+		t.Errorf("corrupt generation never detected: %+v", rep.Faults)
+	}
+	_ = corruptedDir
+	if d := relDiff(es.TotalWater(), refW); !(d <= 1e-12) {
+		t.Errorf("water off fault-free trajectory by %e", d)
+	}
+}
+
+// TestSupervisorWatchdogTimeout: a stalled window (straggler analogue)
+// trips the wall-clock deadline, is joined, rolled back and retried.
+func TestSupervisorWatchdogTimeout(t *testing.T) {
+	// Calibrate the deadline against a real window on this machine (under
+	// -race a window can take hundreds of milliseconds).
+	probe := newTestSystem(t, nil)
+	t0 := time.Now()
+	if err := probe.StepWindow(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := 20*time.Since(t0) + 250*time.Millisecond
+
+	es := newTestSystem(t, nil)
+	fired := false
+	es.GPU.SetLaunchHook(func(string) {
+		if !fired && es.Windows() == 1 {
+			fired = true
+			time.Sleep(2 * deadline)
+		}
+	})
+	sv, err := NewSupervisor(es, SuperviseConfig{
+		Dir:            t.TempDir(),
+		WindowDeadline: deadline,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sv.Run(3)
+	if err != nil {
+		t.Fatalf("supervised run failed: %v", err)
+	}
+	if !fired {
+		t.Fatal("stall never fired")
+	}
+	var sawTimeout bool
+	for _, f := range rep.Faults {
+		if f.Kind == "timeout" {
+			sawTimeout = true
+		}
+	}
+	if !sawTimeout {
+		t.Errorf("timeout not recorded: %+v", rep.Faults)
+	}
+}
+
+// TestSupervisorDegrades: a fault that persists across retries forces the
+// degradation ladder; with the default config the atmosphere timestep is
+// halved and the run then completes.
+func TestSupervisorDegrades(t *testing.T) {
+	es := newTestSystem(t, nil)
+	dt0 := es.Cfg.AtmDt
+	es.GPU.SetLaunchHook(func(string) {
+		// Fails every attempt until the supervisor halves the timestep.
+		if es.Windows() == 1 && es.Cfg.AtmDt == dt0 {
+			panic("persistent fault")
+		}
+	})
+	sv, err := NewSupervisor(es, SuperviseConfig{Dir: t.TempDir(), MaxRetries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sv.Run(3)
+	if err != nil {
+		t.Fatalf("supervised run failed: %v (report %+v)", err, rep)
+	}
+	if len(rep.Degradations) == 0 {
+		t.Fatalf("no degradation recorded: %+v", rep)
+	}
+	if rep.Degradations[0].Kind != "atm-dt-halved" {
+		t.Errorf("degradation = %+v", rep.Degradations[0])
+	}
+	if es.Cfg.AtmDt != dt0/2 {
+		t.Errorf("AtmDt = %v, want %v", es.Cfg.AtmDt, dt0/2)
+	}
+	// Conservation still holds after degradation (looser tolerance: the
+	// trajectory legitimately changed).
+	if rep.WaterDrift > 1e-6 {
+		t.Errorf("water drift %e after degradation", rep.WaterDrift)
+	}
+}
+
+// TestSupervisorGivesUp: an unconditional fault exhausts retries and every
+// degradation stage; the supervisor surfaces the error with a report
+// instead of looping forever.
+func TestSupervisorGivesUp(t *testing.T) {
+	es := newTestSystem(t, nil)
+	es.GPU.SetLaunchHook(func(string) { panic("unfixable") })
+	sv, err := NewSupervisor(es, SuperviseConfig{Dir: t.TempDir(), MaxRetries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sv.Run(2)
+	if err == nil {
+		t.Fatal("supervisor claimed success under an unconditional fault")
+	}
+	if rep == nil || rep.Completed {
+		t.Fatalf("report: %+v", rep)
+	}
+	if !strings.Contains(err.Error(), "unfixable") {
+		t.Errorf("error lost the cause: %v", err)
+	}
+}
+
+// TestSupervisorNoCheckpointLeftUnrecoverable: if every generation is
+// destroyed, rollback reports ErrCorrupt rather than continuing from torn
+// state.
+func TestSupervisorNoCheckpointLeftUnrecoverable(t *testing.T) {
+	es := newTestSystem(t, nil)
+	crash := false
+	es.GPU.SetLaunchHook(func(string) {
+		if !crash && es.Windows() == 1 {
+			crash = true
+			panic("crash")
+		}
+	})
+	cfg := SuperviseConfig{Dir: t.TempDir()}
+	cfg.Hooks.AfterCheckpoint = func(dir string, window int) {
+		// Scorched earth: delete every file of every generation.
+		paths, _ := filepath.Glob(filepath.Join(dir, "restart_*.bin"))
+		for _, p := range paths {
+			os.Remove(p)
+		}
+	}
+	sv, err := NewSupervisor(es, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sv.Run(3)
+	if err == nil {
+		t.Fatal("run succeeded with no recoverable checkpoint")
+	}
+	if !strings.Contains(err.Error(), "recovery failed") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}

@@ -130,6 +130,13 @@ type Device struct {
 
 	capturing bool
 	captured  []Kernel
+
+	// slow is a straggler multiplier on every kernel duration (0 or 1 =
+	// nominal); hook, when non-nil, runs after each kernel body on the
+	// launching goroutine. Both are fault-injection seams and cost one
+	// branch when unused.
+	slow float64
+	hook func(name string)
 }
 
 // NewDevice creates a device with zeroed clocks.
@@ -140,6 +147,23 @@ func NewDevice(spec DeviceSpec) *Device {
 // SetPowerCap limits the device's power draw (watts); kernels requiring
 // more are throttled. Zero removes the cap.
 func (d *Device) SetPowerCap(watts float64) { d.powerCap = watts }
+
+// SetSlowdown makes the device a straggler: every kernel duration is
+// multiplied by factor (>1 slows the simulated clock, the analogue of a
+// thermally-throttled or failing chip). Values <= 1 restore nominal speed.
+func (d *Device) SetSlowdown(factor float64) {
+	d.mu.Lock()
+	d.slow = factor
+	d.mu.Unlock()
+}
+
+// SetLaunchHook installs f to run after each kernel body executes, both on
+// eager launches and inside graph replays, on the launching goroutine.
+// Fault injectors use it to stall, crash, or corrupt kernel outputs at a
+// precise point in the execution stream; nil (the default) disables it.
+// Like capture, the hook must be installed while no launches are in
+// flight.
+func (d *Device) SetLaunchHook(f func(name string)) { d.hook = f }
 
 // PowerCap returns the current cap (0 = uncapped).
 func (d *Device) PowerCap() float64 { return d.powerCap }
@@ -155,13 +179,19 @@ func (d *Device) Launch(k Kernel) {
 	if k.Run != nil {
 		k.Run()
 	}
+	if d.hook != nil {
+		d.hook(k.Name)
+	}
 	dur := d.throttled(d.Spec.KernelTime(k.Bytes, k.Flops))
 	d.account(k, d.Spec.LaunchLatency+dur, dur)
 }
 
 // throttled scales a duration up when the power the kernel wants exceeds
-// the cap.
+// the cap, and applies the straggler slowdown.
 func (d *Device) throttled(dur float64) float64 {
+	if d.slow > 1 {
+		dur *= d.slow
+	}
 	if d.powerCap <= 0 || dur <= 0 {
 		return dur
 	}
@@ -382,6 +412,9 @@ func (g *Graph) Replay() {
 	for _, k := range g.kernels {
 		if k.Run != nil {
 			k.Run()
+		}
+		if d.hook != nil {
+			d.hook(k.Name)
 		}
 		bytes += k.Bytes
 		flops += k.Flops

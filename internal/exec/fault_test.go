@@ -1,0 +1,79 @@
+package exec
+
+import "testing"
+
+func faultSpec() DeviceSpec {
+	return DeviceSpec{Name: "t", MemBW: 1e9, PeakFlops: 1e12, LaunchLatency: 1e-6}
+}
+
+// TestSlowdownStretchesClock: a straggler device charges proportionally
+// more simulated time for the same kernels, and <=1 restores nominal.
+func TestSlowdownStretchesClock(t *testing.T) {
+	k := Kernel{Name: "k", Bytes: 1e6}
+	run := func(factor float64) float64 {
+		d := NewDevice(faultSpec())
+		d.SetSlowdown(factor)
+		for i := 0; i < 10; i++ {
+			d.Launch(k)
+		}
+		return d.SimTime()
+	}
+	nominal := run(0)
+	if run(1) != nominal {
+		t.Error("factor 1 changed the clock")
+	}
+	slow := run(3)
+	// Launch latency is not stretched, so the ratio is below 3 but the
+	// kernel time itself must triple.
+	wantMin := nominal + 2*10*faultSpec().KernelTime(1e6, 0)
+	if slow < wantMin*(1-1e-12) {
+		t.Errorf("slowdown 3: %v, want >= %v (nominal %v)", slow, wantMin, nominal)
+	}
+}
+
+// TestLaunchHookSeesEveryKernel: the hook observes eager launches and
+// graph-replayed kernels alike, after each body ran.
+func TestLaunchHookSeesEveryKernel(t *testing.T) {
+	d := NewDevice(faultSpec())
+	var seen []string
+	ran := false
+	d.SetLaunchHook(func(name string) {
+		if name == "a" && !ran {
+			t.Error("hook ran before the kernel body")
+		}
+		seen = append(seen, name)
+	})
+	d.Launch(Kernel{Name: "a", Run: func() { ran = true }})
+
+	d.BeginCapture()
+	d.Launch(Kernel{Name: "b"})
+	d.Launch(Kernel{Name: "c"})
+	g, err := d.EndCapture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Replay()
+	want := []string{"a", "b", "c"}
+	if len(seen) != len(want) {
+		t.Fatalf("hook saw %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("hook saw %v, want %v", seen, want)
+		}
+	}
+}
+
+// TestLaunchHookPanicPropagates: a crash injected through the hook
+// surfaces as an ordinary panic on the launching goroutine (the model's
+// supervisor converts it into a window failure).
+func TestLaunchHookPanicPropagates(t *testing.T) {
+	d := NewDevice(faultSpec())
+	d.SetLaunchHook(func(name string) { panic("injected device fault") })
+	defer func() {
+		if recover() == nil {
+			t.Error("hook panic was swallowed")
+		}
+	}()
+	d.Launch(Kernel{Name: "boom"})
+}

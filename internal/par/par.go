@@ -10,15 +10,51 @@
 package par
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
+
+// ErrRankLost reports that a peer rank crashed or stopped responding
+// within the configured deadline: the fault-tolerant analogue of an MPI
+// process failure (ULFM's MPI_ERR_PROC_FAILED). Operations that cannot
+// complete because of a lost rank either return an error wrapping
+// ErrRankLost (the *Timeout variants) or abort the rank body with it
+// (Recv/Barrier under a world deadline), so World.Run always terminates
+// instead of deadlocking.
+var ErrRankLost = errors.New("par: rank lost")
+
+// rankAbort carries an ErrRankLost-derived failure out of a rank body as a
+// panic value; Run recognises it and reports it as an error rather than a
+// programming bug.
+type rankAbort struct{ err error }
 
 // message is one point-to-point payload.
 type message struct {
 	tag  int
 	data []float64
 }
+
+// MsgFate is a fault-injection hook's verdict on one outgoing message.
+type MsgFate int
+
+const (
+	// DeliverMsg delivers the message normally.
+	DeliverMsg MsgFate = iota
+	// DropMsg silently discards the message (a lost packet).
+	DropMsg
+	// DelayMsg parks the message until the next send on the same ordered
+	// rank pair, reordering it behind younger traffic. A parked message
+	// with no follow-up traffic is never delivered (tail loss).
+	DelayMsg
+)
+
+// MsgHook inspects every outgoing message and decides its fate. Hooks are
+// called on the sending rank's goroutine and must be safe for concurrent
+// use from all ranks. A nil hook (the default) costs one predictable
+// branch per send.
+type MsgHook func(from, to, tag, n int) MsgFate
 
 // World owns the channels and collective state for a fixed number of ranks.
 type World struct {
@@ -31,6 +67,16 @@ type World struct {
 	arrived int
 	redVec  []float64
 	outVec  []float64
+
+	// Fault tolerance: lost-rank bookkeeping and the default operation
+	// deadline (0 = block forever, the pre-fault-tolerance behaviour).
+	nLost    int
+	lostCh   chan struct{}
+	lostOnce sync.Once
+	deadline time.Duration
+
+	hook    MsgHook
+	delayed map[[2]int]*message // parked DelayMsg payloads per (from,to)
 }
 
 // NewWorld creates a communicator world with n ranks.
@@ -38,7 +84,7 @@ func NewWorld(n int) *World {
 	if n < 1 {
 		panic(fmt.Sprintf("par: invalid world size %d", n))
 	}
-	w := &World{N: n}
+	w := &World{N: n, lostCh: make(chan struct{})}
 	w.cond = sync.NewCond(&w.mu)
 	w.chans = make([][]chan message, n)
 	for i := range w.chans {
@@ -52,34 +98,61 @@ func NewWorld(n int) *World {
 	return w
 }
 
+// SetDeadline installs a default bound on every blocking operation
+// (Recv, Barrier, allreduce …): an operation that waits longer aborts its
+// rank with ErrRankLost instead of hanging forever. Zero (the default)
+// disables the bound. Must be set before Run.
+func (w *World) SetDeadline(d time.Duration) { w.deadline = d }
+
+// SetMsgHook installs a fault-injection hook on every send. Must be set
+// before Run.
+func (w *World) SetMsgHook(h MsgHook) { w.hook = h }
+
+// markLost records a dead rank and wakes everyone blocked on it.
+func (w *World) markLost() {
+	w.mu.Lock()
+	w.nLost++
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	w.lostOnce.Do(func() { close(w.lostCh) })
+}
+
 // Run spawns one goroutine per rank executing body and waits for all of
-// them. Panics in rank bodies propagate after all ranks finish or deadlock
-// is avoided by the panic being re-raised on the caller's goroutine.
+// them. Panics in rank bodies propagate after all ranks finish; a rank
+// that dies marks itself lost so peers blocked on it unblock (with
+// ErrRankLost) rather than deadlocking Run.
 func (w *World) Run(body func(c *Comm)) {
+	if err := w.RunErr(body); err != nil {
+		panic(err.Error())
+	}
+}
+
+// RunErr is Run with failures reported as an error instead of a panic:
+// every rank body that panicked contributes one joined error, and aborts
+// caused by lost peers satisfy errors.Is(err, ErrRankLost).
+func (w *World) RunErr(body func(c *Comm)) error {
 	var wg sync.WaitGroup
-	panics := make([]any, w.N)
+	errs := make([]error, w.N)
 	for r := 0; r < w.N; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					panics[rank] = p
-					// Wake any rank stuck in a collective so Run returns.
-					w.mu.Lock()
-					w.cond.Broadcast()
-					w.mu.Unlock()
+					if a, ok := p.(rankAbort); ok {
+						errs[rank] = fmt.Errorf("par: rank %d: %w", rank, a.err)
+					} else {
+						errs[rank] = fmt.Errorf("par: rank %d panicked: %v", rank, p)
+					}
+					// Wake any rank blocked on this one so Run returns.
+					w.markLost()
 				}
 			}()
 			body(&Comm{world: w, Rank: rank, pending: make(map[int][]message)})
 		}(r)
 	}
 	wg.Wait()
-	for r, p := range panics {
-		if p != nil {
-			panic(fmt.Sprintf("par: rank %d panicked: %v", r, p))
-		}
-	}
+	return errors.Join(errs...)
 }
 
 // Stats counts the traffic a rank generated.
@@ -87,6 +160,10 @@ type Stats struct {
 	Msgs        int64
 	BytesSent   int64
 	Collectives int64
+	// Dropped and Delayed count messages a fault-injection hook discarded
+	// or reordered (zero in production).
+	Dropped int64
+	Delayed int64
 }
 
 // Comm is one rank's handle into the world.
@@ -113,13 +190,58 @@ func (c *Comm) Send(to, tag int, data []float64) {
 	copy(buf, data)
 	c.Stats.Msgs++
 	c.Stats.BytesSent += int64(8 * len(data))
-	c.world.chans[c.Rank][to] <- message{tag: tag, data: buf}
+	w := c.world
+	m := message{tag: tag, data: buf}
+	if w.hook != nil {
+		switch w.hook(c.Rank, to, tag, len(data)) {
+		case DropMsg:
+			c.Stats.Dropped++
+			return
+		case DelayMsg:
+			// Park the message; it re-enters the channel behind the next
+			// send on this pair (reordering), or never (tail loss).
+			w.mu.Lock()
+			if w.delayed == nil {
+				w.delayed = make(map[[2]int]*message)
+			}
+			w.delayed[[2]int{c.Rank, to}] = &m
+			w.mu.Unlock()
+			c.Stats.Delayed++
+			return
+		}
+		// A normally-delivered message flushes any parked predecessor
+		// after itself, realising the reorder.
+		w.mu.Lock()
+		parked := w.delayed[[2]int{c.Rank, to}]
+		delete(w.delayed, [2]int{c.Rank, to})
+		w.mu.Unlock()
+		w.chans[c.Rank][to] <- m
+		if parked != nil {
+			w.chans[c.Rank][to] <- *parked
+		}
+		return
+	}
+	w.chans[c.Rank][to] <- m
 }
 
 // Recv blocks until a message with the given tag arrives from rank `from`
 // and returns its payload. Messages with other tags from the same sender
-// are buffered in order.
+// are buffered in order. Under a world deadline (SetDeadline) or when the
+// sender is lost, Recv aborts the rank body with ErrRankLost instead of
+// hanging; RecvTimeout returns the condition as an error.
 func (c *Comm) Recv(from, tag int) []float64 {
+	data, err := c.RecvTimeout(from, tag, c.world.deadline)
+	if err != nil {
+		panic(rankAbort{err})
+	}
+	return data
+}
+
+// RecvTimeout is Recv with an explicit bound: it returns an error wrapping
+// ErrRankLost if no matching message arrives within timeout or the sending
+// rank is lost while waiting. timeout <= 0 waits until the message arrives
+// or the sender dies.
+func (c *Comm) RecvTimeout(from, tag int, timeout time.Duration) ([]float64, error) {
 	if from < 0 || from >= c.world.N {
 		panic(fmt.Sprintf("par: recv from invalid rank %d", from))
 	}
@@ -127,36 +249,102 @@ func (c *Comm) Recv(from, tag int) []float64 {
 	for i, m := range q {
 		if m.tag == tag {
 			c.pending[from] = append(q[:i:i], q[i+1:]...)
-			return m.data
+			return m.data, nil
 		}
 	}
-	ch := c.world.chans[from][c.Rank]
+	w := c.world
+	ch := w.chans[from][c.Rank]
+	var timer *time.Timer
+	var timeoutCh <-chan time.Time
+	if timeout > 0 {
+		timer = time.NewTimer(timeout)
+		defer timer.Stop()
+		timeoutCh = timer.C
+	}
 	for {
-		m := <-ch
-		if m.tag == tag {
-			return m.data
+		// Fast path: data already queued.
+		select {
+		case m := <-ch:
+			if m.tag == tag {
+				return m.data, nil
+			}
+			c.pending[from] = append(c.pending[from], m)
+			continue
+		default:
 		}
-		c.pending[from] = append(c.pending[from], m)
+		select {
+		case m := <-ch:
+			if m.tag == tag {
+				return m.data, nil
+			}
+			c.pending[from] = append(c.pending[from], m)
+		case <-w.lostCh:
+			// A rank died; in-flight data may still be in the channel.
+			select {
+			case m := <-ch:
+				if m.tag == tag {
+					return m.data, nil
+				}
+				c.pending[from] = append(c.pending[from], m)
+				continue
+			default:
+			}
+			return nil, fmt.Errorf("par: recv from rank %d tag %d: %w", from, tag, ErrRankLost)
+		case <-timeoutCh:
+			return nil, fmt.Errorf("par: recv from rank %d tag %d timed out after %v: %w",
+				from, tag, timeout, ErrRankLost)
+		}
 	}
 }
 
-// Barrier blocks until all ranks have entered it.
+// Barrier blocks until all ranks have entered it. Under a world deadline
+// or a lost rank it aborts with ErrRankLost instead of hanging.
 func (c *Comm) Barrier() {
+	if err := c.BarrierTimeout(c.world.deadline); err != nil {
+		panic(rankAbort{err})
+	}
+}
+
+// BarrierTimeout is Barrier with an explicit bound, returning an error
+// wrapping ErrRankLost when the barrier cannot complete: a rank is already
+// lost, dies while we wait, or the timeout expires. timeout <= 0 waits
+// for completion or a lost rank.
+func (c *Comm) BarrierTimeout(timeout time.Duration) error {
 	c.Stats.Collectives++
 	w := c.world
 	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.nLost > 0 {
+		return fmt.Errorf("par: barrier: %w", ErrRankLost)
+	}
 	gen := w.genArr
 	w.arrived++
 	if w.arrived == w.N {
 		w.arrived = 0
 		w.genArr++
 		w.cond.Broadcast()
-	} else {
-		for w.genArr == gen {
-			w.cond.Wait()
-		}
+		return nil
 	}
-	w.mu.Unlock()
+	timedOut := false
+	if timeout > 0 {
+		t := time.AfterFunc(timeout, func() {
+			w.mu.Lock()
+			timedOut = true
+			w.cond.Broadcast()
+			w.mu.Unlock()
+		})
+		defer t.Stop()
+	}
+	for w.genArr == gen && w.nLost == 0 && !timedOut {
+		w.cond.Wait()
+	}
+	if w.genArr == gen {
+		if w.nLost > 0 {
+			return fmt.Errorf("par: barrier: %w", ErrRankLost)
+		}
+		return fmt.Errorf("par: barrier timed out after %v: %w", timeout, ErrRankLost)
+	}
+	return nil
 }
 
 // ReduceOp selects the elementwise reduction.
@@ -170,10 +358,16 @@ const (
 
 // AllreduceVec reduces x elementwise across all ranks and returns the
 // result (same on every rank). All ranks must pass slices of equal length.
+// Under a world deadline or a lost rank it aborts with ErrRankLost; a
+// world in which any operation has failed must not be reused.
 func (c *Comm) AllreduceVec(op ReduceOp, x []float64) []float64 {
 	c.Stats.Collectives++
 	w := c.world
 	w.mu.Lock()
+	if w.nLost > 0 {
+		w.mu.Unlock()
+		panic(rankAbort{fmt.Errorf("par: allreduce: %w", ErrRankLost)})
+	}
 	gen := w.genArr
 	if w.arrived == 0 {
 		w.redVec = append(w.redVec[:0], x...)
@@ -204,8 +398,22 @@ func (c *Comm) AllreduceVec(op ReduceOp, x []float64) []float64 {
 		w.outVec = append(w.outVec[:0], w.redVec...)
 		w.cond.Broadcast()
 	} else {
-		for w.genArr == gen {
+		timedOut := false
+		if w.deadline > 0 {
+			t := time.AfterFunc(w.deadline, func() {
+				w.mu.Lock()
+				timedOut = true
+				w.cond.Broadcast()
+				w.mu.Unlock()
+			})
+			defer t.Stop()
+		}
+		for w.genArr == gen && w.nLost == 0 && !timedOut {
 			w.cond.Wait()
+		}
+		if w.genArr == gen {
+			w.mu.Unlock()
+			panic(rankAbort{fmt.Errorf("par: allreduce: %w", ErrRankLost)})
 		}
 	}
 	out := make([]float64, len(w.outVec))

@@ -57,7 +57,7 @@ func (a *AsyncOutput) server(id int) {
 			}
 			continue
 		}
-		n, err := writeFile(f, s, s.names(), 0, 1)
+		n, err := writeFile(f, s, s.names(), 1, s.Checksum())
 		f.Close()
 		atomic.AddInt64(&a.written, n)
 		if err != nil {

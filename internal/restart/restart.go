@@ -13,7 +13,9 @@ package restart
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash"
 	"hash/crc64"
 	"io"
 	"math"
@@ -21,6 +23,13 @@ import (
 	"path/filepath"
 	"sort"
 )
+
+// ErrCorrupt reports a restart set that fails validation: a truncated
+// file, a bit-flipped payload (per-file CRC mismatch), a missing file, or
+// a reassembled snapshot whose checksum differs from the one recorded at
+// write time. Callers distinguish it from I/O errors with errors.Is and
+// fall back to an older checkpoint generation.
+var ErrCorrupt = errors.New("restart: corrupt checkpoint")
 
 // Snapshot is a named collection of model fields — the full state of one
 // component to be checkpointed.
@@ -57,26 +66,42 @@ func (s *Snapshot) names() []string {
 
 var crcTable = crc64.MakeTable(crc64.ECMA)
 
-// Checksum returns a deterministic checksum over all fields.
+// Checksum returns a deterministic checksum over all fields. Fields are
+// marshalled through a chunk buffer so the CRC runs over large blocks —
+// crc64's slicing-by-8 kernel needs bulk writes to reach memory speed.
 func (s *Snapshot) Checksum() uint64 {
 	h := crc64.New(crcTable)
-	var buf [8]byte
+	buf := make([]byte, 1<<16)
 	for _, name := range s.names() {
 		io.WriteString(h, name)
-		for _, v := range s.Fields[name] {
-			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-			h.Write(buf[:])
+		data := s.Fields[name]
+		for len(data) > 0 {
+			n := len(buf) / 8
+			if n > len(data) {
+				n = len(data)
+			}
+			for i, v := range data[:n] {
+				binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+			}
+			h.Write(buf[:8*n])
+			data = data[n:]
 		}
 	}
 	return h.Sum64()
 }
 
-const magic = uint64(0x49434F4E52535431) // "ICONRST1"
+// magic identifies format version 2: version 1 had no integrity metadata,
+// so corruption (truncation, bit flips) was silently accepted. Version 2
+// records the writer-file count and whole-snapshot checksum in every
+// header and appends a per-file CRC64 trailer.
+const magic = uint64(0x49434F4E52535432) // "ICONRST2"
 
 // WriteMultiFile writes the snapshot as nfiles files in dir, mirroring
 // ICON's synchronous multi-file scheme: the fields are distributed
 // round-robin over the writer "ranks", each producing one self-describing
-// file. Returns the total bytes written.
+// file. Each file is written to a temporary name and renamed into place
+// (write-then-rename), so a crash mid-checkpoint never leaves a
+// half-written restart_*.bin behind. Returns the total bytes written.
 func WriteMultiFile(s *Snapshot, dir string, nfiles int) (int64, error) {
 	if nfiles < 1 {
 		return 0, fmt.Errorf("restart: nfiles = %d", nfiles)
@@ -85,37 +110,60 @@ func WriteMultiFile(s *Snapshot, dir string, nfiles int) (int64, error) {
 	if nfiles > len(names) {
 		nfiles = len(names)
 	}
+	snapSum := s.Checksum()
 	var total int64
 	for w := 0; w < nfiles; w++ {
+		var mine []string
+		for i := w; i < len(names); i += nfiles {
+			mine = append(mine, names[i])
+		}
 		path := filepath.Join(dir, fmt.Sprintf("restart_%04d.bin", w))
-		f, err := os.Create(path)
+		tmp := path + ".tmp"
+		f, err := os.Create(tmp)
 		if err != nil {
 			return total, err
 		}
-		n, err := writeFile(f, s, names, w, nfiles)
-		f.Close()
+		n, err := writeFile(f, s, mine, uint64(nfiles), snapSum)
+		cerr := f.Close()
 		total += n
+		if err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Rename(tmp, path)
+		}
 		if err != nil {
+			os.Remove(tmp)
 			return total, err
 		}
 	}
 	return total, nil
 }
 
-func writeFile(f *os.File, s *Snapshot, names []string, w, nfiles int) (int64, error) {
-	var mine []string
-	for i := w; i < len(names); i += nfiles {
-		mine = append(mine, names[i])
-	}
+// writeFile emits one self-describing restart file holding the named
+// fields: header (magic, total file count, snapshot checksum, field
+// count), the fields, and a trailing CRC64 over everything before it.
+func writeFile(f *os.File, s *Snapshot, mine []string, totalFiles, snapSum uint64) (int64, error) {
 	var count int64
+	h := crc64.New(crcTable)
+	write := func(p []byte) error {
+		n, err := f.Write(p)
+		count += int64(n)
+		h.Write(p[:n])
+		return err
+	}
 	put64 := func(v uint64) error {
 		var buf [8]byte
 		binary.LittleEndian.PutUint64(buf[:], v)
-		n, err := f.Write(buf[:])
-		count += int64(n)
-		return err
+		return write(buf[:])
 	}
 	if err := put64(magic); err != nil {
+		return count, err
+	}
+	if err := put64(totalFiles); err != nil {
+		return count, err
+	}
+	if err := put64(snapSum); err != nil {
 		return count, err
 	}
 	if err := put64(uint64(len(mine))); err != nil {
@@ -126,9 +174,7 @@ func writeFile(f *os.File, s *Snapshot, names []string, w, nfiles int) (int64, e
 		if err := put64(uint64(len(name))); err != nil {
 			return count, err
 		}
-		n, err := f.Write([]byte(name))
-		count += int64(n)
-		if err != nil {
+		if err := write([]byte(name)); err != nil {
 			return count, err
 		}
 		if err := put64(uint64(len(data))); err != nil {
@@ -138,19 +184,25 @@ func writeFile(f *os.File, s *Snapshot, names []string, w, nfiles int) (int64, e
 		for i, v := range data {
 			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
 		}
-		n, err = f.Write(buf)
-		count += int64(n)
-		if err != nil {
+		if err := write(buf); err != nil {
 			return count, err
 		}
 	}
-	return count, nil
+	// Trailer: CRC of all preceding bytes, excluded from the CRC itself.
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], h.Sum64())
+	n, err := f.Write(buf[:])
+	count += int64(n)
+	return count, err
 }
 
 // ReadMultiFile reads every restart file in dir (staggered over the given
 // number of reader "ranks" — the stagger only affects the performance
-// model; correctness-wise all files are read) and reassembles the
-// snapshot.
+// model; correctness-wise all files are read), reassembles the snapshot,
+// and validates it end to end: per-file CRC trailers, the recorded writer
+// count against the files actually present, and the reassembled snapshot
+// against the whole-snapshot checksum recorded at write time. Any
+// mismatch returns an error wrapping ErrCorrupt.
 func ReadMultiFile(dir string) (*Snapshot, error) {
 	paths, err := filepath.Glob(filepath.Join(dir, "restart_*.bin"))
 	if err != nil {
@@ -161,60 +213,125 @@ func ReadMultiFile(dir string) (*Snapshot, error) {
 	}
 	sort.Strings(paths)
 	s := NewSnapshot()
-	for _, p := range paths {
-		if err := readFile(p, s); err != nil {
+	var wantFiles, wantSum uint64
+	for i, p := range paths {
+		meta, err := readFile(p, s)
+		if err != nil {
 			return nil, fmt.Errorf("restart: %s: %w", p, err)
 		}
+		if i == 0 {
+			wantFiles, wantSum = meta.totalFiles, meta.snapSum
+		} else if meta.totalFiles != wantFiles || meta.snapSum != wantSum {
+			return nil, fmt.Errorf("restart: %s: header disagrees with %s (mixed checkpoint generations): %w",
+				p, paths[0], ErrCorrupt)
+		}
+	}
+	if uint64(len(paths)) != wantFiles {
+		return nil, fmt.Errorf("restart: %s: %d of %d restart files present: %w",
+			dir, len(paths), wantFiles, ErrCorrupt)
+	}
+	if got := s.Checksum(); got != wantSum {
+		return nil, fmt.Errorf("restart: %s: snapshot checksum %016x, recorded %016x: %w",
+			dir, got, wantSum, ErrCorrupt)
 	}
 	return s, nil
 }
 
-func readFile(path string, s *Snapshot) error {
+// fileMeta is the validated header of one restart file.
+type fileMeta struct {
+	totalFiles uint64
+	snapSum    uint64
+}
+
+// crcReader hashes everything read through it so the trailer check covers
+// the exact bytes consumed.
+type crcReader struct {
+	r io.Reader
+	h hash.Hash64
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.h.Write(p[:n])
+	return n, err
+}
+
+func readFile(path string, s *Snapshot) (fileMeta, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return fileMeta{}, err
 	}
 	defer f.Close()
+	cr := &crcReader{r: f, h: crc64.New(crcTable)}
+	var meta fileMeta
 	get64 := func() (uint64, error) {
 		var buf [8]byte
-		if _, err := io.ReadFull(f, buf[:]); err != nil {
+		if _, err := io.ReadFull(cr, buf[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				err = fmt.Errorf("truncated: %w", ErrCorrupt)
+			}
 			return 0, err
 		}
 		return binary.LittleEndian.Uint64(buf[:]), nil
 	}
 	m, err := get64()
 	if err != nil {
-		return err
+		return meta, err
 	}
 	if m != magic {
-		return fmt.Errorf("bad magic %x", m)
+		return meta, fmt.Errorf("bad magic %x: %w", m, ErrCorrupt)
+	}
+	if meta.totalFiles, err = get64(); err != nil {
+		return meta, err
+	}
+	if meta.snapSum, err = get64(); err != nil {
+		return meta, err
 	}
 	nf, err := get64()
 	if err != nil {
-		return err
+		return meta, err
 	}
+	fields := make(map[string][]float64, nf)
 	for i := uint64(0); i < nf; i++ {
 		nameLen, err := get64()
 		if err != nil {
-			return err
+			return meta, err
+		}
+		if nameLen > 1<<16 {
+			return meta, fmt.Errorf("implausible field-name length %d: %w", nameLen, ErrCorrupt)
 		}
 		nameBuf := make([]byte, nameLen)
-		if _, err := io.ReadFull(f, nameBuf); err != nil {
-			return err
+		if _, err := io.ReadFull(cr, nameBuf); err != nil {
+			return meta, fmt.Errorf("truncated field name: %w", ErrCorrupt)
 		}
 		dataLen, err := get64()
 		if err != nil {
-			return err
+			return meta, err
+		}
+		if dataLen > 1<<28 {
+			return meta, fmt.Errorf("implausible field length %d: %w", dataLen, ErrCorrupt)
 		}
 		buf := make([]byte, 8*dataLen)
-		if _, err := io.ReadFull(f, buf); err != nil {
-			return err
+		if _, err := io.ReadFull(cr, buf); err != nil {
+			return meta, fmt.Errorf("truncated field %q: %w", nameBuf, ErrCorrupt)
 		}
 		data := make([]float64, dataLen)
 		for j := range data {
 			data[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:]))
 		}
-		s.Fields[string(nameBuf)] = data
+		fields[string(nameBuf)] = data
 	}
-	return nil
+	want := cr.h.Sum64()
+	var trailer [8]byte
+	if _, err := io.ReadFull(f, trailer[:]); err != nil {
+		return meta, fmt.Errorf("missing CRC trailer: %w", ErrCorrupt)
+	}
+	if got := binary.LittleEndian.Uint64(trailer[:]); got != want {
+		return meta, fmt.Errorf("file CRC %016x, computed %016x: %w", got, want, ErrCorrupt)
+	}
+	// Only merge validated fields into the snapshot.
+	for name, data := range fields {
+		s.Fields[name] = data
+	}
+	return meta, nil
 }

@@ -1,8 +1,10 @@
 package restart
 
 import (
+	"errors"
 	"math"
 	"os"
+	"path/filepath"
 	"testing"
 
 	"icoearth/internal/config"
@@ -91,8 +93,101 @@ func TestCorruptFileRejected(t *testing.T) {
 	if err := os.WriteFile(dir+"/restart_0000.bin", []byte("garbage..."), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ReadMultiFile(dir); err == nil {
-		t.Error("corrupt file accepted")
+	_, err := ReadMultiFile(dir)
+	if err == nil {
+		t.Fatal("corrupt file accepted")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("error is not typed ErrCorrupt: %v", err)
+	}
+}
+
+// TestTruncatedFileRejected: a checkpoint cut off mid-write (torn file,
+// full disk) must surface as ErrCorrupt, at several cut points.
+func TestTruncatedFileRejected(t *testing.T) {
+	for _, frac := range []float64{0.1, 0.5, 0.99} {
+		dir := t.TempDir()
+		s := sampleSnapshot(500)
+		if _, err := WriteMultiFile(s, dir, 2); err != nil {
+			t.Fatal(err)
+		}
+		path := dir + "/restart_0001.bin"
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(path, int64(frac*float64(fi.Size()))); err != nil {
+			t.Fatal(err)
+		}
+		_, err = ReadMultiFile(dir)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("frac %v: truncated file not rejected as ErrCorrupt: %v", frac, err)
+		}
+	}
+}
+
+// TestBitFlipRejected: a single flipped bit anywhere in a restart file
+// (cosmic ray, bad DIMM, storage rot) must fail the CRC validation.
+func TestBitFlipRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := sampleSnapshot(500)
+	if _, err := WriteMultiFile(s, dir, 3); err != nil {
+		t.Fatal(err)
+	}
+	path := dir + "/restart_0002.bin"
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int{8, len(raw) / 2, len(raw) - 9} {
+		flipped := append([]byte(nil), raw...)
+		flipped[off] ^= 0x10
+		if err := os.WriteFile(path, flipped, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadMultiFile(dir); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("offset %d: bit flip not rejected as ErrCorrupt: %v", off, err)
+		}
+	}
+	// Restoring the original bytes makes the checkpoint readable again.
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMultiFile(dir); err != nil {
+		t.Errorf("pristine checkpoint rejected: %v", err)
+	}
+}
+
+// TestMissingFileRejected: deleting one writer's file must be detected
+// via the recorded file count, not silently yield a partial snapshot.
+func TestMissingFileRejected(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := WriteMultiFile(sampleSnapshot(100), dir, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(dir + "/restart_0001.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMultiFile(dir); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("missing file not rejected as ErrCorrupt: %v", err)
+	}
+}
+
+// TestNoTempFilesLeftBehind: the write-then-rename protocol leaves no
+// .tmp debris on the happy path, and readers never pick temp files up.
+func TestNoTempFilesLeftBehind(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := WriteMultiFile(sampleSnapshot(100), dir, 4); err != nil {
+		t.Fatal(err)
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if filepath.Ext(f.Name()) == ".tmp" {
+			t.Errorf("temp file left behind: %s", f.Name())
+		}
 	}
 }
 
@@ -210,7 +305,7 @@ func TestAsyncOutputCopiesData(t *testing.T) {
 		t.Fatalf("files = %d", len(files))
 	}
 	s := NewSnapshot()
-	if err := readFile(dir+"/"+files[0].Name(), s); err != nil {
+	if _, err := readFile(dir+"/"+files[0].Name(), s); err != nil {
 		t.Fatal(err)
 	}
 	if s.Fields["f"][0] != 1 {

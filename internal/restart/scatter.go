@@ -100,7 +100,7 @@ func readShare(dir string, rank, nReaders int) (*Snapshot, error) {
 	sort.Strings(paths)
 	s := NewSnapshot()
 	for i := rank; i < len(paths); i += nReaders {
-		if err := readFile(paths[i], s); err != nil {
+		if _, err := readFile(paths[i], s); err != nil {
 			return nil, err
 		}
 	}

@@ -33,7 +33,7 @@ func TestOutputStreamMean(t *testing.T) {
 	got := map[float64]bool{}
 	for _, f := range files {
 		s := NewSnapshot()
-		if err := readFile(dir+"/"+f.Name(), s); err != nil {
+		if _, err := readFile(dir+"/"+f.Name(), s); err != nil {
 			t.Fatal(err)
 		}
 		got[s.Fields["tmean"][0]] = true
@@ -57,7 +57,7 @@ func TestOutputStreamAccumulate(t *testing.T) {
 		t.Fatalf("files = %d", len(files))
 	}
 	s := NewSnapshot()
-	if err := readFile(dir+"/"+files[0].Name(), s); err != nil {
+	if _, err := readFile(dir+"/"+files[0].Name(), s); err != nil {
 		t.Fatal(err)
 	}
 	if s.Fields["precip"][0] != 3 || s.Fields["precip"][1] != 6 {
@@ -74,7 +74,7 @@ func TestOutputStreamMax(t *testing.T) {
 	a.Close()
 	files, _ := os.ReadDir(dir)
 	s := NewSnapshot()
-	if err := readFile(dir+"/"+files[0].Name(), s); err != nil {
+	if _, err := readFile(dir+"/"+files[0].Name(), s); err != nil {
 		t.Fatal(err)
 	}
 	if s.Fields["gust"][0] != 1 || s.Fields["gust"][1] != 7 {
@@ -91,7 +91,7 @@ func TestOutputStreamInstant(t *testing.T) {
 	a.Close()
 	files, _ := os.ReadDir(dir)
 	s := NewSnapshot()
-	if err := readFile(dir+"/"+files[0].Name(), s); err != nil {
+	if _, err := readFile(dir+"/"+files[0].Name(), s); err != nil {
 		t.Fatal(err)
 	}
 	if s.Fields["snap"][0] != 42 {

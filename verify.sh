@@ -28,8 +28,11 @@ go test -short ./...
 
 # --- tier 2 (full) ----------------------------------------------------
 go test -tags sdfgdebug ./internal/sdfg/
-go test -race ./internal/par/... ./internal/exec/... ./internal/coupler/...
+go test -race ./internal/par/... ./internal/exec/... ./internal/coupler/... ./internal/fault/...
 go test ./...
+# Chaos smoke: a supervised run with injected faults must complete with
+# conservation intact (tiny grid; exercises crash, rollback, retry).
+go run ./cmd/esmrun -hours 0.5 -grid 1 -atmlev 5 -oclev 4 -chaos seed=1
 # Perf gate: rerun the benchmark suite and compare against the latest
 # committed BENCH_<n>.json (tolerances live in internal/bench/compare.go).
 go run ./cmd/benchgate gate -count 3

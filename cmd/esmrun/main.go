@@ -18,6 +18,8 @@ import (
 	"icoearth"
 	"icoearth/internal/coupler"
 	"icoearth/internal/fault"
+	"icoearth/internal/restart"
+	"icoearth/internal/trace"
 )
 
 func main() {
@@ -41,6 +43,8 @@ func run(args []string, out io.Writer) error {
 		chaos   = fs.String("chaos", "",
 			"run under the fault-injecting supervisor: seed=N[,plan=crash@1:dycore;nan@2:atm.qv;...] (empty plan = auto)")
 		chaosReport = fs.String("chaos-report", "", "write the chaos RunReport as JSON to this file")
+		traceOut    = fs.String("trace", "",
+			"record a run trace and write Chrome trace-event JSON to this file (open in chrome://tracing or ui.perfetto.dev)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,8 +62,15 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	var tr *trace.Tracer
+	if *traceOut != "" {
+		tr = trace.New()
+		sim.ES.SetTracer(tr)
+		restart.SetTrace(tr.Track("restart", 0))
+	}
+
 	if *chaos != "" {
-		return runChaos(sim, *chaos, *chaosReport, *hours, *ckpt, out)
+		return runChaos(sim, *chaos, *chaosReport, *hours, *ckpt, tr, *traceOut, out)
 	}
 
 	d0 := sim.Diagnostics()
@@ -97,6 +108,20 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "checkpoint: %.1f MiB in %s\n", float64(n)/(1<<20), *ckpt)
 	}
+	return writeTrace(tr, *traceOut, out)
+}
+
+// writeTrace exports the run trace (when one was recorded) and prints its
+// text summary.
+func writeTrace(tr *trace.Tracer, path string, out io.Writer) error {
+	if tr == nil || path == "" {
+		return nil
+	}
+	if err := tr.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\n%s", tr.Summary())
+	fmt.Fprintf(out, "trace: %s (load in chrome://tracing)\n", path)
 	return nil
 }
 
@@ -104,7 +129,7 @@ func run(args []string, out io.Writer) error {
 // fault plan armed, then reports every fault fired and every recovery
 // taken. The run must end with conserved quantities intact — that is the
 // whole point of the recovery layer.
-func runChaos(sim *icoearth.Simulation, spec, reportPath string, hours float64, ckptDir string, out io.Writer) error {
+func runChaos(sim *icoearth.Simulation, spec, reportPath string, hours float64, ckptDir string, tr *trace.Tracer, tracePath string, out io.Writer) error {
 	seed, plan, err := fault.ParseChaosSpec(spec)
 	if err != nil {
 		return err
@@ -153,8 +178,8 @@ func runChaos(sim *icoearth.Simulation, spec, reportPath string, hours float64, 
 	for _, d := range rep.Degradations {
 		fmt.Fprintf(out, "  degraded @%d [%s]: %s\n", d.Window, d.Kind, d.Detail)
 	}
-	fmt.Fprintf(out, "recovery: %d checkpoints (%.1f ms total), %d rollbacks, %d retries\n",
-		rep.Checkpoints, float64(rep.CheckpointNs)/1e6, rep.Rollbacks, rep.Retries)
+	fmt.Fprintf(out, "recovery: %d checkpoints (%.1f ms total), %d rollbacks (%.1f ms total), %d retries\n",
+		rep.Checkpoints, float64(rep.CheckpointNs)/1e6, rep.Rollbacks, float64(rep.RollbackNs)/1e6, rep.Retries)
 
 	if reportPath != "" {
 		blob, err := json.MarshalIndent(struct {
@@ -170,6 +195,9 @@ func runChaos(sim *icoearth.Simulation, spec, reportPath string, hours float64, 
 			return err
 		}
 		fmt.Fprintf(out, "report: %s\n", reportPath)
+	}
+	if err := writeTrace(tr, tracePath, out); err != nil {
+		return err
 	}
 	if runErr != nil {
 		return fmt.Errorf("chaos run did not survive: %w", runErr)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -66,6 +67,59 @@ func TestChaosSmoke(t *testing.T) {
 		if !strings.Contains(string(blob), want) {
 			t.Errorf("report missing %q:\n%s", want, blob)
 		}
+	}
+}
+
+// TestChaosTraceTimeline is the PR's acceptance run: a -chaos run with
+// -trace must produce a Chrome trace-event file whose timeline shows the
+// injected fault, the rollback span, and the retried window.
+func TestChaosTraceTimeline(t *testing.T) {
+	var out strings.Builder
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	err := run([]string{"-hours", "0.5", "-grid", "1", "-atmlev", "5", "-oclev", "4",
+		"-chaos", "seed=1,plan=crash@1:dycore",
+		"-trace", tracePath}, &out)
+	if err != nil {
+		t.Fatalf("traced chaos run failed: %v\noutput:\n%s", err, out.String())
+	}
+	blob, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("no trace file: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	count := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		count[e.Name+"/"+e.Ph]++
+	}
+	// The crash→rollback→retry timeline, event by event.
+	if count["fault:crash/i"] != 1 {
+		t.Errorf("injected fault instants = %d, want 1", count["fault:crash/i"])
+	}
+	if count["supervisor:rollback/X"] < 1 {
+		t.Errorf("no rollback span in trace")
+	}
+	if count["supervisor:retry/i"] < 1 {
+		t.Errorf("no retry instant in trace")
+	}
+	// 3 windows complete + at least the crashed attempt.
+	if count["window/X"] < 4 {
+		t.Errorf("window spans = %d, want >= 4 (3 completed + 1 retried)", count["window/X"])
+	}
+	if count["restart:read/X"] < 1 || count["restart:write/X"] < 1 {
+		t.Errorf("checkpoint I/O spans missing: %v read, %v write",
+			count["restart:read/X"], count["restart:write/X"])
+	}
+	if !strings.Contains(out.String(), "trace summary") {
+		t.Errorf("stdout missing trace summary:\n%s", out.String())
 	}
 }
 

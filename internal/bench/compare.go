@@ -73,6 +73,11 @@ var GatedCustomMetrics = map[string]Policy{
 	"tau_simdays_per_day": {Direction: HigherIsBetter, Tolerance: 0.15, Scale: ThroughputScaled},
 	"cells_per_sec":       {Direction: HigherIsBetter, Tolerance: 0.15, Scale: ThroughputScaled},
 	"tau_simulated":       {Direction: HigherIsBetter, Tolerance: 0.15, Scale: ThroughputScaled},
+	// trace_overhead_frac is the disabled-tracer cost of a coupled window
+	// as a fraction of the window's wall time (BenchmarkStepWindow). The
+	// contract is "< 1%": MinAbs keeps values under 0.01 ungated (they are
+	// pure noise at that size) while a regression past the floor gates.
+	"trace_overhead_frac": {Direction: LowerIsBetter, Tolerance: 0.50, MinAbs: 0.01},
 }
 
 // PolicyFor resolves the gating rule for a metric unit.

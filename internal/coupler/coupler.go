@@ -27,6 +27,7 @@ import (
 	"icoearth/internal/land"
 	"icoearth/internal/machine"
 	"icoearth/internal/ocean"
+	"icoearth/internal/trace"
 	"icoearth/internal/vertical"
 )
 
@@ -108,6 +109,11 @@ type EarthSystem struct {
 	// Coupling wait diagnostics (simulated seconds).
 	AtmWait, OceanWait float64
 	windows            int
+
+	// Run tracing (nil when disabled): the window track plus one track per
+	// concurrent side, so the GPU and CPU goroutines never share a lane.
+	tracer              *trace.Tracer
+	tkWin, tkGPU, tkCPU *trace.Track
 }
 
 // New assembles an Earth system on the given devices (gpu for
@@ -168,6 +174,26 @@ func New(cfg Config, gpu, cpu *exec.Device) *EarthSystem {
 	return es
 }
 
+// SetTracer attaches a run tracer to the coupled system: coupling windows,
+// the concurrent GPU/CPU component steps, and the exchange are recorded,
+// and both devices (plus a concurrent BGC device) get exec tracks. A nil
+// tracer (the default) costs one branch per recording point. Must be set
+// before stepping.
+func (es *EarthSystem) SetTracer(tr *trace.Tracer) {
+	es.tracer = tr
+	es.tkWin = tr.Track("coupler", 0)
+	es.tkGPU = tr.Track("coupler:gpu-side", 0)
+	es.tkCPU = tr.Track("coupler:cpu-side", 0)
+	es.GPU.AttachTrace(tr)
+	es.CPU.AttachTrace(tr)
+	if es.Bgc != nil && es.Bgc.Dev != es.CPU && es.Bgc.Dev != es.GPU {
+		es.Bgc.Dev.AttachTrace(tr)
+	}
+}
+
+// Tracer returns the attached tracer (nil when tracing is disabled).
+func (es *EarthSystem) Tracer() *trace.Tracer { return es.tracer }
+
 // NewOnSuperchip assembles the system with the paper's GH200 mapping and
 // power partition: ocean+BGC on the Grace CPU, atmosphere+land on the
 // Hopper GPU under the shared TDP.
@@ -218,6 +244,9 @@ func (es *EarthSystem) StepWindow() error {
 		nOc = 1
 	}
 
+	tWin := es.tkWin.Start()
+	defer es.tkWin.EndArg("window", tWin, "window", int64(es.windows))
+
 	gpuStart := es.GPU.SimTime()
 	cpuStart := es.CPU.SimTime()
 
@@ -235,9 +264,12 @@ func (es *EarthSystem) StepWindow() error {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		t0 := es.tkGPU.Start()
+		defer es.tkGPU.EndArg("atm+land", t0, "steps", int64(nAtm))
 		defer func() {
 			if p := recover(); p != nil {
 				gpuErr = fmt.Errorf("coupler: atmosphere/land side failed: %v", p)
+				es.tkGPU.Instant("side:panic")
 			}
 		}()
 		for n := 0; n < nAtm; n++ {
@@ -249,9 +281,12 @@ func (es *EarthSystem) StepWindow() error {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		t0 := es.tkCPU.Start()
+		defer es.tkCPU.EndArg("ocean+ice+bgc", t0, "steps", int64(nOc))
 		defer func() {
 			if p := recover(); p != nil {
 				ocErr = fmt.Errorf("coupler: ocean/BGC side failed: %v", p)
+				es.tkCPU.Instant("side:panic")
 			}
 		}()
 		for n := 0; n < nOc; n++ {
@@ -282,7 +317,9 @@ func (es *EarthSystem) StepWindow() error {
 		es.OceanWait += gpuT - cpuT
 	}
 
+	tEx := es.tkWin.Start()
 	es.exchange()
+	es.tkWin.End("exchange", tEx)
 	es.simTime += cfg.CouplingDt
 	es.windows++
 	return nil

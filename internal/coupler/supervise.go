@@ -79,13 +79,19 @@ type EventRecord struct {
 
 // RunReport is the structured outcome of a supervised run.
 type RunReport struct {
-	StartWindow  int           `json:"start_window"`
-	Windows      int           `json:"windows"`
-	Completed    bool          `json:"completed"`
-	Checkpoints  int           `json:"checkpoints"`
-	Rollbacks    int           `json:"rollbacks"`
-	Retries      int           `json:"retries"`
+	StartWindow int  `json:"start_window"`
+	Windows     int  `json:"windows"`
+	Completed   bool `json:"completed"`
+	Checkpoints int  `json:"checkpoints"`
+	Rollbacks   int  `json:"rollbacks"`
+	Retries     int  `json:"retries"`
+	// CheckpointNs is the wall time spent writing checkpoints (directory
+	// preparation included); RollbackNs is the wall time spent recovering —
+	// reading generations back (including corrupt attempts), checksum
+	// verification, and state restoration — so recovery cost is fully
+	// attributed rather than folded into the window it interrupted.
 	CheckpointNs int64         `json:"checkpoint_ns"`
+	RollbackNs   int64         `json:"rollback_ns"`
 	Faults       []EventRecord `json:"faults,omitempty"`
 	Degradations []EventRecord `json:"degradations,omitempty"`
 	FinalWater   float64       `json:"final_water_kg"`
@@ -215,11 +221,13 @@ func (sv *Supervisor) Run(nWindows int) (*RunReport, error) {
 			continue
 		}
 		sv.rep.Faults = append(sv.rep.Faults, EventRecord{Window: w, Kind: classify(err), Detail: err.Error()})
+		sv.es.tkWin.InstantArg("supervisor:fault:"+classify(err), "window", int64(w))
 		if rbErr := sv.rollback(); rbErr != nil {
 			return sv.finish(false), fmt.Errorf("coupler: window %d failed (%v) and recovery failed: %w", w, err, rbErr)
 		}
 		retries++
 		sv.rep.Retries++
+		sv.es.tkWin.InstantArg("supervisor:retry", "window", int64(w))
 		if retries > sv.cfg.MaxRetries {
 			if !sv.degrade(w) {
 				return sv.finish(false), fmt.Errorf("coupler: window %d unrecoverable after %d retries and all degradations: %w",
@@ -280,7 +288,15 @@ func (sv *Supervisor) stepWithDeadline() error {
 }
 
 // checkpoint writes the current state into the next generation directory.
+// The whole operation — directory preparation and the multi-file write —
+// is charged to CheckpointNs.
 func (sv *Supervisor) checkpoint(window int) error {
+	t0 := time.Now()
+	ts := sv.es.tkWin.Start()
+	defer func() {
+		sv.rep.CheckpointNs += time.Since(t0).Nanoseconds()
+		sv.es.tkWin.EndArg("supervisor:checkpoint", ts, "window", int64(window))
+	}()
 	dir := sv.gens[sv.nextGen]
 	sv.nextGen = (sv.nextGen + 1) % len(sv.gens)
 	if err := os.RemoveAll(dir); err != nil {
@@ -289,11 +305,9 @@ func (sv *Supervisor) checkpoint(window int) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	t0 := time.Now()
 	if _, err := restart.WriteMultiFile(sv.es.Snapshot(), dir, sv.cfg.NFiles); err != nil {
 		return err
 	}
-	sv.rep.CheckpointNs += time.Since(t0).Nanoseconds()
 	sv.rep.Checkpoints++
 	sv.lastCkptWindow = window
 	// Drop any stale record of the generation just overwritten.
@@ -311,8 +325,17 @@ func (sv *Supervisor) checkpoint(window int) error {
 }
 
 // rollback restores the newest checkpoint generation that validates,
-// dropping corrupt generations as it finds them.
+// dropping corrupt generations as it finds them. The whole recovery —
+// every read attempt (including ones rejected as corrupt), checksum
+// verification inside ReadMultiFile, and the state restoration — is
+// charged to RollbackNs, so recovery cost is fully attributed.
 func (sv *Supervisor) rollback() error {
+	t0 := time.Now()
+	ts := sv.es.tkWin.Start()
+	defer func() {
+		sv.rep.RollbackNs += time.Since(t0).Nanoseconds()
+		sv.es.tkWin.End("supervisor:rollback", ts)
+	}()
 	for len(sv.ckpts) > 0 {
 		g := sv.ckpts[len(sv.ckpts)-1]
 		snap, err := restart.ReadMultiFile(g.dir)
@@ -321,6 +344,7 @@ func (sv *Supervisor) rollback() error {
 				sv.rep.Faults = append(sv.rep.Faults, EventRecord{
 					Window: g.window, Kind: "checkpoint-corrupt", Detail: err.Error(),
 				})
+				sv.es.tkWin.InstantArg("supervisor:ckpt-corrupt", "window", int64(g.window))
 				sv.ckpts = sv.ckpts[:len(sv.ckpts)-1]
 				continue
 			}
@@ -340,6 +364,7 @@ func (sv *Supervisor) rollback() error {
 // concurrent BGC onto the CPU device, then halve the atmosphere timestep.
 // Returns false when no stage is left.
 func (sv *Supervisor) degrade(window int) bool {
+	sv.es.tkWin.InstantArg("supervisor:degrade", "window", int64(window))
 	if sv.degradeStage == 0 {
 		sv.degradeStage = 1
 		if sv.es.Bgc.Concurrent {

@@ -85,6 +85,11 @@ func TestSupervisorRecoversFromCrash(t *testing.T) {
 	if rep.Faults[0].Kind != "step-error" {
 		t.Errorf("fault kind = %q", rep.Faults[0].Kind)
 	}
+	// Recovery cost must be attributed: the rollback's checkpoint read and
+	// restore time lands in RollbackNs, not silently folded into a window.
+	if rep.RollbackNs <= 0 {
+		t.Errorf("RollbackNs = %d after %d rollbacks, want > 0", rep.RollbackNs, rep.Rollbacks)
+	}
 	if d := relDiff(es.TotalWater(), refW); !(d <= 1e-12) {
 		t.Errorf("water off fault-free trajectory by %e", d)
 	}

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"icoearth/internal/trace"
 )
 
 // DeviceSpec holds the hardware parameters of one execution device. All
@@ -137,6 +139,10 @@ type Device struct {
 	// branch when unused.
 	slow float64
 	hook func(name string)
+
+	// track records launches, graph replays and stream syncs when tracing
+	// is attached (nil otherwise — one branch per launch).
+	track *trace.Track
 }
 
 // NewDevice creates a device with zeroed clocks.
@@ -168,6 +174,12 @@ func (d *Device) SetLaunchHook(f func(name string)) { d.hook = f }
 // PowerCap returns the current cap (0 = uncapped).
 func (d *Device) PowerCap() float64 { return d.powerCap }
 
+// AttachTrace puts the device's launches on an "exec:<name>" track of tr.
+// Must be attached while no launches are in flight; a nil tracer detaches.
+func (d *Device) AttachTrace(tr *trace.Tracer) {
+	d.track = tr.Track("exec:"+d.Spec.Name, 0)
+}
+
 // Launch executes (or captures) one kernel. Outside capture the kernel's
 // Run closure executes immediately and the simulated clock advances by
 // launch latency plus the roofline time.
@@ -176,6 +188,7 @@ func (d *Device) Launch(k Kernel) {
 		d.captured = append(d.captured, k)
 		return
 	}
+	t0 := d.track.Start()
 	if k.Run != nil {
 		k.Run()
 	}
@@ -184,6 +197,12 @@ func (d *Device) Launch(k Kernel) {
 	}
 	dur := d.throttled(d.Spec.KernelTime(k.Bytes, k.Flops))
 	d.account(k, d.Spec.LaunchLatency+dur, dur)
+	// The nil guard is load-bearing: the span name concatenation must not
+	// be evaluated (it allocates) when tracing is off — the disabled
+	// launch path is allocation-free by contract (BenchmarkStepWindow).
+	if d.track != nil {
+		d.track.EndArg("launch:"+k.Name, t0, "bytes", int64(k.Bytes))
+	}
 }
 
 // throttled scales a duration up when the power the kernel wants exceeds
@@ -408,6 +427,7 @@ func (g *Graph) Replay() {
 	}
 	wall += d.Spec.GraphReplayLatency
 	// Execute bodies in program order for determinism.
+	t0 := d.track.Start()
 	var bytes, flops float64
 	for _, k := range g.kernels {
 		if k.Run != nil {
@@ -420,6 +440,9 @@ func (g *Graph) Replay() {
 		flops += k.Flops
 	}
 	d.account(Kernel{Name: "graph:" + g.label(), Bytes: bytes, Flops: flops}, wall, wall)
+	if d.track != nil {
+		d.track.EndArg("replay:"+g.label(), t0, "kernels", int64(len(g.kernels)))
+	}
 }
 
 func (g *Graph) label() string {

@@ -19,6 +19,12 @@ func (d *Device) LaunchOnStream(stream int, k Kernel) {
 	if d.capturing {
 		panic("exec: LaunchOnStream during graph capture; use Launch")
 	}
+	t0 := d.track.Start()
+	if d.track != nil {
+		// Concatenating the span name allocates; only do it when tracing
+		// is on so the disabled stream path stays allocation-free.
+		defer d.track.EndArg("stream:"+k.Name, t0, "stream", int64(stream))
+	}
 	if k.Run != nil {
 		k.Run()
 	}
@@ -53,6 +59,8 @@ func (d *Device) LaunchOnStream(stream int, k Kernel) {
 // stream's outstanding time, and the per-stream clocks reset. It returns
 // the wall time of the synchronised bundle.
 func (d *Device) Sync() float64 {
+	t0 := d.track.Start()
+	defer d.track.End("stream:sync", t0)
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	var maxBusy float64

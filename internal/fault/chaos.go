@@ -23,6 +23,9 @@ import (
 // each checkpoint write. Existing hooks in cfg are preserved and run
 // first.
 func Arm(in *Injector, es *coupler.EarthSystem, cfg *coupler.SuperviseConfig) {
+	if tr := es.Tracer(); tr != nil {
+		in.SetTrace(tr.Track("fault", 0))
+	}
 	prevBefore := cfg.Hooks.BeforeWindow
 	cfg.Hooks.BeforeWindow = func(w int) {
 		if prevBefore != nil {

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"icoearth/internal/par"
+	"icoearth/internal/trace"
 )
 
 // RNG is a splitmix64 generator: tiny, seedable and stable across Go
@@ -281,12 +282,21 @@ type Injector struct {
 	window int
 	fired  []bool
 	events []Event
+	tk     *trace.Track // nil unless SetTrace attached a run trace
 }
 
 // NewInjector builds an injector for the plan, with all randomness (fault
 // placement inside fields/files) derived from seed.
 func NewInjector(seed uint64, plan Plan) *Injector {
 	return &Injector{plan: plan, rng: NewRNG(seed), fired: make([]bool, len(plan))}
+}
+
+// SetTrace records every firing as an instant event on the given track
+// (typically tracer.Track("fault", 0)); nil detaches.
+func (in *Injector) SetTrace(t *trace.Track) {
+	in.mu.Lock()
+	in.tk = t
+	in.mu.Unlock()
 }
 
 // SetWindow tells the injector which coupling window is about to run.
@@ -326,6 +336,7 @@ func (in *Injector) take(match func(Fault) bool, detail func(Fault) string) (Fau
 		}
 		in.fired[i] = true
 		in.events = append(in.events, Event{Window: in.window, Kind: f.Kind.String(), Detail: detail(f)})
+		in.tk.InstantArg("fault:"+f.Kind.String(), "window", int64(in.window))
 		return f, true
 	}
 	return Fault{}, false

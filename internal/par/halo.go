@@ -60,6 +60,8 @@ func (h *HaloExchanger) Neighbors() []int { return h.neighbors }
 // nlev levels, level-fastest). All ranks of the decomposition must call
 // Exchange collectively.
 func (h *HaloExchanger) Exchange(field []float64, nlev int) {
+	t0 := h.comm.track.Start()
+	var sent int64
 	// Post all sends first; channels are buffered so this cannot block for
 	// the single outstanding message per neighbour pair.
 	for _, r := range h.neighbors {
@@ -71,6 +73,7 @@ func (h *HaloExchanger) Exchange(field []float64, nlev int) {
 		for i, li := range loc {
 			copy(buf[i*nlev:(i+1)*nlev], field[li*nlev:(li+1)*nlev])
 		}
+		sent += int64(8 * len(buf))
 		h.comm.Send(r, tagHalo, buf)
 	}
 	for _, r := range h.neighbors {
@@ -83,12 +86,15 @@ func (h *HaloExchanger) Exchange(field []float64, nlev int) {
 			copy(field[li*nlev:(li+1)*nlev], buf[i*nlev:(i+1)*nlev])
 		}
 	}
+	h.comm.track.EndArg("halo:exchange", t0, "bytes", sent)
 }
 
 // ExchangeMany updates several same-shaped fields in one message per
 // neighbour (ICON aggregates variables per halo update to amortise α).
 func (h *HaloExchanger) ExchangeMany(fields [][]float64, nlev int) {
 	nf := len(fields)
+	t0 := h.comm.track.Start()
+	var sent int64
 	for _, r := range h.neighbors {
 		loc := h.sendLocal[r]
 		if len(loc) == 0 {
@@ -102,6 +108,7 @@ func (h *HaloExchanger) ExchangeMany(fields [][]float64, nlev int) {
 				o += nlev
 			}
 		}
+		sent += int64(8 * len(buf))
 		h.comm.Send(r, tagHalo, buf)
 	}
 	for _, r := range h.neighbors {
@@ -118,4 +125,5 @@ func (h *HaloExchanger) ExchangeMany(fields [][]float64, nlev int) {
 			}
 		}
 	}
+	h.comm.track.EndArg("halo:exchange-many", t0, "bytes", sent)
 }

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"icoearth/internal/trace"
 )
 
 // ErrRankLost reports that a peer rank crashed or stopped responding
@@ -77,6 +79,9 @@ type World struct {
 
 	hook    MsgHook
 	delayed map[[2]int]*message // parked DelayMsg payloads per (from,to)
+
+	tracer *trace.Tracer
+	comms  []*Comm // the last Run's per-rank handles, for post-run stats
 }
 
 // NewWorld creates a communicator world with n ranks.
@@ -108,6 +113,12 @@ func (w *World) SetDeadline(d time.Duration) { w.deadline = d }
 // before Run.
 func (w *World) SetMsgHook(h MsgHook) { w.hook = h }
 
+// SetTracer attaches a run tracer: each rank records its traffic onto a
+// "par" track (counters mirroring Stats field-for-field, spans for
+// collectives and halo exchanges). A nil tracer (the default) costs one
+// predictable branch per recording point. Must be set before Run.
+func (w *World) SetTracer(t *trace.Tracer) { w.tracer = t }
+
 // markLost records a dead rank and wakes everyone blocked on it.
 func (w *World) markLost() {
 	w.mu.Lock()
@@ -130,12 +141,23 @@ func (w *World) Run(body func(c *Comm)) {
 // RunErr is Run with failures reported as an error instead of a panic:
 // every rank body that panicked contributes one joined error, and aborts
 // caused by lost peers satisfy errors.Is(err, ErrRankLost).
+//
+// Before returning, parked DelayMsg payloads that never got a follow-up
+// send (tail loss) are drained into their sender's Stats.Dropped, so the
+// invariant Msgs == Delivered + Dropped + Delayed holds with Delayed == 0
+// on every completed run and no leaked payload goes unaccounted.
 func (w *World) RunErr(body func(c *Comm)) error {
 	var wg sync.WaitGroup
 	errs := make([]error, w.N)
+	w.comms = make([]*Comm, w.N)
 	for r := 0; r < w.N; r++ {
+		c := &Comm{world: w, Rank: r, pending: make(map[int][]message)}
+		if w.tracer != nil {
+			c.attachTrace(w.tracer.Track("par", r))
+		}
+		w.comms[r] = c
 		wg.Add(1)
-		go func(rank int) {
+		go func(rank int, c *Comm) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
@@ -148,20 +170,78 @@ func (w *World) RunErr(body func(c *Comm)) error {
 					w.markLost()
 				}
 			}()
-			body(&Comm{world: w, Rank: rank, pending: make(map[int][]message)})
-		}(r)
+			body(c)
+		}(r, c)
 	}
 	wg.Wait()
+	w.drainDelayed()
 	return errors.Join(errs...)
 }
 
-// Stats counts the traffic a rank generated.
+// drainDelayed accounts parked messages that never got a follow-up send:
+// they were never delivered, so they move from Delayed to Dropped on the
+// sending rank. Runs after all rank goroutines have finished.
+func (w *World) drainDelayed() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for key := range w.delayed {
+		c := w.comms[key[0]]
+		c.Stats.Delayed--
+		c.Stats.Dropped++
+		c.ctrDelayed.Add(-1)
+		c.ctrDropped.Add(1)
+		c.track.InstantArg("msg:tail-loss", "to", int64(key[1]))
+		delete(w.delayed, key)
+	}
+}
+
+// RankStats returns rank r's final Stats from the most recent Run/RunErr,
+// including the end-of-run drain of parked messages (which a body-side
+// read of c.Stats cannot see).
+func (w *World) RankStats(r int) Stats {
+	if w.comms == nil {
+		return Stats{}
+	}
+	return w.comms[r].Stats
+}
+
+// TotalStats sums every rank's final Stats from the most recent Run.
+func (w *World) TotalStats() Stats {
+	var t Stats
+	for _, c := range w.comms {
+		t.Msgs += c.Stats.Msgs
+		t.Delivered += c.Stats.Delivered
+		t.BytesSent += c.Stats.BytesSent
+		t.Collectives += c.Stats.Collectives
+		t.Dropped += c.Stats.Dropped
+		t.Delayed += c.Stats.Delayed
+	}
+	return t
+}
+
+// Stats counts the traffic a rank generated. Accounting happens after
+// the fault hook's fate resolution, so the delivered-traffic fields
+// (Delivered, BytesSent) count only payloads that actually entered the
+// transport — the volumes the α–β network model converts into time —
+// and the invariant
+//
+//	Msgs == Delivered + Dropped + Delayed
+//
+// holds at every instant (Delayed being parked-and-not-yet-flushed).
 type Stats struct {
-	Msgs        int64
+	// Msgs counts Send calls (attempts), whatever their fate.
+	Msgs int64
+	// Delivered counts messages that entered the transport: delivered
+	// immediately, or parked and later flushed by follow-up traffic.
+	Delivered int64
+	// BytesSent counts payload bytes of Delivered messages only; dropped
+	// and tail-lost payloads never inflate it.
 	BytesSent   int64
 	Collectives int64
-	// Dropped and Delayed count messages a fault-injection hook discarded
-	// or reordered (zero in production).
+	// Dropped counts DropMsg verdicts plus parked messages drained at Run
+	// completion (tail loss). Delayed counts currently parked messages: a
+	// flush moves one to Delivered, the end-of-run drain to Dropped.
+	// All three are zero in production (no fault hook).
 	Dropped int64
 	Delayed int64
 }
@@ -175,6 +255,24 @@ type Comm struct {
 	pending map[int][]message
 
 	Stats Stats
+
+	// Tracing (nil when the world has no tracer): counters mirror the
+	// Stats fields exactly, so a trace cross-checks the accounting.
+	track                                                   *trace.Track
+	ctrMsgs, ctrDelivered, ctrBytes, ctrDropped, ctrDelayed *trace.Counter
+	ctrColl                                                 *trace.Counter
+}
+
+// attachTrace resolves the rank's track and counter handles once, so the
+// per-send path never does a name lookup.
+func (c *Comm) attachTrace(tk *trace.Track) {
+	c.track = tk
+	c.ctrMsgs = tk.Counter("msgs")
+	c.ctrDelivered = tk.Counter("delivered")
+	c.ctrBytes = tk.Counter("bytes_sent")
+	c.ctrDropped = tk.Counter("dropped")
+	c.ctrDelayed = tk.Counter("delayed")
+	c.ctrColl = tk.Counter("collectives")
 }
 
 // Size returns the number of ranks.
@@ -182,6 +280,11 @@ func (c *Comm) Size() int { return c.world.N }
 
 // Send delivers data to rank `to` with the given tag. The data slice is
 // copied, so the caller may reuse it immediately.
+//
+// Accounting runs after the fault hook decides the message's fate:
+// Stats.Msgs counts the attempt, but Delivered/BytesSent grow only when a
+// payload actually enters the transport, so dropped and parked messages
+// never inflate the delivered-traffic volumes the α–β model consumes.
 func (c *Comm) Send(to, tag int, data []float64) {
 	if to < 0 || to >= c.world.N {
 		panic(fmt.Sprintf("par: send to invalid rank %d", to))
@@ -189,39 +292,62 @@ func (c *Comm) Send(to, tag int, data []float64) {
 	buf := make([]float64, len(data))
 	copy(buf, data)
 	c.Stats.Msgs++
-	c.Stats.BytesSent += int64(8 * len(data))
+	c.ctrMsgs.Add(1)
 	w := c.world
 	m := message{tag: tag, data: buf}
 	if w.hook != nil {
 		switch w.hook(c.Rank, to, tag, len(data)) {
 		case DropMsg:
 			c.Stats.Dropped++
+			c.ctrDropped.Add(1)
+			c.track.InstantArg("msg:drop", "to", int64(to))
 			return
 		case DelayMsg:
-			// Park the message; it re-enters the channel behind the next
-			// send on this pair (reordering), or never (tail loss).
-			w.mu.Lock()
-			if w.delayed == nil {
-				w.delayed = make(map[[2]int]*message)
-			}
-			w.delayed[[2]int{c.Rank, to}] = &m
-			w.mu.Unlock()
+			w.park(c.Rank, to, m)
 			c.Stats.Delayed++
+			c.ctrDelayed.Add(1)
+			c.track.InstantArg("msg:delay", "to", int64(to))
 			return
 		}
 		// A normally-delivered message flushes any parked predecessor
-		// after itself, realising the reorder.
+		// after itself, realising the reorder; the flushed message is
+		// delivered traffic from this point on.
 		w.mu.Lock()
 		parked := w.delayed[[2]int{c.Rank, to}]
 		delete(w.delayed, [2]int{c.Rank, to})
 		w.mu.Unlock()
-		w.chans[c.Rank][to] <- m
+		c.deliver(to, m)
 		if parked != nil {
-			w.chans[c.Rank][to] <- *parked
+			c.Stats.Delayed--
+			c.ctrDelayed.Add(-1)
+			c.deliver(to, *parked)
 		}
 		return
 	}
-	w.chans[c.Rank][to] <- m
+	c.deliver(to, m)
+}
+
+// park holds a DelayMsg payload until the next send on the same ordered
+// pair (reordering), or forever (tail loss, drained at Run completion).
+// The copy to the heap happens here, in its own frame, so the address-of
+// does not force Send's message to escape on the hook-free fast path.
+func (w *World) park(from, to int, m message) {
+	w.mu.Lock()
+	if w.delayed == nil {
+		w.delayed = make(map[[2]int]*message)
+	}
+	w.delayed[[2]int{from, to}] = &m
+	w.mu.Unlock()
+}
+
+// deliver places one message into the transport and accounts it as
+// delivered traffic.
+func (c *Comm) deliver(to int, m message) {
+	c.world.chans[c.Rank][to] <- m
+	c.Stats.Delivered++
+	c.Stats.BytesSent += int64(8 * len(m.data))
+	c.ctrDelivered.Add(1)
+	c.ctrBytes.Add(int64(8 * len(m.data)))
 }
 
 // Recv blocks until a message with the given tag arrives from rank `from`
@@ -311,6 +437,9 @@ func (c *Comm) Barrier() {
 // for completion or a lost rank.
 func (c *Comm) BarrierTimeout(timeout time.Duration) error {
 	c.Stats.Collectives++
+	c.ctrColl.Add(1)
+	t0 := c.track.Start()
+	defer c.track.End("coll:barrier", t0)
 	w := c.world
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -362,6 +491,9 @@ const (
 // world in which any operation has failed must not be reused.
 func (c *Comm) AllreduceVec(op ReduceOp, x []float64) []float64 {
 	c.Stats.Collectives++
+	c.ctrColl.Add(1)
+	t0 := c.track.Start()
+	defer c.track.EndArg("coll:allreduce", t0, "bytes", int64(8*len(x)))
 	w := c.world
 	w.mu.Lock()
 	if w.nLost > 0 {
@@ -436,6 +568,9 @@ func (c *Comm) AllreduceMax(x float64) float64 {
 // Slices may have different lengths.
 func (c *Comm) Gather(root int, data []float64) [][]float64 {
 	c.Stats.Collectives++
+	c.ctrColl.Add(1)
+	t0 := c.track.Start()
+	defer c.track.End("coll:gather", t0)
 	if c.Rank != root {
 		c.Send(root, tagGather, data)
 		c.Barrier()
@@ -458,6 +593,9 @@ func (c *Comm) Gather(root int, data []float64) [][]float64 {
 // Bcast sends root's data to every rank and returns it.
 func (c *Comm) Bcast(root int, data []float64) []float64 {
 	c.Stats.Collectives++
+	c.ctrColl.Add(1)
+	t0 := c.track.Start()
+	defer c.track.End("coll:bcast", t0)
 	if c.Rank == root {
 		for r := 0; r < c.world.N; r++ {
 			if r != root {

@@ -1,0 +1,229 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"icoearth/internal/trace"
+)
+
+// TestBytesSentExcludesDropped is the regression test for the accounting
+// bug where Send incremented Msgs/BytesSent before the MsgHook verdict:
+// dropped payloads inflated the delivered-traffic stats that feed the α–β
+// network model. BytesSent must count only payloads that entered the
+// transport.
+func TestBytesSentExcludesDropped(t *testing.T) {
+	w := NewWorld(2)
+	w.SetMsgHook(func(from, to, tag, n int) MsgFate {
+		if tag == 13 {
+			return DropMsg
+		}
+		return DeliverMsg
+	})
+	err := w.RunErr(func(c *Comm) {
+		if c.Rank == 0 {
+			c.Send(1, 13, make([]float64, 100)) // dropped: 800 B must NOT count
+			c.Send(1, 5, make([]float64, 25))   // delivered: 200 B
+			return
+		}
+		if _, err := c.RecvTimeout(0, 5, time.Second); err != nil {
+			t.Errorf("surviving message: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := w.RankStats(0)
+	if st.Msgs != 2 {
+		t.Errorf("Msgs = %d, want 2 (attempts)", st.Msgs)
+	}
+	if st.Delivered != 1 {
+		t.Errorf("Delivered = %d, want 1", st.Delivered)
+	}
+	if st.BytesSent != 200 {
+		t.Errorf("BytesSent = %d, want 200 (dropped payload must not count)", st.BytesSent)
+	}
+	if st.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", st.Dropped)
+	}
+}
+
+// checkInvariant asserts Msgs == Delivered + Dropped + Delayed.
+func checkInvariant(t *testing.T, label string, st Stats) {
+	t.Helper()
+	if st.Msgs != st.Delivered+st.Dropped+st.Delayed {
+		t.Errorf("%s: invariant violated: Msgs=%d != Delivered=%d + Dropped=%d + Delayed=%d",
+			label, st.Msgs, st.Delivered, st.Dropped, st.Delayed)
+	}
+}
+
+// TestStatsInvariantWithTailLoss: a parked DelayMsg payload with no
+// follow-up send used to leak in World.delayed with no accounting. The
+// end-of-run drain must move it to Dropped so the invariant
+// Msgs == Delivered + Dropped + Delayed closes with Delayed == 0.
+func TestStatsInvariantWithTailLoss(t *testing.T) {
+	w := NewWorld(2)
+	calls := 0
+	w.SetMsgHook(func(from, to, tag, n int) MsgFate {
+		calls++
+		switch calls {
+		case 1:
+			return DropMsg
+		case 3:
+			return DelayMsg // last send on the pair: tail loss
+		}
+		return DeliverMsg
+	})
+	err := w.RunErr(func(c *Comm) {
+		if c.Rank == 0 {
+			c.Send(1, 1, make([]float64, 10)) // dropped
+			c.Send(1, 2, make([]float64, 20)) // delivered
+			c.Send(1, 3, make([]float64, 30)) // parked, never flushed
+			checkInvariant(t, "mid-run", c.Stats)
+			if c.Stats.Delayed != 1 {
+				t.Errorf("mid-run Delayed = %d, want 1", c.Stats.Delayed)
+			}
+			return
+		}
+		if _, err := c.RecvTimeout(0, 2, time.Second); err != nil {
+			t.Errorf("delivered message: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := w.RankStats(0)
+	checkInvariant(t, "post-run", st)
+	if st.Delayed != 0 {
+		t.Errorf("post-run Delayed = %d, want 0 (drained)", st.Delayed)
+	}
+	if st.Dropped != 2 {
+		t.Errorf("post-run Dropped = %d, want 2 (verdict drop + tail loss)", st.Dropped)
+	}
+	if st.BytesSent != 160 {
+		t.Errorf("BytesSent = %d, want 160 (only the delivered 20 values)", st.BytesSent)
+	}
+	tot := w.TotalStats()
+	checkInvariant(t, "total", tot)
+}
+
+// TestStatsInvariantDelayFlushed: a flushed parked message moves from
+// Delayed to Delivered and its bytes count at flush time.
+func TestStatsInvariantDelayFlushed(t *testing.T) {
+	w := NewWorld(2)
+	first := true
+	w.SetMsgHook(func(from, to, tag, n int) MsgFate {
+		if first {
+			first = false
+			return DelayMsg
+		}
+		return DeliverMsg
+	})
+	err := w.RunErr(func(c *Comm) {
+		if c.Rank == 0 {
+			c.Send(1, 1, make([]float64, 10))
+			checkInvariant(t, "parked", c.Stats)
+			c.Send(1, 2, make([]float64, 20)) // flushes the parked message
+			checkInvariant(t, "flushed", c.Stats)
+			if c.Stats.Delivered != 2 || c.Stats.Delayed != 0 {
+				t.Errorf("after flush: Delivered=%d Delayed=%d, want 2/0",
+					c.Stats.Delivered, c.Stats.Delayed)
+			}
+			if c.Stats.BytesSent != 240 {
+				t.Errorf("BytesSent = %d, want 240 (both payloads delivered)", c.Stats.BytesSent)
+			}
+			return
+		}
+		c.RecvTimeout(0, 1, time.Second)
+		c.RecvTimeout(0, 2, time.Second)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSendFastPathZeroAllocs: with tracing disabled and no fault hook, a
+// Send of an empty payload performs zero heap allocations — the nil-check
+// fast path through the tracer counters is provably free. (A non-empty
+// payload allocates exactly once, for the documented defensive copy.)
+func TestSendFastPathZeroAllocs(t *testing.T) {
+	w := NewWorld(2)
+	err := w.RunErr(func(c *Comm) {
+		if c.Rank != 0 {
+			return
+		}
+		empty := []float64{}
+		if n := testing.AllocsPerRun(50, func() {
+			c.Send(1, 1, empty)
+			<-w.chans[0][1] // keep the buffered channel from filling
+		}); n != 0 {
+			t.Errorf("disabled-tracer Send allocates %v times/op, want 0", n)
+		}
+		payload := make([]float64, 64)
+		if n := testing.AllocsPerRun(50, func() {
+			c.Send(1, 1, payload)
+			<-w.chans[0][1]
+		}); n != 1 {
+			t.Errorf("Send with payload allocates %v times/op, want 1 (the copy)", n)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceCountersMatchStats is the cross-check the tracing layer exists
+// for: after a run with drops, delays, tail loss, collectives and halo
+// sends, every rank's trace counters must equal its corrected Stats
+// field-for-field, exactly.
+func TestTraceCountersMatchStats(t *testing.T) {
+	w := NewWorld(3)
+	tr := trace.New()
+	w.SetTracer(tr)
+	var calls atomic.Int64
+	w.SetMsgHook(func(from, to, tag, n int) MsgFate {
+		switch calls.Add(1) % 7 {
+		case 2:
+			return DropMsg
+		case 4:
+			return DelayMsg
+		}
+		return DeliverMsg
+	})
+	err := w.RunErr(func(c *Comm) {
+		next := (c.Rank + 1) % c.Size()
+		for i := 0; i < 10; i++ {
+			c.Send(next, i, make([]float64, 8*(i+1)))
+		}
+		c.Barrier()
+		c.AllreduceSum(float64(c.Rank))
+		// Drain whatever arrived so the channels never fill.
+		prev := (c.Rank + 2) % c.Size()
+		for {
+			if _, err := c.RecvTimeout(prev, -1, 10*time.Millisecond); err != nil {
+				break
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < w.N; r++ {
+		st := w.RankStats(r)
+		checkInvariant(t, "rank", st)
+		tk := tr.Track("par", r)
+		for name, want := range map[string]int64{
+			"msgs":        st.Msgs,
+			"delivered":   st.Delivered,
+			"bytes_sent":  st.BytesSent,
+			"dropped":     st.Dropped,
+			"delayed":     st.Delayed,
+			"collectives": st.Collectives,
+		} {
+			if got := tk.CounterValue(name); got != want {
+				t.Errorf("rank %d: trace counter %q = %d, Stats says %d", r, name, got, want)
+			}
+		}
+	}
+}

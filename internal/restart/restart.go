@@ -22,6 +22,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"icoearth/internal/trace"
 )
 
 // ErrCorrupt reports a restart set that fails validation: a truncated
@@ -30,6 +32,16 @@ import (
 // write time. Callers distinguish it from I/O errors with errors.Is and
 // fall back to an older checkpoint generation.
 var ErrCorrupt = errors.New("restart: corrupt checkpoint")
+
+// tk, when non-nil, records checkpoint I/O spans with byte counts onto a
+// run trace (see internal/trace). Package-level because the multi-file
+// read/write entry points are free functions; the calls are serialised by
+// their callers (the supervisor) and the track itself is mutex-guarded.
+var tk *trace.Track
+
+// SetTrace attaches restart I/O to a trace track; nil detaches (the
+// default, costing one branch per multi-file operation).
+func SetTrace(t *trace.Track) { tk = t }
 
 // Snapshot is a named collection of model fields — the full state of one
 // component to be checkpointed.
@@ -106,6 +118,7 @@ func WriteMultiFile(s *Snapshot, dir string, nfiles int) (int64, error) {
 	if nfiles < 1 {
 		return 0, fmt.Errorf("restart: nfiles = %d", nfiles)
 	}
+	t0 := tk.Start()
 	names := s.names()
 	if nfiles > len(names) {
 		nfiles = len(names)
@@ -137,6 +150,7 @@ func WriteMultiFile(s *Snapshot, dir string, nfiles int) (int64, error) {
 			return total, err
 		}
 	}
+	tk.EndArg("restart:write", t0, "bytes", total)
 	return total, nil
 }
 
@@ -204,6 +218,7 @@ func writeFile(f *os.File, s *Snapshot, mine []string, totalFiles, snapSum uint6
 // against the whole-snapshot checksum recorded at write time. Any
 // mismatch returns an error wrapping ErrCorrupt.
 func ReadMultiFile(dir string) (*Snapshot, error) {
+	t0 := tk.Start()
 	paths, err := filepath.Glob(filepath.Join(dir, "restart_*.bin"))
 	if err != nil {
 		return nil, err
@@ -234,6 +249,7 @@ func ReadMultiFile(dir string) (*Snapshot, error) {
 		return nil, fmt.Errorf("restart: %s: snapshot checksum %016x, recorded %016x: %w",
 			dir, got, wantSum, ErrCorrupt)
 	}
+	tk.EndArg("restart:read", t0, "bytes", s.TotalBytes())
 	return s, nil
 }
 

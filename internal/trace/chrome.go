@@ -1,0 +1,119 @@
+// Chrome trace-event export and the text summary. The JSON follows the
+// Trace Event Format's "JSON object" flavour ({"traceEvents": [...]})
+// with complete ('X'), instant ('i') and counter ('C') events, so the
+// file loads directly in chrome://tracing or ui.perfetto.dev. Each track
+// becomes one (pid, tid) lane: the pid groups a layer ("par",
+// "exec:H100", "supervisor"), the tid is the rank within it, and
+// process_name metadata events label the groups.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// WriteChrome writes the run as Chrome trace-event JSON.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("trace: disabled tracer has nothing to export")
+	}
+	events := make([]map[string]any, 0, 256)
+	pids := map[string]int{}
+	for _, k := range t.Tracks() {
+		pid, ok := pids[k.Proc]
+		if !ok {
+			pid = len(pids) + 1
+			pids[k.Proc] = pid
+			events = append(events, map[string]any{
+				"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+				"args": map[string]any{"name": k.Proc},
+			})
+		}
+		for _, e := range k.Events() {
+			ce := map[string]any{
+				"name": e.Name,
+				"ph":   string(rune(e.Phase)),
+				"ts":   float64(e.TS) / 1e3, // microseconds
+				"pid":  pid,
+				"tid":  k.Rank,
+			}
+			switch e.Phase {
+			case PhaseSpan:
+				dur := float64(e.Dur) / 1e3
+				if dur < 0 {
+					dur = 0
+				}
+				ce["dur"] = dur
+				if e.ArgKey != "" {
+					ce["args"] = map[string]any{e.ArgKey: e.Arg}
+				}
+			case PhaseInstant:
+				ce["s"] = "t"
+				if e.ArgKey != "" {
+					ce["args"] = map[string]any{e.ArgKey: e.Arg}
+				}
+			case PhaseCounter:
+				ce["args"] = map[string]any{"value": e.Arg}
+			}
+			events = append(events, ce)
+		}
+	}
+	return json.NewEncoder(w).Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	})
+}
+
+// WriteFile writes the Chrome trace-event JSON to path.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := t.WriteChrome(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// Summary renders a per-track text digest: span totals by name (count ×
+// total wall time) and final counter values. Counter totals are the
+// numbers cross-checked against par.Stats, so they are printed exactly.
+func (t *Tracer) Summary() string {
+	if t == nil {
+		return "trace: disabled\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace summary (%d events, %.3f ms observed)\n",
+		t.EventCount(), float64(t.Now())/1e6)
+	for _, k := range t.Tracks() {
+		fmt.Fprintf(&b, "  %s:\n", k.label())
+		spans := k.Spans()
+		names := make([]string, 0, len(spans))
+		for name := range spans {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			a := spans[name]
+			fmt.Fprintf(&b, "    span %-24s ×%-6d %.3f ms\n",
+				name, a.Count, float64(a.TotalNs)/1e6)
+		}
+		ctrs := k.Counters()
+		cnames := make([]string, 0, len(ctrs))
+		for name := range ctrs {
+			cnames = append(cnames, name)
+		}
+		sort.Strings(cnames)
+		for _, name := range cnames {
+			fmt.Fprintf(&b, "    counter %-21s %d\n", name, ctrs[name])
+		}
+	}
+	return b.String()
+}

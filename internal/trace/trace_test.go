@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilTracerIsFree: every recording method on a nil tracer, track or
+// counter is a no-op with zero allocations — the disabled fast path the
+// hot layers rely on.
+func TestNilTracerIsFree(t *testing.T) {
+	var tr *Tracer
+	tk := tr.Track("x", 0)
+	if tk != nil {
+		t.Fatalf("nil tracer returned a live track")
+	}
+	ctr := tk.Counter("c")
+	if ctr != nil {
+		t.Fatalf("nil track returned a live counter")
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		t0 := tk.Start()
+		tk.End("span", t0)
+		tk.EndArg("span", t0, "k", 1)
+		tk.Instant("i")
+		tk.InstantArg("i", "k", 2)
+		ctr.Add(3)
+		_ = ctr.Value()
+		_ = tr.Now()
+		_ = tk.CounterValue("c")
+	}); n != 0 {
+		t.Errorf("disabled tracer allocates %v times/op, want 0", n)
+	}
+	if tr.EventCount() != 0 || tr.Tracks() != nil {
+		t.Errorf("nil tracer reports state")
+	}
+	if got := tr.Summary(); !strings.Contains(got, "disabled") {
+		t.Errorf("nil Summary = %q", got)
+	}
+	if err := tr.WriteChrome(&bytes.Buffer{}); err == nil {
+		t.Errorf("nil WriteChrome succeeded")
+	}
+}
+
+// TestSpansAndCounters: recorded spans aggregate per name and counters
+// accumulate, with events landing in the ring.
+func TestSpansAndCounters(t *testing.T) {
+	tr := New()
+	tk := tr.Track("layer", 2)
+	if again := tr.Track("layer", 2); again != tk {
+		t.Errorf("Track did not dedup")
+	}
+	t0 := tk.Start()
+	time.Sleep(time.Millisecond)
+	tk.End("work", t0)
+	tk.EndArg("work", tk.Start(), "bytes", 640)
+	tk.Instant("tick")
+	c := tk.Counter("msgs")
+	c.Add(5)
+	c.Add(-2)
+
+	spans := tk.Spans()
+	if a := spans["work"]; a.Count != 2 || a.TotalNs <= 0 {
+		t.Errorf("span agg = %+v", a)
+	}
+	if v := tk.CounterValue("msgs"); v != 3 {
+		t.Errorf("counter = %d, want 3", v)
+	}
+	if tr.EventCount() != 5 {
+		t.Errorf("EventCount = %d, want 5", tr.EventCount())
+	}
+	evs := tk.Events()
+	if len(evs) != 5 {
+		t.Fatalf("ring holds %d events, want 5", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TS < evs[i-1].TS {
+			t.Errorf("events out of order at %d", i)
+		}
+	}
+}
+
+// TestRingWrapKeepsTotalsExact: once the ring overwrites old events, span
+// aggregates and counter totals must still reflect every recording — they
+// are the numbers cross-checked against par.Stats.
+func TestRingWrapKeepsTotalsExact(t *testing.T) {
+	tr := New()
+	tr.SetCapacity(8)
+	tk := tr.Track("small", 0)
+	c := tk.Counter("n")
+	const rounds = 100
+	for i := 0; i < rounds; i++ {
+		tk.End("op", tk.Start())
+		c.Add(2)
+	}
+	if got := tk.Spans()["op"].Count; got != rounds {
+		t.Errorf("span count after wrap = %d, want %d", got, rounds)
+	}
+	if got := c.Value(); got != 2*rounds {
+		t.Errorf("counter after wrap = %d, want %d", got, 2*rounds)
+	}
+	if got := len(tk.Events()); got != 8 {
+		t.Errorf("ring len = %d, want capacity 8", got)
+	}
+	if tr.EventCount() != 2*rounds {
+		t.Errorf("EventCount = %d, want %d", tr.EventCount(), 2*rounds)
+	}
+}
+
+// TestWriteChromeFormat: the export is valid trace-event JSON with the
+// phases, pid/tid mapping and metadata chrome://tracing expects.
+func TestWriteChromeFormat(t *testing.T) {
+	tr := New()
+	a := tr.Track("alpha", 0)
+	b := tr.Track("alpha", 1)
+	c := tr.Track("beta", 0)
+	a.EndArg("span", a.Start(), "bytes", 128)
+	b.Instant("inst")
+	c.Counter("ctr").Add(7)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if doc.Unit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.Unit)
+	}
+	byPhase := map[string]int{}
+	meta := 0
+	pids := map[float64]bool{}
+	for _, e := range doc.TraceEvents {
+		ph := e["ph"].(string)
+		if ph == "M" {
+			meta++
+			continue
+		}
+		byPhase[ph]++
+		pids[e["pid"].(float64)] = true
+	}
+	if meta != 2 {
+		t.Errorf("process_name metadata events = %d, want 2 (alpha, beta)", meta)
+	}
+	if byPhase["X"] != 1 || byPhase["i"] != 1 || byPhase["C"] != 1 {
+		t.Errorf("phases = %v", byPhase)
+	}
+	if len(pids) != 2 {
+		t.Errorf("distinct pids = %d, want 2", len(pids))
+	}
+	sum := tr.Summary()
+	for _, want := range []string{"alpha/0", "span", "ctr", "7"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+// TestTrackConcurrency exercises concurrent recording from several
+// goroutines (run with -race in tier 2).
+func TestTrackConcurrency(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk := tr.Track("shared", 0)
+			c := tk.Counter("hits")
+			for i := 0; i < 500; i++ {
+				tk.End("op", tk.Start())
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Track("shared", 0).CounterValue("hits"); got != 2000 {
+		t.Errorf("hits = %d, want 2000", got)
+	}
+}

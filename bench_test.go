@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -40,6 +41,7 @@ import (
 	"icoearth/internal/par"
 	"icoearth/internal/perf"
 	"icoearth/internal/restart"
+	"icoearth/internal/sched"
 	"icoearth/internal/sdfg"
 	"icoearth/internal/trace"
 	"icoearth/internal/vertical"
@@ -398,6 +400,37 @@ func BenchmarkStepWindow(b *testing.B) {
 	}
 	perOpNs := float64(time.Since(t0).Nanoseconds()) / probes
 	b.ReportMetric(ops*perOpNs/windowNs, "trace_overhead_frac")
+}
+
+// BenchmarkStepWindowSpeedup is the coupled-window version of the worker
+// pool's acceptance contract: wall time of a full coupled window (dycore,
+// physics, transport, ocean, ice, bgc, exchanges) at pool width 1 over
+// width 4, reported as the gated parallel_speedup_x metric. Skips below
+// 4 cores — the ratio is meaningless when the widths share one thread.
+func BenchmarkStepWindowSpeedup(b *testing.B) {
+	if runtime.NumCPU() < 4 {
+		b.Skipf("need ≥4 CPUs for a speedup measurement, have %d", runtime.NumCPU())
+	}
+	elapsed := func(width int) time.Duration {
+		sim, err := NewSimulation(Options{Workers: width})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sim.ES.StepWindow(); err != nil { // warm scratch + pool
+			b.Fatal(err)
+		}
+		t0 := time.Now()
+		for i := 0; i < b.N; i++ {
+			if err := sim.ES.StepWindow(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return time.Since(t0)
+	}
+	serial := elapsed(1)
+	parallel := elapsed(4)
+	sched.SetWorkers(0)
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "parallel_speedup_x")
 }
 
 // BenchmarkOceanSolverScaling measures the distributed CG solver (the

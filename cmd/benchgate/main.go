@@ -69,6 +69,7 @@ func specFlags(fs *flag.FlagSet) *bench.Spec {
 	fs.IntVar(&s.Count, "count", 5, "separate go test processes per benchmark")
 	fs.StringVar(&s.Benchtime, "benchtime", "3x", "go test -benchtime (3x averages over warmup)")
 	fs.BoolVar(&s.Short, "short", true, "skip the multi-simulation benchmarks (-short)")
+	fs.StringVar(&s.CPU, "cpu", "", "go test -cpu matrix (e.g. \"1,4\"); widths stay distinct baseline keys")
 	fs.Func("pkg", "package to benchmark (default \".\", repeatable)", func(v string) error {
 		s.Packages = append(s.Packages, v)
 		return nil

@@ -37,6 +37,7 @@ func run(args []string, out io.Writer) error {
 		atmLev  = fs.Int("atmlev", 10, "atmosphere levels")
 		ocLev   = fs.Int("oclev", 8, "ocean levels")
 		atmDt   = fs.Float64("atmdt", 120, "atmosphere timestep (s)")
+		workers = fs.Int("workers", 0, "kernel worker-pool width (0 = GOMAXPROCS); results are bit-identical at every width")
 		bgcConc = fs.Bool("bgc-concurrent", false, "run biogeochemistry concurrently on its own GPU device")
 		noGraph = fs.Bool("no-graphs", false, "disable CUDA-Graph capture for land kernels")
 		ckpt    = fs.String("checkpoint", "", "directory to write a restart at the end")
@@ -57,6 +58,7 @@ func run(args []string, out io.Writer) error {
 		AtmosphereDt:      *atmDt,
 		BGCConcurrent:     *bgcConc,
 		DisableLandGraphs: *noGraph,
+		Workers:           *workers,
 	})
 	if err != nil {
 		return err

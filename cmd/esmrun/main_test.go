@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"icoearth/internal/sched"
 )
 
 // TestSmokeTinyGrid drives the full esmrun path on the smallest grid for
@@ -66,6 +68,28 @@ func TestChaosSmoke(t *testing.T) {
 	for _, want := range []string{`"seed": 1`, `"rollbacks"`, `"completed": true`} {
 		if !strings.Contains(string(blob), want) {
 			t.Errorf("report missing %q:\n%s", want, blob)
+		}
+	}
+}
+
+// TestChaosParallelWorkers reruns the chaos acceptance plan with the
+// kernel worker pool widened to 4: fault injection, rollback and retry
+// must still converge, and the conserved-quantity checks inside the
+// supervisor must still pass — parallel kernels are bit-identical to
+// serial ones, so chaos recovery must be width-independent.
+func TestChaosParallelWorkers(t *testing.T) {
+	defer sched.SetWorkers(0)
+	var out strings.Builder
+	err := run([]string{"-hours", "0.5", "-grid", "1", "-atmlev", "5", "-oclev", "4",
+		"-workers", "4",
+		"-chaos", "seed=1,plan=crash@1:dycore;nan@2:atm.qv"}, &out)
+	if err != nil {
+		t.Fatalf("chaos run with -workers 4 failed: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"injected @1", "rollbacks", "chaos run completed"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
 		}
 	}
 }

@@ -57,6 +57,9 @@ type Options struct {
 	// atmosphere (responds to the model's own H2O and CO2) instead of pure
 	// Held-Suarez relaxation.
 	GrayRadiation bool
+	// Workers sets the parallel width of the shared kernel worker pool
+	// (0 = GOMAXPROCS). Results are bit-identical at every width.
+	Workers int
 	// CPUPowerDraw is the Grace-CPU share of the superchip's TDP (watts,
 	// default 150) — the §5.1.1 power-partition knob.
 	CPUPowerDraw float64
@@ -115,6 +118,7 @@ func NewSimulation(opts Options) (*Simulation, error) {
 		BGCConcurrent: opts.BGCConcurrent,
 		LandGraphs:    !opts.DisableLandGraphs,
 		GrayRadiation: opts.GrayRadiation,
+		Workers:       opts.Workers,
 	}
 	es := coupler.NewOnSuperchip(cfg, machine.GH200(opts.TDP), opts.CPUPowerDraw)
 	return &Simulation{ES: es}, nil

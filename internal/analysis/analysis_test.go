@@ -88,6 +88,23 @@ func kernel(n, m int, out [][]float64) {
 	wantFindings(t, diags, "make inside a kernel inner loop", "append inside a kernel inner loop")
 }
 
+func TestHotAllocFlagsKernelBodyAllocation(t *testing.T) {
+	// The pre-refactor TangentialKernel shape: a make at the top of a
+	// *Kernel function, outside any loop. Runs every model step, so the
+	// stricter kernel rule flags it even at loop depth zero.
+	diags := checkSrc(t, HotAlloc, "icoearth/internal/atmos", "dycore.go", `
+package atmos
+
+func TangentialKernel(n int, out []float64) {
+	uc := make([]float64, n)
+	for c := 0; c < n; c++ {
+		out[c] = uc[c]
+	}
+}
+`)
+	wantFindings(t, diags, "make inside a *Kernel function")
+}
+
 func TestHotAllocUnflaggedCases(t *testing.T) {
 	// Hoisted allocation, single-level loop, cold package, test file: all clean.
 	if d := checkSrc(t, HotAlloc, "icoearth/internal/atmos", "dycore.go", `
@@ -118,6 +135,21 @@ func cold(n, m int) (out []int) {
 }
 `); len(d) != 0 {
 		t.Errorf("cold package flagged: %v", d)
+	}
+	// Top-level allocation in a non-Kernel function (construction-time
+	// sizing, bindKernels-style helpers) stays clean.
+	if d := checkSrc(t, HotAlloc, "icoearth/internal/atmos", "dycore.go", `
+package atmos
+
+func bindKernels(n int) []float64 {
+	buf := make([]float64, n)
+	for i := 0; i < n; i++ {
+		buf[i] = 1
+	}
+	return buf
+}
+`); len(d) != 0 {
+		t.Errorf("non-Kernel top-level allocation flagged: %v", d)
 	}
 }
 

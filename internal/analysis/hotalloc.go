@@ -18,6 +18,11 @@ import (
 // internal/ocean, and internal/sdfg's executable backend. "Inner loop"
 // means a for/range statement nested inside another one within the same
 // function.
+//
+// Functions whose name ends in "Kernel" are held to a stricter standard:
+// they run once per model step, so a make/append anywhere in their body —
+// even outside any loop — is steady-state allocation growth and is
+// flagged. Scratch belongs in the owning struct, sized at construction.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
 	Doc:  "no make/append growth inside kernel inner loops of the hot paths",
@@ -59,28 +64,32 @@ func runHotAlloc(pass *Pass) error {
 		if !hotFile(pkgPath, name) || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		var walk func(n ast.Node, depth int)
-		walk = func(n ast.Node, depth int) {
+		var walk func(n ast.Node, depth int, kernel bool)
+		walk = func(n ast.Node, depth int, kernel bool) {
 			ast.Inspect(n, func(m ast.Node) bool {
 				switch v := m.(type) {
 				case *ast.ForStmt:
 					if v == n {
 						return true
 					}
-					walk(v, depth+1)
+					walk(v, depth+1, kernel)
 					return false
 				case *ast.RangeStmt:
 					if v == n {
 						return true
 					}
-					walk(v, depth+1)
+					walk(v, depth+1, kernel)
 					return false
 				case *ast.CallExpr:
-					if depth < 2 {
+					name := builtinName(pass, v.Fun)
+					if name != "make" && name != "append" {
 						return true
 					}
-					if name := builtinName(pass, v.Fun); name == "make" || name == "append" {
+					switch {
+					case depth >= 2:
 						pass.Reportf(v.Pos(), "%s inside a kernel inner loop allocates per iteration; hoist the buffer out of the loop nest", name)
+					case kernel:
+						pass.Reportf(v.Pos(), "%s inside a *Kernel function allocates every model step; move the scratch buffer into the owning struct", name)
 					}
 				}
 				return true
@@ -89,7 +98,8 @@ func runHotAlloc(pass *Pass) error {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if ok && fd.Body != nil {
-				walk(fd.Body, 0)
+				kernel := strings.HasSuffix(fd.Name.Name, "Kernel")
+				walk(fd.Body, 0, kernel)
 			}
 		}
 	}

@@ -1,9 +1,12 @@
 package atmos
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"icoearth/internal/grid"
+	"icoearth/internal/sched"
 	"icoearth/internal/vertical"
 )
 
@@ -26,6 +29,35 @@ func BenchmarkDycoreStepR2B3(b *testing.B) {
 	if err := s.CheckFinite(); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// BenchmarkDycoreStepSpeedup measures the worker pool's payoff on the
+// dycore step: wall time at pool width 1 over width 4, reported as the
+// gated parallel_speedup_x metric (contract: ≥1.8× on a 4-core runner).
+// Machines with fewer than 4 cores skip — a 4-wide pool on 1 hardware
+// thread measures oversubscription, not the scheduler.
+func BenchmarkDycoreStepSpeedup(b *testing.B) {
+	if runtime.NumCPU() < 4 {
+		b.Skipf("need ≥4 CPUs for a speedup measurement, have %d", runtime.NumCPU())
+	}
+	elapsed := func(width int) time.Duration {
+		sched.SetWorkers(width)
+		defer sched.SetWorkers(0)
+		s, dy := benchState(3, 20)
+		dy.Step(120) // warm scratch + pool
+		t0 := time.Now()
+		for i := 0; i < b.N; i++ {
+			dy.Step(120)
+		}
+		d := time.Since(t0)
+		if err := s.CheckFinite(); err != nil {
+			b.Fatal(err)
+		}
+		return d
+	}
+	serial := elapsed(1)
+	parallel := elapsed(4)
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "parallel_speedup_x")
 }
 
 func BenchmarkTracerTransport(b *testing.B) {

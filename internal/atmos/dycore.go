@@ -3,6 +3,7 @@ package atmos
 import (
 	"math"
 
+	"icoearth/internal/sched"
 	"icoearth/internal/sphere"
 )
 
@@ -14,6 +15,13 @@ import (
 // implicitly per column with the Thomas algorithm. Divergence damping
 // stabilises the acoustic modes, and a Rayleigh sponge damps w near the
 // model top.
+//
+// Every stage executes on the shared worker pool (internal/sched) as
+// NPROMA-blocked loops over cells, edges, columns or levels. Loop bodies
+// are bound once at construction and parameters pass through struct
+// fields, so a steady-state step performs no per-dispatch allocation;
+// reductions and scatter loops are structured so results are bit-identical
+// at every worker count (see the sched package doc).
 type Dycore struct {
 	S *State
 
@@ -44,13 +52,28 @@ type Dycore struct {
 	thFluxEdge         []float64 // ρθ flux at edges
 	rhoQ               []float64 // tracer transport workspace (lazily allocated)
 	qFluxEdge          []float64
-	ke                 []float64 // kinetic energy at cells
-	zeta               []float64 // vorticity at vertices per level
-	vt                 []float64 // tangential velocity at edges
-	div                []float64 // divergence scratch (per level, cells)
+	ke                 []float64     // kinetic energy at cells
+	uc                 []sphere.Vec3 // Perot cell vectors, cell×level
+	zeta               []float64     // vorticity at vertices, one stripe per level
+	vt                 []float64     // tangential velocity at edges
+	div                []float64     // divergence scratch, one stripe per level
 	vnPred             []float64
 	exnerNew           []float64
-	thA, thB, thC, thD []float64 // tridiagonal workspace (per column)
+	thA, thB, thC, thD []float64 // tridiagonal workspace, one stripe per worker slot
+
+	// Pre-bound worker-pool bodies; per-call parameters pass through the
+	// fields below so dispatch stays allocation-free.
+	parKE, parUC, parVT         func(lo, hi int)
+	parTend, parDamp            func(lo, hi int)
+	parPred, parFluxE, parFluxC func(lo, hi int)
+	parCorrExner, parCorrVn     func(lo, hi int)
+	parSponge                   func(lo, hi int)
+	parVSolve                   func(slot, lo, hi int)
+	parTrFluxE, parTrCell       func(lo, hi int)
+	parTrVert, parTrMix         func(lo, hi int)
+	parDt                       float64
+	tendExner, tendOut          []float64
+	trQ, trRhoOld               []float64
 }
 
 // NewDycore builds a dycore for the state with default stabilisation
@@ -68,15 +91,12 @@ func NewDycore(s *State) *Dycore {
 		MassFluxVert:   make([]float64, g.NCells*(nlev+1)),
 		thFluxEdge:     make([]float64, g.NEdges*nlev),
 		ke:             make([]float64, g.NCells*nlev),
-		zeta:           make([]float64, g.NVerts),
+		uc:             make([]sphere.Vec3, g.NCells*nlev),
+		zeta:           make([]float64, g.NVerts*nlev),
 		vt:             make([]float64, g.NEdges*nlev),
-		div:            make([]float64, g.NCells),
+		div:            make([]float64, g.NCells*nlev),
 		vnPred:         make([]float64, g.NEdges*nlev),
 		exnerNew:       make([]float64, g.NCells*nlev),
-		thA:            make([]float64, nlev+1),
-		thB:            make([]float64, nlev+1),
-		thC:            make([]float64, nlev+1),
-		thD:            make([]float64, nlev+1),
 	}
 	d.buildPerot()
 	d.fEdge = make([]float64, g.NEdges)
@@ -84,6 +104,7 @@ func NewDycore(s *State) *Dycore {
 		lat, _ := g.EdgeCenter[e].LatLon()
 		d.fEdge[e] = 2 * Omega * math.Sin(lat)
 	}
+	d.bindKernels()
 	return d
 }
 
@@ -100,77 +121,43 @@ func (d *Dycore) buildPerot() {
 	}
 }
 
-// KineticEnergyKernel fills d.ke: the z_ekinh computation of the paper's
-// §5.2 listing, level by level.
-func (d *Dycore) KineticEnergyKernel() {
-	g := d.S.G
-	nlev := d.S.NLev
-	vn := d.S.Vn
-	for c := 0; c < g.NCells; c++ {
-		e0, e1, e2 := g.CellEdges[c][0], g.CellEdges[c][1], g.CellEdges[c][2]
-		w0, w1, w2 := g.KineticCoeff[c][0], g.KineticCoeff[c][1], g.KineticCoeff[c][2]
-		for k := 0; k < nlev; k++ {
-			v0 := vn[e0*nlev+k]
-			v1 := vn[e1*nlev+k]
-			v2 := vn[e2*nlev+k]
-			d.ke[c*nlev+k] = w0*v0*v0 + w1*v1*v1 + w2*v2*v2
-		}
+// ensureColumnScratch sizes the per-worker-slot tridiagonal stripes; the
+// slot count is stable once the pool is configured, so this allocates at
+// most once per configuration change.
+func (d *Dycore) ensureColumnScratch() {
+	need := sched.Slots() * (d.S.NLev + 1)
+	if len(d.thA) < need {
+		d.thA = make([]float64, need)
+		d.thB = make([]float64, need)
+		d.thC = make([]float64, need)
+		d.thD = make([]float64, need)
 	}
 }
 
+// KineticEnergyKernel fills d.ke: the z_ekinh computation of the paper's
+// §5.2 listing, cell-parallel on the worker pool.
+func (d *Dycore) KineticEnergyKernel() {
+	sched.Run(d.S.G.NCells, d.parKE)
+}
+
 // TangentialKernel reconstructs cell-centre velocity vectors (Perot) and
-// the tangential wind at edges for level k into d.vt.
+// the tangential wind at edges into d.vt: a cell-parallel reconstruction
+// sweep into the persistent d.uc scratch, then an edge-parallel
+// projection sweep.
 func (d *Dycore) TangentialKernel() {
-	g := d.S.G
-	nlev := d.S.NLev
-	vn := d.S.Vn
-	// Cell vectors per level, stored temporarily.
-	uc := make([]sphere.Vec3, g.NCells)
-	for k := 0; k < nlev; k++ {
-		for c := 0; c < g.NCells; c++ {
-			var u sphere.Vec3
-			for i, e := range g.CellEdges[c] {
-				u = u.Add(d.perot[c][i].Scale(vn[e*nlev+k]))
-			}
-			uc[c] = u
-		}
-		for e := 0; e < g.NEdges; e++ {
-			c0, c1 := g.EdgeCells[e][0], g.EdgeCells[e][1]
-			m := uc[c0].Add(uc[c1]).Scale(0.5)
-			d.vt[e*nlev+k] = m.Dot(g.EdgeTangent[e])
-		}
-	}
+	sched.Run(d.S.G.NCells, d.parUC)
+	sched.Run(d.S.G.NEdges, d.parVT)
 }
 
 // vnTendencies computes the explicit horizontal momentum tendency into
 // out: (ζ+f)·vt − ∂n KE − Cpd·θ_e·∂n Π, using the supplied Exner field.
+// Levels are independent, so the level loop runs on the pool with one
+// vorticity stripe per level; within a level the edge-scatter order is
+// the serial one, keeping results worker-count-invariant.
 func (d *Dycore) vnTendencies(exner []float64, out []float64) {
-	g := d.S.G
-	s := d.S
-	nlev := s.NLev
-	for k := 0; k < nlev; k++ {
-		// Vorticity of this level.
-		for v := range d.zeta {
-			d.zeta[v] = 0
-		}
-		for e, vv := range g.EdgeVerts {
-			contrib := s.Vn[e*nlev+k] * g.DualLength[e]
-			d.zeta[vv[0]] -= contrib
-			d.zeta[vv[1]] += contrib
-		}
-		for v := range d.zeta {
-			d.zeta[v] /= g.DualArea[v]
-		}
-		for e := 0; e < g.NEdges; e++ {
-			c0, c1 := g.EdgeCells[e][0], g.EdgeCells[e][1]
-			i0, i1 := c0*nlev+k, c1*nlev+k
-			gradPi := (exner[i1] - exner[i0]) / g.DualLength[e]
-			gradKE := (d.ke[i1] - d.ke[i0]) / g.DualLength[e]
-			thetaE := 0.5 * (s.RhoTheta[i0]/s.Rho[i0] + s.RhoTheta[i1]/s.Rho[i1])
-			zetaE := 0.5 * (d.zeta[g.EdgeVerts[e][0]] + d.zeta[g.EdgeVerts[e][1]])
-			out[e*nlev+k] = (zetaE+d.fEdge[e])*d.vt[e*nlev+k] - gradKE - Cpd*thetaE*gradPi
-		}
-	}
+	d.tendExner, d.tendOut = exner, out
+	sched.Run(d.S.NLev, d.parTend)
+	d.tendExner, d.tendOut = nil, nil
 }
 
 // divergenceDamping adds κ·Δx²/Δt·∂n(div vn) to vn, suppressing acoustic
@@ -179,24 +166,8 @@ func (d *Dycore) divergenceDamping(dt float64) {
 	if d.DivDamp == 0 {
 		return
 	}
-	g := d.S.G
-	s := d.S
-	nlev := s.NLev
-	for k := 0; k < nlev; k++ {
-		for c := 0; c < g.NCells; c++ {
-			var sum float64
-			for i, e := range g.CellEdges[c] {
-				sum += float64(g.EdgeOrient[c][i]) * s.Vn[e*nlev+k] * g.EdgeLength[e]
-			}
-			d.div[c] = sum / g.CellArea[c]
-		}
-		for e := 0; e < g.NEdges; e++ {
-			c0, c1 := g.EdgeCells[e][0], g.EdgeCells[e][1]
-			dx := g.DualLength[e]
-			coef := d.DivDamp * dx * dx / dt
-			s.Vn[e*nlev+k] += dt * coef * (d.div[c1] - d.div[c0]) / dx
-		}
-	}
+	d.parDt = dt
+	sched.Run(d.S.NLev, d.parDamp)
 }
 
 // Step advances the prognostic state by dt seconds. The stages mirror the
@@ -215,55 +186,21 @@ func (d *Dycore) Step(dt float64) {
 
 // StagePredictor computes vn* = vn + Δt·tend(Π at time n) into d.vnPred.
 func (d *Dycore) StagePredictor(dt float64) {
-	s := d.S
-	d.vnTendencies(s.Exner, d.vnPred)
-	for i := range d.vnPred {
-		d.vnPred[i] = s.Vn[i] + dt*d.vnPred[i]
-	}
+	d.vnTendencies(d.S.Exner, d.vnPred)
+	d.parDt = dt
+	sched.Run(len(d.vnPred), d.parPred)
 }
 
 // StageHorizontalFluxes computes and applies the horizontal mass and ρθ
-// flux divergences.
+// flux divergences: an edge-parallel flux sweep, then a cell-parallel
+// divergence sweep. Fluxes are fully precomputed per edge before any
+// cell is updated, so the update is order-independent and exactly
+// conservative (every edge flux enters its two cells with opposite
+// signs).
 func (d *Dycore) StageHorizontalFluxes(dt float64) {
-	s := d.S
-	g := s.G
-	nlev := s.NLev
-
-	// Horizontal fluxes with time-centred velocity. Fluxes are fully
-	// precomputed per edge before any cell is updated, so the update is
-	// order-independent and exactly conservative (every edge flux enters
-	// its two cells with opposite signs).
-	for e := 0; e < g.NEdges; e++ {
-		c0, c1 := g.EdgeCells[e][0], g.EdgeCells[e][1]
-		for k := 0; k < nlev; k++ {
-			vnAvg := 0.5 * (s.Vn[e*nlev+k] + d.vnPred[e*nlev+k])
-			rhoE := 0.5 * (s.Rho[c0*nlev+k] + s.Rho[c1*nlev+k])
-			f := vnAvg * rhoE
-			d.MassFluxEdge[e*nlev+k] = f
-			// Upstream-biased θ for stability: donor cell by flux sign.
-			var thUp float64
-			if f >= 0 {
-				thUp = s.RhoTheta[c0*nlev+k] / s.Rho[c0*nlev+k]
-			} else {
-				thUp = s.RhoTheta[c1*nlev+k] / s.Rho[c1*nlev+k]
-			}
-			d.thFluxEdge[e*nlev+k] = f * thUp
-		}
-	}
-	// Apply horizontal divergence of mass and ρθ fluxes.
-	for c := 0; c < g.NCells; c++ {
-		for k := 0; k < nlev; k++ {
-			var dm, dth float64
-			for i, e := range g.CellEdges[c] {
-				o := float64(g.EdgeOrient[c][i]) * g.EdgeLength[e]
-				dm += o * d.MassFluxEdge[e*nlev+k]
-				dth += o * d.thFluxEdge[e*nlev+k]
-			}
-			i := c*nlev + k
-			s.Rho[i] -= dt * dm / g.CellArea[c]
-			s.RhoTheta[i] -= dt * dth / g.CellArea[c]
-		}
-	}
+	d.parDt = dt
+	sched.Run(d.S.G.NEdges, d.parFluxE)
+	sched.Run(d.S.G.NCells, d.parFluxC)
 }
 
 // StageVertical performs the vertical implicit solve; updates w, ρ, ρθ.
@@ -273,14 +210,10 @@ func (d *Dycore) StageVertical(dt float64) {
 
 // StageCorrector recomputes vn with the time-averaged Exner gradient.
 func (d *Dycore) StageCorrector(dt float64) {
-	s := d.S
-	for i := range s.RhoTheta {
-		d.exnerNew[i] = 0.5 * (s.Exner[i] + ExnerFromRhoTheta(s.RhoTheta[i]))
-	}
+	sched.Run(len(d.S.RhoTheta), d.parCorrExner)
 	d.vnTendencies(d.exnerNew, d.vnPred)
-	for i := range s.Vn {
-		s.Vn[i] += dt * d.vnPred[i]
-	}
+	d.parDt = dt
+	sched.Run(len(d.S.Vn), d.parCorrVn)
 }
 
 // StageDamping applies divergence damping, the top sponge, and refreshes
@@ -293,85 +226,273 @@ func (d *Dycore) StageDamping(dt float64) {
 
 // sponge applies Rayleigh damping to w in the top levels.
 func (d *Dycore) sponge(dt float64) {
-	s := d.S
-	nlev := s.NLev
-	for c := 0; c < s.G.NCells; c++ {
-		for k := 1; k <= d.SpongeLevels && k < nlev; k++ {
-			rate := d.SpongeCoeff * float64(d.SpongeLevels-k+1) / float64(d.SpongeLevels)
-			s.W[c*(nlev+1)+k] /= 1 + dt*rate
-		}
-	}
+	d.parDt = dt
+	sched.Run(d.S.G.NCells, d.parSponge)
 }
 
 // verticalSolve performs the implicit acoustic update: solves the
 // tridiagonal system for w at interior interfaces of every column, then
-// applies the vertical flux convergence to ρ and ρθ.
+// applies the vertical flux convergence to ρ and ρθ. Columns are
+// independent and run column-parallel with one tridiagonal stripe per
+// worker slot.
 func (d *Dycore) verticalSolve(dt float64) {
-	s := d.S
-	g := s.G
-	nlev := s.NLev
-	vert := s.Vert
-	wgt := d.ImplicitWeight
-	for c := 0; c < g.NCells; c++ {
-		base := c * nlev
-		wbase := c * (nlev + 1)
-		// Interface quantities (1..nlev-1): θᵢ, ψ=(ρθ)ᵢ, ρᵢ.
-		// γ = dΠ/d(ρθ) = (Rd/Cvd)·Π/(ρθ) at full levels.
-		// Assemble tridiagonal for w⁺[1..nlev-1].
-		for k := 1; k < nlev; k++ {
-			i0 := base + k - 1 // level above interface
-			i1 := base + k     // level below
-			thI := 0.5 * (s.RhoTheta[i0]/s.Rho[i0] + s.RhoTheta[i1]/s.Rho[i1])
-			psiUp := 0.5 * (s.RhoTheta[i0] + s.RhoTheta[i1]) // ψ at this interface
-			dzi := vert.IfaceGap(k)
-			beta := dt * Cpd * thI / dzi * wgt
-			exner0 := ExnerFromRhoTheta(s.RhoTheta[i0])
-			exner1 := ExnerFromRhoTheta(s.RhoTheta[i1])
-			gam0 := (Rd / Cvd) * exner0 / s.RhoTheta[i0]
-			gam1 := (Rd / Cvd) * exner1 / s.RhoTheta[i1]
-			dz0 := vert.LayerThickness(k - 1)
-			dz1 := vert.LayerThickness(k)
-			// ψ at neighbouring interfaces for the off-diagonals.
-			var psiAbove, psiBelow float64
-			if k > 1 {
-				psiAbove = 0.5 * (s.RhoTheta[base+k-2] + s.RhoTheta[i0])
+	d.ensureColumnScratch()
+	d.parDt = dt
+	sched.RunIndexed(d.S.G.NCells, d.parVSolve)
+}
+
+// bindKernels builds the worker-pool loop bodies once; they capture only
+// the receiver, with per-call parameters passed through fields.
+func (d *Dycore) bindKernels() {
+	d.parKE = func(lo, hi int) {
+		g := d.S.G
+		nlev := d.S.NLev
+		vn := d.S.Vn
+		for c := lo; c < hi; c++ {
+			e0, e1, e2 := g.CellEdges[c][0], g.CellEdges[c][1], g.CellEdges[c][2]
+			w0, w1, w2 := g.KineticCoeff[c][0], g.KineticCoeff[c][1], g.KineticCoeff[c][2]
+			for k := 0; k < nlev; k++ {
+				v0 := vn[e0*nlev+k]
+				v1 := vn[e1*nlev+k]
+				v2 := vn[e2*nlev+k]
+				d.ke[c*nlev+k] = w0*v0*v0 + w1*v1*v1 + w2*v2*v2
 			}
-			if k < nlev-1 {
-				psiBelow = 0.5 * (s.RhoTheta[i1] + s.RhoTheta[base+k+1])
-			}
-			d.thA[k] = -beta * dt * gam0 * psiAbove / dz0
-			d.thB[k] = 1 + beta*dt*(gam0*psiUp/dz0+gam1*psiUp/dz1)
-			d.thC[k] = -beta * dt * gam1 * psiBelow / dz1
-			d.thD[k] = s.W[wbase+k] - dt*Grav - (dt*Cpd*thI/dzi)*(exner0-exner1)
 		}
-		// Thomas algorithm, w⁺[0]=w⁺[nlev]=0.
-		solveTridiag(d.thA[1:nlev], d.thB[1:nlev], d.thC[1:nlev], d.thD[1:nlev])
-		s.W[wbase] = 0
-		s.W[wbase+nlev] = 0
-		for k := 1; k < nlev; k++ {
-			s.W[wbase+k] = d.thD[k]
-		}
-		// Vertical fluxes and updates.
-		// F at interface k: w⁺·ψ (for ρθ) and w⁺·ρᵢ (for ρ).
-		var fThAbove, fRhoAbove float64 // flux at interface k (top of level k)
-		for k := 0; k < nlev; k++ {
-			var fThBelow, fRhoBelow float64
-			if k < nlev-1 {
-				i0 := base + k
-				i1 := base + k + 1
-				w := s.W[wbase+k+1]
-				fThBelow = w * 0.5 * (s.RhoTheta[i0] + s.RhoTheta[i1])
-				fRhoBelow = w * 0.5 * (s.Rho[i0] + s.Rho[i1])
-			}
-			dz := vert.LayerThickness(k)
-			s.RhoTheta[base+k] += dt * (fThBelow - fThAbove) / dz
-			s.Rho[base+k] += dt * (fRhoBelow - fRhoAbove) / dz
-			d.MassFluxVert[wbase+k] = fRhoAbove
-			fThAbove = fThBelow
-			fRhoAbove = fRhoBelow
-		}
-		d.MassFluxVert[wbase+nlev] = 0
 	}
+
+	d.parUC = func(lo, hi int) {
+		g := d.S.G
+		nlev := d.S.NLev
+		vn := d.S.Vn
+		for c := lo; c < hi; c++ {
+			for k := 0; k < nlev; k++ {
+				var u sphere.Vec3
+				for i, e := range g.CellEdges[c] {
+					u = u.Add(d.perot[c][i].Scale(vn[e*nlev+k]))
+				}
+				d.uc[c*nlev+k] = u
+			}
+		}
+	}
+
+	d.parVT = func(lo, hi int) {
+		g := d.S.G
+		nlev := d.S.NLev
+		for e := lo; e < hi; e++ {
+			c0, c1 := g.EdgeCells[e][0], g.EdgeCells[e][1]
+			for k := 0; k < nlev; k++ {
+				m := d.uc[c0*nlev+k].Add(d.uc[c1*nlev+k]).Scale(0.5)
+				d.vt[e*nlev+k] = m.Dot(g.EdgeTangent[e])
+			}
+		}
+	}
+
+	d.parTend = func(lo, hi int) {
+		s := d.S
+		g := s.G
+		nlev := s.NLev
+		exner, out := d.tendExner, d.tendOut
+		for k := lo; k < hi; k++ {
+			// Vorticity of this level, in its own stripe.
+			z := d.zeta[k*g.NVerts : (k+1)*g.NVerts]
+			for v := range z {
+				z[v] = 0
+			}
+			for e, vv := range g.EdgeVerts {
+				contrib := s.Vn[e*nlev+k] * g.DualLength[e]
+				z[vv[0]] -= contrib
+				z[vv[1]] += contrib
+			}
+			for v := range z {
+				z[v] /= g.DualArea[v]
+			}
+			for e := 0; e < g.NEdges; e++ {
+				c0, c1 := g.EdgeCells[e][0], g.EdgeCells[e][1]
+				i0, i1 := c0*nlev+k, c1*nlev+k
+				gradPi := (exner[i1] - exner[i0]) / g.DualLength[e]
+				gradKE := (d.ke[i1] - d.ke[i0]) / g.DualLength[e]
+				thetaE := 0.5 * (s.RhoTheta[i0]/s.Rho[i0] + s.RhoTheta[i1]/s.Rho[i1])
+				zetaE := 0.5 * (z[g.EdgeVerts[e][0]] + z[g.EdgeVerts[e][1]])
+				out[e*nlev+k] = (zetaE+d.fEdge[e])*d.vt[e*nlev+k] - gradKE - Cpd*thetaE*gradPi
+			}
+		}
+	}
+
+	d.parDamp = func(lo, hi int) {
+		s := d.S
+		g := s.G
+		nlev := s.NLev
+		dt := d.parDt
+		for k := lo; k < hi; k++ {
+			dv := d.div[k*g.NCells : (k+1)*g.NCells]
+			for c := 0; c < g.NCells; c++ {
+				var sum float64
+				for i, e := range g.CellEdges[c] {
+					sum += float64(g.EdgeOrient[c][i]) * s.Vn[e*nlev+k] * g.EdgeLength[e]
+				}
+				dv[c] = sum / g.CellArea[c]
+			}
+			for e := 0; e < g.NEdges; e++ {
+				c0, c1 := g.EdgeCells[e][0], g.EdgeCells[e][1]
+				dx := g.DualLength[e]
+				coef := d.DivDamp * dx * dx / dt
+				s.Vn[e*nlev+k] += dt * coef * (dv[c1] - dv[c0]) / dx
+			}
+		}
+	}
+
+	d.parPred = func(lo, hi int) {
+		s := d.S
+		dt := d.parDt
+		for i := lo; i < hi; i++ {
+			d.vnPred[i] = s.Vn[i] + dt*d.vnPred[i]
+		}
+	}
+
+	d.parFluxE = func(lo, hi int) {
+		s := d.S
+		g := s.G
+		nlev := s.NLev
+		for e := lo; e < hi; e++ {
+			c0, c1 := g.EdgeCells[e][0], g.EdgeCells[e][1]
+			for k := 0; k < nlev; k++ {
+				vnAvg := 0.5 * (s.Vn[e*nlev+k] + d.vnPred[e*nlev+k])
+				rhoE := 0.5 * (s.Rho[c0*nlev+k] + s.Rho[c1*nlev+k])
+				f := vnAvg * rhoE
+				d.MassFluxEdge[e*nlev+k] = f
+				// Upstream-biased θ for stability: donor cell by flux sign.
+				var thUp float64
+				if f >= 0 {
+					thUp = s.RhoTheta[c0*nlev+k] / s.Rho[c0*nlev+k]
+				} else {
+					thUp = s.RhoTheta[c1*nlev+k] / s.Rho[c1*nlev+k]
+				}
+				d.thFluxEdge[e*nlev+k] = f * thUp
+			}
+		}
+	}
+
+	d.parFluxC = func(lo, hi int) {
+		s := d.S
+		g := s.G
+		nlev := s.NLev
+		dt := d.parDt
+		for c := lo; c < hi; c++ {
+			for k := 0; k < nlev; k++ {
+				var dm, dth float64
+				for i, e := range g.CellEdges[c] {
+					o := float64(g.EdgeOrient[c][i]) * g.EdgeLength[e]
+					dm += o * d.MassFluxEdge[e*nlev+k]
+					dth += o * d.thFluxEdge[e*nlev+k]
+				}
+				i := c*nlev + k
+				s.Rho[i] -= dt * dm / g.CellArea[c]
+				s.RhoTheta[i] -= dt * dth / g.CellArea[c]
+			}
+		}
+	}
+
+	d.parCorrExner = func(lo, hi int) {
+		s := d.S
+		for i := lo; i < hi; i++ {
+			d.exnerNew[i] = 0.5 * (s.Exner[i] + ExnerFromRhoTheta(s.RhoTheta[i]))
+		}
+	}
+
+	d.parCorrVn = func(lo, hi int) {
+		s := d.S
+		dt := d.parDt
+		for i := lo; i < hi; i++ {
+			s.Vn[i] += dt * d.vnPred[i]
+		}
+	}
+
+	d.parSponge = func(lo, hi int) {
+		s := d.S
+		nlev := s.NLev
+		dt := d.parDt
+		for c := lo; c < hi; c++ {
+			for k := 1; k <= d.SpongeLevels && k < nlev; k++ {
+				rate := d.SpongeCoeff * float64(d.SpongeLevels-k+1) / float64(d.SpongeLevels)
+				s.W[c*(nlev+1)+k] /= 1 + dt*rate
+			}
+		}
+	}
+
+	d.parVSolve = func(slot, lo, hi int) {
+		s := d.S
+		nlev := s.NLev
+		vert := s.Vert
+		dt := d.parDt
+		wgt := d.ImplicitWeight
+		stride := nlev + 1
+		thA := d.thA[slot*stride : (slot+1)*stride]
+		thB := d.thB[slot*stride : (slot+1)*stride]
+		thC := d.thC[slot*stride : (slot+1)*stride]
+		thD := d.thD[slot*stride : (slot+1)*stride]
+		for c := lo; c < hi; c++ {
+			base := c * nlev
+			wbase := c * (nlev + 1)
+			// Interface quantities (1..nlev-1): θᵢ, ψ=(ρθ)ᵢ, ρᵢ.
+			// γ = dΠ/d(ρθ) = (Rd/Cvd)·Π/(ρθ) at full levels.
+			// Assemble tridiagonal for w⁺[1..nlev-1].
+			for k := 1; k < nlev; k++ {
+				i0 := base + k - 1 // level above interface
+				i1 := base + k     // level below
+				thI := 0.5 * (s.RhoTheta[i0]/s.Rho[i0] + s.RhoTheta[i1]/s.Rho[i1])
+				psiUp := 0.5 * (s.RhoTheta[i0] + s.RhoTheta[i1]) // ψ at this interface
+				dzi := vert.IfaceGap(k)
+				beta := dt * Cpd * thI / dzi * wgt
+				exner0 := ExnerFromRhoTheta(s.RhoTheta[i0])
+				exner1 := ExnerFromRhoTheta(s.RhoTheta[i1])
+				gam0 := (Rd / Cvd) * exner0 / s.RhoTheta[i0]
+				gam1 := (Rd / Cvd) * exner1 / s.RhoTheta[i1]
+				dz0 := vert.LayerThickness(k - 1)
+				dz1 := vert.LayerThickness(k)
+				// ψ at neighbouring interfaces for the off-diagonals.
+				var psiAbove, psiBelow float64
+				if k > 1 {
+					psiAbove = 0.5 * (s.RhoTheta[base+k-2] + s.RhoTheta[i0])
+				}
+				if k < nlev-1 {
+					psiBelow = 0.5 * (s.RhoTheta[i1] + s.RhoTheta[base+k+1])
+				}
+				thA[k] = -beta * dt * gam0 * psiAbove / dz0
+				thB[k] = 1 + beta*dt*(gam0*psiUp/dz0+gam1*psiUp/dz1)
+				thC[k] = -beta * dt * gam1 * psiBelow / dz1
+				thD[k] = s.W[wbase+k] - dt*Grav - (dt*Cpd*thI/dzi)*(exner0-exner1)
+			}
+			// Thomas algorithm, w⁺[0]=w⁺[nlev]=0.
+			solveTridiag(thA[1:nlev], thB[1:nlev], thC[1:nlev], thD[1:nlev])
+			s.W[wbase] = 0
+			s.W[wbase+nlev] = 0
+			for k := 1; k < nlev; k++ {
+				s.W[wbase+k] = thD[k]
+			}
+			// Vertical fluxes and updates.
+			// F at interface k: w⁺·ψ (for ρθ) and w⁺·ρᵢ (for ρ).
+			var fThAbove, fRhoAbove float64 // flux at interface k (top of level k)
+			for k := 0; k < nlev; k++ {
+				var fThBelow, fRhoBelow float64
+				if k < nlev-1 {
+					i0 := base + k
+					i1 := base + k + 1
+					w := s.W[wbase+k+1]
+					fThBelow = w * 0.5 * (s.RhoTheta[i0] + s.RhoTheta[i1])
+					fRhoBelow = w * 0.5 * (s.Rho[i0] + s.Rho[i1])
+				}
+				dz := vert.LayerThickness(k)
+				s.RhoTheta[base+k] += dt * (fThBelow - fThAbove) / dz
+				s.Rho[base+k] += dt * (fRhoBelow - fRhoAbove) / dz
+				d.MassFluxVert[wbase+k] = fRhoAbove
+				fThAbove = fThBelow
+				fRhoAbove = fRhoBelow
+			}
+			d.MassFluxVert[wbase+nlev] = 0
+		}
+	}
+
+	d.bindTransport()
 }
 
 // solveTridiag solves in place the tridiagonal system with sub-diagonal a,

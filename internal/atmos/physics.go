@@ -1,6 +1,10 @@
 package atmos
 
-import "math"
+import (
+	"math"
+
+	"icoearth/internal/sched"
+)
 
 // HeldSuarez holds the parameters of the Held & Suarez (1994) idealised
 // radiative/boundary-layer forcing, the "physics" that stands in for the
@@ -85,6 +89,16 @@ type Physics struct {
 
 	// MoistureOn enables the water cycle (off for pure Held–Suarez runs).
 	MoistureOn bool
+
+	// Pre-bound worker-pool bodies (bound lazily on first Step so physics
+	// built by struct literal also gets them); per-call parameters pass
+	// through the fields below.
+	parColumns func(lo, hi int)
+	parFric    func(lo, hi int)
+	parSurface func(lo, hi int)
+	phDt       float64
+	phBC       SurfaceBC
+	phFl       *SurfaceFluxes
 }
 
 // NewPhysics returns physics with standard parameters.
@@ -115,125 +129,155 @@ func SatSpecificHumidity(T, p float64) float64 {
 // Step applies one physics timestep: Held–Suarez relaxation and friction,
 // saturation adjustment with autoconversion, and bulk surface fluxes using
 // the boundary condition bc. The returned fluxes are fresh each call.
+// The three sweeps (columns, edges, surface cells) write disjoint indices
+// and run on the worker pool.
 func (p *Physics) Step(dt float64, bc SurfaceBC) *SurfaceFluxes {
 	s := p.S
 	g := s.G
-	nlev := s.NLev
 	fl := NewSurfaceFluxes(g.NCells)
-
-	// --- Held–Suarez relaxation and saturation adjustment (per column) ---
-	for c := 0; c < g.NCells; c++ {
-		lat, _ := g.CellCenter[c].LatLon()
-		psfc := Pressure(s.Exner[c*nlev+nlev-1])
-		for k := 0; k < nlev; k++ {
-			i := c*nlev + k
-			exn := s.Exner[i]
-			pres := Pressure(exn)
-			sig := pres / psfc
-			T := s.Theta[i] * exn
-			// Thermal relaxation.
-			cos4 := math.Pow(math.Cos(lat), 4)
-			kt := p.HS.Ka
-			if sig > p.HS.SigmaB {
-				kt += (p.HS.Ks - p.HS.Ka) * cos4 * (sig - p.HS.SigmaB) / (1 - p.HS.SigmaB)
-			}
-			teq := p.HS.TEq(lat, pres)
-			T -= dt * kt * (T - teq)
-
-			if p.MoistureOn {
-				qv := s.Tracers[TracerQV][i]
-				qc := s.Tracers[TracerQC][i]
-				qsat := SatSpecificHumidity(T, pres)
-				gam := Lv * Lv * qsat / (Cpd * Rv * T * T)
-				if qv > qsat {
-					dq := (qv - qsat) / (1 + gam)
-					qv -= dq
-					qc += dq
-					T += Lv * dq / Cpd
-				} else if qc > 0 {
-					// Evaporate cloud into subsaturated air.
-					dq := math.Min(qc, (qsat-qv)/(1+gam))
-					qv += dq
-					qc -= dq
-					T -= Lv * dq / Cpd
-				}
-				// Autoconversion to precipitation (instant fallout).
-				if qc > p.CloudThreshold {
-					rain := (qc - p.CloudThreshold) * math.Min(1, dt*p.AutoConvRate)
-					qc -= rain
-					// Column water flux to the surface.
-					colMass := s.Rho[i] * s.Vert.LayerThickness(k)
-					fl.Precip[c] += rain * colMass / dt
-				}
-				s.Tracers[TracerQV][i] = qv
-				s.Tracers[TracerQC][i] = qc
-			}
-			// Write back via ρθ (ρ unchanged by physics).
-			s.Theta[i] = T / exn
-			s.RhoTheta[i] = s.Rho[i] * s.Theta[i]
-		}
-		s.PrecipAccum[c] += fl.Precip[c] * dt
+	if p.parColumns == nil {
+		p.bindKernels()
 	}
-
-	// --- Boundary-layer friction on vn (Held–Suarez kf) ---
-	for e := 0; e < g.NEdges; e++ {
-		c0, c1 := g.EdgeCells[e][0], g.EdgeCells[e][1]
-		psfc := 0.5 * (Pressure(s.Exner[c0*nlev+nlev-1]) + Pressure(s.Exner[c1*nlev+nlev-1]))
-		for k := 0; k < nlev; k++ {
-			pres := 0.5 * (Pressure(s.Exner[c0*nlev+k]) + Pressure(s.Exner[c1*nlev+k]))
-			sig := pres / psfc
-			if sig <= p.HS.SigmaB {
-				continue
-			}
-			kv := p.HS.Kf * (sig - p.HS.SigmaB) / (1 - p.HS.SigmaB)
-			s.Vn[e*nlev+k] /= 1 + dt*kv
-		}
-	}
-
-	// --- Bulk surface fluxes on the lowest level ---
-	kl := nlev - 1
-	for c := 0; c < g.NCells; c++ {
-		i := c*nlev + kl
-		exn := s.Exner[i]
-		T := s.Theta[i] * exn
-		pres := Pressure(exn)
-		// Wind speed from reconstructed kinetic energy of the lowest level.
-		var ke float64
-		for j, e := range g.CellEdges[c] {
-			v := s.Vn[e*nlev+kl]
-			ke += g.KineticCoeff[c][j] * v * v
-		}
-		speed := math.Sqrt(2*ke) + 1 // gustiness floor 1 m/s
-		fl.WindSpeed[c] = speed
-		rho := s.Rho[i]
-		fl.WindStress[c] = rho * p.CDrag * speed * speed
-
-		if bc.Tsfc != nil {
-			ts := bc.Tsfc[c]
-			// Sensible heat: positive when the surface is warmer loses heat
-			// upward, i.e. atmosphere gains; sign convention here is
-			// positive downward (into surface).
-			h := rho * Cpd * p.CHeat * speed * (T - ts) // >0: atm warmer → surface gains
-			fl.SensibleHeat[c] = h
-			dz := s.Vert.LayerThickness(kl)
-			dT := -h / (rho * Cpd * dz) * dt
-			Tn := T + dT
-			s.Theta[i] = Tn / exn
-			s.RhoTheta[i] = rho * s.Theta[i]
-
-			if p.MoistureOn && bc.IsWater != nil && bc.IsWater[c] {
-				qsatS := SatSpecificHumidity(ts, pres)
-				qv := s.Tracers[TracerQV][i]
-				ev := rho * p.CEvap * speed * (qsatS - qv)
-				if ev < 0 {
-					ev = 0 // no dew for simplicity
-				}
-				fl.Evaporation[c] = ev
-				s.Tracers[TracerQV][i] = qv + ev*dt/(rho*dz)
-			}
-		}
-	}
+	p.phDt, p.phBC, p.phFl = dt, bc, fl
+	sched.Run(g.NCells, p.parColumns)
+	sched.Run(g.NEdges, p.parFric)
+	sched.Run(g.NCells, p.parSurface)
+	p.phBC, p.phFl = SurfaceBC{}, nil
 	return fl
+}
+
+// bindKernels builds the worker-pool loop bodies of the physics once.
+func (p *Physics) bindKernels() {
+	// Held–Suarez relaxation and saturation adjustment (per column).
+	p.parColumns = func(lo, hi int) {
+		s := p.S
+		g := s.G
+		nlev := s.NLev
+		dt, fl := p.phDt, p.phFl
+		for c := lo; c < hi; c++ {
+			lat, _ := g.CellCenter[c].LatLon()
+			psfc := Pressure(s.Exner[c*nlev+nlev-1])
+			for k := 0; k < nlev; k++ {
+				i := c*nlev + k
+				exn := s.Exner[i]
+				pres := Pressure(exn)
+				sig := pres / psfc
+				T := s.Theta[i] * exn
+				// Thermal relaxation.
+				cos4 := math.Pow(math.Cos(lat), 4)
+				kt := p.HS.Ka
+				if sig > p.HS.SigmaB {
+					kt += (p.HS.Ks - p.HS.Ka) * cos4 * (sig - p.HS.SigmaB) / (1 - p.HS.SigmaB)
+				}
+				teq := p.HS.TEq(lat, pres)
+				T -= dt * kt * (T - teq)
+
+				if p.MoistureOn {
+					qv := s.Tracers[TracerQV][i]
+					qc := s.Tracers[TracerQC][i]
+					qsat := SatSpecificHumidity(T, pres)
+					gam := Lv * Lv * qsat / (Cpd * Rv * T * T)
+					if qv > qsat {
+						dq := (qv - qsat) / (1 + gam)
+						qv -= dq
+						qc += dq
+						T += Lv * dq / Cpd
+					} else if qc > 0 {
+						// Evaporate cloud into subsaturated air.
+						dq := math.Min(qc, (qsat-qv)/(1+gam))
+						qv += dq
+						qc -= dq
+						T -= Lv * dq / Cpd
+					}
+					// Autoconversion to precipitation (instant fallout).
+					if qc > p.CloudThreshold {
+						rain := (qc - p.CloudThreshold) * math.Min(1, dt*p.AutoConvRate)
+						qc -= rain
+						// Column water flux to the surface.
+						colMass := s.Rho[i] * s.Vert.LayerThickness(k)
+						fl.Precip[c] += rain * colMass / dt
+					}
+					s.Tracers[TracerQV][i] = qv
+					s.Tracers[TracerQC][i] = qc
+				}
+				// Write back via ρθ (ρ unchanged by physics).
+				s.Theta[i] = T / exn
+				s.RhoTheta[i] = s.Rho[i] * s.Theta[i]
+			}
+			s.PrecipAccum[c] += fl.Precip[c] * dt
+		}
+	}
+
+	// Boundary-layer friction on vn (Held–Suarez kf).
+	p.parFric = func(lo, hi int) {
+		s := p.S
+		g := s.G
+		nlev := s.NLev
+		dt := p.phDt
+		for e := lo; e < hi; e++ {
+			c0, c1 := g.EdgeCells[e][0], g.EdgeCells[e][1]
+			psfc := 0.5 * (Pressure(s.Exner[c0*nlev+nlev-1]) + Pressure(s.Exner[c1*nlev+nlev-1]))
+			for k := 0; k < nlev; k++ {
+				pres := 0.5 * (Pressure(s.Exner[c0*nlev+k]) + Pressure(s.Exner[c1*nlev+k]))
+				sig := pres / psfc
+				if sig <= p.HS.SigmaB {
+					continue
+				}
+				kv := p.HS.Kf * (sig - p.HS.SigmaB) / (1 - p.HS.SigmaB)
+				s.Vn[e*nlev+k] /= 1 + dt*kv
+			}
+		}
+	}
+
+	// Bulk surface fluxes on the lowest level.
+	p.parSurface = func(lo, hi int) {
+		s := p.S
+		g := s.G
+		nlev := s.NLev
+		kl := nlev - 1
+		dt, bc, fl := p.phDt, p.phBC, p.phFl
+		for c := lo; c < hi; c++ {
+			i := c*nlev + kl
+			exn := s.Exner[i]
+			T := s.Theta[i] * exn
+			pres := Pressure(exn)
+			// Wind speed from reconstructed kinetic energy of the lowest level.
+			var ke float64
+			for j, e := range g.CellEdges[c] {
+				v := s.Vn[e*nlev+kl]
+				ke += g.KineticCoeff[c][j] * v * v
+			}
+			speed := math.Sqrt(2*ke) + 1 // gustiness floor 1 m/s
+			fl.WindSpeed[c] = speed
+			rho := s.Rho[i]
+			fl.WindStress[c] = rho * p.CDrag * speed * speed
+
+			if bc.Tsfc != nil {
+				ts := bc.Tsfc[c]
+				// Sensible heat: positive when the surface is warmer loses heat
+				// upward, i.e. atmosphere gains; sign convention here is
+				// positive downward (into surface).
+				h := rho * Cpd * p.CHeat * speed * (T - ts) // >0: atm warmer → surface gains
+				fl.SensibleHeat[c] = h
+				dz := s.Vert.LayerThickness(kl)
+				dT := -h / (rho * Cpd * dz) * dt
+				Tn := T + dT
+				s.Theta[i] = Tn / exn
+				s.RhoTheta[i] = rho * s.Theta[i]
+
+				if p.MoistureOn && bc.IsWater != nil && bc.IsWater[c] {
+					qsatS := SatSpecificHumidity(ts, pres)
+					qv := s.Tracers[TracerQV][i]
+					ev := rho * p.CEvap * speed * (qsatS - qv)
+					if ev < 0 {
+						ev = 0 // no dew for simplicity
+					}
+					fl.Evaporation[c] = ev
+					s.Tracers[TracerQV][i] = qv + ev*dt/(rho*dz)
+				}
+			}
+		}
+	}
 }
 
 // ApplyTracerSurfaceFlux adds a surface mass flux (kg/m²/s, positive into

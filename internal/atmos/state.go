@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"icoearth/internal/grid"
+	"icoearth/internal/sched"
 	"icoearth/internal/vertical"
 )
 
@@ -60,6 +61,10 @@ type State struct {
 
 	// Accumulated surface precipitation flux per cell (kg/m², since start).
 	PrecipAccum []float64
+
+	// parDiag is the pre-bound UpdateDiagnostics loop body (bound lazily so
+	// states built by struct literal in tests also get it).
+	parDiag func(lo, hi int)
 }
 
 // NewState allocates a state on grid g with nlev levels.
@@ -97,12 +102,19 @@ func Pressure(exner float64) float64 {
 // Temperature returns T = θ·Π.
 func Temperature(theta, exner float64) float64 { return theta * exner }
 
-// UpdateDiagnostics refreshes Exner and Theta from the prognostics.
+// UpdateDiagnostics refreshes Exner and Theta from the prognostics. The
+// update is elementwise (one math.Pow per cell-level) and runs on the
+// worker pool.
 func (s *State) UpdateDiagnostics() {
-	for i := range s.Rho {
-		s.Exner[i] = ExnerFromRhoTheta(s.RhoTheta[i])
-		s.Theta[i] = s.RhoTheta[i] / s.Rho[i]
+	if s.parDiag == nil {
+		s.parDiag = func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				s.Exner[i] = ExnerFromRhoTheta(s.RhoTheta[i])
+				s.Theta[i] = s.RhoTheta[i] / s.Rho[i]
+			}
+		}
 	}
+	sched.Run(len(s.Rho), s.parDiag)
 }
 
 // InitIsothermalRest sets a horizontally uniform, discretely hydrostatic

@@ -52,6 +52,14 @@ type Policy struct {
 	MinAbs float64
 	// Scale selects the host-speed normalization for the metric.
 	Scale ScaleKind
+	// Floor is an absolute minimum the NEW run's median must clear
+	// (HigherIsBetter metrics only, 0 = none). Unlike the relative
+	// tolerances it needs no old baseline: it encodes a contract the
+	// code must meet on every run that reports the metric — e.g. the
+	// worker pool's ≥1.8× dycore speedup at 4 workers. Benchmarks that
+	// skip (too few cores) simply don't report the metric, so the floor
+	// gates on capable runners and stays silent elsewhere.
+	Floor float64
 }
 
 // DefaultPolicies gates the standard testing metrics: wall time may
@@ -78,6 +86,12 @@ var GatedCustomMetrics = map[string]Policy{
 	// contract is "< 1%": MinAbs keeps values under 0.01 ungated (they are
 	// pure noise at that size) while a regression past the floor gates.
 	"trace_overhead_frac": {Direction: LowerIsBetter, Tolerance: 0.50, MinAbs: 0.01},
+	// parallel_speedup_x is the wall-time ratio workers=1 / workers=4 of
+	// a hot kernel path (reported by the *Speedup benchmarks, which skip
+	// on machines with fewer than 4 cores). A ratio is already
+	// machine-normalized, so it is Unscaled; the absolute floor is the
+	// PR's acceptance contract for the worker pool.
+	"parallel_speedup_x": {Direction: HigherIsBetter, Tolerance: 0.15, Floor: 1.8},
 }
 
 // PolicyFor resolves the gating rule for a metric unit.
@@ -118,6 +132,11 @@ type Report struct {
 	// from the new one — a silently dropped benchmark must fail the
 	// gate, otherwise deleting a slow benchmark "fixes" its regression.
 	Missing []string
+	// FloorViolations are metrics in the NEW baseline whose median falls
+	// short of their policy's absolute Floor. They gate independently of
+	// the old baseline, so a floored metric fails even on its first
+	// recorded appearance.
+	FloorViolations []Regression
 	// HostMismatch is set when the two baselines were recorded on
 	// machines with different OS/arch/CPU-count fingerprints.
 	HostMismatch bool
@@ -128,7 +147,9 @@ type Report struct {
 }
 
 // OK reports whether the gate passes.
-func (r Report) OK() bool { return len(r.Regressions) == 0 && len(r.Missing) == 0 }
+func (r Report) OK() bool {
+	return len(r.Regressions) == 0 && len(r.Missing) == 0 && len(r.FloorViolations) == 0
+}
 
 // Format renders the report as the text benchgate prints.
 func (r Report) Format() string {
@@ -147,6 +168,10 @@ func (r Report) Format() string {
 	}
 	for _, reg := range r.Regressions {
 		fmt.Fprintf(&b, "REGRESSION %s\n", reg)
+	}
+	for _, fv := range r.FloorViolations {
+		fmt.Fprintf(&b, "BELOW-FLOOR %s %s: %.4g < required %.4g\n",
+			fv.Benchmark, fv.Metric, fv.New.Median, fv.Tolerance)
 	}
 	for _, imp := range r.Improvements {
 		fmt.Fprintf(&b, "improved   %s\n", imp)
@@ -205,7 +230,44 @@ func Compare(oldB, newB *Baseline) Report {
 			verdict(&rep, name, unit, o, normalize(n, pol.Scale, rep.HostSpeed), pol)
 		}
 	}
+	rep.FloorViolations = floorScan(newB)
 	return rep
+}
+
+// floorScan checks every metric of the new baseline against its policy's
+// absolute Floor. This pass deliberately ignores the old baseline: a
+// floored metric is a standing contract, not a relative comparison, and
+// must hold the first time it is ever recorded. Host-speed normalization
+// does not apply — floors are only set on Unscaled ratio metrics.
+func floorScan(newB *Baseline) []Regression {
+	var out []Regression
+	names := make([]string, 0, len(newB.Benchmarks))
+	for name := range newB.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		metrics := newB.Benchmarks[name]
+		units := make([]string, 0, len(metrics))
+		for unit := range metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			pol := PolicyFor(unit)
+			if pol.Floor <= 0 || pol.Direction != HigherIsBetter {
+				continue
+			}
+			if n := metrics[unit]; n.Median < pol.Floor {
+				out = append(out, Regression{
+					Benchmark: name, Metric: unit, New: n,
+					Change:    (n.Median - pol.Floor) / pol.Floor,
+					Tolerance: pol.Floor,
+				})
+			}
+		}
+	}
+	return out
 }
 
 // normalize rescales a new-run summary into the old run's machine-speed

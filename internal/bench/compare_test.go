@@ -83,6 +83,49 @@ func TestCompareAbsoluteFloorExemptsMicroBenchmarks(t *testing.T) {
 // calibration workload ran 25% slower has its timings divided by 1.25
 // before gating — uniform machine drift is not a regression, but a real
 // slowdown on top of it still is.
+// TestCompareFloorGatesNewRun: a metric with an absolute Floor fails when
+// the new median falls short, even though the old baseline never recorded
+// it — the floor is a standing contract, not a relative comparison.
+func TestCompareFloorGatesNewRun(t *testing.T) {
+	oldB := fixture("BenchmarkOther", map[string]Summary{"ns/op": tight(1e6)})
+	newB := fixture("BenchmarkDycoreStepSpeedup", map[string]Summary{
+		"parallel_speedup_x": tight(1.2),
+	})
+	newB.Benchmarks["BenchmarkOther"] = map[string]Summary{"ns/op": tight(1e6)}
+	rep := Compare(oldB, newB)
+	if rep.OK() {
+		t.Fatal("1.2× speedup passed the 1.8× floor")
+	}
+	if len(rep.FloorViolations) != 1 {
+		t.Fatalf("floor violations = %+v", rep.FloorViolations)
+	}
+	fv := rep.FloorViolations[0]
+	if fv.Benchmark != "BenchmarkDycoreStepSpeedup" || fv.Metric != "parallel_speedup_x" {
+		t.Errorf("flagged %s %s", fv.Benchmark, fv.Metric)
+	}
+	if !strings.Contains(rep.Format(), "BELOW-FLOOR") {
+		t.Errorf("report text lacks BELOW-FLOOR line:\n%s", rep.Format())
+	}
+}
+
+// TestCompareFloorSatisfiedAndAbsent: above the floor passes, and a run
+// that never reports the metric (the benchmark skipped on a small
+// machine) passes too.
+func TestCompareFloorSatisfiedAndAbsent(t *testing.T) {
+	oldB := fixture("BenchmarkOther", map[string]Summary{"ns/op": tight(1e6)})
+	above := fixture("BenchmarkDycoreStepSpeedup", map[string]Summary{
+		"parallel_speedup_x": tight(2.6),
+	})
+	above.Benchmarks["BenchmarkOther"] = map[string]Summary{"ns/op": tight(1e6)}
+	if rep := Compare(oldB, above); !rep.OK() {
+		t.Fatalf("2.6× speedup gated: %+v", rep)
+	}
+	absent := fixture("BenchmarkOther", map[string]Summary{"ns/op": tight(1e6)})
+	if rep := Compare(oldB, absent); !rep.OK() {
+		t.Fatalf("run without the speedup metric gated: %+v", rep)
+	}
+}
+
 func TestCompareHostSpeedNormalization(t *testing.T) {
 	oldB := fixture("BenchmarkHotKernel", map[string]Summary{"ns/op": tight(1e6)})
 	oldB.CalibNs = 1e8

@@ -25,6 +25,12 @@ type Spec struct {
 	// Short adds -short, skipping the benchmarks the repo guards behind
 	// testing.Short() (the multi-simulation ones).
 	Short bool
+	// CPU is passed through as -cpu (e.g. "1,4") to run every benchmark
+	// under a GOMAXPROCS matrix. When set, parsing keeps go test's
+	// "-<procs>" name suffixes verbatim so each width stays a distinct
+	// baseline key ("BenchmarkFoo" vs "BenchmarkFoo-4") instead of being
+	// collapsed by the usual current-GOMAXPROCS strip.
+	CPU string
 }
 
 // CommandFunc runs one external command and returns its combined
@@ -52,6 +58,9 @@ func (s Spec) Args() []string {
 	if s.Short {
 		args = append(args, "-short")
 	}
+	if s.CPU != "" {
+		args = append(args, "-cpu", s.CPU)
+	}
 	pkgs := s.Packages
 	if len(pkgs) == 0 {
 		pkgs = []string{"."}
@@ -76,7 +85,13 @@ func (s Spec) Run(cmd CommandFunc, progress io.Writer) (*Set, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bench: run %d/%d: %w\n%s", i+1, count, err, out)
 		}
-		results, err := Parse(bytes.NewReader(out))
+		var results []Result
+		if s.CPU != "" {
+			// -cpu matrix: keep the explicit "-<procs>" suffixes distinct.
+			results, err = ParseProcs(bytes.NewReader(out), 1)
+		} else {
+			results, err = Parse(bytes.NewReader(out))
+		}
 		if err != nil {
 			return nil, fmt.Errorf("bench: run %d/%d: %w", i+1, count, err)
 		}

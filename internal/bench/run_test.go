@@ -18,6 +18,30 @@ func TestSpecArgs(t *testing.T) {
 	}
 }
 
+// TestSpecCPUMatrix: -cpu passes through, and the per-width "-<procs>"
+// name suffixes survive parsing as distinct baseline keys instead of
+// being collapsed by the current-GOMAXPROCS strip.
+func TestSpecCPUMatrix(t *testing.T) {
+	s := Spec{CPU: "1,4"}
+	if got := strings.Join(s.Args(), " "); !strings.Contains(got, "-cpu 1,4") {
+		t.Errorf("args %q missing -cpu 1,4", got)
+	}
+	fake := func(name string, args ...string) ([]byte, error) {
+		return []byte("BenchmarkX 100 2000 ns/op\nBenchmarkX-4 100 600 ns/op\nPASS\n"), nil
+	}
+	set, err := s.Run(fake, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := set.Summaries()
+	if _, ok := sums["BenchmarkX"]; !ok {
+		t.Errorf("width-1 key missing: %v", sums)
+	}
+	if _, ok := sums["BenchmarkX-4"]; !ok {
+		t.Errorf("width-4 key collapsed or missing: %v", sums)
+	}
+}
+
 func TestRunAggregatesAcrossProcesses(t *testing.T) {
 	call := 0
 	fake := func(name string, args ...string) ([]byte, error) {

@@ -64,6 +64,17 @@ type State struct {
 	// LastCO2Flux is the most recent air–sea CO₂ flux (kg CO₂/m²/s,
 	// positive = into the ocean), kept for coupling and diagnostics.
 	LastCO2Flux []float64
+
+	// Pre-bound worker-pool bodies (lazily built on first kernel call);
+	// per-call parameters pass through the fields below so the steady-state
+	// dispatch is allocation-free.
+	parEco, parSink func(lo, hi int)
+	ecoDt           float64
+	ecoP            *Params
+	ecoSw           []float64
+	sinkQ           []float64
+	sinkDt          float64
+	sinkP           *Params
 }
 
 // NewState allocates and initialises the biogeochemical tracers with

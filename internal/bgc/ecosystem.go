@@ -4,6 +4,14 @@ import (
 	"math"
 
 	"icoearth/internal/ocean"
+	"icoearth/internal/sched"
+)
+
+// clipTracers / sinkTracers are hoisted index lists so the kernels do not
+// build a composite literal per column.
+var (
+	clipTracers = [...]int{TrPO4, TrNO3, TrSiO4, TrFe, TrO2, TrDMS, TrN2O}
+	sinkTracers = [...]int{TrDet, TrCaCO3, TrOpal}
 )
 
 // Ecosystem parameters (NPZD with HAMOCC-like extensions).
@@ -59,10 +67,23 @@ func DefaultParams() Params {
 // surface shortwave swDown (W/m², per compact ocean cell). All
 // carbon-pool transfers are internal and conserve total carbon exactly;
 // nutrient/oxygen updates follow Redfield stoichiometry.
+// Columns are independent and run cell-parallel on the worker pool.
 func (s *State) EcosystemKernel(dt float64, p *Params, swDown []float64) {
+	if s.parEco == nil {
+		s.parEco = func(lo, hi int) {
+			s.ecosystemColumns(lo, hi, s.ecoDt, s.ecoP, s.ecoSw)
+		}
+	}
+	s.ecoDt, s.ecoP, s.ecoSw = dt, p, swDown
+	sched.Run(len(s.Oc.Cells), s.parEco)
+	s.ecoP, s.ecoSw = nil, nil
+}
+
+// ecosystemColumns advances the NPZD dynamics of columns [lo,hi).
+func (s *State) ecosystemColumns(lo, hi int, dt float64, p *Params, swDown []float64) {
 	oc := s.Oc
 	nlev := oc.NLev
-	for i := range oc.Cells {
+	for i := lo; i < hi; i++ {
 		sw := swDown[i]
 		light := sw
 		for k := 0; k < nlev; k++ {
@@ -144,7 +165,7 @@ func (s *State) EcosystemKernel(dt float64, p *Params, swDown []float64) {
 				s.Tracers[TrH2S][idx] += 1e-3 * detRem
 			}
 			// Clip round-off negatives on non-carbon tracers.
-			for _, t := range []int{TrPO4, TrNO3, TrSiO4, TrFe, TrO2, TrDMS, TrN2O} {
+			for _, t := range clipTracers {
 				if s.Tracers[t][idx] < 0 {
 					s.Tracers[t][idx] = 0
 				}
@@ -156,26 +177,35 @@ func (s *State) EcosystemKernel(dt float64, p *Params, swDown []float64) {
 // SinkingKernel moves detritus, CaCO3 and opal downward at the sinking
 // speed with upwind fluxes; material reaching the bottom remineralises
 // into the deepest wet layer (no sediment module), conserving carbon.
+// Columns are independent; each tracer runs one cell-parallel sweep.
 func (s *State) SinkingKernel(dt float64, p *Params) {
-	oc := s.Oc
-	nlev := oc.NLev
-	for _, tr := range []int{TrDet, TrCaCO3, TrOpal} {
-		q := s.Tracers[tr]
-		for i := range oc.Cells {
-			wet := wetLevelsOf(oc, i)
-			// Downward upwind transfer, bottom-up to avoid double moves.
-			for k := wet - 1; k >= 1; k-- {
-				dzAbove := oc.Vert.Thickness(k - 1)
-				dz := oc.Vert.Thickness(k)
-				move := q[i*nlev+k-1] * math.Min(1, p.SinkSpeed*dt/dzAbove)
-				q[i*nlev+k-1] -= move
-				q[i*nlev+k] += move * dzAbove / dz
+	if s.parSink == nil {
+		s.parSink = func(lo, hi int) {
+			oc := s.Oc
+			nlev := oc.NLev
+			q, dt, p := s.sinkQ, s.sinkDt, s.sinkP
+			for i := lo; i < hi; i++ {
+				wet := wetLevelsOf(oc, i)
+				// Downward upwind transfer, bottom-up to avoid double moves.
+				for k := wet - 1; k >= 1; k-- {
+					dzAbove := oc.Vert.Thickness(k - 1)
+					dz := oc.Vert.Thickness(k)
+					move := q[i*nlev+k-1] * math.Min(1, p.SinkSpeed*dt/dzAbove)
+					q[i*nlev+k-1] -= move
+					q[i*nlev+k] += move * dzAbove / dz
+				}
 			}
 		}
+	}
+	s.sinkDt, s.sinkP = dt, p
+	for _, tr := range sinkTracers {
+		s.sinkQ = s.Tracers[tr]
+		sched.Run(len(s.Oc.Cells), s.parSink)
 		// Bottom flux: remineralise in place (handled implicitly — material
 		// stays in the deepest layer until remineralised by the ecosystem
 		// kernel), so no carbon leaves the system here.
 	}
+	s.sinkQ, s.sinkP = nil, nil
 }
 
 // wetLevelsOf mirrors ocean.State.wetLevels (unexported there).

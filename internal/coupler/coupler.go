@@ -27,6 +27,7 @@ import (
 	"icoearth/internal/land"
 	"icoearth/internal/machine"
 	"icoearth/internal/ocean"
+	"icoearth/internal/sched"
 	"icoearth/internal/trace"
 	"icoearth/internal/vertical"
 )
@@ -51,6 +52,10 @@ type Config struct {
 	// interactive gray radiation scheme (responds to the model's own
 	// water vapour and CO2).
 	GrayRadiation bool
+	// Workers is the parallel width of the shared kernel worker pool
+	// (internal/sched); 0 keeps the current setting (GOMAXPROCS by
+	// default). Results are bit-identical at every width.
+	Workers int
 }
 
 // LaptopConfig is a configuration that runs comfortably in tests and
@@ -119,6 +124,9 @@ type EarthSystem struct {
 // New assembles an Earth system on the given devices (gpu for
 // atmosphere+land, cpu for ocean+biogeochemistry).
 func New(cfg Config, gpu, cpu *exec.Device) *EarthSystem {
+	if cfg.Workers > 0 {
+		sched.SetWorkers(cfg.Workers)
+	}
 	g := grid.New(cfg.Res)
 	mask := grid.NewMask(g)
 	vertA := vertical.NewAtmosphere(cfg.AtmLevels, 30000, 300)

@@ -21,6 +21,7 @@ import (
 	"sort"
 	"sync"
 
+	"icoearth/internal/sched"
 	"icoearth/internal/trace"
 )
 
@@ -201,7 +202,13 @@ func (d *Device) Launch(k Kernel) {
 	// be evaluated (it allocates) when tracing is off — the disabled
 	// launch path is allocation-free by contract (BenchmarkStepWindow).
 	if d.track != nil {
-		d.track.EndArg("launch:"+k.Name, t0, "bytes", int64(k.Bytes))
+		if d.Spec.Cores > 0 {
+			// CPU-side launches report the effective parallel width of the
+			// worker pool their kernel bodies dispatch onto.
+			d.track.EndArg("launch:"+k.Name, t0, "workers", int64(sched.Workers()))
+		} else {
+			d.track.EndArg("launch:"+k.Name, t0, "bytes", int64(k.Bytes))
+		}
 	}
 }
 
@@ -452,9 +459,12 @@ func (g *Graph) label() string {
 	return fmt.Sprintf("%s+%d", g.kernels[0].Name, len(g.kernels)-1)
 }
 
-// ParallelFor runs body(i) for i in [0,n) across workers goroutines; it is
-// the runtime's analogue of an OpenMP parallel loop on CPU devices. With
-// workers <= 1 the loop runs inline.
+// ParallelFor runs body(i) for i in [0,n) with up to workers-way
+// parallelism; it is the runtime's analogue of an OpenMP parallel loop on
+// CPU devices. With workers <= 1 (or a loop too short to split) the loop
+// runs inline. The iterations execute on the shared persistent worker
+// pool (internal/sched) rather than per-call goroutines, so repeated
+// launches spawn nothing in steady state.
 func ParallelFor(n, workers int, body func(i int)) {
 	if workers <= 1 || n < 2*workers {
 		for i := 0; i < n; i++ {
@@ -462,24 +472,9 @@ func ParallelFor(n, workers int, body func(i int)) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+	sched.RunWidth(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
 		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				body(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 }

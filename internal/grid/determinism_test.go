@@ -1,0 +1,106 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"icoearth/internal/sched"
+)
+
+// atWidth runs f with the shared worker pool at the given width and
+// restores the default (GOMAXPROCS) afterwards.
+func atWidth(w int, f func()) {
+	sched.SetWorkers(w)
+	defer sched.SetWorkers(0)
+	f()
+}
+
+// mustEqual compares two float slices for exact (bitwise on the value
+// level) equality — the pool's decomposition is a pure function of the
+// problem size, so any width must reproduce width-1 results to the bit.
+func mustEqual(t *testing.T, name string, a, b []float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: length mismatch %d vs %d", name, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: workers=1 vs workers=8 differ at %d: %v vs %v (Δ=%g)",
+				name, i, a[i], b[i], a[i]-b[i])
+		}
+	}
+}
+
+// TestOperatorsBitIdenticalAcrossWorkers runs every parallelized grid
+// operator at pool widths 1 and 8 and demands exactly equal outputs —
+// `==`, not a tolerance.
+func TestOperatorsBitIdenticalAcrossWorkers(t *testing.T) {
+	g := New(R2B(2))
+	const nlev = 5
+	un := make([]float64, g.NEdges)
+	cf := make([]float64, g.NCells)
+	psiLev := make([]float64, g.NCells*nlev)
+	for e := range un {
+		un[e] = math.Sin(float64(3*e)) * 7.3
+	}
+	for c := range cf {
+		cf[c] = math.Cos(float64(2*c)) * 1.9
+	}
+	for i := range psiLev {
+		psiLev[i] = math.Sin(float64(i) * 0.017)
+	}
+
+	type opCase struct {
+		name string
+		run  func() []float64
+	}
+	cases := []opCase{
+		{"Divergence", func() []float64 {
+			out := make([]float64, g.NCells)
+			g.Divergence(un, out)
+			return out
+		}},
+		{"Gradient", func() []float64 {
+			out := make([]float64, g.NEdges)
+			g.Gradient(cf, out)
+			return out
+		}},
+		{"Curl", func() []float64 {
+			out := make([]float64, g.NVerts)
+			g.Curl(un, out)
+			return out
+		}},
+		{"KineticEnergy", func() []float64 {
+			out := make([]float64, g.NCells)
+			g.KineticEnergy(un, out)
+			return out
+		}},
+		{"InterpCellToEdge", func() []float64 {
+			out := make([]float64, g.NEdges)
+			g.InterpCellToEdge(cf, out)
+			return out
+		}},
+		{"Laplacian", func() []float64 {
+			out := make([]float64, g.NCells)
+			g.Laplacian(cf, out)
+			return out
+		}},
+		{"LaplacianLevels", func() []float64 {
+			out := make([]float64, g.NCells*nlev)
+			g.LaplacianLevels(psiLev, out, nlev)
+			return out
+		}},
+		{"Smooth", func() []float64 {
+			psi := append([]float64(nil), cf...)
+			scratch := make([]float64, g.NCells)
+			g.Smooth(psi, 0.3, scratch)
+			return psi
+		}},
+	}
+	for _, tc := range cases {
+		var serial, parallel []float64
+		atWidth(1, func() { serial = tc.run() })
+		atWidth(8, func() { parallel = tc.run() })
+		mustEqual(t, tc.name, serial, parallel)
+	}
+}

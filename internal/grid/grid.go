@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"icoearth/internal/sched"
 	"icoearth/internal/sphere"
 )
 
@@ -453,65 +454,77 @@ func (g *Grid) computeGeometry() {
 // div(c) = 1/A_c Σᵢ orient·u·l. The two slices must have lengths NEdges and
 // NCells.
 func (g *Grid) Divergence(un, div []float64) {
-	for c := range g.CellEdges {
-		var s float64
-		for i, e := range g.CellEdges[c] {
-			s += float64(g.EdgeOrient[c][i]) * un[e] * g.EdgeLength[e]
+	sched.Run(g.NCells, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			var s float64
+			for i, e := range g.CellEdges[c] {
+				s += float64(g.EdgeOrient[c][i]) * un[e] * g.EdgeLength[e]
+			}
+			div[c] = s / g.CellArea[c]
 		}
-		div[c] = s / g.CellArea[c]
-	}
+	})
 }
 
 // Gradient computes the discrete normal gradient of a cell field psi onto
 // edges: grad(e) = (ψ(c1)-ψ(c0))/d_e, following the edge normal direction.
 func (g *Grid) Gradient(psi, grad []float64) {
-	for e := range g.EdgeCells {
-		c0, c1 := g.EdgeCells[e][0], g.EdgeCells[e][1]
-		grad[e] = (psi[c1] - psi[c0]) / g.DualLength[e]
-	}
+	sched.Run(g.NEdges, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			c0, c1 := g.EdgeCells[e][0], g.EdgeCells[e][1]
+			grad[e] = (psi[c1] - psi[c0]) / g.DualLength[e]
+		}
+	})
 }
 
 // Curl computes the discrete relative vorticity at dual vertices from the
 // edge-normal velocity: ζ(v) = 1/A_v Σ circulation. The sign convention is
 // counterclockwise-positive as seen from outside the sphere.
 func (g *Grid) Curl(un, zeta []float64) {
-	for v := range zeta {
-		zeta[v] = 0
-	}
-	for e, vv := range g.EdgeVerts {
-		// The tangential circulation contribution of edge e along the dual
-		// edge: u_n·d_e circulates around both endpoint vertices with
-		// opposite signs. Orientation: normal n = t × r means positive u_n
-		// circulates counterclockwise around vv[1]... derive from geometry:
-		// circulation around vertex v is Σ_e u_t·l_e on the dual loop; on a
-		// C-grid this equals Σ_e ±u_n·d_e.
-		contrib := un[e] * g.DualLength[e]
-		zeta[vv[0]] -= contrib
-		zeta[vv[1]] += contrib
-	}
-	for v := range zeta {
-		zeta[v] /= g.DualArea[v]
-	}
+	// Gather form over vertices: each vertex sums ±u_n·d_e over its
+	// incident edges. The tangential circulation contribution of edge e
+	// along the dual edge circulates around both endpoint vertices with
+	// opposite signs (negative around EdgeVerts[e][0], positive around
+	// EdgeVerts[e][1]). VertEdges lists edges in ascending order, so the
+	// per-vertex fold order equals the former edge-scatter arrival order —
+	// results are bit-identical to the serial scatter at any worker count.
+	sched.Run(len(zeta), func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			var s float64
+			for _, e := range g.VertEdges[v] {
+				contrib := un[e] * g.DualLength[e]
+				if g.EdgeVerts[e][1] == v {
+					s += contrib
+				} else {
+					s -= contrib
+				}
+			}
+			zeta[v] = s / g.DualArea[v]
+		}
+	})
 }
 
 // KineticEnergy computes the cell-centre horizontal kinetic energy from the
 // edge-normal velocity, the Go analogue of ICON's z_ekinh computation.
 func (g *Grid) KineticEnergy(un, ke []float64) {
-	for c := range g.CellEdges {
-		var s float64
-		for i, e := range g.CellEdges[c] {
-			s += g.KineticCoeff[c][i] * un[e] * un[e]
+	sched.Run(g.NCells, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			var s float64
+			for i, e := range g.CellEdges[c] {
+				s += g.KineticCoeff[c][i] * un[e] * un[e]
+			}
+			ke[c] = s
 		}
-		ke[c] = s
-	}
+	})
 }
 
 // InterpCellToEdge averages a cell field to edges (arithmetic mean of the
 // two adjacent cells).
 func (g *Grid) InterpCellToEdge(cf, ef []float64) {
-	for e := range g.EdgeCells {
-		ef[e] = 0.5 * (cf[g.EdgeCells[e][0]] + cf[g.EdgeCells[e][1]])
-	}
+	sched.Run(g.NEdges, func(lo, hi int) {
+		for e := lo; e < hi; e++ {
+			ef[e] = 0.5 * (cf[g.EdgeCells[e][0]] + cf[g.EdgeCells[e][1]])
+		}
+	})
 }
 
 // TotalArea returns the sum of all cell areas (should equal 4πR²).

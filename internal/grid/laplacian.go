@@ -1,5 +1,7 @@
 package grid
 
+import "icoearth/internal/sched"
+
 // Second-order horizontal operators built from the primitive C-grid
 // operators: the scalar Laplacian ∇²ψ = ∇·(∇ψ) used by diffusion and
 // divergence damping, and a local smoothing filter. Both appear throughout
@@ -8,36 +10,41 @@ package grid
 // Laplacian computes ∇²ψ at cells: the divergence of the edge-normal
 // gradient. On the sphere this discretisation is exact for constants and
 // converges to the Laplace–Beltrami operator (tested against spherical
-// harmonics, whose eigenvalues are −l(l+1)/R²).
+// harmonics, whose eigenvalues are −l(l+1)/R²). Cell-parallel on the
+// worker pool; each output cell is an independent gather.
 func (g *Grid) Laplacian(psi, out []float64) {
-	for c := range g.CellEdges {
-		var s float64
-		for i, e := range g.CellEdges[c] {
-			c0, c1 := g.EdgeCells[e][0], g.EdgeCells[e][1]
-			grad := (psi[c1] - psi[c0]) / g.DualLength[e]
-			s += float64(g.EdgeOrient[c][i]) * grad * g.EdgeLength[e]
+	sched.Run(g.NCells, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			var s float64
+			for i, e := range g.CellEdges[c] {
+				c0, c1 := g.EdgeCells[e][0], g.EdgeCells[e][1]
+				grad := (psi[c1] - psi[c0]) / g.DualLength[e]
+				s += float64(g.EdgeOrient[c][i]) * grad * g.EdgeLength[e]
+			}
+			out[c] = s / g.CellArea[c]
 		}
-		out[c] = s / g.CellArea[c]
-	}
+	})
 }
 
 // LaplacianLevels applies the Laplacian level-by-level to a cell×nlev
-// field (level-fastest layout).
+// field (level-fastest layout). The zero-init and accumulate sweeps are
+// fused into a single pass over out: per (cell,level) the edge
+// contributions accumulate left-to-right in a register, which is the
+// identical addition order to the former zero-then-+= form.
 func (g *Grid) LaplacianLevels(psi, out []float64, nlev int) {
-	for c := range g.CellEdges {
-		for k := 0; k < nlev; k++ {
-			out[c*nlev+k] = 0
-		}
-	}
-	for c := range g.CellEdges {
-		for i, e := range g.CellEdges[c] {
-			c0, c1 := g.EdgeCells[e][0], g.EdgeCells[e][1]
-			w := float64(g.EdgeOrient[c][i]) * g.EdgeLength[e] / (g.DualLength[e] * g.CellArea[c])
+	sched.Run(g.NCells, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
 			for k := 0; k < nlev; k++ {
-				out[c*nlev+k] += w * (psi[c1*nlev+k] - psi[c0*nlev+k])
+				var s float64
+				for i, e := range g.CellEdges[c] {
+					c0, c1 := g.EdgeCells[e][0], g.EdgeCells[e][1]
+					w := float64(g.EdgeOrient[c][i]) * g.EdgeLength[e] / (g.DualLength[e] * g.CellArea[c])
+					s += w * (psi[c1*nlev+k] - psi[c0*nlev+k])
+				}
+				out[c*nlev+k] = s
 			}
 		}
-	}
+	})
 }
 
 // Smooth applies one pass of neighbour averaging with weight alpha:
@@ -45,9 +52,11 @@ func (g *Grid) LaplacianLevels(psi, out []float64, nlev int) {
 // (0,1] damps grid-scale noise while conserving the area-weighted mean
 // only approximately (cell areas are nearly uniform).
 func (g *Grid) Smooth(psi []float64, alpha float64, scratch []float64) {
-	for c := range g.CellNeighbors {
-		m := (psi[g.CellNeighbors[c][0]] + psi[g.CellNeighbors[c][1]] + psi[g.CellNeighbors[c][2]]) / 3
-		scratch[c] = (1-alpha)*psi[c] + alpha*m
-	}
+	sched.Run(g.NCells, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			m := (psi[g.CellNeighbors[c][0]] + psi[g.CellNeighbors[c][1]] + psi[g.CellNeighbors[c][2]]) / 3
+			scratch[c] = (1-alpha)*psi[c] + alpha*m
+		}
+	})
 	copy(psi, scratch)
 }

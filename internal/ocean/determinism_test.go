@@ -1,0 +1,101 @@
+package ocean
+
+import (
+	"math"
+	"testing"
+
+	"icoearth/internal/sched"
+)
+
+// solveAtWidth builds a fresh barotropic operator, solves the
+// manufactured system with the pool fixed at the given width, and
+// returns the solution plus iteration count.
+func solveAtWidth(t *testing.T, width int) ([]float64, int) {
+	t.Helper()
+	sched.SetWorkers(width)
+	defer sched.SetWorkers(0)
+	s := testOcean()
+	op := NewBarotropicOp(s, 600)
+	n := s.NOcean()
+	want := make([]float64, n)
+	for i := range want {
+		lat, lon := s.G.CellCenter[s.Cells[i]].LatLon()
+		want[i] = 0.5 * math.Sin(2*lat) * math.Cos(3*lon)
+	}
+	rhs := make([]float64, n)
+	op.Apply(want, rhs)
+	eta := make([]float64, n)
+	st, err := op.Solve(rhs, eta, 1e-10, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eta, st.Iterations
+}
+
+// TestCGSolveBitIdenticalAcrossWorkers: the preconditioned CG solve —
+// whose dot products run as blocked parallel reductions — must be exactly
+// identical at pool widths 1 and 8: same iterate sequence, same iteration
+// count, bitwise-equal solution.
+func TestCGSolveBitIdenticalAcrossWorkers(t *testing.T) {
+	eta1, it1 := solveAtWidth(t, 1)
+	eta8, it8 := solveAtWidth(t, 8)
+	if it1 != it8 {
+		t.Fatalf("iteration counts diverge: workers=1 took %d, workers=8 took %d", it1, it8)
+	}
+	for i := range eta1 {
+		if eta1[i] != eta8[i] {
+			t.Fatalf("CG solution differs at %d: workers=1 %v vs workers=8 %v (Δ=%g)",
+				i, eta1[i], eta8[i], eta1[i]-eta8[i])
+		}
+	}
+}
+
+// stepAtWidth runs the full ocean dynamics (barotropic solve, momentum,
+// tracer advection/diffusion) for several steps at the given pool width.
+func stepAtWidth(t *testing.T, width, steps int) *State {
+	t.Helper()
+	sched.SetWorkers(width)
+	defer sched.SetWorkers(0)
+	s := testOcean()
+	d := NewDynamics(s, 600)
+	f := NewForcing(s.NOcean())
+	for i := range f.WindStress {
+		f.WindStress[i] = 0.1 * math.Sin(float64(i)*0.05)
+		f.HeatFlux[i] = 20 * math.Cos(float64(i)*0.03)
+	}
+	for n := 0; n < steps; n++ {
+		if err := d.Step(600, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// TestOceanStepBitIdenticalAcrossWorkers extends the guarantee to the
+// whole ocean step: free-surface, velocities and both active tracers must
+// match exactly between widths 1 and 8.
+func TestOceanStepBitIdenticalAcrossWorkers(t *testing.T) {
+	a := stepAtWidth(t, 1, 5)
+	b := stepAtWidth(t, 8, 5)
+	fields := []struct {
+		name string
+		x, y []float64
+	}{
+		{"Eta", a.Eta, b.Eta},
+		{"Ub", a.Ub, b.Ub},
+		{"U", a.U, b.U},
+		{"Temp", a.Temp, b.Temp},
+		{"Salt", a.Salt, b.Salt},
+	}
+	for _, f := range fields {
+		if len(f.x) != len(f.y) {
+			t.Fatalf("%s: length mismatch", f.name)
+		}
+		for i := range f.x {
+			if f.x[i] != f.y[i] {
+				t.Fatalf("%s differs at %d after 5 steps: workers=1 %v vs workers=8 %v (Δ=%g)",
+					f.name, i, f.x[i], f.y[i], f.x[i]-f.y[i])
+			}
+		}
+	}
+}

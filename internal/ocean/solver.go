@@ -6,6 +6,7 @@ import (
 
 	"icoearth/internal/grid"
 	"icoearth/internal/par"
+	"icoearth/internal/sched"
 )
 
 // BarotropicOp is the matrix-free operator of the semi-implicit free
@@ -19,28 +20,101 @@ type BarotropicOp struct {
 	coef []float64
 	// diag is the assembled diagonal, used by the Jacobi preconditioner.
 	diag []float64
+	// refs/refStart are the CSR form of each cell's edge incidence:
+	// refs[refStart[i]:refStart[i+1]] lists cell i's compact edges in
+	// ascending order, encoded ei<<1|side (side 1 = the cell is
+	// EdgeCells[ei][1], i.e. the flux enters with a minus sign).
+	// Gather-form Apply folds these in the same order the former edge
+	// scatter arrived, so results are bit-identical to the serial
+	// scatter at any worker count.
+	refs     []int32
+	refStart []int32
+	// eflux holds both signs of the per-edge flux of the current Apply:
+	// eflux[2e] = f_e, eflux[2e+1] = -f_e. Each flux is computed once per
+	// edge (edge-parallel, same flux-count as the serial scatter) and the
+	// cell gather indexes it directly with the encoded ref — branch-free,
+	// and bit-identical because adding -f equals subtracting f exactly.
+	eflux []float64
+
+	// CG scratch (lazily sized) and pre-bound worker-pool bodies; per-call
+	// parameters pass through fields so dispatch is allocation-free.
+	r, z, p, ap        []float64
+	applyX, applyOut   []float64
+	dotA, dotB         []float64
+	solveRhs, solveEta []float64
+	alpha, beta        float64
+	parApplyEdge       func(lo, hi int)
+	parApplyCell       func(lo, hi int)
+	parDot             func(lo, hi int) float64
+	// Fused sweep+reduction bodies: each elementwise CG sweep also
+	// returns its block's partial of the dot product the iteration needs
+	// next, so the solve keeps the memory-pass count of the fused serial
+	// loops it replaced. Writes are block-disjoint and the partials fold
+	// in fixed block order — bit-identical at every width.
+	parApplyPap   func(lo, hi int) float64
+	parResidNorm  func(lo, hi int) float64
+	parPrecondRz  func(lo, hi int) float64
+	parUpdateNorm func(lo, hi int) float64
+	parZRz        func(lo, hi int) float64
+	parP          func(lo, hi int)
 }
 
 // NewBarotropicOp assembles edge coefficients for timestep dt.
 func NewBarotropicOp(s *State, dt float64) *BarotropicOp {
 	op := &BarotropicOp{S: s, Dt: dt}
 	op.coef = make([]float64, len(s.Edges))
+	op.eflux = make([]float64, 2*len(s.Edges))
 	op.diag = make([]float64, len(s.Cells))
+	op.refStart = make([]int32, len(s.Cells)+1)
 	for i, c := range s.Cells {
 		op.diag[i] = s.G.CellArea[c]
 	}
-	for ei, e := range s.Edges {
+	for ei := range s.Edges {
 		c0, c1 := s.EdgeCells[ei][0], s.EdgeCells[ei][1]
 		h := 0.5 * (s.Depth[c0] + s.Depth[c1])
-		op.coef[ei] = GravO * dt * dt * s.G.EdgeLength[e] * h / s.G.DualLength[e]
+		op.coef[ei] = GravO * dt * dt * s.G.EdgeLength[s.Edges[ei]] * h / s.G.DualLength[s.Edges[ei]]
 		op.diag[c0] += op.coef[ei]
 		op.diag[c1] += op.coef[ei]
+		op.refStart[c0+1]++
+		op.refStart[c1+1]++
 	}
+	for i := 0; i < len(s.Cells); i++ {
+		op.refStart[i+1] += op.refStart[i]
+	}
+	op.refs = make([]int32, op.refStart[len(s.Cells)])
+	cursor := append([]int32(nil), op.refStart[:len(s.Cells)]...)
+	// Filling in ascending ei keeps each cell's refs in edge-scatter
+	// arrival order — the fold-order invariant behind bit-identity.
+	for ei := range s.Edges {
+		c0, c1 := s.EdgeCells[ei][0], s.EdgeCells[ei][1]
+		op.refs[cursor[c0]] = int32(ei) << 1
+		cursor[c0]++
+		op.refs[cursor[c1]] = int32(ei)<<1 | 1
+		cursor[c1]++
+	}
+	op.bindKernels()
 	return op
 }
 
-// Apply computes out = Ã(eta).
+// Apply computes out = Ã(eta). At width 1 it runs the serial edge
+// scatter (cheapest single pass structure); with a parallel pool it runs
+// two pool passes — per-edge fluxes into the eflux scratch (each flux
+// computed exactly once), then a per-cell gather that folds them in
+// edge-scatter arrival order. The gather's fold order reproduces the
+// scatter's arrival order term by term, so both paths are bit-identical.
 func (op *BarotropicOp) Apply(eta, out []float64) {
+	if sched.Workers() <= 1 {
+		op.scatterApply(eta, out)
+		return
+	}
+	op.applyX, op.applyOut = eta, out
+	sched.Run(len(op.S.Edges), op.parApplyEdge)
+	sched.Run(len(op.S.Cells), op.parApplyCell)
+	op.applyX, op.applyOut = nil, nil
+}
+
+// scatterApply is the serial edge-scatter form of Apply.
+func (op *BarotropicOp) scatterApply(eta, out []float64) {
 	s := op.S
 	for i, c := range s.Cells {
 		out[i] = s.G.CellArea[c] * eta[i]
@@ -51,6 +125,32 @@ func (op *BarotropicOp) Apply(eta, out []float64) {
 		out[c0] += f
 		out[c1] -= f
 	}
+}
+
+// applyPap computes ap = Ã(applyX) and returns the blocked deterministic
+// dot ⟨applyX, ap⟩. With a parallel pool the dot partials fuse into the
+// gather pass; at width 1 the scatter runs first and the dot is the same
+// blocked fold over the stored result — identical per-block sums either
+// way, so the CG trajectory does not depend on the path taken.
+func (op *BarotropicOp) applyPap() float64 {
+	n := len(op.applyX)
+	if sched.Workers() > 1 {
+		sched.Run(len(op.S.Edges), op.parApplyEdge)
+		return sched.ReduceSum(n, op.parApplyPap)
+	}
+	op.scatterApply(op.applyX, op.applyOut)
+	op.dotA, op.dotB = op.applyX, op.applyOut
+	v := sched.ReduceSum(n, op.parDot)
+	op.dotA, op.dotB = nil, nil
+	return v
+}
+
+// dot computes a deterministic blocked dot product of a and b.
+func (op *BarotropicOp) dot(a, b []float64) float64 {
+	op.dotA, op.dotB = a, b
+	v := sched.ReduceSum(len(a), op.parDot)
+	op.dotA, op.dotB = nil, nil
+	return v
 }
 
 // SolveStats reports the work of one elliptic solve; the performance model
@@ -64,62 +164,143 @@ type SolveStats struct {
 // Solve runs Jacobi-preconditioned conjugate gradients for Ã·eta = rhs,
 // starting from the current eta, until the 2-norm of the residual drops
 // below tol relative to the rhs norm. It returns the iteration count.
+// Each elementwise sweep is fused with the dot product the iteration needs
+// next into one cell-parallel blocked reduction, so the iteration
+// trajectory — and therefore the solution — is bit-identical at every
+// worker count while each vector is read exactly once per sweep.
 func (op *BarotropicOp) Solve(rhs, eta []float64, tol float64, maxIter int) (SolveStats, error) {
 	n := len(eta)
-	r := make([]float64, n)
-	z := make([]float64, n)
-	p := make([]float64, n)
-	ap := make([]float64, n)
-
-	op.Apply(eta, ap)
-	var rhsNorm float64
-	for i := range r {
-		r[i] = rhs[i] - ap[i]
-		rhsNorm += rhs[i] * rhs[i]
+	if len(op.r) < n {
+		op.r = make([]float64, n)
+		op.z = make([]float64, n)
+		op.p = make([]float64, n)
+		op.ap = make([]float64, n)
 	}
-	rhsNorm = math.Sqrt(rhsNorm)
+	op.solveRhs, op.solveEta = rhs, eta
+	defer func() {
+		op.solveRhs, op.solveEta = nil, nil
+		op.applyX, op.applyOut = nil, nil
+	}()
+
+	op.Apply(eta, op.ap[:n])
+	rhsNorm := math.Sqrt(sched.ReduceSum(n, op.parResidNorm))
 	if rhsNorm == 0 {
 		for i := range eta {
 			eta[i] = 0
 		}
 		return SolveStats{}, nil
 	}
-	var rz float64
-	for i := range r {
-		z[i] = r[i] / op.diag[i]
-		p[i] = z[i]
-		rz += r[i] * z[i]
-	}
+	rz := sched.ReduceSum(n, op.parPrecondRz)
+	op.applyX, op.applyOut = op.p[:n], op.ap[:n]
 	for iter := 1; iter <= maxIter; iter++ {
-		op.Apply(p, ap)
-		var pap float64
-		for i := range p {
-			pap += p[i] * ap[i]
-		}
-		alpha := rz / pap
-		var rnorm float64
-		for i := range eta {
-			eta[i] += alpha * p[i]
-			r[i] -= alpha * ap[i]
-			rnorm += r[i] * r[i]
-		}
-		rnorm = math.Sqrt(rnorm)
+		pap := op.applyPap()
+		op.alpha = rz / pap
+		rnorm := math.Sqrt(sched.ReduceSum(n, op.parUpdateNorm))
 		if rnorm < tol*rhsNorm {
 			return SolveStats{Iterations: iter, Residual: rnorm / rhsNorm}, nil
 		}
-		var rzNew float64
-		for i := range r {
-			z[i] = r[i] / op.diag[i]
-			rzNew += r[i] * z[i]
-		}
-		beta := rzNew / rz
+		rzNew := sched.ReduceSum(n, op.parZRz)
+		op.beta = rzNew / rz
 		rz = rzNew
-		for i := range p {
-			p[i] = z[i] + beta*p[i]
-		}
+		sched.Run(n, op.parP)
 	}
 	return SolveStats{Iterations: maxIter, Residual: -1},
 		fmt.Errorf("ocean: CG did not converge in %d iterations", maxIter)
+}
+
+// bindKernels builds the worker-pool loop bodies of the operator once.
+func (op *BarotropicOp) bindKernels() {
+	op.parApplyEdge = func(lo, hi int) {
+		edgeCells := op.S.EdgeCells
+		eta, eflux, coef := op.applyX, op.eflux, op.coef
+		for ei := lo; ei < hi; ei++ {
+			c0, c1 := edgeCells[ei][0], edgeCells[ei][1]
+			f := coef[ei] * (eta[c0] - eta[c1])
+			eflux[2*ei] = f
+			eflux[2*ei+1] = -f
+		}
+	}
+	op.parApplyCell = func(lo, hi int) {
+		s := op.S
+		area, cells := s.G.CellArea, s.Cells
+		eta, out := op.applyX, op.applyOut
+		refs, refStart, eflux := op.refs, op.refStart, op.eflux
+		for i := lo; i < hi; i++ {
+			v := area[cells[i]] * eta[i]
+			for _, ref := range refs[refStart[i]:refStart[i+1]] {
+				v += eflux[ref]
+			}
+			out[i] = v
+		}
+	}
+	op.parDot = func(lo, hi int) float64 {
+		a, b := op.dotA, op.dotB
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += a[i] * b[i]
+		}
+		return s
+	}
+	op.parApplyPap = func(lo, hi int) float64 {
+		s := op.S
+		area, cells := s.G.CellArea, s.Cells
+		x, out := op.applyX, op.applyOut
+		refs, refStart, eflux := op.refs, op.refStart, op.eflux
+		var acc float64
+		for i := lo; i < hi; i++ {
+			v := area[cells[i]] * x[i]
+			for _, ref := range refs[refStart[i]:refStart[i+1]] {
+				v += eflux[ref]
+			}
+			out[i] = v
+			acc += x[i] * v
+		}
+		return acc
+	}
+	op.parResidNorm = func(lo, hi int) float64 {
+		r, ap, rhs := op.r, op.ap, op.solveRhs
+		var acc float64
+		for i := lo; i < hi; i++ {
+			r[i] = rhs[i] - ap[i]
+			acc += rhs[i] * rhs[i]
+		}
+		return acc
+	}
+	op.parPrecondRz = func(lo, hi int) float64 {
+		r, z, p, diag := op.r, op.z, op.p, op.diag
+		var acc float64
+		for i := lo; i < hi; i++ {
+			z[i] = r[i] / diag[i]
+			p[i] = z[i]
+			acc += r[i] * z[i]
+		}
+		return acc
+	}
+	op.parUpdateNorm = func(lo, hi int) float64 {
+		eta, r, p, ap, alpha := op.solveEta, op.r, op.p, op.ap, op.alpha
+		var acc float64
+		for i := lo; i < hi; i++ {
+			eta[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+			acc += r[i] * r[i]
+		}
+		return acc
+	}
+	op.parZRz = func(lo, hi int) float64 {
+		r, z, diag := op.r, op.z, op.diag
+		var acc float64
+		for i := lo; i < hi; i++ {
+			z[i] = r[i] / diag[i]
+			acc += r[i] * z[i]
+		}
+		return acc
+	}
+	op.parP = func(lo, hi int) {
+		z, p, beta := op.z, op.p, op.beta
+		for i := lo; i < hi; i++ {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
 }
 
 // --- Distributed CG ---------------------------------------------------------
@@ -130,6 +311,12 @@ func (op *BarotropicOp) Solve(rhs, eta []float64, tol float64, maxIter int) (Sol
 // the communication pattern that makes the ocean's 2-D solver the scaling
 // bottleneck at high superchip counts (§7). Land cells carry identity rows
 // so the decomposition of the full grid can be reused.
+//
+// Rank goroutines share the process-wide worker pool: whichever rank's
+// apply/dot dispatch acquires the pool parallelizes, the rest run inline —
+// bit-identical either way, and the local partial of every dot is a
+// deterministic blocked reduction so the global CG trajectory does not
+// depend on worker count.
 type DistCG struct {
 	S    *State
 	Dt   float64
@@ -141,6 +328,12 @@ type DistCG struct {
 	// Global-index coefficient tables (same on all ranks; small).
 	edgeCoef map[int]float64 // global edge -> g·Δt²·l·H/d (wet edges only)
 	diag     []float64       // per local cell (owned + halo)
+
+	// Pre-bound pool bodies + their parameter fields.
+	parApply         func(lo, hi int)
+	parDot           func(lo, hi int) float64
+	applyX, applyOut []float64
+	dotA, dotB       []float64
 
 	// Stats.
 	Allreduces int
@@ -176,39 +369,54 @@ func NewDistCG(s *State, dt float64, d *grid.Decomposition, comm *par.Comm) *Dis
 	for hi, gc := range p.HaloCells {
 		fill(gc, len(p.Owner)+hi)
 	}
+	dc.parApply = func(lo, hi int) {
+		g := dc.S.G
+		pt := dc.part
+		x, out := dc.applyX, dc.applyOut
+		for li := lo; li < hi; li++ {
+			gc := pt.Owner[li]
+			v := g.CellArea[gc] * x[li]
+			if dc.S.CellIndex[gc] >= 0 { // wet cell: add edge couplings
+				for _, e := range g.CellEdges[gc] {
+					cf, ok := dc.edgeCoef[e]
+					if !ok {
+						continue
+					}
+					// Neighbour across e.
+					nb := g.EdgeCells[e][0]
+					if nb == gc {
+						nb = g.EdgeCells[e][1]
+					}
+					v += cf * (x[li] - x[pt.LocalIndex[nb]])
+				}
+			}
+			out[li] = v
+		}
+	}
+	dc.parDot = func(lo, hi int) float64 {
+		a, b := dc.dotA, dc.dotB
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += a[i] * b[i]
+		}
+		return s
+	}
 	return dc
 }
 
 // apply computes out = Ã(x) for owned cells; x must have valid halos.
 func (dc *DistCG) apply(x, out []float64) {
-	g := dc.S.G
-	p := dc.part
-	for li, gc := range p.Owner {
-		v := g.CellArea[gc] * x[li]
-		if dc.S.CellIndex[gc] >= 0 { // wet cell: add edge couplings
-			for _, e := range g.CellEdges[gc] {
-				cf, ok := dc.edgeCoef[e]
-				if !ok {
-					continue
-				}
-				// Neighbour across e.
-				nb := g.EdgeCells[e][0]
-				if nb == gc {
-					nb = g.EdgeCells[e][1]
-				}
-				v += cf * (x[li] - x[p.LocalIndex[nb]])
-			}
-		}
-		out[li] = v
-	}
+	dc.applyX, dc.applyOut = x, out
+	sched.Run(len(dc.part.Owner), dc.parApply)
+	dc.applyX, dc.applyOut = nil, nil
 }
 
-// dot computes the global dot product over owned cells.
+// dot computes the global dot product over owned cells; the local partial
+// is a deterministic blocked reduction.
 func (dc *DistCG) dot(a, b []float64) float64 {
-	var local float64
-	for li := range dc.part.Owner {
-		local += a[li] * b[li]
-	}
+	dc.dotA, dc.dotB = a, b
+	local := sched.ReduceSum(len(dc.part.Owner), dc.parDot)
+	dc.dotA, dc.dotB = nil, nil
 	dc.Allreduces++
 	return dc.comm.AllreduceSum(local)
 }

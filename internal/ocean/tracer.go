@@ -1,79 +1,96 @@
 package ocean
 
+import "icoearth/internal/sched"
+
 // AdvectTracer transports an arbitrary cell tracer (concentration per m³ of
 // water, or any intensive quantity) with the volume fluxes stored by the
 // last dynamics step: donor-cell upwind horizontally and vertically, plus
 // implicit vertical diffusion. This is the transport interface the
 // biogeochemistry component (HAMOCC's 19 tracers) rides on, mirroring how
 // HAMOCC shares the ocean's transport in ICON.
+//
+// The horizontal part runs level-parallel (per-level flux stripes, serial
+// scatter order within a level); the vertical advection + diffusion runs
+// column-parallel with per-slot tridiagonal stripes.
 func (d *Dynamics) AdvectTracer(q []float64, dt float64) {
-	s := d.S
-	g := s.G
-	nlev := s.NLev
-	// Horizontal upwind on each level.
-	for k := 0; k < nlev; k++ {
-		for ei := range s.Edges {
-			c0, c1 := s.EdgeCells[ei][0], s.EdgeCells[ei][1]
-			vol := s.MassFluxEdge[ei*nlev+k]
-			if vol == 0 {
-				d.tFlux[ei] = 0
-				continue
+	d.ensureColumnScratch()
+	d.stepDt = dt
+	d.trQ = q
+	sched.Run(d.S.NLev, d.parTrLevel)
+	sched.RunIndexed(len(d.S.Cells), d.parTrVert)
+	d.trQ = nil
+}
+
+// bindTracer builds the tracer-advection loop bodies (called once from
+// bindKernels).
+func (d *Dynamics) bindTracer() {
+	d.parTrLevel = func(lo, hi int) {
+		s := d.S
+		g := s.G
+		nlev := s.NLev
+		ne := len(s.Edges)
+		q, dt := d.trQ, d.stepDt
+		for k := lo; k < hi; k++ {
+			tf := d.tFlux[k*ne : (k+1)*ne]
+			for ei := range s.Edges {
+				c0, c1 := s.EdgeCells[ei][0], s.EdgeCells[ei][1]
+				vol := s.MassFluxEdge[ei*nlev+k]
+				if vol == 0 {
+					tf[ei] = 0
+					continue
+				}
+				var qUp float64
+				if vol >= 0 {
+					qUp = q[c0*nlev+k]
+				} else {
+					qUp = q[c1*nlev+k]
+				}
+				tf[ei] = vol * qUp
 			}
-			var qUp float64
-			if vol >= 0 {
-				qUp = q[c0*nlev+k]
-			} else {
-				qUp = q[c1*nlev+k]
+			for ei := range s.Edges {
+				c0, c1 := s.EdgeCells[ei][0], s.EdgeCells[ei][1]
+				v0 := g.CellArea[s.Cells[c0]] * s.Vert.Thickness(k)
+				v1 := g.CellArea[s.Cells[c1]] * s.Vert.Thickness(k)
+				q[c0*nlev+k] -= dt * tf[ei] / v0
+				q[c1*nlev+k] += dt * tf[ei] / v1
 			}
-			d.tFlux[ei] = vol * qUp
-		}
-		for ei := range s.Edges {
-			c0, c1 := s.EdgeCells[ei][0], s.EdgeCells[ei][1]
-			v0 := g.CellArea[s.Cells[c0]] * s.Vert.Thickness(k)
-			v1 := g.CellArea[s.Cells[c1]] * s.Vert.Thickness(k)
-			q[c0*nlev+k] -= dt * d.tFlux[ei] / v0
-			q[c1*nlev+k] += dt * d.tFlux[ei] / v1
 		}
 	}
+
 	// Vertical upwind + implicit diffusion per column.
-	for i, c := range s.Cells {
-		wet := s.wetLevels(i)
-		area := g.CellArea[c]
-		var fAbove float64
-		for k := 0; k < wet; k++ {
-			var fBelow float64
-			if k < wet-1 {
-				mf := s.MassFluxVert[i*(nlev+1)+k+1]
-				var qUp float64
-				if mf >= 0 {
-					qUp = q[i*nlev+k+1]
-				} else {
-					qUp = q[i*nlev+k]
+	d.parTrVert = func(slot, lo, hi int) {
+		s := d.S
+		g := s.G
+		nlev := s.NLev
+		q, dt := d.trQ, d.stepDt
+		thA := d.thA[slot*nlev : (slot+1)*nlev]
+		thB := d.thB[slot*nlev : (slot+1)*nlev]
+		thC := d.thC[slot*nlev : (slot+1)*nlev]
+		thD := d.thD[slot*nlev : (slot+1)*nlev]
+		for i := lo; i < hi; i++ {
+			c := s.Cells[i]
+			wet := s.wetLevels(i)
+			area := g.CellArea[c]
+			d.advectColumnUpwind(q, i, wet, area, dt)
+			if wet >= 2 {
+				for k := 0; k < wet; k++ {
+					dz := s.Vert.Thickness(k)
+					var up, dn float64
+					if k > 0 {
+						up = d.VertDiffT * dt / (dz * (s.Vert.ZFull[k] - s.Vert.ZFull[k-1]))
+					}
+					if k < wet-1 {
+						dn = d.VertDiffT * dt / (dz * (s.Vert.ZFull[k+1] - s.Vert.ZFull[k]))
+					}
+					thA[k] = -up
+					thB[k] = 1 + up + dn
+					thC[k] = -dn
+					thD[k] = q[i*nlev+k]
 				}
-				fBelow = mf * qUp
-			}
-			vol := area * s.Vert.Thickness(k)
-			q[i*nlev+k] += dt * (fBelow - fAbove) / vol
-			fAbove = fBelow
-		}
-		if wet >= 2 {
-			for k := 0; k < wet; k++ {
-				dz := s.Vert.Thickness(k)
-				var up, dn float64
-				if k > 0 {
-					up = d.VertDiffT * dt / (dz * (s.Vert.ZFull[k] - s.Vert.ZFull[k-1]))
+				solveTri(thA[:wet], thB[:wet], thC[:wet], thD[:wet])
+				for k := 0; k < wet; k++ {
+					q[i*nlev+k] = thD[k]
 				}
-				if k < wet-1 {
-					dn = d.VertDiffT * dt / (dz * (s.Vert.ZFull[k+1] - s.Vert.ZFull[k]))
-				}
-				d.thA[k] = -up
-				d.thB[k] = 1 + up + dn
-				d.thC[k] = -dn
-				d.thD[k] = q[i*nlev+k]
-			}
-			solveTri(d.thA[:wet], d.thB[:wet], d.thC[:wet], d.thD[:wet])
-			for k := 0; k < wet; k++ {
-				q[i*nlev+k] = d.thD[k]
 			}
 		}
 	}

@@ -1,0 +1,349 @@
+// Package sched is the process-wide kernel execution layer: a persistent
+// worker pool with NPROMA-style cache blocking and bit-reproducible
+// parallel reductions.
+//
+// The design follows the CPU throughput recipe of ICON (Hoefler et al.):
+// every index range — cells, edges, vertices, columns, levels — is split
+// into fixed-size blocks whose length depends only on the range length,
+// never on the worker count. Workers claim blocks from a shared atomic
+// cursor (dynamic scheduling absorbs load imbalance such as variable wet
+// ocean depth), and reductions store one partial sum per block that the
+// dispatcher folds in ascending block order. Because the block
+// decomposition and the fold order are worker-count-independent,
+// workers=N produces bit-identical results to workers=1 — the property
+// the coupled model's conservation accounting and the ocean CG (whose
+// dot products feed a global iteration) rely on.
+//
+// One set of workers serves the whole process. Workers park on a
+// per-worker wake channel between dispatches, so steady-state dispatch
+// performs zero goroutine spawns and zero heap allocations: the job is
+// published through pre-existing struct fields, the workers are woken by
+// buffered channel sends, and completion is a sync.WaitGroup wait. The
+// dispatcher itself participates as slot 0.
+//
+// Dispatches are serialized by a mutex; a dispatch that finds the pool
+// busy (the coupler runs its GPU-side and CPU-side kernel streams as
+// concurrent goroutines) or nested inside another dispatch runs inline
+// on the caller — legal because inline execution follows the identical
+// block structure and is therefore bit-identical.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// NPROMA blocking constants. A range is split into up to targetBlocks
+// blocks so there is always enough slack for dynamic load balancing, but
+// a block never exceeds maxBlock elements, keeping the per-block working
+// set of elementwise kernels inside the L1/L2 cache like ICON's nproma
+// inner dimension. Both are fixed constants: the decomposition of a
+// range depends only on its length.
+const (
+	targetBlocks = 32
+	maxBlock     = 256
+)
+
+// BlockSize returns the block length used for an index range of n
+// elements. It is a pure function of n — never of the worker count —
+// which is what makes blocked reductions reproducible at any width.
+func BlockSize(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	b := (n + targetBlocks - 1) / targetBlocks
+	if b > maxBlock {
+		b = maxBlock
+	}
+	return b
+}
+
+// NumBlocks returns the number of blocks the range [0,n) splits into.
+func NumBlocks(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	b := BlockSize(n)
+	return (n + b - 1) / b
+}
+
+type jobKind int32
+
+const (
+	jobRun jobKind = iota
+	jobIndexed
+	jobReduce
+)
+
+// Pool is a persistent worker pool. The zero value is ready to use; the
+// package-level functions operate on one shared default pool, which is
+// what the model packages use.
+type Pool struct {
+	// workers is the configured parallel width (0 = GOMAXPROCS at use).
+	workers atomic.Int32
+	// slots is 1 + the number of background workers ever spawned; see
+	// Slots.
+	slots atomic.Int32
+
+	// mu serializes dispatches. TryLock failures run inline.
+	mu sync.Mutex
+
+	// wake[i] wakes the parked background worker with slot id i+1.
+	wake []chan struct{}
+
+	// Job state, owned by the dispatcher holding mu. Published to the
+	// workers via the happens-before edge of the wake sends and read
+	// back after wg.Wait.
+	kind     jobKind
+	n        int
+	block    int
+	nblocks  int32
+	cursor   atomic.Int32
+	run      func(lo, hi int)
+	indexed  func(slot, lo, hi int)
+	partial  func(lo, hi int) float64
+	partials []float64
+	wg       sync.WaitGroup
+
+	pmu      sync.Mutex
+	panicked any
+	panicSet bool
+}
+
+var def Pool
+
+// SetWorkers sets the target parallel width of the default pool; n <= 0
+// resets it to runtime.GOMAXPROCS(0). Results do not depend on the
+// width, only wall-clock does.
+func SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	def.workers.Store(int32(n))
+	if s := int32(n); def.slots.Load() < s {
+		def.slots.Store(s)
+	}
+}
+
+// Workers returns the current target parallel width.
+func Workers() int {
+	if w := def.workers.Load(); w > 0 {
+		return int(w)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Slots returns an upper bound on the slot ids RunIndexed may pass to
+// its body: callers size per-slot scratch as Slots()*stride. The bound
+// is stable while the worker configuration is unchanged.
+func Slots() int {
+	s := int(def.slots.Load())
+	if w := Workers(); w > s {
+		return w
+	}
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+// Run executes body over [0,n) in parallel: body(lo,hi) is called for
+// disjoint index ranges covering [0,n) exactly once. body must write
+// only to indices in [lo,hi) (or per-element state), so results are
+// independent of the partition. Run does not allocate in steady state.
+func Run(n int, body func(lo, hi int)) { def.Run(n, body) }
+
+// RunIndexed is Run with a worker-slot id passed to the body for
+// selecting per-worker scratch; slot is in [0, Slots()) and no two
+// concurrent body calls share a slot.
+func RunIndexed(n int, body func(slot, lo, hi int)) { def.RunIndexed(n, body) }
+
+// RunWidth is Run with an explicit width cap for this call, independent
+// of the configured worker count (used by exec.ParallelFor, whose API
+// carries its own worker argument).
+func RunWidth(n, width int, body func(lo, hi int)) { def.runWidth(width, n, body) }
+
+// ReduceSum computes the sum of partial(lo,hi) over the block
+// decomposition of [0,n), folding the per-block partials in ascending
+// block order. The result is bit-identical at every worker count,
+// including the inline width-1 path, because the blocks and the fold
+// order depend only on n.
+func ReduceSum(n int, partial func(lo, hi int) float64) float64 { return def.ReduceSum(n, partial) }
+
+// width resolves the parallel width for a range of n elements.
+func (p *Pool) width(n int) int {
+	w := int(p.workers.Load())
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if nb := NumBlocks(n); w > nb {
+		w = nb
+	}
+	return w
+}
+
+// Run executes body over [0,n); see the package-level Run.
+func (p *Pool) Run(n int, body func(lo, hi int)) {
+	p.runWidth(p.width(n), n, body)
+}
+
+func (p *Pool) runWidth(width, n int, body func(lo, hi int)) {
+	if nb := NumBlocks(n); width > nb {
+		width = nb
+	}
+	if width <= 1 || !p.mu.TryLock() {
+		if n > 0 {
+			body(0, n)
+		}
+		return
+	}
+	defer p.mu.Unlock()
+	p.run = body
+	p.dispatch(width, n, jobRun)
+	p.run = nil
+	p.rethrow()
+}
+
+// RunIndexed executes body with worker-slot ids; see the package-level
+// RunIndexed.
+func (p *Pool) RunIndexed(n int, body func(slot, lo, hi int)) {
+	width := p.width(n)
+	if width <= 1 || !p.mu.TryLock() {
+		if n > 0 {
+			body(0, 0, n)
+		}
+		return
+	}
+	defer p.mu.Unlock()
+	p.indexed = body
+	p.dispatch(width, n, jobIndexed)
+	p.indexed = nil
+	p.rethrow()
+}
+
+// ReduceSum computes a deterministic blocked sum; see the package-level
+// ReduceSum.
+func (p *Pool) ReduceSum(n int, partial func(lo, hi int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	block := BlockSize(n)
+	nb := (n + block - 1) / block
+	width := p.width(n)
+	if width <= 1 || nb <= 1 || !p.mu.TryLock() {
+		var sum float64
+		for b := 0; b < nb; b++ {
+			lo := b * block
+			hi := lo + block
+			if hi > n {
+				hi = n
+			}
+			sum += partial(lo, hi)
+		}
+		return sum
+	}
+	defer p.mu.Unlock()
+	if cap(p.partials) < nb {
+		p.partials = make([]float64, nb)
+	}
+	p.partials = p.partials[:nb]
+	p.partial = partial
+	p.dispatch(width, n, jobReduce)
+	p.partial = nil
+	p.rethrow()
+	var sum float64
+	for _, v := range p.partials {
+		sum += v
+	}
+	return sum
+}
+
+// dispatch publishes the job, wakes width-1 parked workers, works as
+// slot 0, and waits for completion. Caller holds p.mu and has stored
+// the job function.
+func (p *Pool) dispatch(width, n int, kind jobKind) {
+	p.ensure(width - 1)
+	p.kind = kind
+	p.n = n
+	p.block = BlockSize(n)
+	p.nblocks = int32(NumBlocks(n))
+	p.cursor.Store(0)
+	p.wg.Add(width - 1)
+	for i := 0; i < width-1; i++ {
+		p.wake[i] <- struct{}{}
+	}
+	p.work(0)
+	p.wg.Wait()
+}
+
+// ensure spawns background workers until k are available. Workers are
+// never torn down; they park on their wake channel between jobs.
+func (p *Pool) ensure(k int) {
+	for len(p.wake) < k {
+		slot := len(p.wake) + 1
+		ch := make(chan struct{}, 1)
+		p.wake = append(p.wake, ch)
+		go p.worker(slot, ch)
+	}
+	if s := int32(len(p.wake) + 1); p.slots.Load() < s {
+		p.slots.Store(s)
+	}
+}
+
+func (p *Pool) worker(slot int, wake chan struct{}) {
+	for range wake {
+		p.work(slot)
+		p.wg.Done()
+	}
+}
+
+// work claims blocks until the cursor runs out. A panic in the body is
+// captured (first wins) and re-thrown on the dispatcher goroutine, so
+// the coupler's supervisor sees worker crashes exactly like serial
+// ones.
+func (p *Pool) work(slot int) {
+	defer p.capture()
+	for {
+		b := p.cursor.Add(1) - 1
+		if b >= p.nblocks {
+			return
+		}
+		lo := int(b) * p.block
+		hi := lo + p.block
+		if hi > p.n {
+			hi = p.n
+		}
+		switch p.kind {
+		case jobRun:
+			p.run(lo, hi)
+		case jobIndexed:
+			p.indexed(slot, lo, hi)
+		default:
+			p.partials[b] = p.partial(lo, hi)
+		}
+	}
+}
+
+// capture records the first panic of a job.
+func (p *Pool) capture() {
+	r := recover()
+	if r == nil {
+		return
+	}
+	p.pmu.Lock()
+	if !p.panicSet {
+		p.panicked, p.panicSet = r, true
+	}
+	p.pmu.Unlock()
+}
+
+// rethrow re-panics on the dispatcher after all workers finished.
+func (p *Pool) rethrow() {
+	if !p.panicSet {
+		return
+	}
+	r := p.panicked
+	p.panicked, p.panicSet = nil, false
+	panic(r)
+}

@@ -28,7 +28,7 @@ go test -short ./...
 
 # --- tier 2 (full) ----------------------------------------------------
 go test -tags sdfgdebug ./internal/sdfg/
-go test -race ./internal/par/... ./internal/exec/... ./internal/coupler/... ./internal/fault/...
+go test -race ./internal/sched/... ./internal/par/... ./internal/exec/... ./internal/coupler/... ./internal/fault/...
 go test ./...
 # Chaos smoke: a supervised run with injected faults must complete with
 # conservation intact (tiny grid; exercises crash, rollback, retry).

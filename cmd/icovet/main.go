@@ -52,6 +52,7 @@ func main() {
 	var (
 		only    = flag.String("c", "", "comma-separated analyzers to run (default: all)")
 		listall = flag.Bool("list", false, "list available analyzers and exit")
+		budget  = flag.Int("ignore-budget", -1, "max //icovet:ignore comments allowed in non-test files (-1: no limit)")
 	)
 	flag.Parse()
 	if *listall {
@@ -72,12 +73,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	found := 0
+	found, ignores := 0, 0
 	for _, pkg := range pkgs {
 		diags, err := analysis.RunAnalyzers(pkg, analyzers)
 		if err != nil {
 			log.Fatal(err)
 		}
+		// Audit the escape hatch alongside the analyzers: malformed
+		// icovet:ignore comments are findings in their own right.
+		n, bad := analysis.CheckSuppressions(pkg)
+		ignores += n
+		diags = append(diags, bad...)
 		for _, d := range diags {
 			fmt.Println(d)
 			found++
@@ -85,6 +91,9 @@ func main() {
 	}
 	if found > 0 {
 		log.Fatalf("%d finding(s)", found)
+	}
+	if *budget >= 0 && ignores > *budget {
+		log.Fatalf("%d //icovet:ignore suppression(s) in non-test files exceeds the budget of %d; fix the finding instead, or — if the exemption is genuinely justified — raise -ignore-budget in verify.sh and .github/workflows/ci.yml in the same commit", ignores, *budget)
 	}
 }
 

@@ -65,9 +65,15 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// All returns the analyzer suite cmd/icovet runs, in stable order.
+// All returns the analyzer suite cmd/icovet runs, in stable order. The
+// first four are the original syntactic linters; the last five are the
+// determinism-and-concurrency layer that proves the sched pool contract
+// (see kernel.go and DESIGN.md §11).
 func All() []*Analyzer {
-	return []*Analyzer{HotAlloc, LoopArg, FloatCmp, LockCopy}
+	return []*Analyzer{
+		HotAlloc, LoopArg, FloatCmp, LockCopy,
+		BlockShare, DetReduce, MapOrder, NonDetSeed, KernelCapture,
+	}
 }
 
 // ByName resolves a comma-separated analyzer list ("" means all).
@@ -130,11 +136,13 @@ func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				txt := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
-				txt = strings.TrimSpace(txt)
-				if !strings.HasPrefix(txt, "icovet:ignore") {
+				// Directive form only (//icovet:ignore, no space after
+				// the slashes), so prose mentioning the marker in a doc
+				// comment never silences a finding.
+				if !strings.HasPrefix(c.Text, "//icovet:ignore") {
 					continue
 				}
+				txt := strings.TrimPrefix(c.Text, "//")
 				rest := strings.Fields(strings.TrimPrefix(txt, "icovet:ignore"))
 				pos := pkg.Fset.Position(c.Pos())
 				if ignored[pos.Filename] == nil {

@@ -49,8 +49,15 @@ func checkSrc(t *testing.T, a *Analyzer, pkgPath, filename, src string) []Diagno
 		Uses:  map[*ast.Ident]types.Object{},
 	}
 	conf := types.Config{
-		Importer: testImporter{"icoearth/internal/par": parPkg()},
-		Error:    func(err error) { t.Fatalf("typecheck: %v", err) },
+		Importer: testImporter{
+			"icoearth/internal/par":   parPkg(),
+			"icoearth/internal/sched": schedPkg(),
+			"time":                    timePkg(),
+			"math/rand":               randPkg(),
+			"fmt":                     fmtPkg(),
+			"sort":                    sortPkg(),
+		},
+		Error: func(err error) { t.Fatalf("typecheck: %v", err) },
 	}
 	pkg.Types, _ = conf.Check(pkgPath, pkg.Fset, pkg.Files, pkg.Info)
 	diags, err := RunAnalyzers(pkg, []*Analyzer{a})

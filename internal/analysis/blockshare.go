@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BlockShare enforces the core sched contract: a Run/RunIndexed body
+// may write an element of captured storage only when the write provably
+// stays inside the block the body was handed — the index expression (or
+// the slice being indexed) must be derived from the body's [lo,hi)
+// parameters, the RunIndexed slot id, or be body-local. Anything else
+// is a cross-block data race: two workers claiming different blocks
+// write the same element, and the result depends on scheduling.
+//
+// The check is provenance-based, not syntactic: "c := lo", "z :=
+// d.zeta[k*nv:(k+1)*nv]" with block-derived k, and range loops over
+// derived stripes all extend the derived set (kernel.go), so the
+// repo's per-level and per-slot scratch idioms pass without
+// annotations. Same-package calls receiving derived arguments are
+// followed (callgraph-lite), so column helpers like ecosystemColumns
+// and mixColumn are checked against the contract of their dispatch
+// site. Writes through captured function values cannot be verified and
+// are flagged; cross-package calls are assumed not to retain or write
+// caller storage (the repo's kernels only cross packages for pure math).
+var BlockShare = &Analyzer{
+	Name: "blockshare",
+	Doc:  "kernel bodies must write only block-derived indices (cross-block data race)",
+	Run:  runBlockShare,
+}
+
+func runBlockShare(pass *Pass) error {
+	funcs := packageFuncs(pass)
+	for _, k := range schedKernels(pass) {
+		visited := map[*ast.FuncDecl]bool{}
+		checkBlockWrites(pass, k.lit.Body, k.derived,
+			k.lit.Body.Pos(), k.lit.End(), funcs, visited, 0, "")
+	}
+	return nil
+}
+
+// checkBlockWrites walks one body (a kernel literal or a callee reached
+// from one) and reports element writes that escape the block. via
+// describes the call chain for reports inside callees.
+func checkBlockWrites(pass *Pass, body ast.Node, derived map[types.Object]bool,
+	localPos, localEnd token.Pos, funcs map[types.Object]*ast.FuncDecl,
+	visited map[*ast.FuncDecl]bool, depth int, via string) {
+
+	local := func(obj types.Object) bool { return localTo(obj, localPos, localEnd) }
+
+	forEachWrite(pass, body, func(w write) {
+		target := unparen(w.target)
+		idx, isIndex := target.(*ast.IndexExpr)
+		if !isIndex {
+			// Non-indexed writes (captured scalars, fields) are
+			// kernelcapture/detreduce territory; copy() into a whole
+			// captured slice is an element write in disguise.
+			call, isCopy := w.node.(*ast.CallExpr)
+			if !isCopy {
+				return
+			}
+			if blockSafeExpr(pass, target, derived, local) {
+				return
+			}
+			pass.Reportf(call.Pos(),
+				"copy into %s overwrites storage shared across blocks%s; copy only a block-derived sub-slice", render(pass, target), via)
+			return
+		}
+		if mapIndex(pass, idx) {
+			return // shared-map writes are kernelcapture's report
+		}
+		if mentionsDerived(pass, idx.Index, derived) {
+			return
+		}
+		if blockSafeExpr(pass, idx.X, derived, local) {
+			return
+		}
+		pass.Reportf(w.target.Pos(),
+			"write to %s[...] with an index not derived from the block range [lo,hi)%s; this is a cross-block data race", render(pass, idx.X), via)
+	})
+
+	if depth >= maxCallDepth {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fd := calleeDecl(pass, call, funcs)
+		if fd == nil || visited[fd] {
+			return true
+		}
+		// Only follow calls that hand the callee reference arguments
+		// (slices, pointers, maps) — a callee receiving pure values
+		// cannot write caller storage.
+		if !passesReference(pass, call) {
+			return true
+		}
+		visited[fd] = true
+		cd := calleeDerived(pass, call, fd, derived)
+		viaMsg := " (reached from a sched-dispatched kernel via " + fd.Name.Name + ")"
+		checkBlockWrites(pass, fd.Body, cd, fd.Body.Pos(), fd.Body.End(), funcs, visited, depth+1, viaMsg)
+		return true
+	})
+}
+
+// blockSafeExpr reports whether writing elements of e stays inside the
+// block: e resolves to a body-local or block-derived object, or is
+// itself an index/slice of safe storage.
+func blockSafeExpr(pass *Pass, e ast.Expr, derived map[types.Object]bool, local func(types.Object) bool) bool {
+	switch v := unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[v]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[v]
+		}
+		return derived[obj] || local(obj)
+	case *ast.IndexExpr:
+		// x[i][j]: the row is block-owned if the row index is derived
+		// or the outer storage is safe.
+		if mentionsDerived(pass, v.Index, derived) {
+			return true
+		}
+		return blockSafeExpr(pass, v.X, derived, local)
+	case *ast.SliceExpr:
+		if mentionsDerived(pass, v, derived) {
+			return true
+		}
+		return blockSafeExpr(pass, v.X, derived, local)
+	}
+	return false
+}
+
+// passesReference reports whether any argument (or the receiver) of
+// call is of reference kind — the only way a callee can write caller
+// storage.
+func passesReference(pass *Pass, call *ast.CallExpr) bool {
+	ref := func(e ast.Expr) bool {
+		tv, ok := pass.TypesInfo.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		switch tv.Type.Underlying().(type) {
+		case *types.Slice, *types.Pointer, *types.Map, *types.Chan:
+			return true
+		}
+		return false
+	}
+	for _, arg := range call.Args {
+		if ref(arg) {
+			return true
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && ref(sel.X) {
+		return true
+	}
+	return false
+}
+
+// mapIndex reports whether idx indexes a map.
+func mapIndex(pass *Pass, idx *ast.IndexExpr) bool {
+	tv, ok := pass.TypesInfo.Types[idx.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

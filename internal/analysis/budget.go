@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// CheckSuppressions audits the //icovet:ignore escape hatch instead of
+// trusting it. Every ignore comment in a non-test file must
+//
+//  1. name the specific analyzer being silenced — a bare
+//     "//icovet:ignore" (or an unknown name) silences everything on the
+//     line, including findings added by future analyzers the author
+//     never saw, and
+//  2. carry a justification after the analyzer name, so the reviewer of
+//     a later PR can tell whether the exemption still holds.
+//
+// Malformed comments are returned as diagnostics; well-formed ones are
+// counted. cmd/icovet sums the counts across packages and compares them
+// against the -ignore-budget flag pinned in verify.sh and ci.yml: adding
+// a suppression without consciously raising the budget (a reviewed,
+// one-line diff next to the tier definitions) fails the build. Test
+// files are excluded — analyzer fixtures exercise the ignore syntax
+// itself.
+func CheckSuppressions(pkg *Package) (count int, diags []Diagnostic) {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, f := range pkg.Files {
+		if strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// Directive form only — no space after the slashes, like
+				// //go:build. Prose merely mentioning icovet:ignore
+				// (doc comments) is neither a suppression nor counted.
+				if !strings.HasPrefix(c.Text, "//icovet:ignore") {
+					continue
+				}
+				txt := strings.TrimPrefix(c.Text, "//")
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(txt, "icovet:ignore"))
+				switch {
+				case len(fields) == 0 || !known[fields[0]]:
+					diags = append(diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "ignorebudget",
+						Message:  "icovet:ignore must name the analyzer it silences (one of " + analyzerNames() + ")",
+					})
+				case len(fields) < 2:
+					diags = append(diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "ignorebudget",
+						Message:  "icovet:ignore " + fields[0] + " needs a justification after the analyzer name",
+					})
+				default:
+					count++
+				}
+			}
+		}
+	}
+	return count, diags
+}
+
+func analyzerNames() string {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetReduce flags floating-point accumulation into shared state inside
+// a parallel kernel body. "sum += partial" against a captured variable
+// or field is doubly wrong under sched: it races (workers execute
+// blocks concurrently), and even if it were atomic the accumulation
+// order would depend on scheduling, so the float result would differ
+// run to run — exactly what the pool's ReduceSum fold exists to
+// prevent. The fix is always the same shape: accumulate into a
+// body-local, return it as the block partial, and let ReduceSum fold
+// the partials in ascending block order.
+//
+// Accumulation into body-local variables is the legal fused-kernel
+// idiom (the ocean CG's sweep+dot bodies) and is not flagged; indexed
+// writes are blockshare's concern.
+var DetReduce = &Analyzer{
+	Name: "detreduce",
+	Doc:  "no float accumulation into shared state inside parallel bodies; use sched.ReduceSum",
+	Run:  runDetReduce,
+}
+
+func runDetReduce(pass *Pass) error {
+	for _, k := range schedKernels(pass) {
+		lit := k.lit
+		local := func(obj types.Object) bool { return localTo(obj, lit.Body.Pos(), lit.End()) }
+		forEachWrite(pass, lit.Body, func(w write) {
+			if !accumToken(w.tok) && !selfAccum(pass, w) {
+				return
+			}
+			target := unparen(w.target)
+			if _, isIndex := target.(*ast.IndexExpr); isIndex {
+				return // element writes are blockshare territory
+			}
+			if !floatExpr(pass, target) {
+				return
+			}
+			if obj := exprObject(pass, target); obj != nil && local(obj) {
+				return
+			}
+			// Selector targets (x.f) are shared unless the root object
+			// is body-local (a struct allocated inside the block).
+			if sel, isSel := target.(*ast.SelectorExpr); isSel {
+				if obj := rootObject(pass, sel); obj != nil && local(obj) {
+					return
+				}
+			}
+			pass.Reportf(w.target.Pos(),
+				"float accumulation into shared %s inside a %s body is order-dependent and races; accumulate into a body-local and fold via sched.ReduceSum", render(pass, target), k.kind)
+		})
+	}
+	return nil
+}
+
+// accumToken reports whether tok is a compound arithmetic assignment.
+func accumToken(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return true
+	}
+	return false
+}
+
+// selfAccum recognizes the spelled-out accumulation "x = x + e" /
+// "x = e + x" (and -, *, /) for an identifier or selector target.
+func selfAccum(pass *Pass, w write) bool {
+	assign, ok := w.node.(*ast.AssignStmt)
+	if !ok || assign.Tok != token.ASSIGN || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	bin, ok := unparen(assign.Rhs[0]).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch bin.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+	default:
+		return false
+	}
+	obj := exprObject(pass, assign.Lhs[0])
+	if obj == nil {
+		return false
+	}
+	for _, side := range []ast.Expr{bin.X, bin.Y} {
+		if o := exprObject(pass, side); o == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// floatExpr reports whether e has floating-point type.
+func floatExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// rootObject follows a selector chain to its root identifier's object
+// ("d.S.G" -> d).
+func rootObject(pass *Pass, sel *ast.SelectorExpr) types.Object {
+	e := ast.Expr(sel)
+	for {
+		switch v := unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[v]; obj != nil {
+				return obj
+			}
+			return pass.TypesInfo.Defs[v]
+		default:
+			return nil
+		}
+	}
+}

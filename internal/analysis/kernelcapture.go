@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// KernelCapture polices what a kernel closure may capture and what it
+// may do to its captures. Three rules, all rooted in the fact that a
+// kernel body executes concurrently on every worker:
+//
+//  1. A pre-bound kernel (closure stored in a struct field and
+//     dispatched later — the PR-5 idiom) must not capture a loop
+//     variable of its binding site: by dispatch time the variable has
+//     moved on, and every bound closure sees the same final value.
+//     Inline literals dispatched synchronously are exempt — the loop
+//     cannot advance while sched.Run is running the body.
+//
+//  2. A pre-bound kernel must not capture a local variable that the
+//     binding function keeps mutating after the bind: the closure then
+//     reads state that changes between dispatches through a hidden
+//     channel. Per-call parameters belong in struct fields set
+//     explicitly before dispatch (d.parDt, d.stepF), where the data
+//     flow is visible.
+//
+//  3. No kernel body may write a captured variable, field, or
+//     pointer target without indexing it by block-derived position:
+//     every worker performs that write concurrently — shared-scratch
+//     races hide here. (Float accumulations get detreduce's more
+//     specific diagnosis; map writes race regardless of key.)
+var KernelCapture = &Analyzer{
+	Name: "kernelcapture",
+	Doc:  "no mutable loop-variable or shared-scratch capture in kernel closures",
+	Run:  runKernelCapture,
+}
+
+func runKernelCapture(pass *Pass) error {
+	for _, k := range schedKernels(pass) {
+		if k.preBound && k.enclosing != nil {
+			checkBindingCaptures(pass, k)
+		}
+		checkSharedWrites(pass, k)
+	}
+	return nil
+}
+
+// checkBindingCaptures enforces rules 1 and 2 against the binding
+// site's scope.
+func checkBindingCaptures(pass *Pass, k *kernel) {
+	fn := k.enclosing
+	// Loop variables of the loops that enclose the literal's position.
+	loopVars := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(m ast.Node) bool {
+		if m == nil || m.Pos() > k.lit.Pos() || m.End() < k.lit.End() {
+			return m != nil
+		}
+		switch v := m.(type) {
+		case *ast.ForStmt:
+			if init, ok := v.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+				for _, lhs := range init.Lhs {
+					if obj := exprObject(pass, lhs); obj != nil {
+						loopVars[obj] = true
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if v.Tok == token.DEFINE {
+				for _, e := range []ast.Expr{v.Key, v.Value} {
+					if e == nil {
+						continue
+					}
+					if obj := exprObject(pass, e); obj != nil {
+						loopVars[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Locals of the binding function that are written after the literal
+	// ends (rule 2). Loop-variable increments are rule 1's report.
+	mutatedAfter := map[types.Object]bool{}
+	forEachWrite(pass, fn.Body, func(w write) {
+		if w.node.Pos() <= k.lit.End() {
+			return
+		}
+		if obj := exprObject(pass, unparen(w.target)); obj != nil && !loopVars[obj] {
+			if localTo(obj, fn.Body.Pos(), fn.Body.End()) {
+				mutatedAfter[obj] = true
+			}
+		}
+	})
+
+	seen := map[types.Object]bool{}
+	ast.Inspect(k.lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || seen[obj] {
+			return true
+		}
+		switch {
+		case loopVars[obj]:
+			seen[obj] = true
+			pass.Reportf(id.Pos(),
+				"pre-bound kernel closure captures loop variable %q; by dispatch time it holds the final iteration's value — pass it through a struct field set before dispatch", id.Name)
+		case mutatedAfter[obj]:
+			seen[obj] = true
+			pass.Reportf(id.Pos(),
+				"pre-bound kernel closure captures %q, which the binding function mutates after binding; move the value into a struct field set explicitly before dispatch", id.Name)
+		}
+		return true
+	})
+}
+
+// checkSharedWrites enforces rule 3 inside the body.
+func checkSharedWrites(pass *Pass, k *kernel) {
+	lit := k.lit
+	local := func(obj types.Object) bool { return localTo(obj, lit.Pos(), lit.End()) }
+	forEachWrite(pass, lit.Body, func(w write) {
+		target := unparen(w.target)
+		// Float accumulation has detreduce's more specific message.
+		if (accumToken(w.tok) || selfAccum(pass, w)) && floatExpr(pass, target) {
+			if _, isIndex := target.(*ast.IndexExpr); !isIndex {
+				return
+			}
+		}
+		switch v := target.(type) {
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[v]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[v]
+			}
+			// Derived-ness of the *value* does not help here: the
+			// storage is captured, so every worker still writes it.
+			if obj == nil || local(obj) {
+				return
+			}
+			if _, isVar := obj.(*types.Var); !isVar {
+				return
+			}
+			pass.Reportf(w.target.Pos(),
+				"kernel body writes captured variable %q concurrently from every worker; make it body-local or per-slot scratch", v.Name)
+		case *ast.SelectorExpr:
+			if obj := rootObject(pass, v); obj != nil && local(obj) {
+				return
+			}
+			pass.Reportf(w.target.Pos(),
+				"kernel body writes shared field %s concurrently from every worker; stage per-block results in block-owned storage instead", render(pass, v))
+		case *ast.StarExpr:
+			if obj := exprObject(pass, unparen(v.X)); obj != nil && local(obj) {
+				return
+			}
+			pass.Reportf(w.target.Pos(),
+				"kernel body writes through shared pointer %s concurrently from every worker", render(pass, v))
+		case *ast.IndexExpr:
+			if mapIndex(pass, v) {
+				if obj := rootIndexObject(pass, v); obj != nil && local(obj) {
+					return
+				}
+				pass.Reportf(w.target.Pos(),
+					"kernel body writes shared map %s from every worker; Go maps race on concurrent writes regardless of key", render(pass, v.X))
+			}
+		}
+	})
+}
+
+// rootIndexObject resolves the base object of an index expression.
+func rootIndexObject(pass *Pass, idx *ast.IndexExpr) types.Object {
+	switch v := unparen(idx.X).(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[v]; obj != nil {
+			return obj
+		}
+		return pass.TypesInfo.Defs[v]
+	case *ast.SelectorExpr:
+		return rootObject(pass, v)
+	}
+	return nil
+}

@@ -1,0 +1,312 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` over a map whose body lets Go's randomized
+// iteration order become observable: formatted or stream output, float
+// accumulation (non-associative, so the sum depends on visit order),
+// appends that are never sorted afterwards, or calls that hand the
+// iteration key/value to code with unknown ordering sensitivity. A
+// coupled model's restart checksums, conservation diagnostics and trace
+// summaries must be byte-stable across runs; one unsorted map walk in
+// an output path breaks that silently and only sometimes.
+//
+// Order-insensitive bodies stay legal and unflagged: writes into other
+// maps, integer accumulation (exact, commutative), constant flag sets,
+// and the canonical collect-keys-then-sort idiom (the append is exempt
+// when the same function later passes the slice to sort.*).
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "map iteration order must not reach numerical state or ordered output",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok || !isMapType(pass, rng.X) {
+					return true
+				}
+				checkMapRange(pass, fd, rng)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isMapType reports whether e has map type.
+func isMapType(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkMapRange reports each order-sensitive effect in one map-range
+// body.
+func checkMapRange(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) {
+	rangeVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if e == nil {
+			continue
+		}
+		if obj := exprObject(pass, e); obj != nil {
+			rangeVars[obj] = true
+		}
+	}
+	bodyLocal := func(obj types.Object) bool {
+		return localTo(obj, rng.Body.Pos(), rng.Body.End())
+	}
+
+	forEachWrite(pass, rng.Body, func(w write) {
+		target := unparen(w.target)
+		if idx, isIdx := target.(*ast.IndexExpr); isIdx {
+			if isMapType(pass, idx.X) {
+				return // re-keyed into another map: order-free
+			}
+			// Elements of a body-local slice (or one of the iteration
+			// values) are per-iteration storage.
+			if obj := rootIndexObject(pass, idx); obj != nil && (bodyLocal(obj) || rangeVars[obj]) {
+				return
+			}
+		}
+		if obj := exprObject(pass, target); obj != nil && (bodyLocal(obj) || rangeVars[obj]) {
+			return
+		}
+		assign, isAssign := w.node.(*ast.AssignStmt)
+		switch {
+		case accumToken(w.tok) || selfAccum(pass, w):
+			if floatExpr(pass, target) {
+				pass.Reportf(w.target.Pos(),
+					"float accumulation into %s while ranging over a map; the sum depends on iteration order — iterate sorted keys or accumulate integers", render(pass, target))
+			}
+			// Integer accumulation is exact and commutative: exempt.
+		case w.tok == token.INC || w.tok == token.DEC:
+			// Counting map entries: order-free.
+		case isAssign && len(assign.Rhs) == 1 && constantish(pass, assign.Rhs[0]):
+			// Flag-setting ("found = true"): idempotent, order-free.
+		case maxMinReduction(pass, rng.Body, w):
+			// "if v > max { max = v }": max/min are commutative and
+			// associative, so the reduction is order-free.
+		case isAppendOf(pass, w):
+			if !sortedLater(pass, fd, rng, target) {
+				pass.Reportf(w.node.Pos(),
+					"append to %s while ranging over a map leaks iteration order; sort the result before use (collect-then-sort)", render(pass, target))
+			}
+		default:
+			pass.Reportf(w.target.Pos(),
+				"assignment to %s while ranging over a map is order-dependent (last key visited wins); iterate sorted keys", render(pass, target))
+		}
+	})
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if orderedOutputCall(pass, call) {
+			pass.Reportf(call.Pos(),
+				"formatted output inside a map range emits entries in randomized order; collect and sort keys first")
+			return true
+		}
+		if benignMapRangeCall(pass, call) {
+			return true
+		}
+		// A statement-position call (invoked for effect, not value) that
+		// receives the iteration key/value has order-dependent potential
+		// this analyzer cannot see; require the caller to prove order
+		// does not matter (sorted iteration) rather than assume it.
+		// Calls whose results are consumed are assumed to be
+		// computations and left alone.
+		if !statementCall(rng.Body, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsDerived(pass, arg, rangeVars) {
+				pass.Reportf(call.Pos(),
+					"%s receives map-iteration values in randomized order; iterate sorted keys if its effects are order-dependent", render(pass, call.Fun))
+				return true
+			}
+		}
+		return true
+	})
+}
+
+// maxMinReduction recognizes "if v > x { x = v }" (any of < > <= >=):
+// the write target and the assigned value both appear as operands of
+// the guarding comparison, which makes the loop a commutative max/min
+// fold.
+func maxMinReduction(pass *Pass, body ast.Node, w write) bool {
+	assign, ok := w.node.(*ast.AssignStmt)
+	if !ok || assign.Tok != token.ASSIGN || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	targetObj := exprObject(pass, assign.Lhs[0])
+	valueObj := exprObject(pass, assign.Rhs[0])
+	if targetObj == nil || valueObj == nil {
+		return false
+	}
+	// Innermost if statement whose then-branch contains the assignment.
+	var ifStmt *ast.IfStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if v, isIf := n.(*ast.IfStmt); isIf &&
+			v.Body.Pos() <= assign.Pos() && assign.End() <= v.Body.End() {
+			ifStmt = v
+		}
+		return true
+	})
+	if ifStmt == nil {
+		return false
+	}
+	cmp, ok := unparen(ifStmt.Cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch cmp.Op {
+	case token.GTR, token.LSS, token.GEQ, token.LEQ:
+	default:
+		return false
+	}
+	x, y := exprObject(pass, cmp.X), exprObject(pass, cmp.Y)
+	return (x == targetObj && y == valueObj) || (x == valueObj && y == targetObj)
+}
+
+// statementCall reports whether call appears as its own statement
+// inside body (invoked for side effects).
+func statementCall(body ast.Node, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if es, ok := n.(*ast.ExprStmt); ok && es.X == call {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// constantish reports whether e is a literal, true/false/nil, or a
+// declared constant — the order-free flag-set RHS shapes.
+func constantish(pass *Pass, e ast.Expr) bool {
+	switch v := unparen(e).(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		switch obj := pass.TypesInfo.Uses[v].(type) {
+		case *types.Const, *types.Nil:
+			_ = obj
+			return true
+		}
+	}
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	return false
+}
+
+// isAppendOf reports whether w is "x = append(x, ...)".
+func isAppendOf(pass *Pass, w write) bool {
+	assign, ok := w.node.(*ast.AssignStmt)
+	if !ok || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := unparen(assign.Rhs[0]).(*ast.CallExpr)
+	return ok && builtinName(pass, call.Fun) == "append"
+}
+
+// sortedLater reports whether, after the range statement, the enclosing
+// function passes target to a sort.* call — the collect-then-sort
+// idiom's second half.
+func sortedLater(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, target ast.Expr) bool {
+	obj := exprObject(pass, target)
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sort" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if o := exprObject(pass, arg); o == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// orderedOutputCall reports whether call writes formatted or stream
+// output (fmt.Print*/Fprint*/ io Write*/ strings.Builder writes).
+func orderedOutputCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")
+	}
+	switch name {
+	case "WriteString", "WriteByte", "WriteRune", "Write":
+		// Method form: writer/builder streams.
+		if _, isMethod := pass.TypesInfo.Selections[sel]; isMethod {
+			return true
+		}
+	}
+	return false
+}
+
+// benignMapRangeCall lists calls whose effects are order-free: builtins
+// (len, cap, delete, float64(...) conversions are not CallExprs with
+// Fun idents resolving to funcs), math.* pure functions, and append
+// (handled by the write path).
+func benignMapRangeCall(pass *Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if name := builtinName(pass, fun); name != "" {
+			return true
+		}
+		// Type conversions: the Fun resolves to a type, not a func.
+		if _, isType := pass.TypesInfo.Uses[fun].(*types.TypeName); isType {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "math":
+				return true
+			}
+		}
+		if _, isType := pass.TypesInfo.Uses[fun.Sel].(*types.TypeName); isType {
+			return true
+		}
+	}
+	return false
+}

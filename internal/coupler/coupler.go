@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"icoearth/internal/atmos"
@@ -395,7 +396,16 @@ func (es *EarthSystem) gpuStep(dt float64) {
 	}
 	// River discharge reaches the ocean account the moment it leaves land;
 	// the buffered mass enters the ocean's salinity forcing next window.
-	for gc, kgps := range discharge {
+	// The float sums must fold in a fixed order (map iteration would leak
+	// nondeterminism into the conservation accounting), so the river
+	// mouths are visited in ascending global-cell order.
+	mouths := make([]int, 0, len(discharge))
+	for gc := range discharge {
+		mouths = append(mouths, gc)
+	}
+	sort.Ints(mouths)
+	for _, gc := range mouths {
+		kgps := discharge[gc]
 		es.oceanWaterAccount += kgps * dt
 		if oi := oc.CellIndex[gc]; oi >= 0 {
 			es.riverBuffer[oi] += kgps * dt
@@ -466,18 +476,27 @@ func (es *EarthSystem) SimTime() float64 { return es.simTime }
 // c (kg CO₂/m²/s, positive into the atmosphere; zero over the ocean).
 func (es *EarthSystem) LandCO2Flux(c int) float64 { return es.landCO2[c] }
 
+// ExchangeField is one named lagged exchange buffer of the coupler.
+type ExchangeField struct {
+	Name string
+	Data []float64
+}
+
 // ExchangeState returns the coupler's lagged exchange buffers for
-// checkpointing: restoring them (ImportExchangeState) makes a
-// checkpoint-restart continuation bit-identical to an uninterrupted run.
-func (es *EarthSystem) ExchangeState() map[string][]float64 {
-	return map[string][]float64{
-		"coupler.pendingCO2": es.pendingCO2,
-		"coupler.landCO2":    es.landCO2,
-		"coupler.prevAirSea": es.prevAirSea,
-		"coupler.heatFlux":   es.oceanForce.HeatFlux,
-		"coupler.freshwater": es.oceanForce.Freshwater,
-		"coupler.windStress": es.oceanForce.WindStress,
-		"coupler.windSpeed":  es.oceanForce.WindSpeed,
+// checkpointing — restoring them makes a checkpoint-restart
+// continuation bit-identical to an uninterrupted run. The fields come
+// back in a fixed order so snapshot assembly and restore walk them
+// deterministically (a map here would leak Go's randomized iteration
+// order into the checkpoint pipeline).
+func (es *EarthSystem) ExchangeState() []ExchangeField {
+	return []ExchangeField{
+		{"coupler.pendingCO2", es.pendingCO2},
+		{"coupler.landCO2", es.landCO2},
+		{"coupler.prevAirSea", es.prevAirSea},
+		{"coupler.heatFlux", es.oceanForce.HeatFlux},
+		{"coupler.freshwater", es.oceanForce.Freshwater},
+		{"coupler.windStress", es.oceanForce.WindStress},
+		{"coupler.windSpeed", es.oceanForce.WindSpeed},
 	}
 }
 

@@ -56,8 +56,8 @@ func (es *EarthSystem) Snapshot() *restart.Snapshot {
 		snap.Add(fmt.Sprintf("bgc.tracer%d", t), b.Tracers[t])
 	}
 	snap.Add("bgc.cumairsea", b.CumAirSea)
-	for name, f := range es.ExchangeState() {
-		snap.Add(name, f)
+	for _, xf := range es.ExchangeState() {
+		snap.Add(xf.Name, xf.Data)
 	}
 	// Scalar accounting: without it a restored run would report the wrong
 	// conserved totals (oceanWaterAccount) and window count.
@@ -87,8 +87,8 @@ func (es *EarthSystem) fieldTable() map[string][]float64 {
 	for t := 0; t < bgc.NumTracers; t++ {
 		tbl[fmt.Sprintf("bgc.tracer%d", t)] = b.Tracers[t]
 	}
-	for name, f := range es.ExchangeState() {
-		tbl[name] = f
+	for _, xf := range es.ExchangeState() {
+		tbl[xf.Name] = xf.Data
 	}
 	return tbl
 }

@@ -191,8 +191,8 @@ func ParsePlan(s string) (Plan, error) {
 		}
 		f := Fault{Window: w}
 		found := false
-		for k, name := range kindNames {
-			if name == kindStr {
+		for k := Crash; k <= MsgDelay; k++ {
+			if kindNames[k] == kindStr {
 				f.Kind, found = k, true
 				break
 			}

@@ -219,15 +219,22 @@ func (s *State) wetLevels(i int) int {
 	return n
 }
 
-// CheckFinite returns an error if any prognostic is NaN/Inf.
+// CheckFinite returns an error if any prognostic is NaN/Inf. The fields
+// are scanned in a fixed order so the reported field is deterministic
+// when several blow up in the same step (a map here would make the
+// error message depend on iteration order).
 func (s *State) CheckFinite() error {
-	for name, f := range map[string][]float64{
-		"eta": s.Eta, "ub": s.Ub, "temp": s.Temp, "salt": s.Salt, "u": s.U,
-		"iceThick": s.IceThick,
-	} {
-		for i, v := range f {
+	fields := []struct {
+		name string
+		data []float64
+	}{
+		{"eta", s.Eta}, {"ub", s.Ub}, {"temp", s.Temp},
+		{"salt", s.Salt}, {"u", s.U}, {"iceThick", s.IceThick},
+	}
+	for _, f := range fields {
+		for i, v := range f.data {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return fmt.Errorf("ocean: %s[%d] = %v", name, i, v)
+				return fmt.Errorf("ocean: %s[%d] = %v", f.name, i, v)
 			}
 		}
 	}

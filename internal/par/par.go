@@ -12,6 +12,7 @@ package par
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -180,11 +181,24 @@ func (w *World) RunErr(body func(c *Comm)) error {
 
 // drainDelayed accounts parked messages that never got a follow-up send:
 // they were never delivered, so they move from Delayed to Dropped on the
-// sending rank. Runs after all rank goroutines have finished.
+// sending rank. Runs after all rank goroutines have finished. The drain
+// walks (from,to) pairs in sorted order so the emitted trace instants —
+// part of the run's reproducible observable output — do not inherit map
+// iteration order.
 func (w *World) drainDelayed() {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	keys := make([][2]int, 0, len(w.delayed))
 	for key := range w.delayed {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, key := range keys {
 		c := w.comms[key[0]]
 		c.Stats.Delayed--
 		c.Stats.Dropped++

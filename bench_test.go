@@ -353,6 +353,10 @@ func BenchmarkCoupledStepWallClock(b *testing.B) {
 	b.ReportMetric(sim.ES.SimTime()/wall, "tau_simdays_per_day")
 	atmSteps := sim.ES.SimTime() / sim.ES.Cfg.AtmDt
 	b.ReportMetric(float64(sim.ES.G.NCells)*atmSteps/wall, "cells_per_sec")
+	// The paper's coupling-wait story: the atmosphere should (almost)
+	// never wait for the ocean side. Reported on every host, so the gated
+	// LowerIsBetter policy engages even where the speedup benches skip.
+	b.ReportMetric(sim.ES.AtmWaitFrac(), "atm_wait_frac")
 }
 
 // BenchmarkStepWindow is the tracing layer's overhead contract: an
@@ -431,6 +435,50 @@ func BenchmarkStepWindowSpeedup(b *testing.B) {
 	parallel := elapsed(4)
 	sched.SetWorkers(0)
 	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "parallel_speedup_x")
+}
+
+// BenchmarkStepWindowOverlapSpeedup is the functional-parallelism
+// acceptance contract (§5.1): wall time of the coupled window with the
+// ocean+BGC side serialised after the atmosphere (NoOverlap) over the
+// overlapped default, reported as the gated overlap_speedup_x metric
+// (floor 1.2). Both runs use the same worker width, so the ratio
+// isolates the side-level overlap from the intra-kernel parallelism, and
+// atm_wait_frac from the overlapped run rides along as the paper's
+// wait-fraction diagnostic. The ocean runs at the atmosphere's timestep
+// so the CPU side genuinely fills the coupling window, as in the paper's
+// configuration — with the laptop default (one ocean step per window)
+// the CPU side is ~13% of the window and even perfect overlap could not
+// reach the floor. Skips below 4 cores, where the two sides cannot
+// genuinely execute at the same time.
+func BenchmarkStepWindowOverlapSpeedup(b *testing.B) {
+	if runtime.NumCPU() < 4 {
+		b.Skipf("need ≥4 CPUs for an overlap measurement, have %d", runtime.NumCPU())
+	}
+	var overlapped *Simulation
+	elapsed := func(noOverlap bool) time.Duration {
+		sim, err := NewSimulation(Options{Workers: 2, OceanDt: 120, NoOverlap: noOverlap})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sim.ES.StepWindow(); err != nil { // warm scratch + pool
+			b.Fatal(err)
+		}
+		t0 := time.Now()
+		for i := 0; i < b.N; i++ {
+			if err := sim.ES.StepWindow(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if !noOverlap {
+			overlapped = sim
+		}
+		return time.Since(t0)
+	}
+	sequential := elapsed(true)
+	overlap := elapsed(false)
+	sched.SetWorkers(0)
+	b.ReportMetric(sequential.Seconds()/overlap.Seconds(), "overlap_speedup_x")
+	b.ReportMetric(overlapped.ES.AtmWaitFrac(), "atm_wait_frac")
 }
 
 // BenchmarkOceanSolverScaling measures the distributed CG solver (the

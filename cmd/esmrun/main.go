@@ -38,6 +38,8 @@ func run(args []string, out io.Writer) error {
 		ocLev   = fs.Int("oclev", 8, "ocean levels")
 		atmDt   = fs.Float64("atmdt", 120, "atmosphere timestep (s)")
 		workers = fs.Int("workers", 0, "kernel worker-pool width (0 = GOMAXPROCS); results are bit-identical at every width")
+		overlap = fs.Bool("overlap", true, "overlap the ocean+BGC window with the atmosphere window (results are bit-identical either way)")
+		sums    = fs.String("sums", "", "write exact (hex-float) conservation totals to this file for byte-for-byte determinism diffs")
 		bgcConc = fs.Bool("bgc-concurrent", false, "run biogeochemistry concurrently on its own GPU device")
 		noGraph = fs.Bool("no-graphs", false, "disable CUDA-Graph capture for land kernels")
 		ckpt    = fs.String("checkpoint", "", "directory to write a restart at the end")
@@ -59,6 +61,7 @@ func run(args []string, out io.Writer) error {
 		BGCConcurrent:     *bgcConc,
 		DisableLandGraphs: *noGraph,
 		Workers:           *workers,
+		NoOverlap:         !*overlap,
 	})
 	if err != nil {
 		return err
@@ -72,7 +75,10 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *chaos != "" {
-		return runChaos(sim, *chaos, *chaosReport, *hours, *ckpt, tr, *traceOut, out)
+		if err := runChaos(sim, *chaos, *chaosReport, *hours, *ckpt, tr, *traceOut, out); err != nil {
+			return err
+		}
+		return writeSums(sim, *sums)
 	}
 
 	d0 := sim.Diagnostics()
@@ -95,8 +101,8 @@ func run(args []string, out io.Writer) error {
 	d1 := sim.Diagnostics()
 	fmt.Fprintf(out, "\nconservation: water drift %.2e, carbon drift %.2e\n",
 		rel(d1.TotalWaterKg, d0.TotalWaterKg), rel(d1.TotalCarbonKg, d0.TotalCarbonKg))
-	fmt.Fprintf(out, "coupling: atmosphere waited %.3fs, ocean waited %.3fs (simulated)\n",
-		d1.AtmWaitSeconds, d1.OceanWaitSecs)
+	fmt.Fprintf(out, "coupling: atmosphere waited %.3fs, ocean waited %.3fs (simulated), atm_wait_frac %.4f\n",
+		d1.AtmWaitSeconds, d1.OceanWaitSecs, d1.AtmWaitFrac)
 	fmt.Fprintf(out, "energy (simulated): GPU %.3g J, CPU %.3g J; wall clock %.1fs\n",
 		d1.GPUEnergyJ, d1.CPUEnergyJ, time.Since(wall0).Seconds())
 
@@ -110,7 +116,24 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "checkpoint: %.1f MiB in %s\n", float64(n)/(1<<20), *ckpt)
 	}
+	if err := writeSums(sim, *sums); err != nil {
+		return err
+	}
 	return writeTrace(tr, *traceOut, out)
+}
+
+// writeSums records the exact end-of-run state fingerprint — conserved
+// totals and clock in hex floats (every bit printed), window count — for
+// the CI determinism matrix: two runs are equivalent iff their sums files
+// are byte-for-byte identical, whatever the worker width or overlap mode.
+func writeSums(sim *icoearth.Simulation, path string) error {
+	if path == "" {
+		return nil
+	}
+	es := sim.ES
+	blob := fmt.Sprintf("total_water_kg %x\ntotal_carbon_kg %x\nsim_time_s %x\nwindows %d\n",
+		es.TotalWater(), es.TotalCarbon(), es.SimTime(), es.Windows())
+	return os.WriteFile(path, []byte(blob), 0o644)
 }
 
 // writeTrace exports the run trace (when one was recorded) and prints its

@@ -94,6 +94,69 @@ func TestChaosParallelWorkers(t *testing.T) {
 	}
 }
 
+// TestSumsDeterminismMatrix is the determinism matrix of the CI tier-1
+// job run in-process: the -sums fingerprint (exact hex-float conserved
+// totals) must be byte-for-byte identical across worker widths {1, 4} ×
+// overlap {on, off} — the overlapped==sequential and workers=N==workers=1
+// contracts collapsed into one diffable artifact.
+func TestSumsDeterminismMatrix(t *testing.T) {
+	defer sched.SetWorkers(0)
+	dir := t.TempDir()
+	var ref []byte
+	for _, workers := range []string{"1", "4"} {
+		for _, overlap := range []string{"true", "false"} {
+			sums := filepath.Join(dir, "sums-"+workers+"-"+overlap)
+			var out strings.Builder
+			err := run([]string{"-hours", "0.2", "-grid", "1", "-atmlev", "5", "-oclev", "4",
+				"-workers", workers, "-overlap=" + overlap, "-sums", sums}, &out)
+			if err != nil {
+				t.Fatalf("workers=%s overlap=%s: %v\noutput:\n%s", workers, overlap, err, out.String())
+			}
+			blob, err := os.ReadFile(sums)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(string(blob), "total_water_kg 0x") {
+				t.Fatalf("sums file malformed:\n%s", blob)
+			}
+			if ref == nil {
+				ref = blob
+			} else if string(blob) != string(ref) {
+				t.Errorf("workers=%s overlap=%s sums diverge:\n%s\nvs reference:\n%s",
+					workers, overlap, blob, ref)
+			}
+		}
+	}
+}
+
+// TestChaosSumsOverlapIdentical: the bit-identity contract includes the
+// chaos path — a seeded fault plan driven through rollback and retry
+// must land on the same exact totals with the window overlapped and
+// serialised.
+func TestChaosSumsOverlapIdentical(t *testing.T) {
+	dir := t.TempDir()
+	var ref []byte
+	for _, overlap := range []string{"true", "false"} {
+		sums := filepath.Join(dir, "sums-"+overlap)
+		var out strings.Builder
+		err := run([]string{"-hours", "0.5", "-grid", "1", "-atmlev", "5", "-oclev", "4",
+			"-chaos", "seed=1,plan=crash@1:dycore;nan@2:atm.qv",
+			"-overlap=" + overlap, "-sums", sums}, &out)
+		if err != nil {
+			t.Fatalf("chaos overlap=%s: %v\noutput:\n%s", overlap, err, out.String())
+		}
+		blob, err := os.ReadFile(sums)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = blob
+		} else if string(blob) != string(ref) {
+			t.Errorf("chaos sums diverge across overlap modes:\n%s\nvs:\n%s", blob, ref)
+		}
+	}
+}
+
 // TestChaosTraceTimeline is the PR's acceptance run: a -chaos run with
 // -trace must produce a Chrome trace-event file whose timeline shows the
 // injected fault, the rollback span, and the retried window.

@@ -60,6 +60,12 @@ type Options struct {
 	// Workers sets the parallel width of the shared kernel worker pool
 	// (0 = GOMAXPROCS). Results are bit-identical at every width.
 	Workers int
+	// NoOverlap serialises the ocean+BGC window after the atmosphere
+	// window instead of overlapping them (the paper's functional
+	// parallelism, on by default). Results are bit-identical either way;
+	// the sequential path exists as the verification reference and for
+	// ablation timings.
+	NoOverlap bool
 	// CPUPowerDraw is the Grace-CPU share of the superchip's TDP (watts,
 	// default 150) — the §5.1.1 power-partition knob.
 	CPUPowerDraw float64
@@ -119,6 +125,7 @@ func NewSimulation(opts Options) (*Simulation, error) {
 		LandGraphs:    !opts.DisableLandGraphs,
 		GrayRadiation: opts.GrayRadiation,
 		Workers:       opts.Workers,
+		NoOverlap:     opts.NoOverlap,
 	}
 	es := coupler.NewOnSuperchip(cfg, machine.GH200(opts.TDP), opts.CPUPowerDraw)
 	return &Simulation{ES: es}, nil
@@ -156,6 +163,7 @@ type Diagnostics struct {
 	SeaIceAreaM2   float64
 	AtmWaitSeconds float64 // coupling wait of the GPU side (§6.3)
 	OceanWaitSecs  float64
+	AtmWaitFrac    float64 // AtmWaitSeconds over the GPU device's elapsed time
 	GPUEnergyJ     float64
 	CPUEnergyJ     float64
 }
@@ -187,6 +195,7 @@ func (s *Simulation) Diagnostics() Diagnostics {
 		SeaIceAreaM2:   oc.IceArea(),
 		AtmWaitSeconds: es.AtmWait,
 		OceanWaitSecs:  es.OceanWait,
+		AtmWaitFrac:    es.AtmWaitFrac(),
 		GPUEnergyJ:     es.GPU.Energy(),
 		CPUEnergyJ:     es.CPU.Energy(),
 	}

@@ -92,6 +92,17 @@ var GatedCustomMetrics = map[string]Policy{
 	// machine-normalized, so it is Unscaled; the absolute floor is the
 	// PR's acceptance contract for the worker pool.
 	"parallel_speedup_x": {Direction: HigherIsBetter, Tolerance: 0.15, Floor: 1.8},
+	// overlap_speedup_x is the wall-time ratio sequential / overlapped of
+	// the coupled window (BenchmarkStepWindowOverlapSpeedup, skips under 4
+	// cores): the functional-parallelism acceptance contract — the
+	// ocean+BGC side must genuinely execute under the atmosphere window.
+	"overlap_speedup_x": {Direction: HigherIsBetter, Tolerance: 0.15, Floor: 1.2},
+	// atm_wait_frac is the fraction of atmosphere device time spent
+	// waiting at coupling windows (the paper's §6.3 "→ 0" story). MinAbs
+	// keeps the healthy near-zero regime ungated; a config or scheduling
+	// regression that makes the atmosphere wait a twentieth of its time
+	// gates.
+	"atm_wait_frac": {Direction: LowerIsBetter, Tolerance: 0.50, MinAbs: 0.05},
 }
 
 // PolicyFor resolves the gating rule for a metric unit.

@@ -57,6 +57,12 @@ type Config struct {
 	// (internal/sched); 0 keeps the current setting (GOMAXPROCS by
 	// default). Results are bit-identical at every width.
 	Workers int
+	// NoOverlap serialises the two sides of the coupling window on the
+	// caller's goroutine (GPU side first, then CPU side) instead of
+	// overlapping them. The zero value keeps the paper's functional
+	// parallelism; the sequential path is the bit-identical reference the
+	// overlap is verified against (see TestStepWindowOverlapBitIdentical).
+	NoOverlap bool
 }
 
 // LaptopConfig is a configuration that runs comfortably in tests and
@@ -73,6 +79,38 @@ func LaptopConfig() Config {
 	}
 }
 
+// xchg is the coupler's double-buffered asynchronous exchange. Each
+// buffered field exists twice: the front buffer (index gen&1) is what a
+// side reads during the window — the previous window's lagged exchange —
+// while the back buffer is written by the producing side's fold as the
+// last act of its window, concurrently with the other side still
+// stepping. Neither side can ever read a half-written flux because
+// reads and writes land on different buffers by construction; the
+// post-join flip (gen++) publishes the back buffer atomically with
+// respect to the sides, which are joined at that point.
+//
+// gen counts completed exchanges and equals the window count; it is
+// checkpointed so a rollback restores the very buffer parity the
+// snapshot was taken at (see Snapshot/ApplySnapshot).
+type xchg struct {
+	gen int
+	// force is the atmosphere→ocean window-mean forcing (GPU side folds
+	// into back; ocean reads front).
+	force [2]*ocean.Forcing
+	// co2 is the ocean→atmosphere CO₂ payback flux, kg CO₂/m²/s per
+	// compact ocean cell (CPU side folds into back; gpuStep reads front).
+	co2 [2][]float64
+	// sstK and open carry the ocean surface state for the atmosphere's
+	// lower boundary condition: SST in kelvin and the open-water flag
+	// (CPU side folds into back; the flip copies front into bc).
+	sstK [2][]float64
+	open [2][]bool
+}
+
+// fi and bi are the front (read) and back (write) buffer indices.
+func (x *xchg) fi() int { return x.gen & 1 }
+func (x *xchg) bi() int { return 1 - (x.gen & 1) }
+
 // EarthSystem is the assembled coupled model.
 type EarthSystem struct {
 	Cfg  Config
@@ -88,12 +126,11 @@ type EarthSystem struct {
 	CPU *exec.Device
 
 	// Boundary state exchanged at coupling windows (lagged).
-	bc         atmos.SurfaceBC
-	oceanForce *ocean.Forcing
-	swDown     []float64 // analytic insolation proxy per global cell
-	pco2Ocean  []float64 // atmospheric pCO2 over ocean cells, µatm
-	pendingCO2 []float64 // kg CO2/m²/s to apply to the atmosphere next window (from ocean)
-	landCO2    []float64 // per global cell, land → atmosphere flux of current window
+	bc        atmos.SurfaceBC
+	x         xchg      // double-buffered asynchronous exchange slabs
+	swDown    []float64 // analytic insolation proxy per global cell
+	pco2Ocean []float64 // atmospheric pCO2 over ocean cells, µatm
+	landCO2   []float64 // per global cell, land → atmosphere flux of current window
 
 	// Window accumulation of atmosphere fluxes (per global cell).
 	accHeat, accFresh, accStress, accSpeed []float64
@@ -161,18 +198,23 @@ func New(cfg Config, gpu, cpu *exec.Device) *EarthSystem {
 	es.Atm.State.InitTracers()
 
 	n := g.NCells
+	nOc := es.Oc.State.NOcean()
 	es.bc = atmos.SurfaceBC{Tsfc: make([]float64, n), IsWater: make([]bool, n)}
-	es.oceanForce = ocean.NewForcing(es.Oc.State.NOcean())
+	for b := 0; b < 2; b++ {
+		es.x.force[b] = ocean.NewForcing(nOc)
+		es.x.co2[b] = make([]float64, nOc)
+		es.x.sstK[b] = make([]float64, nOc)
+		es.x.open[b] = make([]bool, nOc)
+	}
 	es.swDown = make([]float64, n)
-	es.pco2Ocean = make([]float64, es.Oc.State.NOcean())
-	es.pendingCO2 = make([]float64, es.Oc.State.NOcean())
+	es.pco2Ocean = make([]float64, nOc)
 	es.landCO2 = make([]float64, n)
 	es.accHeat = make([]float64, n)
 	es.accFresh = make([]float64, n)
 	es.accStress = make([]float64, n)
 	es.accSpeed = make([]float64, n)
-	es.riverBuffer = make([]float64, es.Oc.State.NOcean())
-	es.prevAirSea = make([]float64, es.Oc.State.NOcean())
+	es.riverBuffer = make([]float64, nOc)
+	es.prevAirSea = make([]float64, nOc)
 
 	for c := 0; c < n; c++ {
 		lat, _ := g.CellCenter[c].LatLon()
@@ -244,7 +286,12 @@ func (es *EarthSystem) updateAtmosPCO2() {
 
 // StepWindow advances the full Earth system by one coupling window,
 // running the GPU side (atmosphere+land) and the CPU side (ocean+sea
-// ice+BGC) concurrently, then exchanging fields.
+// ice+BGC) concurrently — or sequentially under Config.NoOverlap, the
+// bit-identical reference path — then flipping the double-buffered
+// exchange. Each side folds its outgoing fields into the back exchange
+// buffers as the last act of its window, so the fold work overlaps the
+// other side; only the flip (buffer publication plus the small
+// serial-by-nature couplings) remains in the post-join section.
 func (es *EarthSystem) StepWindow() error {
 	cfg := es.Cfg
 	nAtm := int(math.Round(cfg.CouplingDt / cfg.AtmDt))
@@ -264,50 +311,17 @@ func (es *EarthSystem) StepWindow() error {
 	}
 	es.accCount = 0
 
-	var wg sync.WaitGroup
 	var gpuErr, ocErr error
-
-	// --- GPU side: atmosphere + land, land coupled every atmosphere step.
-	// Panics (injected faults, NaN blowups surfacing as runtime errors) are
-	// converted to errors so the other side always stays joinable.
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		t0 := es.tkGPU.Start()
-		defer es.tkGPU.EndArg("atm+land", t0, "steps", int64(nAtm))
-		defer func() {
-			if p := recover(); p != nil {
-				gpuErr = fmt.Errorf("coupler: atmosphere/land side failed: %v", p)
-				es.tkGPU.Instant("side:panic")
-			}
-		}()
-		for n := 0; n < nAtm; n++ {
-			es.gpuStep(cfg.AtmDt)
-		}
-	}()
-
-	// --- CPU side: ocean + sea ice + biogeochemistry with lagged forcing.
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		t0 := es.tkCPU.Start()
-		defer es.tkCPU.EndArg("ocean+ice+bgc", t0, "steps", int64(nOc))
-		defer func() {
-			if p := recover(); p != nil {
-				ocErr = fmt.Errorf("coupler: ocean/BGC side failed: %v", p)
-				es.tkCPU.Instant("side:panic")
-			}
-		}()
-		for n := 0; n < nOc; n++ {
-			if err := es.Oc.Step(cfg.OceanDt, es.oceanForce); err != nil {
-				ocErr = fmt.Errorf("coupler: ocean failed: %w", err)
-				return
-			}
-			es.Bgc.Step(cfg.OceanDt, es.Oc.Dyn, es.swOcean(), es.pco2Ocean,
-				es.oceanForce.WindSpeed, es.Oc.State.IceFrac)
-		}
-	}()
-	wg.Wait()
+	if cfg.NoOverlap {
+		gpuErr = es.gpuSide(nAtm, cfg.AtmDt)
+		ocErr = es.cpuSide(nOc, cfg.OceanDt)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); gpuErr = es.gpuSide(nAtm, cfg.AtmDt) }()
+		go func() { defer wg.Done(); ocErr = es.cpuSide(nOc, cfg.OceanDt) }()
+		wg.Wait()
+	}
 	if gpuErr != nil || ocErr != nil {
 		// The window is torn: one side may have stepped further than the
 		// other and no exchange happened. The state is NOT safe to continue
@@ -315,22 +329,76 @@ func (es *EarthSystem) StepWindow() error {
 		return errors.Join(gpuErr, ocErr)
 	}
 
-	// --- Coupling synchronisation: the faster device waits (§6.3).
+	// --- Coupling synchronisation: the faster device waits (§6.3). The
+	// wait lands as a span on the waiting side's track, so a trace shows
+	// at a glance which side idled and for how much simulated time — the
+	// paper's atm_wait_frac → 0 story, per window.
 	gpuT := es.GPU.SimTime() - gpuStart
 	cpuT := es.CPU.SimTime() - cpuStart
 	if gpuT < cpuT {
+		t0 := es.tkGPU.Start()
 		es.GPU.AdvanceIdle(cpuT - gpuT)
 		es.AtmWait += cpuT - gpuT
+		es.tkGPU.EndArg("atm_wait", t0, "sim_us", int64((cpuT-gpuT)*1e6))
 	} else {
+		t0 := es.tkCPU.Start()
 		es.CPU.AdvanceIdle(gpuT - cpuT)
 		es.OceanWait += gpuT - cpuT
+		es.tkCPU.EndArg("ocean_wait", t0, "sim_us", int64((gpuT-cpuT)*1e6))
 	}
 
 	tEx := es.tkWin.Start()
-	es.exchange()
+	es.flip()
 	es.tkWin.End("exchange", tEx)
 	es.simTime += cfg.CouplingDt
 	es.windows++
+	return nil
+}
+
+// gpuSide runs the atmosphere+land window (land coupled every atmosphere
+// step) and folds the accumulated atmosphere fluxes into the back ocean
+// forcing. Panics (injected faults, NaN blowups surfacing as runtime
+// errors) are converted to errors so the other side always stays
+// joinable. Identical whether called on its own goroutine (overlap) or
+// inline (sequential reference): it touches only GPU-side-owned state
+// plus the back exchange buffers it exclusively produces.
+func (es *EarthSystem) gpuSide(nAtm int, dt float64) (err error) {
+	t0 := es.tkGPU.Start()
+	defer es.tkGPU.EndArg("atm+land", t0, "steps", int64(nAtm))
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("coupler: atmosphere/land side failed: %v", p)
+			es.tkGPU.Instant("side:panic")
+		}
+	}()
+	for n := 0; n < nAtm; n++ {
+		es.gpuStep(dt)
+	}
+	es.foldAtmToOcean()
+	return nil
+}
+
+// cpuSide runs the ocean+sea ice+BGC window with lagged (front-buffer)
+// forcing, then folds the ocean's outgoing fields — CO₂ payback, SST,
+// open-water mask — into the back exchange buffers.
+func (es *EarthSystem) cpuSide(nOc int, dt float64) (err error) {
+	t0 := es.tkCPU.Start()
+	defer es.tkCPU.EndArg("ocean+ice+bgc", t0, "steps", int64(nOc))
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("coupler: ocean/BGC side failed: %v", p)
+			es.tkCPU.Instant("side:panic")
+		}
+	}()
+	force := es.x.force[es.x.fi()]
+	for n := 0; n < nOc; n++ {
+		if e := es.Oc.Step(dt, force); e != nil {
+			return fmt.Errorf("coupler: ocean failed: %w", e)
+		}
+		es.Bgc.Step(dt, es.Oc.Dyn, es.swOcean(), es.pco2Ocean,
+			force.WindSpeed, es.Oc.State.IceFrac)
+	}
+	es.foldOceanToAtm()
 	return nil
 }
 
@@ -340,11 +408,12 @@ func (es *EarthSystem) gpuStep(dt float64) {
 	ld := es.Land.State
 	oc := es.Oc.State
 
-	// Apply the lagged ocean→atmosphere CO₂ flux and the land CO₂ flux of
-	// the previous land step.
+	// Apply the lagged (front-buffer) ocean→atmosphere CO₂ flux and the
+	// land CO₂ flux of the previous land step.
 	co2 := make([]float64, g.NCells)
+	pending := es.x.co2[es.x.fi()]
 	for i, c := range oc.Cells {
-		co2[c] = es.pendingCO2[i]
+		co2[c] = pending[i]
 	}
 	for c, v := range es.landCO2 {
 		co2[c] += v
@@ -422,32 +491,66 @@ func (es *EarthSystem) swOcean() []float64 {
 	return out
 }
 
-// exchange performs the end-of-window field exchange (YAC analogue).
-func (es *EarthSystem) exchange() {
+// foldAtmToOcean is the GPU side's half of the asynchronous exchange
+// (YAC analogue): atmosphere window means and buffered river discharge
+// become the ocean forcing of the next window, written into the back
+// buffer while the CPU side may still be stepping against the front.
+// Reads only GPU-side-owned accumulators; the radiative term needs the
+// post-window SST (CPU-owned) and is added at the flip.
+func (es *EarthSystem) foldAtmToOcean() {
 	oc := es.Oc.State
 	g := es.G
 	inv := 1.0
 	if es.accCount > 0 {
 		inv = 1 / float64(es.accCount)
 	}
-	// Atmosphere window means → ocean forcing for the next window.
+	force := es.x.force[es.x.bi()]
 	for i, c := range oc.Cells {
-		es.oceanForce.HeatFlux[i] = es.accHeat[c]*inv + es.radiativeBalance(c)
-		es.oceanForce.Freshwater[i] = es.accFresh[c]*inv +
+		force.HeatFlux[i] = es.accHeat[c] * inv
+		force.Freshwater[i] = es.accFresh[c]*inv +
 			es.riverBuffer[i]/(g.CellArea[c]*es.Cfg.CouplingDt)
 		es.riverBuffer[i] = 0
-		es.oceanForce.WindStress[i] = es.accStress[c] * inv
-		es.oceanForce.WindSpeed[i] = es.accSpeed[c] * inv
+		force.WindStress[i] = es.accStress[c] * inv
+		force.WindSpeed[i] = es.accSpeed[c] * inv
 	}
-	// Ocean → atmosphere: the CO₂ the ocean actually absorbed over this
-	// window (from the cumulative air–sea record) is paid back by the
-	// atmosphere during the next window, so carbon closes exactly.
+}
+
+// foldOceanToAtm is the CPU side's half of the asynchronous exchange:
+// the CO₂ the ocean actually absorbed over this window (from the
+// cumulative air–sea record) is paid back by the atmosphere during the
+// next window so carbon closes exactly, and the post-window surface
+// state (SST, open water) is staged for the atmosphere's boundary
+// condition. Everything read is CPU-side-owned; everything written is a
+// back buffer.
+func (es *EarthSystem) foldOceanToAtm() {
+	oc := es.Oc.State
+	b := es.x.bi()
+	co2, sstK, open := es.x.co2[b], es.x.sstK[b], es.x.open[b]
 	for i := range oc.Cells {
 		delta := es.Bgc.State.CumAirSea[i] - es.prevAirSea[i] // mol C/m²
 		es.prevAirSea[i] = es.Bgc.State.CumAirSea[i]
-		es.pendingCO2[i] = -delta * bgc.MolMassCO2 / es.Cfg.CouplingDt
+		co2[i] = -delta * bgc.MolMassCO2 / es.Cfg.CouplingDt
+		sstK[i] = oc.SST(i) + 273.15
+		open[i] = oc.IceFrac[i] < 0.5
 	}
-	es.refreshSurfaceBC()
+}
+
+// flip publishes the back exchange buffers — both sides are joined, so
+// this is the one serial section left of the old synchronous exchange.
+// It adds the radiative balance (which couples post-window SST to the
+// heat flux, an inherently cross-side term) into the fresh forcing,
+// installs the staged ocean surface state into the atmosphere's boundary
+// condition (land cells are refreshed every gpuStep), and recomputes the
+// ocean-side pCO₂ from the post-window atmosphere.
+func (es *EarthSystem) flip() {
+	es.x.gen++
+	f := es.x.fi()
+	force, sstK, open := es.x.force[f], es.x.sstK[f], es.x.open[f]
+	for i, c := range es.Oc.State.Cells {
+		force.HeatFlux[i] += es.radiativeBalance(c)
+		es.bc.Tsfc[c] = sstK[i]
+		es.bc.IsWater[c] = open[i]
+	}
 	es.updateAtmosPCO2()
 }
 
@@ -484,19 +587,25 @@ type ExchangeField struct {
 
 // ExchangeState returns the coupler's lagged exchange buffers for
 // checkpointing — restoring them makes a checkpoint-restart
-// continuation bit-identical to an uninterrupted run. The fields come
-// back in a fixed order so snapshot assembly and restore walk them
-// deterministically (a map here would leak Go's randomized iteration
-// order into the checkpoint pipeline).
+// continuation bit-identical to an uninterrupted run. Only the FRONT
+// buffers of the double-buffered exchange are returned: the back
+// buffers are fully rewritten by both folds before the next flip, so
+// they carry no state a restart needs — but the restore must resolve
+// "front" at the snapshot's generation parity, which is why ApplySnapshot
+// restores the scalar record (including the generation index) before the
+// field copy. The fields come back in a fixed order so snapshot assembly
+// and restore walk them deterministically (a map here would leak Go's
+// randomized iteration order into the checkpoint pipeline).
 func (es *EarthSystem) ExchangeState() []ExchangeField {
+	f := es.x.fi()
 	return []ExchangeField{
-		{"coupler.pendingCO2", es.pendingCO2},
+		{"coupler.pendingCO2", es.x.co2[f]},
 		{"coupler.landCO2", es.landCO2},
 		{"coupler.prevAirSea", es.prevAirSea},
-		{"coupler.heatFlux", es.oceanForce.HeatFlux},
-		{"coupler.freshwater", es.oceanForce.Freshwater},
-		{"coupler.windStress", es.oceanForce.WindStress},
-		{"coupler.windSpeed", es.oceanForce.WindSpeed},
+		{"coupler.heatFlux", es.x.force[f].HeatFlux},
+		{"coupler.freshwater", es.x.force[f].Freshwater},
+		{"coupler.windStress", es.x.force[f].WindStress},
+		{"coupler.windSpeed", es.x.force[f].WindSpeed},
 	}
 }
 
@@ -511,7 +620,7 @@ func (es *EarthSystem) ResyncBoundary() {
 // OceanCO2Flux returns the pending ocean→atmosphere CO₂ flux at compact
 // ocean cell i (kg CO₂/m²/s, positive into the atmosphere — negative when
 // the ocean is absorbing carbon).
-func (es *EarthSystem) OceanCO2Flux(i int) float64 { return es.pendingCO2[i] }
+func (es *EarthSystem) OceanCO2Flux(i int) float64 { return es.x.co2[es.x.fi()][i] }
 
 // Windows returns the number of completed coupling windows.
 func (es *EarthSystem) Windows() int { return es.windows }
@@ -528,6 +637,18 @@ func (es *EarthSystem) Tau() float64 {
 		return 0
 	}
 	return es.simTime / wall
+}
+
+// AtmWaitFrac returns the fraction of the atmosphere device's elapsed
+// (simulated) wall-clock spent waiting for the ocean side at coupling
+// windows — the paper's §6.3 "atm_wait_frac → 0" overlap metric. Zero
+// before any stepping.
+func (es *EarthSystem) AtmWaitFrac() float64 {
+	wall := es.GPU.SimTime()
+	if wall == 0 {
+		return 0
+	}
+	return es.AtmWait / wall
 }
 
 // AtmosWaterMass returns vapour+cloud mass of the atmosphere (kg).
@@ -554,10 +675,11 @@ func (es *EarthSystem) TotalCarbon() float64 {
 	total += es.Bgc.State.CarbonInventory() * bgc.MolMassC
 	// In-flight ocean→atmosphere: the ocean's DIC already holds the last
 	// window's uptake while the atmosphere pays during the next window;
-	// the pending flux (positive into the atmosphere) times the window
-	// cancels the double count.
+	// the pending (front-buffer) flux (positive into the atmosphere) times
+	// the window cancels the double count.
+	pending := es.x.co2[es.x.fi()]
 	for i, c := range es.Oc.State.Cells {
-		total += es.pendingCO2[i] * es.Cfg.CouplingDt * es.G.CellArea[c] * (12.0 / 44.0)
+		total += pending[i] * es.Cfg.CouplingDt * es.G.CellArea[c] * (12.0 / 44.0)
 	}
 	// In-flight land→atmosphere: the land recorded its NEE this step; the
 	// atmosphere receives it on the next atmosphere step.

@@ -109,7 +109,7 @@ func TestCarbonActuallyFlows(t *testing.T) {
 	for _, v := range es.landCO2 {
 		landFlux += math.Abs(v)
 	}
-	for _, v := range es.pendingCO2 {
+	for _, v := range es.x.co2[es.x.fi()] {
 		oceanFlux += math.Abs(v)
 	}
 	if landFlux == 0 {

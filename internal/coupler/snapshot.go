@@ -14,8 +14,9 @@ import (
 	"icoearth/internal/restart"
 )
 
-// scalarFields is the layout of the "coupler.scalars" snapshot entry.
-const scalarFields = 5
+// scalarFields is the layout of the "coupler.scalars" snapshot entry:
+// simTime, windows, oceanWaterAccount, AtmWait, OceanWait, exchange gen.
+const scalarFields = 6
 
 // Snapshot gathers every prognostic field of the coupled system plus the
 // coupler's exchange buffers and scalar accounting. The snapshot
@@ -29,6 +30,13 @@ func (es *EarthSystem) Snapshot() *restart.Snapshot {
 	snap.Add("atm.vn", a.Vn)
 	snap.Add("atm.w", a.W)
 	snap.Add("atm.precip", a.PrecipAccum)
+	// Exner/Theta are diagnostics of (rho, rhotheta) in exact arithmetic
+	// but the dycore maintains them incrementally, so recomputing them on
+	// restore (UpdateDiagnostics) perturbs the last bit — and the coupler's
+	// pCO₂ reads Exner, so that bit walks straight into the carbon cycle.
+	// Checkpoint them and restore exactly.
+	snap.Add("atm.exner", a.Exner)
+	snap.Add("atm.theta", a.Theta)
 	for t := range a.Tracers {
 		snap.Add(fmt.Sprintf("atm.tracer%d", t), a.Tracers[t])
 	}
@@ -60,9 +68,12 @@ func (es *EarthSystem) Snapshot() *restart.Snapshot {
 		snap.Add(xf.Name, xf.Data)
 	}
 	// Scalar accounting: without it a restored run would report the wrong
-	// conserved totals (oceanWaterAccount) and window count.
+	// conserved totals (oceanWaterAccount) and window count. The exchange
+	// generation index rides along so a rollback taken between buffer
+	// flips restores the very front/back parity the snapshot saw.
 	snap.Add("coupler.scalars", []float64{
-		es.simTime, float64(es.windows), es.oceanWaterAccount, es.AtmWait, es.OceanWait,
+		es.simTime, float64(es.windows), es.oceanWaterAccount,
+		es.AtmWait, es.OceanWait, float64(es.x.gen),
 	})
 	return snap
 }
@@ -73,6 +84,7 @@ func (es *EarthSystem) fieldTable() map[string][]float64 {
 	tbl := map[string][]float64{
 		"atm.rho": a.Rho, "atm.rhotheta": a.RhoTheta, "atm.vn": a.Vn,
 		"atm.w": a.W, "atm.precip": a.PrecipAccum,
+		"atm.exner": a.Exner, "atm.theta": a.Theta,
 		"oc.eta": o.Eta, "oc.ub": o.Ub, "oc.temp": o.Temp, "oc.salt": o.Salt,
 		"oc.u": o.U, "oc.icethick": o.IceThick, "oc.icefrac": o.IceFrac,
 		"land.soiltemp": l.SoilTemp, "land.soilmoist": l.SoilMoist,
@@ -97,17 +109,11 @@ func (es *EarthSystem) fieldTable() map[string][]float64 {
 // with identical Config, rebuilding the derived boundary state
 // (ResyncBoundary) so the next StepWindow continues bit-identically.
 func (es *EarthSystem) ApplySnapshot(snap *restart.Snapshot) error {
-	for name, dst := range es.fieldTable() {
-		src, ok := snap.Fields[name]
-		if !ok {
-			return fmt.Errorf("coupler: restart missing field %q", name)
-		}
-		if len(src) != len(dst) {
-			return fmt.Errorf("coupler: restart field %q has %d values, want %d (different Config?)",
-				name, len(src), len(dst))
-		}
-		copy(dst, src)
-	}
+	// Scalars FIRST: the exchange generation index must be restored before
+	// fieldTable resolves the exchange names, so the "coupler.*" exchange
+	// slices point at the front buffers of the snapshot's parity — a
+	// rollback taken between buffer flips would otherwise restore the
+	// lagged fluxes into the buffers the next window overwrites.
 	sc, ok := snap.Fields["coupler.scalars"]
 	if !ok {
 		return fmt.Errorf("coupler: restart missing field %q", "coupler.scalars")
@@ -120,7 +126,21 @@ func (es *EarthSystem) ApplySnapshot(snap *restart.Snapshot) error {
 	es.oceanWaterAccount = sc[2]
 	es.AtmWait = sc[3]
 	es.OceanWait = sc[4]
-	es.Atm.State.UpdateDiagnostics()
+	es.x.gen = int(sc[5])
+	for name, dst := range es.fieldTable() {
+		src, ok := snap.Fields[name]
+		if !ok {
+			return fmt.Errorf("coupler: restart missing field %q", name)
+		}
+		if len(src) != len(dst) {
+			return fmt.Errorf("coupler: restart field %q has %d values, want %d (different Config?)",
+				name, len(src), len(dst))
+		}
+		copy(dst, src)
+	}
+	// No UpdateDiagnostics here: atm.exner/atm.theta were restored exactly
+	// above, and recomputing them from the prognostics would reintroduce
+	// the last-bit drift the checkpoint exists to avoid.
 	es.ResyncBoundary()
 	return nil
 }

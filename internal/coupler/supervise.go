@@ -102,6 +102,9 @@ type RunReport struct {
 	FinalCarbon  float64       `json:"final_carbon_kg"`
 	WaterDrift   float64       `json:"water_drift_rel"`
 	CarbonDrift  float64       `json:"carbon_drift_rel"`
+	// AtmWaitFrac is the fraction of the atmosphere device's time spent
+	// waiting at coupling windows (the paper's overlap-efficiency metric).
+	AtmWaitFrac float64 `json:"atm_wait_frac"`
 }
 
 // HealthCheck validates the post-window state: every prognostic finite and
@@ -407,5 +410,6 @@ func (sv *Supervisor) finish(completed bool) *RunReport {
 	sv.rep.FinalCarbon = sv.es.TotalCarbon()
 	sv.rep.WaterDrift = relDrift(sv.rep.FinalWater, sv.refWater)
 	sv.rep.CarbonDrift = relDrift(sv.rep.FinalCarbon, sv.refCarbon)
+	sv.rep.AtmWaitFrac = sv.es.AtmWaitFrac()
 	return sv.rep
 }

@@ -1,0 +1,164 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentDispatchesCoverBothRanges: two goroutines dispatching at
+// the same time — the coupler's GPU-side/CPU-side shape — must each cover
+// their own range exactly once. With one lane per side neither dispatch
+// degrades the other's correctness, whichever interleaving occurs.
+func TestConcurrentDispatchesCoverBothRanges(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(4)
+	for rep := 0; rep < 50; rep++ {
+		const n = 4097
+		countsA := make([]int32, n)
+		countsB := make([]int32, n)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			Run(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&countsA[i], 1)
+				}
+			})
+		}()
+		go func() {
+			defer wg.Done()
+			Run(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&countsB[i], 1)
+				}
+			})
+		}()
+		wg.Wait()
+		for i := 0; i < n; i++ {
+			if countsA[i] != 1 || countsB[i] != 1 {
+				t.Fatalf("rep %d index %d visited A=%d B=%d times, want 1/1",
+					rep, i, countsA[i], countsB[i])
+			}
+		}
+	}
+}
+
+// TestConcurrentReduceBitIdentical: reductions racing on both lanes stay
+// bit-identical to their width-1 references — lane interleaving moves
+// which worker claims which block, never the block decomposition or the
+// ascending fold order.
+func TestConcurrentReduceBitIdentical(t *testing.T) {
+	defer SetWorkers(0)
+	rng := rand.New(rand.NewSource(7))
+	const n = 50000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(12)-6))
+		y[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(12)-6))
+	}
+	px := func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += x[i]
+		}
+		return s
+	}
+	py := func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += y[i]
+		}
+		return s
+	}
+	SetWorkers(1)
+	refX, refY := ReduceSum(n, px), ReduceSum(n, py)
+	SetWorkers(8)
+	for rep := 0; rep < 50; rep++ {
+		var gotX, gotY float64
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); gotX = ReduceSum(n, px) }()
+		go func() { defer wg.Done(); gotY = ReduceSum(n, py) }()
+		wg.Wait()
+		if gotX != refX || gotY != refY {
+			t.Fatalf("rep %d: concurrent sums (%x, %x) != width-1 (%x, %x)",
+				rep, gotX, gotY, refX, refY)
+		}
+	}
+}
+
+// TestConcurrentIndexedSlotsExclusive: slot exclusivity must hold across
+// lanes, not just within one dispatch — two overlapping RunIndexed calls
+// may never hand the same slot id to two live bodies.
+func TestConcurrentIndexedSlotsExclusive(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(8)
+	slots := Slots()
+	for rep := 0; rep < 20; rep++ {
+		busy := make([]int32, slots)
+		var wg sync.WaitGroup
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				RunIndexed(10000, func(slot, lo, hi int) {
+					if slot < 0 || slot >= slots {
+						t.Errorf("slot %d out of [0,%d)", slot, slots)
+						return
+					}
+					if atomic.AddInt32(&busy[slot], 1) != 1 {
+						t.Errorf("slot %d used concurrently", slot)
+					}
+					atomic.AddInt32(&busy[slot], -1)
+				})
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+// TestConcurrentPanicsStayOnTheirLane: a panic raised inside one lane's
+// job must re-throw on that lane's dispatcher only; the concurrent
+// dispatch on the other lane completes untouched and the pool stays
+// usable.
+func TestConcurrentPanicsStayOnTheirLane(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(4)
+	for rep := 0; rep < 20; rep++ {
+		var clean atomic.Int32
+		var wg sync.WaitGroup
+		wg.Add(2)
+		var recovered any
+		go func() {
+			defer wg.Done()
+			defer func() { recovered = recover() }()
+			Run(1000, func(lo, hi int) {
+				if lo == 0 {
+					panic("lane fault")
+				}
+			})
+		}()
+		go func() {
+			defer wg.Done()
+			Run(1000, func(lo, hi int) { clean.Add(int32(hi - lo)) })
+		}()
+		wg.Wait()
+		if recovered != "lane fault" {
+			t.Fatalf("rep %d: panicking dispatch recovered %v", rep, recovered)
+		}
+		if clean.Load() != 1000 {
+			t.Fatalf("rep %d: clean dispatch covered %d of 1000", rep, clean.Load())
+		}
+	}
+	// The pool must be fully usable afterwards.
+	var n atomic.Int32
+	Run(100, func(lo, hi int) { n.Add(int32(hi - lo)) })
+	if n.Load() != 100 {
+		t.Fatalf("pool broken after lane panics: covered %d", n.Load())
+	}
+}

@@ -14,18 +14,29 @@
 // the coupled model's conservation accounting and the ocean CG (whose
 // dot products feed a global iteration) rely on.
 //
-// One set of workers serves the whole process. Workers park on a
-// per-worker wake channel between dispatches, so steady-state dispatch
-// performs zero goroutine spawns and zero heap allocations: the job is
-// published through pre-existing struct fields, the workers are woken by
-// buffered channel sends, and completion is a sync.WaitGroup wait. The
-// dispatcher itself participates as slot 0.
+// One set of workers serves the whole process, shared between numLanes
+// independent dispatch lanes: the coupler runs its GPU-side and CPU-side
+// kernel streams as concurrent goroutines, and with one lane per side
+// both streams dispatch in parallel instead of one falling back to
+// inline width-1 execution whenever the other holds the pool. Each lane
+// carries its own job descriptor and block cursor; idle workers scan the
+// lanes and join any open job, so the pool's capacity drains to
+// whichever side has blocks left. Because every job's block structure
+// and fold order depend only on its own n, lane interleaving cannot
+// change results.
 //
-// Dispatches are serialized by a mutex; a dispatch that finds the pool
-// busy (the coupler runs its GPU-side and CPU-side kernel streams as
-// concurrent goroutines) or nested inside another dispatch runs inline
-// on the caller — legal because inline execution follows the identical
-// block structure and is therefore bit-identical.
+// Workers park on a per-worker wake channel between dispatches, so
+// steady-state dispatch performs zero goroutine spawns and zero heap
+// allocations: the job is published through pre-existing lane fields,
+// the workers are woken by buffered channel sends, and completion is a
+// participant-count handshake. The dispatcher itself participates, using
+// its lane's reserved slot id.
+//
+// A dispatch that finds every lane busy, or that is nested inside a body
+// already running on the caller's lane, runs inline on the caller —
+// legal because inline execution follows the identical block structure
+// and is therefore bit-identical. (A nested dispatch may also land on a
+// free lane and run parallel; both outcomes produce the same bits.)
 package sched
 
 import (
@@ -44,6 +55,11 @@ const (
 	targetBlocks = 32
 	maxBlock     = 256
 )
+
+// numLanes is the number of dispatches that can be in flight at once.
+// Two matches the coupler's concurrency shape: one kernel stream per
+// model side (atmosphere+land vs ocean+ice+BGC).
+const numLanes = 2
 
 // BlockSize returns the block length used for an index range of n
 // elements. It is a pure function of n — never of the worker count —
@@ -76,25 +92,17 @@ const (
 	jobReduce
 )
 
-// Pool is a persistent worker pool. The zero value is ready to use; the
-// package-level functions operate on one shared default pool, which is
-// what the model packages use.
-type Pool struct {
-	// workers is the configured parallel width (0 = GOMAXPROCS at use).
-	workers atomic.Int32
-	// slots is 1 + the number of background workers ever spawned; see
-	// Slots.
-	slots atomic.Int32
-
-	// mu serializes dispatches. TryLock failures run inline.
+// lane is one independent dispatch: a job descriptor plus the join
+// protocol that lets shared workers enter and leave while the job is
+// open. The dispatcher owns the lane through mu for the whole dispatch.
+type lane struct {
+	// mu serializes dispatches on this lane. TryLock failures move to
+	// the next lane, then fall back to inline execution.
 	mu sync.Mutex
 
-	// wake[i] wakes the parked background worker with slot id i+1.
-	wake []chan struct{}
-
 	// Job state, owned by the dispatcher holding mu. Published to the
-	// workers via the happens-before edge of the wake sends and read
-	// back after wg.Wait.
+	// workers via the release edge of active.Store(true) (and the wake
+	// sends); read back after the participant handshake completes.
 	kind     jobKind
 	n        int
 	block    int
@@ -104,11 +112,44 @@ type Pool struct {
 	indexed  func(slot, lo, hi int)
 	partial  func(lo, hi int) float64
 	partials []float64
-	wg       sync.WaitGroup
+
+	// active is true while the job is open for joining. participants
+	// counts the dispatcher plus every joined worker; whoever decrements
+	// it to zero after the dispatcher closed the job signals done
+	// (buffered 1, lazily created, exactly one send per dispatch that
+	// still had joiners at close).
+	active       atomic.Bool
+	participants atomic.Int32
+	done         chan struct{}
 
 	pmu      sync.Mutex
 	panicked any
 	panicSet bool
+}
+
+// Pool is a persistent worker pool. The zero value is ready to use; the
+// package-level functions operate on one shared default pool, which is
+// what the model packages use.
+type Pool struct {
+	// workers is the configured parallel width (0 = GOMAXPROCS at use).
+	workers atomic.Int32
+	// slots is a high-water mark of slot ids handed out; see Slots.
+	slots atomic.Int32
+
+	lanes [numLanes]lane
+
+	// seq counts job publications. A parking worker compares it across
+	// its final empty scan to close the race where a dispatch publishes
+	// (and wakes the then-current idle set) in the instant before the
+	// worker registers itself idle.
+	seq atomic.Uint64
+
+	// idleMu guards idle and wake. idle holds the worker ids currently
+	// parked (no wake token outstanding); wake[i] is worker i's buffered
+	// wake channel.
+	idleMu sync.Mutex
+	idle   []int
+	wake   []chan struct{}
 }
 
 var def Pool
@@ -121,7 +162,7 @@ func SetWorkers(n int) {
 		n = runtime.GOMAXPROCS(0)
 	}
 	def.workers.Store(int32(n))
-	if s := int32(n); def.slots.Load() < s {
+	if s := int32(numLanes - 1 + n); def.slots.Load() < s {
 		def.slots.Store(s)
 	}
 }
@@ -136,14 +177,17 @@ func Workers() int {
 
 // Slots returns an upper bound on the slot ids RunIndexed may pass to
 // its body: callers size per-slot scratch as Slots()*stride. The bound
-// is stable while the worker configuration is unchanged.
+// is stable while the worker configuration is unchanged. Each lane
+// reserves one dispatcher slot (ids 0..numLanes-1) and background
+// worker w uses id numLanes+w, so the bound is numLanes-1 larger than
+// the configured width.
 func Slots() int {
 	s := int(def.slots.Load())
-	if w := Workers(); w > s {
-		return w
+	if w := numLanes - 1 + Workers(); w > s {
+		s = w
 	}
 	if s < 1 {
-		return 1
+		s = 1
 	}
 	return s
 }
@@ -183,6 +227,18 @@ func (p *Pool) width(n int) int {
 	return w
 }
 
+// acquire claims a free dispatch lane, returning it with its reserved
+// dispatcher slot id; nil means every lane is busy (or the caller is
+// nested inside its own dispatch) and the job must run inline.
+func (p *Pool) acquire() (*lane, int) {
+	for i := range p.lanes {
+		if p.lanes[i].mu.TryLock() {
+			return &p.lanes[i], i
+		}
+	}
+	return nil, 0
+}
+
 // Run executes body over [0,n); see the package-level Run.
 func (p *Pool) Run(n int, body func(lo, hi int)) {
 	p.runWidth(p.width(n), n, body)
@@ -192,34 +248,50 @@ func (p *Pool) runWidth(width, n int, body func(lo, hi int)) {
 	if nb := NumBlocks(n); width > nb {
 		width = nb
 	}
-	if width <= 1 || !p.mu.TryLock() {
+	var l *lane
+	var laneSlot int
+	if width > 1 {
+		l, laneSlot = p.acquire()
+	}
+	if l == nil {
 		if n > 0 {
 			body(0, n)
 		}
 		return
 	}
-	defer p.mu.Unlock()
-	p.run = body
-	p.dispatch(width, n, jobRun)
-	p.run = nil
-	p.rethrow()
+	l.run = body
+	p.dispatch(l, laneSlot, width, n, jobRun)
+	l.run = nil
+	r, panicked := l.takePanic()
+	l.mu.Unlock()
+	if panicked {
+		panic(r)
+	}
 }
 
 // RunIndexed executes body with worker-slot ids; see the package-level
 // RunIndexed.
 func (p *Pool) RunIndexed(n int, body func(slot, lo, hi int)) {
 	width := p.width(n)
-	if width <= 1 || !p.mu.TryLock() {
+	var l *lane
+	var laneSlot int
+	if width > 1 {
+		l, laneSlot = p.acquire()
+	}
+	if l == nil {
 		if n > 0 {
 			body(0, 0, n)
 		}
 		return
 	}
-	defer p.mu.Unlock()
-	p.indexed = body
-	p.dispatch(width, n, jobIndexed)
-	p.indexed = nil
-	p.rethrow()
+	l.indexed = body
+	p.dispatch(l, laneSlot, width, n, jobIndexed)
+	l.indexed = nil
+	r, panicked := l.takePanic()
+	l.mu.Unlock()
+	if panicked {
+		panic(r)
+	}
 }
 
 // ReduceSum computes a deterministic blocked sum; see the package-level
@@ -231,7 +303,12 @@ func (p *Pool) ReduceSum(n int, partial func(lo, hi int) float64) float64 {
 	block := BlockSize(n)
 	nb := (n + block - 1) / block
 	width := p.width(n)
-	if width <= 1 || nb <= 1 || !p.mu.TryLock() {
+	var l *lane
+	var laneSlot int
+	if width > 1 && nb > 1 {
+		l, laneSlot = p.acquire()
+	}
+	if l == nil {
 		var sum float64
 		for b := 0; b < nb; b++ {
 			lo := b * block
@@ -243,107 +320,213 @@ func (p *Pool) ReduceSum(n int, partial func(lo, hi int) float64) float64 {
 		}
 		return sum
 	}
-	defer p.mu.Unlock()
-	if cap(p.partials) < nb {
-		p.partials = make([]float64, nb)
+	if cap(l.partials) < nb {
+		l.partials = make([]float64, nb)
 	}
-	p.partials = p.partials[:nb]
-	p.partial = partial
-	p.dispatch(width, n, jobReduce)
-	p.partial = nil
-	p.rethrow()
+	l.partials = l.partials[:nb]
+	l.partial = partial
+	p.dispatch(l, laneSlot, width, n, jobReduce)
+	l.partial = nil
 	var sum float64
-	for _, v := range p.partials {
+	for _, v := range l.partials {
 		sum += v
+	}
+	r, panicked := l.takePanic()
+	l.mu.Unlock()
+	if panicked {
+		panic(r)
 	}
 	return sum
 }
 
-// dispatch publishes the job, wakes width-1 parked workers, works as
-// slot 0, and waits for completion. Caller holds p.mu and has stored
-// the job function.
-func (p *Pool) dispatch(width, n int, kind jobKind) {
+// dispatch publishes the job on the lane, wakes up to width-1 parked
+// workers, works with the lane's dispatcher slot, then closes the job
+// and waits for any still-joined workers to drain. Caller holds l.mu
+// and has stored the job function.
+func (p *Pool) dispatch(l *lane, laneSlot, width, n int, kind jobKind) {
 	p.ensure(width - 1)
-	p.kind = kind
-	p.n = n
-	p.block = BlockSize(n)
-	p.nblocks = int32(NumBlocks(n))
-	p.cursor.Store(0)
-	p.wg.Add(width - 1)
-	for i := 0; i < width-1; i++ {
-		p.wake[i] <- struct{}{}
+	if l.done == nil {
+		l.done = make(chan struct{}, 1)
 	}
-	p.work(0)
-	p.wg.Wait()
+	l.kind = kind
+	l.n = n
+	l.block = BlockSize(n)
+	l.nblocks = int32(NumBlocks(n))
+	l.cursor.Store(0)
+	l.participants.Store(1)
+	l.active.Store(true)
+	p.seq.Add(1)
+	p.wakeIdle(width - 1)
+	l.work(laneSlot)
+	l.active.Store(false)
+	if l.participants.Add(-1) > 0 {
+		<-l.done
+	}
 }
 
 // ensure spawns background workers until k are available. Workers are
 // never torn down; they park on their wake channel between jobs.
 func (p *Pool) ensure(k int) {
+	p.idleMu.Lock()
 	for len(p.wake) < k {
-		slot := len(p.wake) + 1
+		idx := len(p.wake)
 		ch := make(chan struct{}, 1)
 		p.wake = append(p.wake, ch)
-		go p.worker(slot, ch)
+		go p.worker(idx, ch)
 	}
-	if s := int32(len(p.wake) + 1); p.slots.Load() < s {
+	if s := int32(numLanes + len(p.wake)); p.slots.Load() < s {
 		p.slots.Store(s)
 	}
+	p.idleMu.Unlock()
 }
 
-func (p *Pool) worker(slot int, wake chan struct{}) {
-	for range wake {
-		p.work(slot)
-		p.wg.Done()
+// wakeIdle pops up to k parked workers and sends each its wake token.
+// The channels are buffered and a worker is on the idle list only when
+// no token is outstanding, so the sends never block.
+func (p *Pool) wakeIdle(k int) {
+	if k <= 0 {
+		return
+	}
+	p.idleMu.Lock()
+	for k > 0 && len(p.idle) > 0 {
+		idx := p.idle[len(p.idle)-1]
+		p.idle = p.idle[:len(p.idle)-1]
+		p.wake[idx] <- struct{}{}
+		k--
+	}
+	p.idleMu.Unlock()
+}
+
+// unregister removes a worker from the idle list, reporting whether it
+// was still there. False means a wakeIdle popped it concurrently and a
+// token is in flight on its channel.
+func (p *Pool) unregister(idx int) bool {
+	p.idleMu.Lock()
+	defer p.idleMu.Unlock()
+	for i, v := range p.idle {
+		if v == idx {
+			p.idle[i] = p.idle[len(p.idle)-1]
+			p.idle = p.idle[:len(p.idle)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// worker is the background worker loop: scan the lanes for open jobs,
+// and park when a full scan finds no blocks to claim. The seq check
+// closes the publish-vs-park race — a dispatch that published after the
+// pre-scan snapshot could have missed this worker on the idle list, so
+// the worker re-scans instead of parking.
+func (p *Pool) worker(idx int, wake chan struct{}) {
+	slot := numLanes + idx
+	for {
+		s := p.seq.Load()
+		if p.scan(slot) {
+			continue
+		}
+		p.idleMu.Lock()
+		p.idle = append(p.idle, idx)
+		p.idleMu.Unlock()
+		if p.seq.Load() != s && p.unregister(idx) {
+			continue
+		}
+		<-wake
 	}
 }
 
-// work claims blocks until the cursor runs out. A panic in the body is
-// captured (first wins) and re-thrown on the dispatcher goroutine, so
-// the coupler's supervisor sees worker crashes exactly like serial
-// ones.
-func (p *Pool) work(slot int) {
-	defer p.capture()
+// scan visits every lane once, joining any open job and claiming its
+// remaining blocks. Reports whether at least one block was executed.
+func (p *Pool) scan(slot int) bool {
+	worked := false
+	for i := range p.lanes {
+		l := &p.lanes[i]
+		if !l.join() {
+			continue
+		}
+		if l.work(slot) {
+			worked = true
+		}
+		l.leave()
+	}
+	return worked
+}
+
+// join enters an open job: the participant count is raised only while
+// it is nonzero (the dispatcher still holds its own count) and the job
+// is active, so a joiner can never attach to a closed or drained job.
+// The re-check after the CAS undoes a join that raced the close.
+func (l *lane) join() bool {
 	for {
-		b := p.cursor.Add(1) - 1
-		if b >= p.nblocks {
-			return
+		c := l.participants.Load()
+		if c == 0 || !l.active.Load() {
+			return false
 		}
-		lo := int(b) * p.block
-		hi := lo + p.block
-		if hi > p.n {
-			hi = p.n
+		if l.participants.CompareAndSwap(c, c+1) {
+			if l.active.Load() {
+				return true
+			}
+			l.leave()
+			return false
 		}
-		switch p.kind {
+	}
+}
+
+// leave drops a participant; whoever reaches zero after the dispatcher
+// closed the job signals the drain.
+func (l *lane) leave() {
+	if l.participants.Add(-1) == 0 {
+		l.done <- struct{}{}
+	}
+}
+
+// work claims blocks until the cursor runs out, reporting whether any
+// block was claimed. A panic in the body is captured (first wins) and
+// re-thrown on the dispatcher goroutine, so the coupler's supervisor
+// sees worker crashes exactly like serial ones.
+func (l *lane) work(slot int) (claimed bool) {
+	defer l.capture()
+	for {
+		b := l.cursor.Add(1) - 1
+		if b >= l.nblocks {
+			return claimed
+		}
+		claimed = true
+		lo := int(b) * l.block
+		hi := lo + l.block
+		if hi > l.n {
+			hi = l.n
+		}
+		switch l.kind {
 		case jobRun:
-			p.run(lo, hi)
+			l.run(lo, hi)
 		case jobIndexed:
-			p.indexed(slot, lo, hi)
+			l.indexed(slot, lo, hi)
 		default:
-			p.partials[b] = p.partial(lo, hi)
+			l.partials[b] = l.partial(lo, hi)
 		}
 	}
 }
 
 // capture records the first panic of a job.
-func (p *Pool) capture() {
+func (l *lane) capture() {
 	r := recover()
 	if r == nil {
 		return
 	}
-	p.pmu.Lock()
-	if !p.panicSet {
-		p.panicked, p.panicSet = r, true
+	l.pmu.Lock()
+	if !l.panicSet {
+		l.panicked, l.panicSet = r, true
 	}
-	p.pmu.Unlock()
+	l.pmu.Unlock()
 }
 
-// rethrow re-panics on the dispatcher after all workers finished.
-func (p *Pool) rethrow() {
-	if !p.panicSet {
-		return
-	}
-	r := p.panicked
-	p.panicked, p.panicSet = nil, false
-	panic(r)
+// takePanic returns and clears the job's captured panic, if any; the
+// dispatcher re-panics after releasing the lane.
+func (l *lane) takePanic() (any, bool) {
+	l.pmu.Lock()
+	r, set := l.panicked, l.panicSet
+	l.panicked, l.panicSet = nil, false
+	l.pmu.Unlock()
+	return r, set
 }

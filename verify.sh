@@ -41,8 +41,17 @@ go test -race -short ./...
 go test -race ./internal/sched/... ./internal/par/... ./internal/exec/... ./internal/coupler/... ./internal/fault/...
 go test ./...
 # Chaos smoke: a supervised run with injected faults must complete with
-# conservation intact (tiny grid; exercises crash, rollback, retry).
+# conservation intact (tiny grid; exercises crash, rollback, retry; the
+# coupling window overlapped — the default).
 go run ./cmd/esmrun -hours 0.5 -grid 1 -atmlev 5 -oclev 4 -chaos seed=1
+# Determinism smoke: the overlapped and the serialised coupling window
+# must produce byte-for-byte identical conservation fingerprints (the CI
+# determinism job runs the full workers × overlap matrix).
+SUMS_DIR="$(mktemp -d)"
+go run ./cmd/esmrun -hours 0.5 -overlap=true -sums "$SUMS_DIR/on.txt" > /dev/null
+go run ./cmd/esmrun -hours 0.5 -overlap=false -sums "$SUMS_DIR/off.txt" > /dev/null
+cmp "$SUMS_DIR/on.txt" "$SUMS_DIR/off.txt"
+rm -rf "$SUMS_DIR"
 # Perf gate: rerun the benchmark suite and compare against the latest
 # committed BENCH_<n>.json (tolerances live in internal/bench/compare.go).
 go run ./cmd/benchgate gate -count 3

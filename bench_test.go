@@ -588,6 +588,37 @@ func BenchmarkSupervisedWindow(b *testing.B) {
 	b.ReportMetric(float64(rep.CheckpointNs)/float64(b.N), "checkpoint_ns_per_window")
 }
 
+// BenchmarkDurableCheckpointWindow measures the durable (fsynced,
+// generation-manifest) checkpoint lane in its production shape: async,
+// overlapped with the next coupling window. durable_ckpt_ns_per_window is
+// the UNHIDDEN per-window cost — the join of the previous write plus the
+// snapshot clone and dispatch — and ckpt_bytes_per_window the durable
+// payload published per window; both are gated (compare.go).
+func BenchmarkDurableCheckpointWindow(b *testing.B) {
+	sim, err := NewSimulation(Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "icoearth-durable")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	sv, err := coupler.NewSupervisor(sim.ES, coupler.SuperviseConfig{
+		Dir: dir, CheckpointEvery: 1, Async: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	rep, err := sv.Run(b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(rep.CheckpointNs)/float64(b.N), "durable_ckpt_ns_per_window")
+	b.ReportMetric(float64(rep.CheckpointBytes)/float64(b.N), "ckpt_bytes_per_window")
+}
+
 // BenchmarkRecovery measures one full fault-recovery cycle: a window that
 // crashes, rolls back to the last checkpoint and is retried to success.
 func BenchmarkRecovery(b *testing.B) {

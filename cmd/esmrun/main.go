@@ -7,6 +7,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -22,10 +23,38 @@ import (
 	"icoearth/internal/trace"
 )
 
+// Sentinel failure classes, each mapped to its own exit code so automation
+// wrapped around esmrun (CI, schedulers, restart scripts) can tell "nothing
+// to resume" from "resume data destroyed" from "the simulation itself died".
+var (
+	errResumeMissing = errors.New("esmrun: resume directory missing")
+	errSimFault      = errors.New("esmrun: simulation fault unrecovered")
+)
+
+// Exit codes beyond the generic 1.
+const (
+	exitResumeMissing = 3 // -resume target absent, or no generation ever published
+	exitAllCorrupt    = 4 // generations exist but every one failed validation
+	exitSimFault      = 5 // supervised run failed beyond all retries/degradations
+)
+
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, errResumeMissing), errors.Is(err, restart.ErrNoCheckpoint):
+		return exitResumeMissing
+	case errors.Is(err, restart.ErrCorrupt):
+		return exitAllCorrupt
+	case errors.Is(err, errSimFault):
+		return exitSimFault
+	}
+	return 1
+}
+
 func main() {
 	log.SetFlags(0)
 	if err := run(os.Args[1:], os.Stdout); err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		os.Exit(exitCode(err))
 	}
 }
 
@@ -43,7 +72,15 @@ func run(args []string, out io.Writer) error {
 		bgcConc = fs.Bool("bgc-concurrent", false, "run biogeochemistry concurrently on its own GPU device")
 		noGraph = fs.Bool("no-graphs", false, "disable CUDA-Graph capture for land kernels")
 		ckpt    = fs.String("checkpoint", "", "directory to write a restart at the end")
-		chaos   = fs.String("chaos", "",
+		ckptDir = fs.String("ckpt-dir", "",
+			"durable checkpoint store: run supervised, publishing a fsynced checkpoint generation every coupling window (overlapped with the next window); kill the process at any instant and -resume continues bit-identically")
+		resume = fs.String("resume", "",
+			"resume from the newest valid generation of a durable checkpoint store (written with -ckpt-dir) and keep checkpointing into it")
+		crashAt = fs.String("crash-at", "",
+			"self-SIGKILL at a kill point (window=N or write=SITE[:N]) — crash-harness testing of the durable store")
+		report = fs.String("report", "",
+			"write the supervised RunReport as JSON to this file (written even when the run fails; the failure is recorded in it)")
+		chaos = fs.String("chaos", "",
 			"run under the fault-injecting supervisor: seed=N[,plan=crash@1:dycore;nan@2:atm.qv;...] (empty plan = auto)")
 		chaosReport = fs.String("chaos-report", "", "write the chaos RunReport as JSON to this file")
 		traceOut    = fs.String("trace", "",
@@ -51,6 +88,15 @@ func run(args []string, out io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *chaos != "" && (*ckptDir != "" || *resume != "") {
+		return fmt.Errorf("esmrun: -chaos already supervises with its own checkpoint dir (-checkpoint); it cannot combine with -ckpt-dir/-resume")
+	}
+	if *ckptDir != "" && *resume != "" {
+		return fmt.Errorf("esmrun: -resume continues checkpointing into its own store; drop -ckpt-dir")
+	}
+	if *crashAt != "" && *ckptDir == "" && *resume == "" {
+		return fmt.Errorf("esmrun: -crash-at needs a durable run (-ckpt-dir or -resume)")
 	}
 
 	sim, err := icoearth.NewSimulation(icoearth.Options{
@@ -76,6 +122,12 @@ func run(args []string, out io.Writer) error {
 
 	if *chaos != "" {
 		if err := runChaos(sim, *chaos, *chaosReport, *hours, *ckpt, tr, *traceOut, out); err != nil {
+			return err
+		}
+		return writeSums(sim, *sums)
+	}
+	if *ckptDir != "" || *resume != "" {
+		if err := runDurable(sim, *ckptDir, *resume, *crashAt, *report, *hours, tr, *traceOut, out); err != nil {
 			return err
 		}
 		return writeSums(sim, *sums)
@@ -147,6 +199,103 @@ func writeTrace(tr *trace.Tracer, path string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "\n%s", tr.Summary())
 	fmt.Fprintf(out, "trace: %s (load in chrome://tracing)\n", path)
+	return nil
+}
+
+// runDurable executes (or resumes) the simulation under the supervisor
+// with the durable generation store at dir: a fsynced checkpoint
+// generation every coupling window, the disk work overlapped with the
+// next window. A resumed run restores the newest generation that
+// validates and continues on the uninterrupted run's exact trajectory
+// (same -sums fingerprint). The RunReport is written even on failure,
+// with the failure recorded in it.
+func runDurable(sim *icoearth.Simulation, ckptDir, resumeDir, crashAt, reportPath string, hours float64, tr *trace.Tracer, tracePath string, out io.Writer) error {
+	es := sim.ES
+	total := int(math.Ceil(hours * 3600 / es.Cfg.CouplingDt))
+	if total < 1 {
+		total = 1
+	}
+	dir := ckptDir
+	if resumeDir != "" {
+		dir = resumeDir
+		// Stat before NewSupervisor: opening the store would create the
+		// directory and turn "nothing to resume" into an empty store.
+		if fi, err := os.Stat(resumeDir); err != nil || !fi.IsDir() {
+			return fmt.Errorf("%w: %s", errResumeMissing, resumeDir)
+		}
+	}
+	cfg := coupler.SuperviseConfig{
+		Dir:             dir,
+		CheckpointEvery: 1,
+		WindowDeadline:  30 * time.Second,
+		Async:           true,
+	}
+	if crashAt != "" {
+		ks, err := fault.ParseKillSpec(crashAt)
+		if err != nil {
+			return err
+		}
+		ks.Arm(&cfg)
+	}
+	sv, err := coupler.NewSupervisor(es, cfg)
+	if err != nil {
+		return err
+	}
+	writeReport := func(rep *coupler.RunReport) error {
+		if reportPath == "" {
+			return nil
+		}
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(reportPath, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "report: %s\n", reportPath)
+		return nil
+	}
+
+	if resumeDir != "" {
+		snap, meta, rejected, err := sv.Store().LoadNewest()
+		for _, r := range rejected {
+			fmt.Fprintf(out, "resume: rejected generation %d: %s\n", r.Seq, r.Reason)
+		}
+		if err == nil {
+			err = es.ApplySnapshot(snap)
+		}
+		if err != nil {
+			err = fmt.Errorf("esmrun: resume from %s: %w", resumeDir, err)
+			rep := sv.Report()
+			rep.Failure = err.Error()
+			if werr := writeReport(rep); werr != nil {
+				return werr
+			}
+			return err
+		}
+		fmt.Fprintf(out, "resume: window %d restored from generation %d (%d windows to go)\n",
+			meta.Window, meta.Seq, total-es.Windows())
+	}
+
+	remaining := total - es.Windows()
+	if remaining < 0 {
+		remaining = 0
+	}
+	wall0 := time.Now()
+	rep, runErr := sv.Run(remaining)
+	fmt.Fprintf(out, "durable: %d checkpoints, %.1f MiB published, ckpt lane %.1f ms, %d rollbacks\n",
+		rep.Checkpoints, float64(rep.CheckpointBytes)/(1<<20), float64(rep.CheckpointNs)/1e6, rep.Rollbacks)
+	if err := writeReport(rep); err != nil {
+		return err
+	}
+	if err := writeTrace(tr, tracePath, out); err != nil {
+		return err
+	}
+	if runErr != nil {
+		return fmt.Errorf("%w: %v", errSimFault, runErr)
+	}
+	fmt.Fprintf(out, "durable run completed: %d windows, water drift %.2e, carbon drift %.2e, wall %.1fs\n",
+		es.Windows(), rep.WaterDrift, rep.CarbonDrift, time.Since(wall0).Seconds())
 	return nil
 }
 
@@ -225,7 +374,7 @@ func runChaos(sim *icoearth.Simulation, spec, reportPath string, hours float64, 
 		return err
 	}
 	if runErr != nil {
-		return fmt.Errorf("chaos run did not survive: %w", runErr)
+		return fmt.Errorf("%w: chaos run did not survive: %v", errSimFault, runErr)
 	}
 	fmt.Fprintf(out, "chaos run completed: %d windows, water drift %.2e, carbon drift %.2e, τ %.1f, wall %.1fs\n",
 		rep.Windows, rep.WaterDrift, rep.CarbonDrift, sim.Tau(), time.Since(wall0).Seconds())

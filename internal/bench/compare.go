@@ -103,6 +103,17 @@ var GatedCustomMetrics = map[string]Policy{
 	// regression that makes the atmosphere wait a twentieth of its time
 	// gates.
 	"atm_wait_frac": {Direction: LowerIsBetter, Tolerance: 0.50, MinAbs: 0.05},
+	// durable_ckpt_ns_per_window is the unhidden per-window cost of the
+	// durable checkpoint lane (BenchmarkDurableCheckpointWindow): the join
+	// of the previous overlapped write plus snapshot clone and dispatch.
+	// Disk latency is jittery, so the band is wide and sub-0.5 ms medians
+	// stay ungated; losing the overlap entirely (the join absorbing the
+	// full fsynced write) gates.
+	"durable_ckpt_ns_per_window": {Direction: LowerIsBetter, Tolerance: 0.50, MinAbs: 5e5, Scale: TimeScaled},
+	// ckpt_bytes_per_window is the durable payload published per window —
+	// a machine-independent count, tight band: snapshot bloat is a code
+	// change, not noise. MinAbs keeps sub-64KiB test payloads ungated.
+	"ckpt_bytes_per_window": {Direction: LowerIsBetter, Tolerance: 0.10, MinAbs: 1 << 16},
 }
 
 // PolicyFor resolves the gating rule for a metric unit.

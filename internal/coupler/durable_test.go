@@ -1,0 +1,160 @@
+package coupler
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// supervisedTotals runs a fresh system n windows under supervision with
+// the given config mutations and returns the conserved totals.
+func supervisedTotals(t *testing.T, n int, mutate func(*SuperviseConfig)) (water, carbon float64) {
+	t.Helper()
+	es := newTestSystem(t, nil)
+	cfg := SuperviseConfig{Dir: t.TempDir()}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	sv, err := NewSupervisor(es, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sv.Run(n); err != nil {
+		t.Fatal(err)
+	}
+	return es.TotalWater(), es.TotalCarbon()
+}
+
+// TestSupervisorAsyncMatchesSyncMatchesBare: overlapped durable
+// checkpointing must not perturb the trajectory — async, sync, and a bare
+// unsupervised run land on exactly the same conserved totals.
+func TestSupervisorAsyncMatchesSyncMatchesBare(t *testing.T) {
+	refW, refC := faultFreeRun(t, 3)
+	syncW, syncC := supervisedTotals(t, 3, nil)
+	asyncW, asyncC := supervisedTotals(t, 3, func(cfg *SuperviseConfig) { cfg.Async = true })
+	if syncW != refW || syncC != refC {
+		t.Errorf("sync supervised trajectory differs: water %v vs %v, carbon %v vs %v",
+			syncW, refW, syncC, refC)
+	}
+	if asyncW != refW || asyncC != refC {
+		t.Errorf("async supervised trajectory differs: water %v vs %v, carbon %v vs %v",
+			asyncW, refW, asyncC, refC)
+	}
+}
+
+// TestSupervisorAsyncReportsCheckpoints: with overlap on, every published
+// generation is still counted (at the join) and the payload accounted.
+func TestSupervisorAsyncReportsCheckpoints(t *testing.T) {
+	es := newTestSystem(t, nil)
+	hooked := 0
+	cfg := SuperviseConfig{Dir: t.TempDir(), Async: true}
+	cfg.Hooks.AfterCheckpoint = func(dir string, window int) {
+		hooked++
+		// The hook must only ever see a fully published generation.
+		if _, err := os.Stat(filepath.Join(dir, "MANIFEST")); err != nil {
+			t.Errorf("hook fired before manifest published: %v", err)
+		}
+	}
+	sv, err := NewSupervisor(es, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sv.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Checkpoints != 3 || hooked != 3 {
+		t.Errorf("checkpoints %d, hook fired %d, want 3/3", rep.Checkpoints, hooked)
+	}
+	if rep.CheckpointBytes <= 0 {
+		t.Errorf("CheckpointBytes = %d", rep.CheckpointBytes)
+	}
+}
+
+// TestSupervisorResumeBitIdentical is the tentpole property in-process: a
+// run killed after k windows and resumed from its durable store continues
+// on EXACTLY the uninterrupted trajectory — equality is ==, not a
+// tolerance. The resumed system is a fresh EarthSystem (fresh process
+// analogue); only the checkpoint directory survives.
+func TestSupervisorResumeBitIdentical(t *testing.T) {
+	const total, killAfter = 5, 2
+	refW, refC := faultFreeRun(t, total)
+	for _, async := range []bool{false, true} {
+		dir := t.TempDir()
+		es1 := newTestSystem(t, nil)
+		sv1, err := NewSupervisor(es1, SuperviseConfig{Dir: dir, Async: async})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sv1.Run(killAfter); err != nil {
+			t.Fatal(err)
+		}
+		// "Process death": es1 and sv1 are abandoned. A new process opens
+		// the store, restores the newest generation, and keeps going.
+		es2 := newTestSystem(t, nil)
+		sv2, err := NewSupervisor(es2, SuperviseConfig{Dir: dir, Async: async})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap, meta, rejected, err := sv2.Store().LoadNewest()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rejected) != 0 {
+			t.Errorf("async=%v: clean store rejected generations: %+v", async, rejected)
+		}
+		if err := es2.ApplySnapshot(snap); err != nil {
+			t.Fatal(err)
+		}
+		if es2.Windows() != meta.Window {
+			t.Fatalf("async=%v: restored to window %d, manifest says %d", async, es2.Windows(), meta.Window)
+		}
+		if _, err := sv2.Run(total - es2.Windows()); err != nil {
+			t.Fatal(err)
+		}
+		if es2.Windows() != total {
+			t.Fatalf("async=%v: resumed run ended at window %d", async, es2.Windows())
+		}
+		if es2.TotalWater() != refW || es2.TotalCarbon() != refC {
+			t.Errorf("async=%v: resumed trajectory differs: water %x vs %x, carbon %x vs %x",
+				async, es2.TotalWater(), refW, es2.TotalCarbon(), refC)
+		}
+	}
+}
+
+// TestSupervisorAsyncWriteFailureSurfaces: when the durable write fails
+// mid-run (checkpoint root destroyed under the supervisor), the run fails
+// with the write's error in the report, and the background writer does
+// not leak.
+func TestSupervisorAsyncWriteFailureSurfaces(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	es := newTestSystem(t, nil)
+	dir := t.TempDir()
+	sv, err := NewSupervisor(es, SuperviseConfig{Dir: dir, Async: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := false
+	sv.cfg.Hooks.BeforeWindow = func(w int) {
+		if w == 1 && !broken {
+			broken = true
+			// Clobber the store root so the overlapped write for window 1
+			// fails: its gen dir cannot be created under a plain file.
+			if err := os.RemoveAll(dir); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(dir, []byte("x"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	rep, err := sv.Run(3)
+	if err == nil {
+		t.Fatal("run succeeded with a destroyed checkpoint store")
+	}
+	if rep.Completed || rep.Failure == "" {
+		t.Errorf("report after write failure: completed=%v failure=%q", rep.Completed, rep.Failure)
+	}
+	expectGoroutines(t, baseline)
+}

@@ -3,20 +3,23 @@
 // run" into "any fault loses at most one checkpoint interval". The
 // supervisor watches each coupling window with a wall-clock deadline and a
 // physics health check (finite state + conservation drift), checkpoints
-// periodically through internal/restart's validated multi-file format, and
-// recovers from failures by rolling back to the newest intact checkpoint
-// generation and retrying with exponential backoff. When retries keep
+// periodically through internal/restart's durable generation store
+// (fsynced write-temp-then-rename shards under a checksummed manifest, so
+// even a SIGKILL mid-write leaves an intact generation on disk), and
+// recovers from failures by rolling back to the newest generation that
+// validates and retrying with exponential backoff. When retries keep
 // failing it degrades the configuration in stages (serialise concurrent
 // BGC, halve the atmosphere timestep) before giving up, and reports
-// everything it did in a JSON-able RunReport.
+// everything it did in a JSON-able RunReport. With Async checkpointing the
+// fsync-heavy disk work runs on a background writer overlapped with the
+// next coupling window; the writer is joined before the snapshot buffers
+// are ever reused or read back.
 package coupler
 
 import (
 	"errors"
 	"fmt"
 	"math"
-	"os"
-	"path/filepath"
 	"time"
 
 	"icoearth/internal/restart"
@@ -67,6 +70,13 @@ type SuperviseConfig struct {
 	// tolerances for the health check (default 1e-6).
 	WaterDriftTol  float64
 	CarbonDriftTol float64
+	// Async overlaps the durable checkpoint write (fsync and all) with the
+	// next coupling window on a background writer. The snapshot handed to
+	// the writer is a deep clone, so the live state is free to step; the
+	// writer is joined before the next checkpoint, any rollback read, and
+	// run end. Determinism is unaffected — only wall-clock attribution
+	// moves from the window boundary into the join.
+	Async bool
 	// Clock supplies the supervisor's wall-clock readings (checkpoint and
 	// rollback cost attribution). Defaults to time.Now; tests inject a
 	// deterministic clock so RunReports are reproducible byte for byte.
@@ -94,8 +104,14 @@ type RunReport struct {
 	// reading generations back (including corrupt attempts), checksum
 	// verification, and state restoration — so recovery cost is fully
 	// attributed rather than folded into the window it interrupted.
-	CheckpointNs int64         `json:"checkpoint_ns"`
-	RollbackNs   int64         `json:"rollback_ns"`
+	CheckpointNs int64 `json:"checkpoint_ns"`
+	RollbackNs   int64 `json:"rollback_ns"`
+	// CheckpointBytes is the durable payload written across all published
+	// checkpoint generations (the bench gate's ckpt_bytes_per_window).
+	CheckpointBytes int64 `json:"checkpoint_bytes"`
+	// Failure carries the terminal error of an uncompleted run, so a
+	// RunReport read off disk explains itself without the process's stderr.
+	Failure      string        `json:"failure,omitempty"`
 	Faults       []EventRecord `json:"faults,omitempty"`
 	Degradations []EventRecord `json:"degradations,omitempty"`
 	FinalWater   float64       `json:"final_water_kg"`
@@ -134,22 +150,15 @@ func relDrift(now, ref float64) float64 {
 	return math.Abs(now-ref) / math.Abs(ref)
 }
 
-// ckptGen is one written checkpoint generation.
-type ckptGen struct {
-	dir    string
-	window int
-}
-
 // Supervisor drives an EarthSystem through coupling windows with
-// watchdog, checkpointing, rollback-and-retry and staged degradation.
+// watchdog, durable checkpointing, rollback-and-retry and staged
+// degradation.
 type Supervisor struct {
 	es  *EarthSystem
 	cfg SuperviseConfig
 	rep *RunReport
 
-	gens           [2]string
-	nextGen        int
-	ckpts          []ckptGen // valid generations, newest last
+	store          *restart.Store
 	lastCkptWindow int
 
 	refWater, refCarbon float64
@@ -189,19 +198,23 @@ func NewSupervisor(es *EarthSystem, cfg SuperviseConfig) (*Supervisor, error) {
 		// supervision layer; everything downstream goes through cfg.Clock.
 		cfg.Clock = time.Now //icovet:ignore nondetseed injected-clock seam: the default must read the real clock
 	}
-	sv := &Supervisor{
+	store, err := restart.OpenStore(cfg.Dir, 2)
+	if err != nil {
+		return nil, fmt.Errorf("coupler: opening checkpoint store: %w", err)
+	}
+	return &Supervisor{
 		es:             es,
 		cfg:            cfg,
 		rep:            &RunReport{StartWindow: es.Windows()},
+		store:          store,
 		lastCkptWindow: -1,
 		refWater:       es.TotalWater(),
 		refCarbon:      es.TotalCarbon(),
-	}
-	for i := range sv.gens {
-		sv.gens[i] = filepath.Join(cfg.Dir, fmt.Sprintf("gen%d", i))
-	}
-	return sv, nil
+	}, nil
 }
+
+// Store exposes the durable checkpoint store (esmrun resumes through it).
+func (sv *Supervisor) Store() *restart.Store { return sv.store }
 
 // Report returns the run report accumulated so far.
 func (sv *Supervisor) Report() *RunReport { return sv.rep }
@@ -221,7 +234,7 @@ func (sv *Supervisor) Run(nWindows int) (*RunReport, error) {
 		}
 		if sv.lastCkptWindow < 0 || w-sv.lastCkptWindow >= sv.cfg.CheckpointEvery {
 			if err := sv.checkpoint(w); err != nil {
-				return sv.finish(false), err
+				return sv.fail(err)
 			}
 		}
 		err := sv.stepWithDeadline()
@@ -235,21 +248,33 @@ func (sv *Supervisor) Run(nWindows int) (*RunReport, error) {
 		sv.rep.Faults = append(sv.rep.Faults, EventRecord{Window: w, Kind: classify(err), Detail: err.Error()})
 		sv.es.tkWin.InstantArg("supervisor:fault:"+classify(err), "window", int64(w))
 		if rbErr := sv.rollback(); rbErr != nil {
-			return sv.finish(false), fmt.Errorf("coupler: window %d failed (%v) and recovery failed: %w", w, err, rbErr)
+			return sv.fail(fmt.Errorf("coupler: window %d failed (%v) and recovery failed: %w", w, err, rbErr))
 		}
 		retries++
 		sv.rep.Retries++
 		sv.es.tkWin.InstantArg("supervisor:retry", "window", int64(w))
 		if retries > sv.cfg.MaxRetries {
 			if !sv.degrade(w) {
-				return sv.finish(false), fmt.Errorf("coupler: window %d unrecoverable after %d retries and all degradations: %w",
-					w, retries-1, err)
+				return sv.fail(fmt.Errorf("coupler: window %d unrecoverable after %d retries and all degradations: %w",
+					w, retries-1, err))
 			}
 			retries = 0
 		}
 		time.Sleep(sv.backoff(retries))
 	}
+	// Join the last window's overlapped checkpoint before declaring
+	// success: a run is only complete once its newest durable generation
+	// actually landed (or the write's failure is surfaced).
+	if err := sv.drainCkpt(); err != nil {
+		return sv.fail(fmt.Errorf("coupler: final checkpoint write failed: %w", err))
+	}
 	return sv.finish(true), nil
+}
+
+// fail records the terminal error in the report and closes it out.
+func (sv *Supervisor) fail(err error) (*RunReport, error) {
+	sv.rep.Failure = err.Error()
+	return sv.finish(false), err
 }
 
 // backoff returns the exponential wait before the given retry attempt.
@@ -299,9 +324,11 @@ func (sv *Supervisor) stepWithDeadline() error {
 	}
 }
 
-// checkpoint writes the current state into the next generation directory.
-// The whole operation — directory preparation and the multi-file write —
-// is charged to CheckpointNs.
+// checkpoint persists the current state as a new durable generation. The
+// whole operation is charged to CheckpointNs — in Async mode that is the
+// join of the previous window's write (the stall the overlap failed to
+// hide) plus the snapshot clone and dispatch; the disk work itself runs
+// under the background writer, overlapped with the next window.
 func (sv *Supervisor) checkpoint(window int) error {
 	t0 := sv.cfg.Clock()
 	ts := sv.es.tkWin.Start()
@@ -309,38 +336,59 @@ func (sv *Supervisor) checkpoint(window int) error {
 		sv.rep.CheckpointNs += sv.cfg.Clock().Sub(t0).Nanoseconds()
 		sv.es.tkWin.EndArg("supervisor:checkpoint", ts, "window", int64(window))
 	}()
-	dir := sv.gens[sv.nextGen]
-	sv.nextGen = (sv.nextGen + 1) % len(sv.gens)
-	if err := os.RemoveAll(dir); err != nil {
+	if err := sv.drainCkpt(); err != nil {
 		return err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	snap := sv.es.Snapshot()
+	if sv.cfg.Async {
+		// The snapshot references the live slices, which keep mutating as
+		// the next window steps — hand the writer a deep clone.
+		sv.store.WriteAsync(snap.Clone(), window, sv.cfg.NFiles)
+		sv.lastCkptWindow = window
+		return nil
+	}
+	n, dir, err := sv.store.Write(snap, window, sv.cfg.NFiles)
+	if err != nil {
 		return err
 	}
-	if _, err := restart.WriteMultiFile(sv.es.Snapshot(), dir, sv.cfg.NFiles); err != nil {
-		return err
-	}
-	sv.rep.Checkpoints++
+	sv.noteCkpt(dir, window, n)
 	sv.lastCkptWindow = window
-	// Drop any stale record of the generation just overwritten.
-	for i, g := range sv.ckpts {
-		if g.dir == dir {
-			sv.ckpts = append(sv.ckpts[:i], sv.ckpts[i+1:]...)
-			break
-		}
+	return nil
+}
+
+// drainCkpt joins the in-flight async checkpoint write, if any, recording
+// the published generation (and firing the AfterCheckpoint hook) on
+// success. With nothing in flight it is a no-op.
+func (sv *Supervisor) drainCkpt() error {
+	res := sv.store.WaitResult()
+	if res.Err != nil {
+		return res.Err
 	}
-	sv.ckpts = append(sv.ckpts, ckptGen{dir: dir, window: window})
-	if sv.cfg.Hooks.AfterCheckpoint != nil {
-		sv.cfg.Hooks.AfterCheckpoint(dir, window)
+	if res.Dir != "" {
+		sv.noteCkpt(res.Dir, res.Window, res.Bytes)
 	}
 	return nil
 }
 
+// noteCkpt accounts one published checkpoint generation. The hook fires
+// here — after the generation is durable, before it can ever be read
+// back — which in Async mode is the join, not the dispatch, so injected
+// checkpoint corruption (internal/fault) still always lands ahead of any
+// rollback read.
+func (sv *Supervisor) noteCkpt(dir string, window int, bytes int64) {
+	sv.rep.Checkpoints++
+	sv.rep.CheckpointBytes += bytes
+	if sv.cfg.Hooks.AfterCheckpoint != nil {
+		sv.cfg.Hooks.AfterCheckpoint(dir, window)
+	}
+}
+
 // rollback restores the newest checkpoint generation that validates,
-// dropping corrupt generations as it finds them. The whole recovery —
-// every read attempt (including ones rejected as corrupt), checksum
-// verification inside ReadMultiFile, and the state restoration — is
-// charged to RollbackNs, so recovery cost is fully attributed.
+// recording every generation the store rejected as corrupt. The whole
+// recovery — joining an in-flight write, every read attempt (including
+// ones rejected as corrupt), checksum verification, and the state
+// restoration — is charged to RollbackNs, so recovery cost is fully
+// attributed.
 func (sv *Supervisor) rollback() error {
 	t0 := sv.cfg.Clock()
 	ts := sv.es.tkWin.Start()
@@ -348,28 +396,33 @@ func (sv *Supervisor) rollback() error {
 		sv.rep.RollbackNs += sv.cfg.Clock().Sub(t0).Nanoseconds()
 		sv.es.tkWin.End("supervisor:rollback", ts)
 	}()
-	for len(sv.ckpts) > 0 {
-		g := sv.ckpts[len(sv.ckpts)-1]
-		snap, err := restart.ReadMultiFile(g.dir)
-		if err != nil {
-			if errors.Is(err, restart.ErrCorrupt) {
-				sv.rep.Faults = append(sv.rep.Faults, EventRecord{
-					Window: g.window, Kind: "checkpoint-corrupt", Detail: err.Error(),
-				})
-				sv.es.tkWin.InstantArg("supervisor:ckpt-corrupt", "window", int64(g.window))
-				sv.ckpts = sv.ckpts[:len(sv.ckpts)-1]
-				continue
-			}
-			return err
-		}
-		if err := sv.es.ApplySnapshot(snap); err != nil {
-			return err
-		}
-		sv.rep.Rollbacks++
-		sv.lastCkptWindow = g.window
-		return nil
+	// Join the overlapped write first: the newest generation must be fully
+	// published (and the corruption-injection hook fired) before recovery
+	// decides which generation to trust.
+	if err := sv.drainCkpt(); err != nil {
+		return fmt.Errorf("joining in-flight checkpoint: %w", err)
 	}
-	return fmt.Errorf("coupler: no intact checkpoint generation left: %w", restart.ErrCorrupt)
+	snap, meta, rejected, err := sv.store.LoadNewest()
+	for _, r := range rejected {
+		// Window -1: a generation rejected before its manifest validated
+		// has no trustworthy window number.
+		sv.rep.Faults = append(sv.rep.Faults, EventRecord{
+			Window: -1, Kind: "checkpoint-corrupt", Detail: r.Reason,
+		})
+		sv.es.tkWin.InstantArg("supervisor:ckpt-corrupt", "gen", int64(r.Seq))
+	}
+	if err != nil {
+		if errors.Is(err, restart.ErrCorrupt) || errors.Is(err, restart.ErrNoCheckpoint) {
+			return fmt.Errorf("coupler: no intact checkpoint generation left: %w", err)
+		}
+		return err
+	}
+	if err := sv.es.ApplySnapshot(snap); err != nil {
+		return err
+	}
+	sv.rep.Rollbacks++
+	sv.lastCkptWindow = meta.Window
+	return nil
 }
 
 // degrade applies the next degradation stage: first serialise a
@@ -402,8 +455,14 @@ func (sv *Supervisor) degrade(window int) bool {
 	return false
 }
 
-// finish stamps the final conservation numbers into the report.
+// finish stamps the final conservation numbers into the report. Any
+// checkpoint write still in flight on a failure path is joined here so no
+// writer goroutine outlives the run; a generation that did publish is
+// still counted.
 func (sv *Supervisor) finish(completed bool) *RunReport {
+	if res := sv.store.WaitResult(); res.Err == nil && res.Dir != "" {
+		sv.noteCkpt(res.Dir, res.Window, res.Bytes)
+	}
 	sv.rep.Completed = completed
 	sv.rep.Windows = sv.es.Windows() - sv.rep.StartWindow
 	sv.rep.FinalWater = sv.es.TotalWater()

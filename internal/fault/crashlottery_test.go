@@ -1,0 +1,201 @@
+package fault
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"syscall"
+	"testing"
+
+	"icoearth/internal/coupler"
+	"icoearth/internal/grid"
+	"icoearth/internal/machine"
+	"icoearth/internal/restart"
+	"icoearth/internal/sched"
+)
+
+// The crash lottery re-execs the test binary as a child that SIGKILLs
+// itself at a named point of a supervised run — a window boundary or a
+// durability barrier mid-checkpoint-write — then resumes from the durable
+// store left behind and asserts the finished trajectory is byte-for-byte
+// the uninterrupted one. The environment variables carry the lottery
+// ticket into the child.
+const (
+	crashSpecEnv    = "ICOEARTH_CRASH_SPEC"
+	crashDirEnv     = "ICOEARTH_CRASH_DIR"
+	crashWorkersEnv = "ICOEARTH_CRASH_WORKERS"
+	crashOverlapEnv = "ICOEARTH_CRASH_OVERLAP"
+	crashWindowsEnv = "ICOEARTH_CRASH_WINDOWS"
+)
+
+// lotteryWindows is the run length; every kill point must leave at least
+// one published generation behind (the first generation lands during
+// window 1), so window kills start at 2 and barrier occurrences start
+// past one full generation write.
+const lotteryWindows = 6
+
+// lotterySystem builds the lottery's tiny grid — the same scale as
+// verify.sh's chaos smoke — deterministically from (workers, overlap).
+func lotterySystem(workers int, overlap bool) *coupler.EarthSystem {
+	cfg := coupler.Config{
+		Res:         grid.R2B(1),
+		AtmLevels:   5,
+		OceanLevels: 4,
+		AtmDt:       120,
+		OceanDt:     600,
+		CouplingDt:  600,
+		LandGraphs:  true,
+		Workers:     workers,
+		NoOverlap:   !overlap,
+	}
+	return coupler.NewOnSuperchip(cfg, machine.GH200(680), 150)
+}
+
+// fingerprint renders the conserved totals exactly (hex floats — the same
+// encoding esmrun -sums uses), so equality below is bit-identity, not a
+// tolerance.
+func fingerprint(es *coupler.EarthSystem) string {
+	return fmt.Sprintf("windows %d total_water_kg %x total_carbon_kg %x",
+		es.Windows(), es.TotalWater(), es.TotalCarbon())
+}
+
+// TestCrashLotteryChild is not a test in its own right: it is the re-exec
+// body TestCrashLottery drives. Without a lottery ticket in the
+// environment it skips immediately.
+func TestCrashLotteryChild(t *testing.T) {
+	spec := os.Getenv(crashSpecEnv)
+	if spec == "" {
+		t.Skip("re-exec child body; driven by TestCrashLottery")
+	}
+	ks, err := ParseKillSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers, _ := strconv.Atoi(os.Getenv(crashWorkersEnv))
+	windows, _ := strconv.Atoi(os.Getenv(crashWindowsEnv))
+	es := lotterySystem(workers, os.Getenv(crashOverlapEnv) == "1")
+	cfg := coupler.SuperviseConfig{
+		Dir:             os.Getenv(crashDirEnv),
+		CheckpointEvery: 1,
+		Async:           true,
+	}
+	ks.Arm(&cfg)
+	sv, err := coupler.NewSupervisor(es, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sv.Run(windows); err != nil {
+		t.Fatalf("child run failed before the kill fired: %v", err)
+	}
+	t.Fatalf("kill spec %s never fired in %d windows", ks, windows)
+}
+
+func TestCrashLottery(t *testing.T) {
+	// The kill points: four window boundaries, and barrier occurrences
+	// chosen so every durability site is hit at least twice, including
+	// deep into the run (occurrence numbers count ALL firings; with the
+	// default 3 shards a generation fires shard-temp 3 times, each other
+	// barrier once).
+	kills := []string{
+		"window=2",
+		"window=3",
+		"window=4",
+		"window=5",
+		"write=shard-temp:4",
+		"write=shard-temp:5",
+		"write=shard-temp:8",
+		"write=shard-temp:12",
+		"write=manifest-temp:2",
+		"write=manifest-temp:4",
+		"write=manifest-published:2",
+		"write=manifest-published:4",
+	}
+	if testing.Short() {
+		// Smoke: one torn-write kill, one window kill.
+		kills = []string{"write=manifest-temp:2", "window=3"}
+	}
+	matrix := []struct {
+		workers int
+		overlap bool
+	}{
+		{1, true}, {4, false}, {1, false}, {4, true},
+	}
+	defer sched.SetWorkers(0)
+
+	// One uninterrupted reference per (workers, overlap) combination —
+	// bare StepWindow loops, no supervisor, so the comparison target is
+	// the plain model trajectory.
+	refs := map[string]string{}
+	for _, m := range matrix {
+		es := lotterySystem(m.workers, m.overlap)
+		for i := 0; i < lotteryWindows; i++ {
+			if err := es.StepWindow(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		refs[fmt.Sprintf("w%d-ov%v", m.workers, m.overlap)] = fingerprint(es)
+	}
+
+	for i, kill := range kills {
+		m := matrix[i%len(matrix)]
+		key := fmt.Sprintf("w%d-ov%v", m.workers, m.overlap)
+		t.Run(kill+"/"+key, func(t *testing.T) {
+			dir := t.TempDir()
+			cmd := exec.Command(os.Args[0], "-test.run=^TestCrashLotteryChild$", "-test.v")
+			cmd.Env = append(os.Environ(),
+				crashSpecEnv+"="+kill,
+				crashDirEnv+"="+dir,
+				crashWorkersEnv+"="+strconv.Itoa(m.workers),
+				crashOverlapEnv+"="+map[bool]string{true: "1", false: "0"}[m.overlap],
+				crashWindowsEnv+"="+strconv.Itoa(lotteryWindows),
+			)
+			out, err := cmd.CombinedOutput()
+			if err == nil {
+				t.Fatalf("child survived its own kill point:\n%s", out)
+			}
+			exitErr, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("re-exec failed: %v\n%s", err, out)
+			}
+			ws, ok := exitErr.Sys().(syscall.WaitStatus)
+			if !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+				t.Fatalf("child did not die by SIGKILL: %v\n%s", err, out)
+			}
+
+			// Resume: a fresh system (fresh process analogue) restores the
+			// newest valid generation the dead child left behind and runs to
+			// the target window count.
+			es := lotterySystem(m.workers, m.overlap)
+			sv, err := coupler.NewSupervisor(es, coupler.SuperviseConfig{
+				Dir: dir, CheckpointEvery: 1, Async: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap, meta, rejected, err := sv.Store().LoadNewest()
+			if err != nil {
+				t.Fatalf("no resumable generation after %s: %v", kill, err)
+			}
+			for _, r := range rejected {
+				t.Logf("rejected generation %d: %s", r.Seq, r.Reason)
+			}
+			if err := es.ApplySnapshot(snap); err != nil {
+				t.Fatal(err)
+			}
+			if meta.Window != es.Windows() {
+				t.Fatalf("manifest window %d but restored state at window %d", meta.Window, es.Windows())
+			}
+			if _, err := sv.Run(lotteryWindows - es.Windows()); err != nil {
+				t.Fatalf("resumed run failed: %v", err)
+			}
+			if got := fingerprint(es); got != refs[key] {
+				t.Errorf("resumed trajectory diverged after %s:\n  got  %s\n  want %s", kill, got, refs[key])
+			}
+		})
+	}
+
+	// restart's kill hook is process-global state; detach it so later
+	// tests in this binary cannot trip a stale barrier counter.
+	restart.SetKillHook(nil)
+}

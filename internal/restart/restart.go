@@ -57,6 +57,19 @@ func NewSnapshot() *Snapshot {
 // Add registers a field (the slice is referenced, not copied).
 func (s *Snapshot) Add(name string, data []float64) { s.Fields[name] = data }
 
+// Clone returns a deep copy of the snapshot. The durable store's async
+// writer needs one: the live slices a Snapshot references keep mutating
+// while the next coupling window runs, so the overlapped checkpoint write
+// must capture the state of its own window, not whatever the simulation
+// has advanced to by the time the disk catches up.
+func (s *Snapshot) Clone() *Snapshot {
+	out := &Snapshot{Fields: make(map[string][]float64, len(s.Fields))}
+	for name, data := range s.Fields {
+		out.Fields[name] = append([]float64(nil), data...)
+	}
+	return out
+}
+
 // TotalBytes returns the payload size.
 func (s *Snapshot) TotalBytes() int64 {
 	var n int64
@@ -114,7 +127,16 @@ const magic = uint64(0x49434F4E52535432) // "ICONRST2"
 // file. Each file is written to a temporary name and renamed into place
 // (write-then-rename), so a crash mid-checkpoint never leaves a
 // half-written restart_*.bin behind. Returns the total bytes written.
+//
+// WriteMultiFile does NOT fsync — it is the fast path for in-run rollback
+// checkpoints whose loss costs one retry, not a campaign. The durable
+// store (Store.Write) layers fsync and a generation manifest on top for
+// checkpoints that must survive process death.
 func WriteMultiFile(s *Snapshot, dir string, nfiles int) (int64, error) {
+	return writeFiles(s, dir, nfiles, false)
+}
+
+func writeFiles(s *Snapshot, dir string, nfiles int, sync bool) (int64, error) {
 	if nfiles < 1 {
 		return 0, fmt.Errorf("restart: nfiles = %d", nfiles)
 	}
@@ -137,12 +159,19 @@ func WriteMultiFile(s *Snapshot, dir string, nfiles int) (int64, error) {
 			return total, err
 		}
 		n, err := writeFile(f, s, mine, uint64(nfiles), snapSum)
+		if err == nil && sync {
+			// Durability barrier: the payload must be on stable storage
+			// before the rename publishes the file, or a crash could leave
+			// a correctly-named shard with torn contents.
+			err = f.Sync()
+		}
 		cerr := f.Close()
 		total += n
 		if err == nil {
 			err = cerr
 		}
 		if err == nil {
+			killpoint("shard-temp")
 			err = os.Rename(tmp, path)
 		}
 		if err != nil {

@@ -38,12 +38,23 @@ go test -tags sdfgdebug ./internal/sdfg/
 # their full suites — pool stress, halo exchange, supervised recovery —
 # execute under the detector.
 go test -race -short ./...
-go test -race ./internal/sched/... ./internal/par/... ./internal/exec/... ./internal/coupler/... ./internal/fault/...
+go test -race ./internal/sched/... ./internal/par/... ./internal/exec/... ./internal/coupler/... ./internal/fault/... ./internal/restart/...
 go test ./...
 # Chaos smoke: a supervised run with injected faults must complete with
 # conservation intact (tiny grid; exercises crash, rollback, retry; the
 # coupling window overlapped — the default).
 go run ./cmd/esmrun -hours 0.5 -grid 1 -atmlev 5 -oclev 4 -chaos seed=1
+# Crash-resume smoke: a durable run SIGKILLed mid-checkpoint-write (a
+# torn manifest genuinely on disk) must resume to the exact fingerprint
+# of the uninterrupted durable run. The full seeded kill-point lottery
+# runs in `go test ./internal/fault/` above; this drives the esmrun CLI
+# path end to end.
+CKPT_DIR="$(mktemp -d)"
+go run ./cmd/esmrun -hours 0.5 -grid 1 -atmlev 5 -oclev 4 -ckpt-dir "$CKPT_DIR/ref" -sums "$CKPT_DIR/a.txt" > /dev/null
+! go run ./cmd/esmrun -hours 0.5 -grid 1 -atmlev 5 -oclev 4 -ckpt-dir "$CKPT_DIR/crash" -crash-at write=manifest-temp:2 > /dev/null
+go run ./cmd/esmrun -hours 0.5 -grid 1 -atmlev 5 -oclev 4 -resume "$CKPT_DIR/crash" -sums "$CKPT_DIR/b.txt" > /dev/null
+cmp "$CKPT_DIR/a.txt" "$CKPT_DIR/b.txt"
+rm -rf "$CKPT_DIR"
 # Determinism smoke: the overlapped and the serialised coupling window
 # must produce byte-for-byte identical conservation fingerprints (the CI
 # determinism job runs the full workers × overlap matrix).

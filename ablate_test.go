@@ -201,16 +201,26 @@ func BenchmarkAblateHaloAggregation(b *testing.B) {
 				w := par.NewWorld(nranks)
 				w.Run(func(c *par.Comm) {
 					p := d.Parts[c.Rank]
-					h := par.NewHaloExchanger(c, p)
+					h, err := par.NewHaloExchanger(c, p)
+					if err != nil {
+						b.Error(err)
+						return
+					}
 					fields := make([][]float64, nfields)
 					for f := range fields {
 						fields[f] = make([]float64, (len(p.Owner)+len(p.HaloCells))*nlev)
 					}
 					if aggregated {
-						h.ExchangeMany(fields, nlev)
+						if err := h.ExchangeMany(fields, nlev); err != nil {
+							b.Error(err)
+							return
+						}
 					} else {
 						for _, f := range fields {
-							h.Exchange(f, nlev)
+							if err := h.Exchange(f, nlev); err != nil {
+								b.Error(err)
+								return
+							}
 						}
 					}
 					if c.Rank == 0 {

@@ -19,6 +19,10 @@ import (
 	"icoearth"
 	"icoearth/internal/coupler"
 	"icoearth/internal/fault"
+	"icoearth/internal/grid"
+	"icoearth/internal/ocean"
+	"icoearth/internal/par"
+	"icoearth/internal/par/socket"
 	"icoearth/internal/restart"
 	"icoearth/internal/trace"
 )
@@ -85,9 +89,34 @@ func run(args []string, out io.Writer) error {
 		chaosReport = fs.String("chaos-report", "", "write the chaos RunReport as JSON to this file")
 		traceOut    = fs.String("trace", "",
 			"record a run trace and write Chrome trace-event JSON to this file (open in chrome://tracing or ui.perfetto.dev)")
+		ranks     = fs.Int("ranks", 1, "number of ranks; each owns a contiguous SFC shard of the ocean for the distributed barotropic solve (results are bit-identical at every rank count)")
+		transport = fs.String("transport", "inproc", "rank transport: inproc (goroutines + channels) or socket (one OS process per rank over unix sockets)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *ranks < 1 {
+		return fmt.Errorf("esmrun: -ranks %d: need at least 1", *ranks)
+	}
+	if *transport != "inproc" && *transport != "socket" {
+		return fmt.Errorf("esmrun: -transport %q: want inproc or socket", *transport)
+	}
+	if *ranks > 1 || *transport == "socket" {
+		if *chaos != "" || *ckptDir != "" || *resume != "" || *crashAt != "" ||
+			*traceOut != "" || *ckpt != "" || *report != "" || *chaosReport != "" {
+			return fmt.Errorf("esmrun: multi-rank runs drive the plain stepping loop only; drop -chaos/-ckpt-dir/-resume/-crash-at/-trace/-checkpoint/-report/-chaos-report")
+		}
+		opts := icoearth.Options{
+			GridLevel:         *gridLev,
+			AtmosphereLevels:  *atmLev,
+			OceanLevels:       *ocLev,
+			AtmosphereDt:      *atmDt,
+			BGCConcurrent:     *bgcConc,
+			DisableLandGraphs: *noGraph,
+			Workers:           *workers,
+			NoOverlap:         !*overlap,
+		}
+		return runRanks(opts, *ranks, *transport, *hours, *gridLev, *atmLev, *sums, out)
 	}
 	if *chaos != "" && (*ckptDir != "" || *resume != "") {
 		return fmt.Errorf("esmrun: -chaos already supervises with its own checkpoint dir (-checkpoint); it cannot combine with -ckpt-dir/-resume")
@@ -133,14 +162,39 @@ func run(args []string, out io.Writer) error {
 		return writeSums(sim, *sums)
 	}
 
+	if err := runSteps(sim, *hours, *gridLev, *atmLev, out); err != nil {
+		return err
+	}
+
+	if *ckpt != "" {
+		if err := os.MkdirAll(*ckpt, 0o755); err != nil {
+			return err
+		}
+		n, err := sim.Checkpoint(*ckpt, 4)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "checkpoint: %.1f MiB in %s\n", float64(n)/(1<<20), *ckpt)
+	}
+	if err := writeSums(sim, *sums); err != nil {
+		return err
+	}
+	return writeTrace(tr, *traceOut, out)
+}
+
+// runSteps drives the plain (unsupervised) stepping loop: six equal
+// chunks of simulated time with a diagnostics line after each, then the
+// conservation and energy summary. Shared by the single-process path and
+// every rank of a multi-rank run.
+func runSteps(sim *icoearth.Simulation, hours float64, gridLev, atmLev int, out io.Writer) error {
 	d0 := sim.Diagnostics()
 	fmt.Fprintf(out, "icoearth coupled Earth system — grid R2B%d (%d cells), %d atm levels\n",
-		*gridLev, sim.ES.G.NCells, *atmLev)
+		gridLev, sim.ES.G.NCells, atmLev)
 	fmt.Fprintf(out, "initial: water %.6g kg, carbon %.6g kg, CO2 %.0f ppm, SST %.1f °C\n",
 		d0.TotalWaterKg, d0.TotalCarbonKg, d0.AtmosCO2PPM, d0.MeanSST)
 
 	wall0 := time.Now()
-	step := time.Duration(*hours/6*float64(time.Hour)) + time.Second
+	step := time.Duration(hours/6*float64(time.Hour)) + time.Second
 	for i := 0; i < 6; i++ {
 		if err := sim.Run(step); err != nil {
 			return err
@@ -157,21 +211,92 @@ func run(args []string, out io.Writer) error {
 		d1.AtmWaitSeconds, d1.OceanWaitSecs, d1.AtmWaitFrac)
 	fmt.Fprintf(out, "energy (simulated): GPU %.3g J, CPU %.3g J; wall clock %.1fs\n",
 		d1.GPUEnergyJ, d1.CPUEnergyJ, time.Since(wall0).Seconds())
+	return nil
+}
 
-	if *ckpt != "" {
-		if err := os.MkdirAll(*ckpt, 0o755); err != nil {
-			return err
+// rankDeadline bounds every blocking par operation in a multi-rank run so
+// a wedged or dead peer surfaces as ErrRankLost instead of a hang.
+const rankDeadline = 2 * time.Minute
+
+// runRanks executes the stepping loop replicated across ranks with the
+// ocean's barotropic solve distributed: every rank holds the full model
+// state and steps it identically, while each CG iteration's dot products
+// and halo exchanges go through the rank communicator. Because the rank
+// cuts are block-aligned (ocean.AlignedCuts) and the reduction folds in
+// fixed rank order, the trajectory — and hence the -sums fingerprint — is
+// byte-identical to the 1-rank run at every rank count, over either
+// transport.
+//
+// With -transport socket the process re-execs itself once per rank
+// (children are detected via socket.ChildEnv); rank 0's stdout and the
+// -sums file come from the rank-0 child.
+func runRanks(opts icoearth.Options, ranks int, transport string, hours float64, gridLev, atmLev int, sums string, out io.Writer) error {
+	if transport == "inproc" {
+		w := par.NewWorld(ranks)
+		w.SetDeadline(rankDeadline)
+		errs := make([]error, ranks)
+		runErr := w.RunErr(func(c *par.Comm) {
+			errs[c.Rank] = rankBody(c, transport, opts, hours, gridLev, atmLev, sums, out)
+		})
+		return errors.Join(append(errs, runErr)...)
+	}
+
+	if rank, n, ok := socket.ChildEnv(); ok {
+		if n != ranks {
+			return fmt.Errorf("esmrun: rank %d launched for %d ranks but -ranks is %d", rank, n, ranks)
 		}
-		n, err := sim.Checkpoint(*ckpt, 4)
+		tp, err := socket.FromEnv(10 * time.Second)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "checkpoint: %.1f MiB in %s\n", float64(n)/(1<<20), *ckpt)
+		defer tp.Close()
+		var bodyErr error
+		runErr := par.RunTransport(tp, func(c *par.Comm) {
+			c.SetDeadline(rankDeadline)
+			bodyErr = rankBody(c, transport, opts, hours, gridLev, atmLev, sums, out)
+		})
+		return errors.Join(bodyErr, runErr)
 	}
-	if err := writeSums(sim, *sums); err != nil {
+	return socket.Launch(ranks, out, os.Stderr)
+}
+
+// rankBody is one rank's share of a multi-rank run: build the full
+// simulation, install the distributed barotropic solver over this rank's
+// SFC-contiguous shard, and step. Only rank 0 prints and writes -sums.
+func rankBody(c *par.Comm, transport string, opts icoearth.Options, hours float64, gridLev, atmLev int, sums string, out io.Writer) error {
+	sim, err := icoearth.NewSimulation(opts)
+	if err != nil {
 		return err
 	}
-	return writeTrace(tr, *traceOut, out)
+	s := sim.ES.Oc.State
+	cuts, err := ocean.AlignedCuts(s, c.Size())
+	if err != nil {
+		return err
+	}
+	dec, err := grid.DecomposeAt(sim.ES.G, cuts)
+	if err != nil {
+		return err
+	}
+	db, err := ocean.NewDistBarotropic(s, sim.ES.Oc.Dyn.Op.Dt, dec, c)
+	if err != nil {
+		return err
+	}
+	sim.ES.Oc.Dyn.Solver = db
+
+	ro := out
+	if c.Rank != 0 {
+		ro = io.Discard
+	}
+	if err := runSteps(sim, hours, gridLev, atmLev, ro); err != nil {
+		return err
+	}
+	if c.Rank != 0 {
+		return nil
+	}
+	lo, hi := db.CG.OwnedRange()
+	fmt.Fprintf(ro, "ranks: %d (%s), rank 0 owns wet cells [%d,%d): %d halo exchanges, %.3g MiB halo traffic, overlap frac %.2f\n",
+		c.Size(), transport, lo, hi, db.CG.HaloXchgs, float64(db.CG.HaloBytes)/(1<<20), db.CG.OverlapFrac())
+	return writeSums(sim, sums)
 }
 
 // writeSums records the exact end-of-run state fingerprint — conserved

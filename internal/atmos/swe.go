@@ -139,11 +139,17 @@ type DistShallowWater struct {
 // NewDistShallowWater builds the rank-local state.
 func NewDistShallowWater(g *grid.Grid, h0 float64, d *grid.Decomposition, comm *par.Comm) *DistShallowWater {
 	p := d.Parts[comm.Rank]
+	// Full-grid decompositions are symmetric by construction, so the
+	// exchanger cannot fail here.
+	halo, err := par.NewHaloExchanger(comm, p)
+	if err != nil {
+		panic(err)
+	}
 	s := &DistShallowWater{
 		G:    g,
 		H0:   h0,
 		part: p,
-		halo: par.NewHaloExchanger(comm, p),
+		halo: halo,
 		H:    make([]float64, len(p.Owner)+len(p.HaloCells)),
 		U:    make([]float64, g.NEdges),
 	}
@@ -180,7 +186,9 @@ func (s *DistShallowWater) InitGaussianBump(lat0, lon0, sigma, amp float64) {
 // redundantly from identical inputs, so the distributed trajectory is
 // bit-identical to the serial one.
 func (s *DistShallowWater) Step(dt float64) {
-	s.halo.Exchange(s.H, 1)
+	if err := s.halo.Exchange(s.H, 1); err != nil {
+		panic(err)
+	}
 	s.HaloExchanges++
 	g := s.G
 	li := s.part.LocalIndex

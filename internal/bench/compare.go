@@ -114,6 +114,19 @@ var GatedCustomMetrics = map[string]Policy{
 	// a machine-independent count, tight band: snapshot bloat is a code
 	// change, not noise. MinAbs keeps sub-64KiB test payloads ungated.
 	"ckpt_bytes_per_window": {Direction: LowerIsBetter, Tolerance: 0.10, MinAbs: 1 << 16},
+	// halo_bytes_per_window is the rank-summed halo traffic of one
+	// distributed barotropic solve (BenchmarkOceanSolverScaling at 4
+	// ranks; one solve per coupling window at the defaults). A structural
+	// count of partition boundary × CG iterations, not a timing — growth
+	// means a fatter seam or an iteration regression, so the band is
+	// tight. MinAbs leaves sub-4KiB toy partitions ungated.
+	"halo_bytes_per_window": {Direction: LowerIsBetter, Tolerance: 0.10, MinAbs: 1 << 12},
+	// halo_overlap_frac is the fraction of rank 0's owned wet cells whose
+	// CG matrix row touches no halo cell — the interior the overlapped
+	// exchange (HaloExchanger.Start/Finish) lets it compute while
+	// boundary messages are in flight. Dropping below the floor means
+	// the partition stopped hiding its communication.
+	"halo_overlap_frac": {Direction: HigherIsBetter, Tolerance: 0.10, Floor: 0.5},
 }
 
 // PolicyFor resolves the gating rule for a metric unit.

@@ -41,11 +41,12 @@ type Decomposition struct {
 }
 
 // Decompose splits the grid into nranks contiguous blocks in subdivision
-// tree order. Because children of a subdivision stay contiguous, blocks are
-// spatially compact patches, an arrangement analogous to ICON's
-// geometric domain decomposition; the surface-to-volume ratio of each part
-// scales like 1/√(cells-per-rank), which is what the halo cost model
-// assumes.
+// tree order. Cell indices follow the grid's recursive subdivision — a
+// space-filling-curve order over the icosahedral patches — so children
+// of a subdivision stay contiguous and every contiguous index range is a
+// spatially compact patch, an arrangement analogous to ICON's geometric
+// domain decomposition; the surface-to-volume ratio of each part scales
+// like 1/√(cells-per-rank), which is what the halo cost model assumes.
 func Decompose(g *Grid, nranks int) (*Decomposition, error) {
 	if nranks < 1 || nranks > g.NCells {
 		return nil, fmt.Errorf("grid: cannot decompose %d cells into %d ranks", g.NCells, nranks)
@@ -64,6 +65,37 @@ func Decompose(g *Grid, nranks int) (*Decomposition, error) {
 			d.CellOwner[c] = r
 		}
 		start += n
+	}
+	d.buildParts()
+	return d, nil
+}
+
+// DecomposeAt splits the grid into len(cuts) contiguous blocks along the
+// same space-filling-curve cell order as Decompose, but at caller-chosen
+// boundaries: rank r owns global cells [cuts[r], cuts[r+1]) (the last
+// rank through NCells-1). cuts must start at 0 and be strictly
+// increasing within range. The distributed ocean solver uses this to
+// align rank boundaries with its reduction-block boundaries, which is
+// what makes the N-rank solve bit-identical to the serial one.
+func DecomposeAt(g *Grid, cuts []int) (*Decomposition, error) {
+	if len(cuts) == 0 || cuts[0] != 0 {
+		return nil, fmt.Errorf("grid: decompose cuts must start at 0, got %v", cuts)
+	}
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] <= cuts[i-1] || cuts[i] >= g.NCells {
+			return nil, fmt.Errorf("grid: decompose cut %d of %v invalid for %d cells", cuts[i], cuts, g.NCells)
+		}
+	}
+	d := &Decomposition{G: g, NRanks: len(cuts)}
+	d.CellOwner = make([]int, g.NCells)
+	for r := range cuts {
+		end := g.NCells
+		if r+1 < len(cuts) {
+			end = cuts[r+1]
+		}
+		for c := cuts[r]; c < end; c++ {
+			d.CellOwner[c] = r
+		}
 	}
 	d.buildParts()
 	return d, nil

@@ -143,44 +143,115 @@ func TestDistributedCGMatchesSerial(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Plain (unaligned) decomposition: deterministic but not necessarily
+	// serial-identical reduction blocking — approximate agreement.
 	const nranks = 4
 	d, err := grid.Decompose(s.G, nranks)
 	if err != nil {
 		t.Fatal(err)
 	}
-	result := make([]float64, s.G.NCells)
+	results := make([][]float64, nranks)
 	w := par.NewWorld(nranks)
 	w.Run(func(c *par.Comm) {
-		dc := NewDistCG(s, dt, d, c)
-		p := d.Parts[c.Rank]
-		nloc := len(p.Owner) + len(p.HaloCells)
-		rhsLoc := make([]float64, nloc)
-		etaLoc := make([]float64, nloc)
-		for li, gc := range p.Owner {
-			if oi := s.CellIndex[gc]; oi >= 0 {
-				rhsLoc[li] = rhs[oi]
-			}
-		}
-		if _, err := dc.Solve(rhsLoc, etaLoc, 1e-10, 5000); err != nil {
+		db, err := NewDistBarotropic(s, dt, d, c)
+		if err != nil {
 			t.Error(err)
 			return
 		}
-		if dc.Allreduces == 0 || dc.HaloXchgs == 0 {
+		eta := make([]float64, n)
+		if _, err := db.Solve(rhs, eta, 1e-10, 5000); err != nil {
+			t.Error(err)
+			return
+		}
+		if db.CG.Allreduces == 0 || db.CG.HaloXchgs == 0 {
 			t.Errorf("rank %d: no global communication recorded", c.Rank)
 		}
-		// Collect owned results (goroutine-disjoint writes).
-		for li, gc := range p.Owner {
-			result[gc] = etaLoc[li]
-		}
+		results[c.Rank] = eta
 	})
-	var maxDiff float64
-	for i, gc := range s.Cells {
-		if d := math.Abs(result[gc] - etaSerial[i]); d > maxDiff {
-			maxDiff = d
+	for r, eta := range results {
+		if eta == nil {
+			t.Fatalf("rank %d produced no result", r)
+		}
+		var maxDiff float64
+		for i := range eta {
+			if d := math.Abs(eta[i] - etaSerial[i]); d > maxDiff {
+				maxDiff = d
+			}
+		}
+		if maxDiff > 1e-6 {
+			t.Errorf("rank %d: distributed vs serial CG max diff = %v", r, maxDiff)
 		}
 	}
-	if maxDiff > 1e-6 {
-		t.Errorf("distributed vs serial CG max diff = %v", maxDiff)
+}
+
+// TestDistributedCGBitIdenticalAligned is the tentpole contract: with
+// rank cuts aligned to the serial reduction blocks (AlignedCuts), the
+// distributed solve must reproduce the serial solution — and iteration
+// count — bit for bit, on every rank.
+func TestDistributedCGBitIdenticalAligned(t *testing.T) {
+	s := testOcean()
+	const dt = 600
+	op := NewBarotropicOp(s, dt)
+	n := s.NOcean()
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = math.Sin(float64(i) * 0.01)
+	}
+	rhs := make([]float64, n)
+	op.Apply(want, rhs)
+	etaSerial := make([]float64, n)
+	stSerial, err := op.Solve(rhs, etaSerial, 1e-8, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, nranks := range []int{1, 2, 4, 7} {
+		cuts, err := AlignedCuts(s, nranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := grid.DecomposeAt(s.G, cuts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results := make([][]float64, nranks)
+		iters := make([]int, nranks)
+		fracs := make([]float64, nranks)
+		w := par.NewWorld(nranks)
+		w.Run(func(c *par.Comm) {
+			db, err := NewDistBarotropic(s, dt, d, c)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			eta := make([]float64, n)
+			st, err := db.Solve(rhs, eta, 1e-8, 5000)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[c.Rank] = eta
+			iters[c.Rank] = st.Iterations
+			fracs[c.Rank] = db.CG.OverlapFrac()
+		})
+		for r, eta := range results {
+			if eta == nil {
+				t.Fatalf("nranks=%d rank %d produced no result", nranks, r)
+			}
+			if iters[r] != stSerial.Iterations {
+				t.Errorf("nranks=%d rank %d: %d iterations, serial took %d",
+					nranks, r, iters[r], stSerial.Iterations)
+			}
+			for i := range eta {
+				if eta[i] != etaSerial[i] {
+					t.Fatalf("nranks=%d rank %d: eta[%d] = %x, serial %x — not bit-identical",
+						nranks, r, i, eta[i], etaSerial[i])
+				}
+			}
+			if nranks > 1 && fracs[r] <= 0 {
+				t.Errorf("nranks=%d rank %d: no interior overlap region", nranks, r)
+			}
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package ocean
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"icoearth/internal/grid"
 	"icoearth/internal/par"
@@ -305,177 +306,518 @@ func (op *BarotropicOp) bindKernels() {
 
 // --- Distributed CG ---------------------------------------------------------
 
-// DistCG solves the same barotropic system with the cells distributed over
-// the ranks of a grid decomposition: each CG dot product is a global
-// allreduce and each operator application needs a halo exchange — exactly
-// the communication pattern that makes the ocean's 2-D solver the scaling
-// bottleneck at high superchip counts (§7). Land cells carry identity rows
-// so the decomposition of the full grid can be reused.
+// BarotropicSolver is the seam Dynamics solves the free surface through:
+// the serial BarotropicOp satisfies it, and DistBarotropic swaps in the
+// rank-distributed solve. rhs and eta are global compact wet vectors.
+type BarotropicSolver interface {
+	Solve(rhs, eta []float64, tol float64, maxIter int) (SolveStats, error)
+}
+
+// DistCG solves the same barotropic system with the wet cells
+// distributed over the ranks of a grid decomposition: each CG dot
+// product is a global reduction and each operator application a halo
+// exchange — exactly the communication pattern that makes the ocean's
+// 2-D solver the scaling bottleneck at high superchip counts (§7).
 //
-// Rank goroutines share the process-wide worker pool: whichever rank's
-// apply/dot dispatch acquires the pool parallelizes, the rest run inline —
-// bit-identical either way, and the local partial of every dot is a
-// deterministic blocked reduction so the global CG trajectory does not
-// depend on worker count.
+// The solve is bit-identical to the serial BarotropicOp when the
+// decomposition comes from AlignedCuts, by three invariants:
+//
+//   - Every dot product is the serial blocked reduction, distributed.
+//     Blocks use the global block size sched.BlockSize(nWet); aligned
+//     cuts start every rank's owned wet range on a block boundary, so
+//     each rank's partials are exactly the serial partials of its
+//     blocks, and FoldSum folds the ascending-rank concatenation — the
+//     ascending-block serial order — sequentially.
+//   - The apply folds each owned cell's edge terms in ascending compact
+//     edge order (the serial gather's arrival order), computing each
+//     flux with the serial operand order coef·(x[c0]−x[c1]) and folding
+//     the side-1 sign via subtraction (IEEE a−b ≡ a+(−b) exactly).
+//   - Elementwise sweeps are local and alpha/beta are ratios of
+//     already-identical scalars, so the whole CG trajectory matches.
+//
+// The halo exchange is overlap-aware: Start posts boundary sends, the
+// interior gather (cells whose stencils touch no halo cell) runs through
+// the sched pool while messages are in flight, and Finish scatters the
+// ghosts before the boundary gather. For decompositions with unaligned
+// cuts the solve is still deterministic, just not serial-identical.
 type DistCG struct {
 	S    *State
 	Dt   float64
 	D    *grid.Decomposition
 	comm *par.Comm
-	part *grid.Partition
 	halo *par.HaloExchanger
 
-	// Global-index coefficient tables (same on all ranks; small).
-	edgeCoef map[int]float64 // global edge -> g·Δt²·l·H/d (wet edges only)
-	diag     []float64       // per local cell (owned + halo)
+	w0, w1  int   // owned global wet-compact range [w0, w1)
+	nOwn    int   // w1 - w0
+	blk     int   // global reduction block size, sched.BlockSize(nWet)
+	nBlk    int   // local reduction blocks
+	haloWet []int // halo cells (global wet-compact ids) in local order
+	locOf   map[int]int
 
-	// Pre-bound pool bodies + their parameter fields.
-	parApply         func(lo, hi int)
-	parDot           func(lo, hi int) float64
-	applyX, applyOut []float64
-	dotA, dotB       []float64
+	area []float64 // CellArea per owned local cell
+	diag []float64 // assembled diagonal per owned local cell
+
+	// Edge-term CSR per owned cell, ascending compact-edge order:
+	// term k of cell li is ±refCoef[k]·(x[refA[k]]−x[refB[k]]), the sign
+	// negative when refSub[k] (the cell is the edge's second endpoint).
+	refCoef            []float64
+	refA, refB         []int32
+	refSub             []bool
+	refStart           []int32
+	interior, boundary []int32 // owned local cells, split by halo adjacency
+
+	// Solve scratch and pre-bound pool bodies; per-call parameters pass
+	// through fields so dispatch is allocation-free.
+	r, z, pv, ap  []float64
+	solveRhs      []float64
+	solveEta      []float64
+	x, out        []float64
+	partials      []float64
+	alpha, beta   float64
+	blockBody     func(lo, hi int) float64
+	parBlocks     func(lo, hi int)
+	parInterior   func(lo, hi int)
+	parBoundary   func(lo, hi int)
+	parP          func(lo, hi int)
+	bResidNorm    func(lo, hi int) float64
+	bPrecondRz    func(lo, hi int) float64
+	bPap          func(lo, hi int) float64
+	bUpdateNorm   func(lo, hi int) float64
+	bZRz          func(lo, hi int) float64
+	hx            [1][]float64
+	haloBytesPerX int64
 
 	// Stats.
 	Allreduces int
 	HaloXchgs  int
+	HaloBytes  int64
 }
 
-// NewDistCG builds the distributed solver for one rank.
-func NewDistCG(s *State, dt float64, d *grid.Decomposition, comm *par.Comm) *DistCG {
-	p := d.Parts[comm.Rank]
-	dc := &DistCG{
-		S: s, Dt: dt, D: d, comm: comm, part: p,
-		halo:     par.NewHaloExchanger(comm, p),
-		edgeCoef: make(map[int]float64),
+// AlignedCuts returns DecomposeAt cell cuts for nranks such that every
+// rank's owned wet cells form a contiguous compact range starting on a
+// sched.BlockSize(nWet) reduction-block boundary — the alignment that
+// makes the distributed dot products fold the exact serial partials.
+// Errors when nranks exceeds the number of reduction blocks.
+func AlignedCuts(s *State, nranks int) ([]int, error) {
+	n := s.NOcean()
+	blk := sched.BlockSize(n)
+	nb := (n + blk - 1) / blk
+	if nranks < 1 || nranks > nb {
+		return nil, fmt.Errorf("ocean: cannot align %d ranks to %d reduction blocks (%d wet cells)", nranks, nb, n)
 	}
-	for ei, e := range s.Edges {
-		c0, c1 := dc.S.EdgeCells[ei][0], dc.S.EdgeCells[ei][1]
-		h := 0.5 * (s.Depth[c0] + s.Depth[c1])
-		dc.edgeCoef[e] = GravO * dt * dt * s.G.EdgeLength[e] * h / s.G.DualLength[e]
+	cuts := make([]int, nranks)
+	for r := 1; r < nranks; r++ {
+		cuts[r] = s.Cells[(r*nb/nranks)*blk]
 	}
-	nloc := len(p.Owner) + len(p.HaloCells)
-	dc.diag = make([]float64, nloc)
-	fill := func(gc, li int) {
-		dc.diag[li] = s.G.CellArea[gc]
-		for _, e := range s.G.CellEdges[gc] {
-			if cf, ok := dc.edgeCoef[e]; ok {
-				dc.diag[li] += cf
-			}
+	return cuts, nil
+}
+
+// wetOwner returns the rank owning global wet-compact cell gw.
+func wetOwner(s *State, d *grid.Decomposition, gw int) int {
+	return d.CellOwner[s.Cells[gw]]
+}
+
+// NewDistCG builds the distributed solver for one rank. All ranks of the
+// decomposition must construct it collectively (the halo exchanger and
+// every Solve are collective operations).
+func NewDistCG(s *State, dt float64, d *grid.Decomposition, comm *par.Comm) (*DistCG, error) {
+	n := s.NOcean()
+	dc := &DistCG{S: s, Dt: dt, D: d, comm: comm, blk: sched.BlockSize(n)}
+	rank := comm.Rank
+	p := d.Parts[rank]
+	// Owned wet range: wet cells whose global cell falls in the rank's
+	// contiguous cell range. Cells are SFC-ascending, so it is a
+	// contiguous compact range.
+	first, last := s.G.NCells, -1
+	if len(p.Owner) > 0 {
+		first, last = p.Owner[0], p.Owner[len(p.Owner)-1]
+	}
+	dc.w0 = sort.SearchInts(s.Cells, first)
+	dc.w1 = sort.SearchInts(s.Cells, last+1)
+	dc.nOwn = dc.w1 - dc.w0
+	dc.nBlk = (dc.nOwn + dc.blk - 1) / dc.blk
+
+	// The wet sub-partition comes from wet edges crossing rank
+	// boundaries: each one puts its local endpoint in Send and its
+	// remote endpoint in Halo of the respective ranks, which keeps the
+	// pairs symmetric by construction (filtering the cell-level
+	// partition to wet cells would not — a wet cell can sit in a Send
+	// list purely for a neighbour's land cell).
+	sendSet := make(map[int]map[int]bool)
+	haloSet := make(map[int]map[int]bool)
+	add := func(set map[int]map[int]bool, r, gw int) {
+		if set[r] == nil {
+			set[r] = make(map[int]bool)
+		}
+		set[r][gw] = true
+	}
+	for ei := range s.Edges {
+		g0, g1 := s.EdgeCells[ei][0], s.EdgeCells[ei][1]
+		r0, r1 := wetOwner(s, d, g0), wetOwner(s, d, g1)
+		if r0 == r1 {
+			continue
+		}
+		if r0 == rank {
+			add(sendSet, r1, g0)
+			add(haloSet, r1, g1)
+		} else if r1 == rank {
+			add(sendSet, r0, g1)
+			add(haloSet, r0, g0)
 		}
 	}
-	for li, gc := range p.Owner {
-		fill(gc, li)
+	wp := &grid.Partition{
+		Rank:       rank,
+		Halo:       make(map[int][]int),
+		Send:       make(map[int][]int),
+		LocalIndex: make(map[int]int, dc.nOwn),
 	}
-	for hi, gc := range p.HaloCells {
-		fill(gc, len(p.Owner)+hi)
+	sorted := func(set map[int]bool) []int {
+		out := make([]int, 0, len(set))
+		for gw := range set {
+			out = append(out, gw)
+		}
+		sort.Ints(out)
+		return out
 	}
-	dc.parApply = func(lo, hi int) {
-		g := dc.S.G
-		pt := dc.part
-		x, out := dc.applyX, dc.applyOut
-		for li := lo; li < hi; li++ {
-			gc := pt.Owner[li]
-			v := g.CellArea[gc] * x[li]
-			if dc.S.CellIndex[gc] >= 0 { // wet cell: add edge couplings
-				for _, e := range g.CellEdges[gc] {
-					cf, ok := dc.edgeCoef[e]
-					if !ok {
-						continue
-					}
-					// Neighbour across e.
-					nb := g.EdgeCells[e][0]
-					if nb == gc {
-						nb = g.EdgeCells[e][1]
-					}
-					v += cf * (x[li] - x[pt.LocalIndex[nb]])
+	for r, set := range sendSet {
+		wp.Send[r] = sorted(set)
+	}
+	for r, set := range haloSet {
+		wp.Halo[r] = sorted(set)
+	}
+	dc.locOf = wp.LocalIndex
+	for li := 0; li < dc.nOwn; li++ {
+		dc.locOf[dc.w0+li] = li
+	}
+	ranks := make([]int, 0, len(wp.Halo))
+	nHalo := 0
+	for r, cells := range wp.Halo {
+		ranks = append(ranks, r)
+		nHalo += len(cells)
+	}
+	sort.Ints(ranks)
+	dc.haloWet = make([]int, nHalo)
+	hi := 0
+	for _, r := range ranks {
+		for _, gw := range wp.Halo[r] {
+			dc.locOf[gw] = dc.nOwn + hi
+			dc.haloWet[hi] = gw
+			hi++
+		}
+	}
+	halo, err := par.NewHaloExchanger(comm, wp)
+	if err != nil {
+		return nil, err
+	}
+	dc.halo = halo
+	for _, cells := range wp.Send {
+		dc.haloBytesPerX += int64(8 * len(cells))
+	}
+	for _, cells := range wp.Halo {
+		dc.haloBytesPerX += int64(8 * len(cells))
+	}
+
+	// Edge-term CSR: walk compact edges ascending, appending a ref to
+	// each owned endpoint — the same construction as the serial
+	// operator's refs, so each cell folds its terms in the identical
+	// order. The diagonal accumulates in the same ascending-edge order
+	// as NewBarotropicOp for the same reason.
+	dc.area = make([]float64, dc.nOwn)
+	dc.diag = make([]float64, dc.nOwn)
+	for li := 0; li < dc.nOwn; li++ {
+		dc.area[li] = s.G.CellArea[s.Cells[dc.w0+li]]
+		dc.diag[li] = dc.area[li]
+	}
+	owned := func(gw int) bool { return gw >= dc.w0 && gw < dc.w1 }
+	dc.refStart = make([]int32, dc.nOwn+1)
+	for ei := range s.Edges {
+		g0, g1 := s.EdgeCells[ei][0], s.EdgeCells[ei][1]
+		if owned(g0) {
+			dc.refStart[g0-dc.w0+1]++
+		}
+		if owned(g1) {
+			dc.refStart[g1-dc.w0+1]++
+		}
+	}
+	for li := 0; li < dc.nOwn; li++ {
+		dc.refStart[li+1] += dc.refStart[li]
+	}
+	nref := dc.refStart[dc.nOwn]
+	dc.refCoef = make([]float64, nref)
+	dc.refA = make([]int32, nref)
+	dc.refB = make([]int32, nref)
+	dc.refSub = make([]bool, nref)
+	cursor := append([]int32(nil), dc.refStart[:dc.nOwn]...)
+	for ei := range s.Edges {
+		g0, g1 := s.EdgeCells[ei][0], s.EdgeCells[ei][1]
+		if !owned(g0) && !owned(g1) {
+			continue
+		}
+		h := 0.5 * (s.Depth[g0] + s.Depth[g1])
+		cf := GravO * dt * dt * s.G.EdgeLength[s.Edges[ei]] * h / s.G.DualLength[s.Edges[ei]]
+		put := func(cell int, sub bool) {
+			li := cell - dc.w0
+			k := cursor[li]
+			dc.refCoef[k] = cf
+			dc.refA[k] = int32(dc.locOf[g0])
+			dc.refB[k] = int32(dc.locOf[g1])
+			dc.refSub[k] = sub
+			cursor[li] = k + 1
+			dc.diag[li] += cf
+		}
+		if owned(g0) {
+			put(g0, false)
+		}
+		if owned(g1) {
+			put(g1, true)
+		}
+	}
+
+	// Interior/boundary split for the overlap: a cell is interior when
+	// none of its edge terms reads a halo cell, so its gather can run
+	// while the boundary messages are in flight.
+	for li := 0; li < dc.nOwn; li++ {
+		inner := true
+		for k := dc.refStart[li]; k < dc.refStart[li+1]; k++ {
+			if int(dc.refA[k]) >= dc.nOwn || int(dc.refB[k]) >= dc.nOwn {
+				inner = false
+				break
+			}
+		}
+		if inner {
+			dc.interior = append(dc.interior, int32(li))
+		} else {
+			dc.boundary = append(dc.boundary, int32(li))
+		}
+	}
+
+	nloc := dc.nOwn + len(dc.haloWet)
+	dc.r = make([]float64, dc.nOwn)
+	dc.z = make([]float64, dc.nOwn)
+	dc.pv = make([]float64, nloc)
+	dc.ap = make([]float64, dc.nOwn)
+	dc.partials = make([]float64, dc.nBlk)
+	dc.bindKernels()
+	return dc, nil
+}
+
+// OverlapFrac reports the fraction of owned cells whose gather overlaps
+// the halo exchange (the interior share).
+func (dc *DistCG) OverlapFrac() float64 {
+	if dc.nOwn == 0 {
+		return 0
+	}
+	return float64(len(dc.interior)) / float64(dc.nOwn)
+}
+
+// OwnedRange returns the rank's owned global wet-compact range [w0, w1).
+func (dc *DistCG) OwnedRange() (int, int) { return dc.w0, dc.w1 }
+
+// bindKernels builds the pool loop bodies once; per-call parameters pass
+// through fields (read at invocation, like the serial operator's).
+func (dc *DistCG) bindKernels() {
+	gatherCells := func(list []int32, lo, hi int) {
+		x, out := dc.x, dc.out
+		for k := lo; k < hi; k++ {
+			li := int(list[k])
+			v := dc.area[li] * x[li]
+			for ri := dc.refStart[li]; ri < dc.refStart[li+1]; ri++ {
+				f := dc.refCoef[ri] * (x[dc.refA[ri]] - x[dc.refB[ri]])
+				if dc.refSub[ri] {
+					v -= f
+				} else {
+					v += f
 				}
 			}
 			out[li] = v
 		}
 	}
-	dc.parDot = func(lo, hi int) float64 {
-		a, b := dc.dotA, dc.dotB
-		var s float64
-		for i := lo; i < hi; i++ {
-			s += a[i] * b[i]
+	dc.parInterior = func(lo, hi int) { gatherCells(dc.interior, lo, hi) }
+	dc.parBoundary = func(lo, hi int) { gatherCells(dc.boundary, lo, hi) }
+	dc.parBlocks = func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			end := (j + 1) * dc.blk
+			if end > dc.nOwn {
+				end = dc.nOwn
+			}
+			dc.partials[j] = dc.blockBody(j*dc.blk, end)
 		}
-		return s
 	}
-	return dc
+	dc.parP = func(lo, hi int) {
+		z, pv, beta := dc.z, dc.pv, dc.beta
+		for i := lo; i < hi; i++ {
+			pv[i] = z[i] + beta*pv[i]
+		}
+	}
+	dc.bResidNorm = func(lo, hi int) float64 {
+		r, ap, rhs := dc.r, dc.ap, dc.solveRhs
+		var acc float64
+		for i := lo; i < hi; i++ {
+			r[i] = rhs[i] - ap[i]
+			acc += rhs[i] * rhs[i]
+		}
+		return acc
+	}
+	dc.bPrecondRz = func(lo, hi int) float64 {
+		r, z, pv, diag := dc.r, dc.z, dc.pv, dc.diag
+		var acc float64
+		for i := lo; i < hi; i++ {
+			z[i] = r[i] / diag[i]
+			pv[i] = z[i]
+			acc += r[i] * z[i]
+		}
+		return acc
+	}
+	dc.bPap = func(lo, hi int) float64 {
+		pv, ap := dc.pv, dc.ap
+		var acc float64
+		for i := lo; i < hi; i++ {
+			acc += pv[i] * ap[i]
+		}
+		return acc
+	}
+	dc.bUpdateNorm = func(lo, hi int) float64 {
+		eta, r, pv, ap, alpha := dc.solveEta, dc.r, dc.pv, dc.ap, dc.alpha
+		var acc float64
+		for i := lo; i < hi; i++ {
+			eta[i] += alpha * pv[i]
+			r[i] -= alpha * ap[i]
+			acc += r[i] * r[i]
+		}
+		return acc
+	}
+	dc.bZRz = func(lo, hi int) float64 {
+		r, z, diag := dc.r, dc.z, dc.diag
+		var acc float64
+		for i := lo; i < hi; i++ {
+			z[i] = r[i] / diag[i]
+			acc += r[i] * z[i]
+		}
+		return acc
+	}
 }
 
-// apply computes out = Ã(x) for owned cells; x must have valid halos.
-func (dc *DistCG) apply(x, out []float64) {
-	dc.applyX, dc.applyOut = x, out
-	sched.Run(len(dc.part.Owner), dc.parApply)
-	dc.applyX, dc.applyOut = nil, nil
-}
-
-// dot computes the global dot product over owned cells; the local partial
-// is a deterministic blocked reduction.
-func (dc *DistCG) dot(a, b []float64) float64 {
-	dc.dotA, dc.dotB = a, b
-	local := sched.ReduceSum(len(dc.part.Owner), dc.parDot)
-	dc.dotA, dc.dotB = nil, nil
+// foldDot runs body over the rank's global-size reduction blocks (block-
+// disjoint writes, one partial per block) and folds all ranks' partials
+// in ascending rank order — with aligned cuts, exactly the serial
+// ascending-block fold.
+func (dc *DistCG) foldDot(body func(lo, hi int) float64) float64 {
+	dc.blockBody = body
+	sched.Run(dc.nBlk, dc.parBlocks)
+	dc.blockBody = nil
 	dc.Allreduces++
-	return dc.comm.AllreduceSum(local)
+	return dc.comm.FoldSum(dc.partials[:dc.nBlk])
 }
 
-// Solve runs the distributed PCG. rhs and eta are local vectors (owned +
-// halo layout); on return eta's owned entries hold the solution and halos
-// are up to date. All ranks must call Solve collectively.
-func (dc *DistCG) Solve(rhs, eta []float64, tol float64, maxIter int) (SolveStats, error) {
-	p := dc.part
-	nloc := len(p.Owner) + len(p.HaloCells)
-	r := make([]float64, nloc)
-	z := make([]float64, nloc)
-	pv := make([]float64, nloc)
-	ap := make([]float64, nloc)
-
-	dc.halo.Exchange(eta, 1)
-	dc.HaloXchgs++
-	dc.apply(eta, ap)
-	for li := range p.Owner {
-		r[li] = rhs[li] - ap[li]
+// applyOverlap computes out = Ã(x) for owned cells: boundary sends are
+// posted, the interior gather overlaps the in-flight messages through
+// the sched pool, and the boundary gather runs once the ghosts land.
+func (dc *DistCG) applyOverlap(x, out []float64) error {
+	dc.hx[0] = x
+	op := dc.halo.Start(dc.hx[:], 1)
+	dc.x, dc.out = x, out
+	sched.Run(len(dc.interior), dc.parInterior)
+	err := op.Finish()
+	if err == nil {
+		sched.Run(len(dc.boundary), dc.parBoundary)
 	}
-	rhsNorm := math.Sqrt(dc.dot(rhs, rhs))
+	dc.x, dc.out = nil, nil
+	dc.hx[0] = nil
+	dc.HaloXchgs++
+	dc.HaloBytes += dc.haloBytesPerX
+	return err
+}
+
+// Solve runs the distributed PCG, mirroring the serial Solve reduction
+// for reduction. rhs holds the rank's owned entries (length w1-w0); eta
+// is owned entries followed by halo entries in local order. On return
+// eta's owned block holds the solution and halos are up to date. All
+// ranks must call Solve collectively.
+func (dc *DistCG) Solve(rhs, eta []float64, tol float64, maxIter int) (SolveStats, error) {
+	dc.solveRhs, dc.solveEta = rhs, eta
+	defer func() { dc.solveRhs, dc.solveEta = nil, nil }()
+
+	if err := dc.applyOverlap(eta, dc.ap); err != nil {
+		return SolveStats{}, err
+	}
+	rhsNorm := math.Sqrt(dc.foldDot(dc.bResidNorm))
 	if rhsNorm == 0 {
-		for li := range eta {
-			eta[li] = 0
+		for i := range eta {
+			eta[i] = 0
 		}
 		return SolveStats{}, nil
 	}
-	for li := range p.Owner {
-		z[li] = r[li] / dc.diag[li]
-		pv[li] = z[li]
-	}
-	rz := dc.dot(r, z)
+	rz := dc.foldDot(dc.bPrecondRz)
 	for iter := 1; iter <= maxIter; iter++ {
-		dc.halo.Exchange(pv, 1)
-		dc.HaloXchgs++
-		dc.apply(pv, ap)
-		pap := dc.dot(pv, ap)
-		alpha := rz / pap
-		for li := range p.Owner {
-			eta[li] += alpha * pv[li]
-			r[li] -= alpha * ap[li]
+		if err := dc.applyOverlap(dc.pv, dc.ap); err != nil {
+			return SolveStats{}, err
 		}
-		rnorm := math.Sqrt(dc.dot(r, r))
+		pap := dc.foldDot(dc.bPap)
+		dc.alpha = rz / pap
+		rnorm := math.Sqrt(dc.foldDot(dc.bUpdateNorm))
 		if rnorm < tol*rhsNorm {
-			dc.halo.Exchange(eta, 1)
+			if err := dc.halo.Exchange(eta, 1); err != nil {
+				return SolveStats{}, err
+			}
 			dc.HaloXchgs++
+			dc.HaloBytes += dc.haloBytesPerX
 			return SolveStats{Iterations: iter, Residual: rnorm / rhsNorm}, nil
 		}
-		for li := range p.Owner {
-			z[li] = r[li] / dc.diag[li]
-		}
-		rzNew := dc.dot(r, z)
-		beta := rzNew / rz
+		rzNew := dc.foldDot(dc.bZRz)
+		dc.beta = rzNew / rz
 		rz = rzNew
-		for li := range p.Owner {
-			pv[li] = z[li] + beta*pv[li]
-		}
+		sched.Run(dc.nOwn, dc.parP)
 	}
 	return SolveStats{Iterations: maxIter, Residual: -1},
 		fmt.Errorf("ocean: distributed CG did not converge in %d iterations", maxIter)
+}
+
+// DistBarotropic adapts DistCG to the BarotropicSolver seam: global
+// compact wet vectors in, global out. Every rank holds the full global
+// eta (the rest of the replicated model needs it), so the solve
+// scatters into the local layout, runs distributed, and allgathers the
+// owned blocks back — concatenated in ascending rank order, which is
+// ascending global order for contiguous decompositions.
+type DistBarotropic struct {
+	CG         *DistCG
+	lrhs, leta []float64
+}
+
+// NewDistBarotropic builds the distributed barotropic solver for one
+// rank of the decomposition (collective).
+func NewDistBarotropic(s *State, dt float64, d *grid.Decomposition, comm *par.Comm) (*DistBarotropic, error) {
+	dc, err := NewDistCG(s, dt, d, comm)
+	if err != nil {
+		return nil, err
+	}
+	return &DistBarotropic{
+		CG:   dc,
+		lrhs: make([]float64, dc.nOwn),
+		leta: make([]float64, dc.nOwn+len(dc.haloWet)),
+	}, nil
+}
+
+// Solve implements BarotropicSolver over global compact wet vectors.
+func (db *DistBarotropic) Solve(rhs, eta []float64, tol float64, maxIter int) (SolveStats, error) {
+	dc := db.CG
+	copy(db.lrhs, rhs[dc.w0:dc.w1])
+	copy(db.leta[:dc.nOwn], eta[dc.w0:dc.w1])
+	for k, gw := range dc.haloWet {
+		db.leta[dc.nOwn+k] = eta[gw]
+	}
+	st, err := dc.Solve(db.lrhs, db.leta, tol, maxIter)
+	if err != nil {
+		return st, err
+	}
+	parts := dc.comm.Gather(0, db.leta[:dc.nOwn])
+	var full []float64
+	if dc.comm.Rank == 0 {
+		full = make([]float64, 0, len(eta))
+		for _, p := range parts {
+			full = append(full, p...)
+		}
+	}
+	full = dc.comm.Bcast(0, full)
+	copy(eta, full)
+	return st, nil
 }

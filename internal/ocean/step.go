@@ -38,6 +38,11 @@ type Dynamics struct {
 	S  *State
 	Op *BarotropicOp
 
+	// Solver, when non-nil, replaces Op for the barotropic solve (the
+	// rank-distributed DistBarotropic installs itself here); Op still
+	// supplies the coefficients and scratch of the baroclinic step.
+	Solver BarotropicSolver
+
 	// Mixing parameters.
 	VertDiffT  float64 // vertical diffusivity for T/S, m²/s
 	BottomDrag float64 // quadratic bottom drag coefficient
@@ -157,7 +162,11 @@ func (d *Dynamics) barotropic(dt float64, f *Forcing) error {
 	d.stepDt, d.stepF = dt, f
 	sched.Run(len(s.Edges), d.parRhsEdge)
 	sched.Run(len(s.Cells), d.parRhsCell)
-	st, err := d.Op.Solve(d.rhs, s.Eta, d.CGTol, d.CGMaxIter)
+	solver := BarotropicSolver(d.Op)
+	if d.Solver != nil {
+		solver = d.Solver
+	}
+	st, err := solver.Solve(d.rhs, s.Eta, d.CGTol, d.CGMaxIter)
 	d.LastSolve = st
 	if err != nil {
 		d.stepF = nil

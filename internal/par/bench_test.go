@@ -17,13 +17,20 @@ func BenchmarkHaloExchange(b *testing.B) {
 			w := NewWorld(nr)
 			w.Run(func(c *Comm) {
 				p := d.Parts[c.Rank]
-				h := NewHaloExchanger(c, p)
+				h, err := NewHaloExchanger(c, p)
+				if err != nil {
+					b.Error(err)
+					return
+				}
 				field := make([]float64, (len(p.Owner)+len(p.HaloCells))*10)
 				if c.Rank == 0 {
 					b.ResetTimer()
 				}
 				for i := 0; i < b.N; i++ {
-					h.Exchange(field, 10)
+					if err := h.Exchange(field, 10); err != nil {
+						b.Error(err)
+						return
+					}
 				}
 			})
 		})

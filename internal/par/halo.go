@@ -1,10 +1,25 @@
 package par
 
 import (
+	"fmt"
 	"sort"
 
 	"icoearth/internal/grid"
 )
+
+// ShapeError reports a halo payload whose length does not match what the
+// receiver's partition expects — a mismatched decomposition or field
+// shape on the sending side.
+type ShapeError struct {
+	From int // sending rank
+	Want int // expected float64 count
+	Got  int // received float64 count
+}
+
+func (e *ShapeError) Error() string {
+	return fmt.Sprintf("par: halo payload from rank %d has %d values, want %d (mismatched partition or field shape)",
+		e.From, e.Got, e.Want)
+}
 
 // HaloExchanger performs the ghost-cell update for one rank of a grid
 // decomposition: owned boundary values are packed and sent to each
@@ -19,10 +34,17 @@ type HaloExchanger struct {
 	neighbors []int         // ranks we exchange with, ascending
 	sendLocal map[int][]int // local indices (cell-granularity) to pack per rank
 	recvLocal map[int][]int // local halo indices to fill per rank
+
+	oneField [1][]float64 // scratch so Exchange reuses the packed path
 }
 
-// NewHaloExchanger precomputes pack/unpack index lists.
-func NewHaloExchanger(c *Comm, p *grid.Partition) *HaloExchanger {
+// NewHaloExchanger precomputes pack/unpack index lists. It fails fast on
+// an asymmetric partition: the exchange is collective over neighbour
+// pairs, so a rank expecting halo values from a peer that has nothing to
+// send it (or vice versa) would block forever in Recv with no
+// diagnostic. Partitions from grid.Decompose/DecomposeAt are symmetric
+// by construction; hand-built ones get the check.
+func NewHaloExchanger(c *Comm, p *grid.Partition) (*HaloExchanger, error) {
 	h := &HaloExchanger{
 		comm:      c,
 		part:      p,
@@ -50,57 +72,27 @@ func NewHaloExchanger(c *Comm, p *grid.Partition) *HaloExchanger {
 		h.neighbors = append(h.neighbors, r)
 	}
 	sort.Ints(h.neighbors)
-	return h
+	for _, r := range h.neighbors {
+		ns, nr := len(h.sendLocal[r]), len(h.recvLocal[r])
+		if ns == 0 || nr == 0 {
+			return nil, fmt.Errorf("par: asymmetric partition between ranks %d and %d: rank %d sends %d cells and expects %d back; a halo exchange needs traffic in both directions",
+				p.Rank, r, p.Rank, ns, nr)
+		}
+	}
+	return h, nil
 }
 
 // Neighbors returns the ranks this rank exchanges with.
 func (h *HaloExchanger) Neighbors() []int { return h.neighbors }
 
-// Exchange updates the halo region of field (layout: local cell index ×
-// nlev levels, level-fastest). All ranks of the decomposition must call
-// Exchange collectively.
-func (h *HaloExchanger) Exchange(field []float64, nlev int) {
-	t0 := h.comm.track.Start()
-	var sent int64
-	// Post all sends first; channels are buffered so this cannot block for
-	// the single outstanding message per neighbour pair.
-	for _, r := range h.neighbors {
-		loc := h.sendLocal[r]
-		if len(loc) == 0 {
-			continue
-		}
-		buf := make([]float64, len(loc)*nlev)
-		for i, li := range loc {
-			copy(buf[i*nlev:(i+1)*nlev], field[li*nlev:(li+1)*nlev])
-		}
-		sent += int64(8 * len(buf))
-		h.comm.Send(r, tagHalo, buf)
-	}
-	for _, r := range h.neighbors {
-		loc := h.recvLocal[r]
-		if len(loc) == 0 {
-			continue
-		}
-		buf := h.comm.Recv(r, tagHalo)
-		for i, li := range loc {
-			copy(field[li*nlev:(li+1)*nlev], buf[i*nlev:(i+1)*nlev])
-		}
-	}
-	h.comm.track.EndArg("halo:exchange", t0, "bytes", sent)
-}
-
-// ExchangeMany updates several same-shaped fields in one message per
-// neighbour (ICON aggregates variables per halo update to amortise α).
-func (h *HaloExchanger) ExchangeMany(fields [][]float64, nlev int) {
-	nf := len(fields)
-	t0 := h.comm.track.Start()
+// post packs and sends one buffer per neighbour (all fields, field-major)
+// and returns the sent byte count. Channels/sockets are buffered, so
+// posting every send before any receive cannot deadlock.
+func (h *HaloExchanger) post(tag int, fields [][]float64, nlev int) int64 {
 	var sent int64
 	for _, r := range h.neighbors {
 		loc := h.sendLocal[r]
-		if len(loc) == 0 {
-			continue
-		}
-		buf := make([]float64, len(loc)*nlev*nf)
+		buf := make([]float64, len(loc)*nlev*len(fields))
 		o := 0
 		for _, f := range fields {
 			for _, li := range loc {
@@ -109,14 +101,23 @@ func (h *HaloExchanger) ExchangeMany(fields [][]float64, nlev int) {
 			}
 		}
 		sent += int64(8 * len(buf))
-		h.comm.Send(r, tagHalo, buf)
+		h.comm.Send(r, tag, buf)
 	}
+	return sent
+}
+
+// collect receives one buffer per neighbour, validates its shape against
+// the partition, and scatters it into the fields' halo regions. Returns
+// the received byte count.
+func (h *HaloExchanger) collect(tag int, fields [][]float64, nlev int) (int64, error) {
+	var recvd int64
 	for _, r := range h.neighbors {
 		loc := h.recvLocal[r]
-		if len(loc) == 0 {
-			continue
+		buf := h.comm.Recv(r, tag)
+		if len(buf) != len(loc)*nlev*len(fields) {
+			return recvd, &ShapeError{From: r, Want: len(loc) * nlev * len(fields), Got: len(buf)}
 		}
-		buf := h.comm.Recv(r, tagHalo)
+		recvd += int64(8 * len(buf))
 		o := 0
 		for _, f := range fields {
 			for _, li := range loc {
@@ -125,5 +126,64 @@ func (h *HaloExchanger) ExchangeMany(fields [][]float64, nlev int) {
 			}
 		}
 	}
-	h.comm.track.EndArg("halo:exchange-many", t0, "bytes", sent)
+	return recvd, nil
+}
+
+// exchange is the blocking post+collect pair behind Exchange and
+// ExchangeMany. The trace span's byte argument counts both directions,
+// matching the per-rank Stats (BytesSent + BytesRecvd) for the exchange.
+func (h *HaloExchanger) exchange(span string, tag int, fields [][]float64, nlev int) error {
+	t0 := h.comm.track.Start()
+	sent := h.post(tag, fields, nlev)
+	recvd, err := h.collect(tag, fields, nlev)
+	h.comm.track.EndArg(span, t0, "bytes", sent+recvd)
+	return err
+}
+
+// Exchange updates the halo region of field (layout: local cell index ×
+// nlev levels, level-fastest). All ranks of the decomposition must call
+// Exchange collectively.
+func (h *HaloExchanger) Exchange(field []float64, nlev int) error {
+	h.oneField[0] = field
+	err := h.exchange("halo:exchange", tagHalo, h.oneField[:], nlev)
+	h.oneField[0] = nil
+	return err
+}
+
+// ExchangeMany updates several same-shaped fields in one message per
+// neighbour (ICON aggregates variables per halo update to amortise α).
+// The packed layout is field-major, so the result is bit-identical to
+// calling Exchange once per field.
+func (h *HaloExchanger) ExchangeMany(fields [][]float64, nlev int) error {
+	return h.exchange("halo:exchange-many", tagHaloMany, fields, nlev)
+}
+
+// HaloOp is an in-flight overlapped halo exchange: Start has posted the
+// boundary sends, and the owner may compute on interior cells while the
+// messages travel; Finish receives and scatters the ghost values.
+type HaloOp struct {
+	h      *HaloExchanger
+	fields [][]float64
+	nlev   int
+	t0     int64
+	sent   int64
+}
+
+// Start posts this rank's boundary sends for the given same-shaped
+// fields and returns the in-flight operation. Between Start and Finish
+// the caller may update any owned cell — the outgoing buffers are packed
+// copies — but must not read halo cells, which still hold stale values
+// until Finish scatters the incoming messages.
+func (h *HaloExchanger) Start(fields [][]float64, nlev int) *HaloOp {
+	op := &HaloOp{h: h, fields: fields, nlev: nlev, t0: h.comm.track.Start()}
+	op.sent = h.post(tagHaloAsync, fields, nlev)
+	return op
+}
+
+// Finish receives the neighbours' boundary values and scatters them into
+// the ghost region, completing the exchange begun by Start.
+func (op *HaloOp) Finish() error {
+	recvd, err := op.h.collect(tagHaloAsync, op.fields, op.nlev)
+	op.h.comm.track.EndArg("halo:exchange-async", op.t0, "bytes", op.sent+recvd)
+	return err
 }

@@ -1,0 +1,283 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"icoearth/internal/grid"
+)
+
+// TestHaloTagInterleave is the regression test for Exchange and
+// ExchangeMany sharing one message tag: with a single tag, a rank that
+// interleaves an overlapped Start/Finish with a blocking Exchange and an
+// ExchangeMany inside the same window could consume a neighbour's buffer
+// meant for a different call, corrupting halos or tripping the shape
+// check. With per-form tags every message reaches the call that posted
+// its counterpart.
+func TestHaloTagInterleave(t *testing.T) {
+	g := grid.New(grid.R2B(2))
+	const nranks = 4
+	const nlev = 2
+	d, err := grid.Decompose(g, nranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorld(nranks)
+	w.SetDeadline(5 * time.Second)
+	err = w.RunErr(func(c *Comm) {
+		p := d.Parts[c.Rank]
+		n := len(p.Owner) + len(p.HaloCells)
+		mk := func(salt float64) []float64 {
+			f := make([]float64, n*nlev)
+			for i, gc := range p.Owner {
+				for k := 0; k < nlev; k++ {
+					f[i*nlev+k] = salt + float64(gc*10+k)
+				}
+			}
+			return f
+		}
+		a, b, c1, c2 := mk(1000), mk(2000), mk(3000), mk(4000)
+
+		// All three forms in flight inside one window: the async pair
+		// brackets the two blocking calls, and every send for all four
+		// fields is posted before the async receives run.
+		h := c.haloOrFatal(t, p)
+		op := h.Start([][]float64{a}, nlev)
+		if err := h.Exchange(b, nlev); err != nil {
+			t.Errorf("rank %d: Exchange: %v", c.Rank, err)
+			return
+		}
+		if err := h.ExchangeMany([][]float64{c1, c2}, nlev); err != nil {
+			t.Errorf("rank %d: ExchangeMany: %v", c.Rank, err)
+			return
+		}
+		if err := op.Finish(); err != nil {
+			t.Errorf("rank %d: Finish: %v", c.Rank, err)
+			return
+		}
+
+		check := func(name string, f []float64, salt float64) {
+			for _, gc := range p.HaloCells {
+				li := p.LocalIndex[gc]
+				for k := 0; k < nlev; k++ {
+					want := salt + float64(gc*10+k)
+					if f[li*nlev+k] != want {
+						t.Errorf("rank %d: %s halo cell %d lev %d = %v want %v",
+							c.Rank, name, gc, k, f[li*nlev+k], want)
+						return
+					}
+				}
+			}
+		}
+		check("async", a, 1000)
+		check("exchange", b, 2000)
+		check("many[0]", c1, 3000)
+		check("many[1]", c2, 4000)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// haloOrFatal builds a HaloExchanger for tests on partitions known to be
+// symmetric.
+func (c *Comm) haloOrFatal(t *testing.T, p *grid.Partition) *HaloExchanger {
+	t.Helper()
+	h, err := NewHaloExchanger(c, p)
+	if err != nil {
+		t.Fatalf("rank %d: %v", c.Rank, err)
+	}
+	return h
+}
+
+// TestHaloAsymmetricPartitionFailsFast: a hand-built partition where this
+// rank sends to a peer but expects nothing back (or vice versa) must be
+// rejected at construction with the offending rank pair named — the old
+// behaviour was to block forever in the first collect.
+func TestHaloAsymmetricPartitionFailsFast(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *grid.Partition
+	}{
+		{"send-without-halo", &grid.Partition{
+			Rank:       0,
+			Owner:      []int{0, 1},
+			Send:       map[int][]int{1: {1}},
+			Halo:       map[int][]int{},
+			LocalIndex: map[int]int{0: 0, 1: 1},
+		}},
+		{"halo-without-send", &grid.Partition{
+			Rank:       0,
+			Owner:      []int{0, 1},
+			Send:       map[int][]int{},
+			Halo:       map[int][]int{1: {2}},
+			LocalIndex: map[int]int{0: 0, 1: 1, 2: 2},
+			HaloCells:  []int{2},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := NewWorld(2)
+			err := w.RunErr(func(c *Comm) {
+				if c.Rank != 0 {
+					return
+				}
+				h, err := NewHaloExchanger(c, tc.p)
+				if err == nil {
+					t.Error("asymmetric partition accepted")
+					return
+				}
+				if h != nil {
+					t.Error("non-nil exchanger alongside error")
+				}
+				for _, frag := range []string{"ranks 0 and 1", "asymmetric"} {
+					if !strings.Contains(err.Error(), frag) {
+						t.Errorf("error %q does not name %q", err, frag)
+					}
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestHaloManyBitIdenticalToPerField: the aggregated exchange is packed
+// field-major, so for every level count and field count it must scatter
+// exactly the bytes the per-field form does.
+func TestHaloManyBitIdenticalToPerField(t *testing.T) {
+	g := grid.New(grid.R2B(2))
+	const nranks = 3
+	d, err := grid.Decompose(g, nranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nlev := range []int{1, 4} {
+		for nf := 1; nf <= 3; nf++ {
+			t.Run(fmt.Sprintf("nlev%d-nf%d", nlev, nf), func(t *testing.T) {
+				w := NewWorld(nranks)
+				err := w.RunErr(func(c *Comm) {
+					p := d.Parts[c.Rank]
+					n := len(p.Owner) + len(p.HaloCells)
+					many := make([][]float64, nf)
+					single := make([][]float64, nf)
+					for f := 0; f < nf; f++ {
+						many[f] = make([]float64, n*nlev)
+						single[f] = make([]float64, n*nlev)
+						for i, gc := range p.Owner {
+							for k := 0; k < nlev; k++ {
+								// Irrational-ish values so equality is a
+								// real 64-bit comparison, not small ints.
+								v := math.Sin(float64(gc)*1.7+float64(k)*0.3) * math.Exp(float64(f))
+								many[f][i*nlev+k] = v
+								single[f][i*nlev+k] = v
+							}
+						}
+					}
+					h := c.haloOrFatal(t, p)
+					if err := h.ExchangeMany(many, nlev); err != nil {
+						t.Errorf("rank %d: ExchangeMany: %v", c.Rank, err)
+						return
+					}
+					for f := 0; f < nf; f++ {
+						if err := h.Exchange(single[f], nlev); err != nil {
+							t.Errorf("rank %d: Exchange[%d]: %v", c.Rank, f, err)
+							return
+						}
+					}
+					for f := 0; f < nf; f++ {
+						for i := range many[f] {
+							if math.Float64bits(many[f][i]) != math.Float64bits(single[f][i]) {
+								t.Errorf("rank %d field %d idx %d: aggregated %x != per-field %x",
+									c.Rank, f, i, many[f][i], single[f][i])
+								return
+							}
+						}
+					}
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestHaloShapeMismatchTyped: a neighbour sending a wrong-shaped payload
+// surfaces as a *ShapeError naming the sender, not silent corruption.
+func TestHaloShapeMismatchTyped(t *testing.T) {
+	g := grid.New(grid.R2B(1))
+	d, err := grid.Decompose(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorld(2)
+	err = w.RunErr(func(c *Comm) {
+		p := d.Parts[c.Rank]
+		n := len(p.Owner) + len(p.HaloCells)
+		field := make([]float64, n*2)
+		h := c.haloOrFatal(t, p)
+		if c.Rank == 1 {
+			// Misbehaving neighbour: posts a truncated buffer on the
+			// Exchange tag instead of participating properly.
+			c.Send(0, tagHalo, []float64{1})
+			// Still receive rank 0's message so its post doesn't leak.
+			c.Recv(0, tagHalo)
+			return
+		}
+		err := h.Exchange(field, 2)
+		var se *ShapeError
+		if !errors.As(err, &se) {
+			t.Errorf("Exchange error = %v, want *ShapeError", err)
+			return
+		}
+		if se.From != 1 || se.Got != 1 {
+			t.Errorf("ShapeError = %+v, want From=1 Got=1", se)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecvTimeoutParksMismatchedTag: a message with the wrong tag
+// arriving before the wanted one must be parked in pending — not dropped,
+// not returned — and the wanted message must still be delivered within
+// the timeout. The parked message stays receivable afterwards.
+func TestRecvTimeoutParksMismatchedTag(t *testing.T) {
+	w := NewWorld(2)
+	err := w.RunErr(func(c *Comm) {
+		if c.Rank == 0 {
+			c.Send(1, 5, []float64{55}) // decoy, wrong tag, arrives first
+			c.Send(1, 7, []float64{77}) // wanted
+			c.Barrier()
+			return
+		}
+		got, err := c.RecvTimeout(0, 7, 2*time.Second)
+		if err != nil {
+			t.Errorf("RecvTimeout: %v", err)
+			return
+		}
+		if len(got) != 1 || got[0] != 77 {
+			t.Errorf("got %v, want [77]", got)
+		}
+		if len(c.pending[0]) != 1 || c.pending[0][0].tag != 5 {
+			t.Errorf("pending[0] = %+v, want one parked tag-5 message", c.pending[0])
+		}
+		if d := c.Recv(0, 5); d[0] != 55 {
+			t.Errorf("parked message = %v, want [55]", d)
+		}
+		if len(c.pending[0]) != 0 {
+			t.Errorf("pending not drained: %+v", c.pending[0])
+		}
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

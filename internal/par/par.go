@@ -68,8 +68,14 @@ type World struct {
 	cond    *sync.Cond
 	genArr  int
 	arrived int
-	redVec  []float64
-	outVec  []float64
+	// redParts[r] is rank r's staged contribution to the collective in
+	// flight. Keeping contributions per rank (instead of folding on
+	// arrival) lets the release fold walk them in ascending rank order —
+	// float addition does not commute in rounding, so an arrival-order
+	// fold would tie the result to goroutine scheduling.
+	redParts [][]float64
+	redLen   int
+	outVec   []float64
 
 	// Fault tolerance: lost-rank bookkeeping and the default operation
 	// deadline (0 = block forever, the pre-fault-tolerance behaviour).
@@ -226,6 +232,7 @@ func (w *World) TotalStats() Stats {
 		t.Msgs += c.Stats.Msgs
 		t.Delivered += c.Stats.Delivered
 		t.BytesSent += c.Stats.BytesSent
+		t.BytesRecvd += c.Stats.BytesRecvd
 		t.Collectives += c.Stats.Collectives
 		t.Dropped += c.Stats.Dropped
 		t.Delayed += c.Stats.Delayed
@@ -250,7 +257,12 @@ type Stats struct {
 	Delivered int64
 	// BytesSent counts payload bytes of Delivered messages only; dropped
 	// and tail-lost payloads never inflate it.
-	BytesSent   int64
+	BytesSent int64
+	// BytesRecvd counts payload bytes of messages returned to a Recv
+	// caller on this rank (a parked message counts when it is finally
+	// matched, not when it arrives). Dropped traffic appears in neither
+	// direction, so sent and received volumes cross-check.
+	BytesRecvd  int64
 	Collectives int64
 	// Dropped counts DropMsg verdicts plus parked messages drained at Run
 	// completion (tail loss). Delayed counts currently parked messages: a
@@ -260,7 +272,10 @@ type Stats struct {
 	Delayed int64
 }
 
-// Comm is one rank's handle into the world.
+// Comm is one rank's handle into the world. It is backed either by an
+// in-process World (world != nil, the default) or by a Transport
+// (tp != nil, e.g. the unix-socket mesh) — the operation surface and its
+// deterministic semantics are identical in both modes.
 type Comm struct {
 	world *World
 	Rank  int
@@ -268,13 +283,18 @@ type Comm struct {
 	// sending rank.
 	pending map[int][]message
 
+	// Transport backend (nil when World-backed): see transport.go.
+	tp         Transport
+	tpN        int
+	tpDeadline time.Duration
+
 	Stats Stats
 
 	// Tracing (nil when the world has no tracer): counters mirror the
 	// Stats fields exactly, so a trace cross-checks the accounting.
 	track                                                   *trace.Track
 	ctrMsgs, ctrDelivered, ctrBytes, ctrDropped, ctrDelayed *trace.Counter
-	ctrColl                                                 *trace.Counter
+	ctrColl, ctrBytesRecvd                                  *trace.Counter
 }
 
 // attachTrace resolves the rank's track and counter handles once, so the
@@ -287,10 +307,30 @@ func (c *Comm) attachTrace(tk *trace.Track) {
 	c.ctrDropped = tk.Counter("dropped")
 	c.ctrDelayed = tk.Counter("delayed")
 	c.ctrColl = tk.Counter("collectives")
+	c.ctrBytesRecvd = tk.Counter("bytes_recvd")
 }
 
 // Size returns the number of ranks.
-func (c *Comm) Size() int { return c.world.N }
+func (c *Comm) Size() int {
+	if c.tp != nil {
+		return c.tpN
+	}
+	return c.world.N
+}
+
+// commDeadline is the backend's default bound on blocking operations.
+func (c *Comm) commDeadline() time.Duration {
+	if c.tp != nil {
+		return c.tpDeadline
+	}
+	return c.world.deadline
+}
+
+// countRecv accounts one payload returned to a Recv caller.
+func (c *Comm) countRecv(n int) {
+	c.Stats.BytesRecvd += int64(8 * n)
+	c.ctrBytesRecvd.Add(int64(8 * n))
+}
 
 // Send delivers data to rank `to` with the given tag. The data slice is
 // copied, so the caller may reuse it immediately.
@@ -300,6 +340,10 @@ func (c *Comm) Size() int { return c.world.N }
 // payload actually enters the transport, so dropped and parked messages
 // never inflate the delivered-traffic volumes the α–β model consumes.
 func (c *Comm) Send(to, tag int, data []float64) {
+	if c.tp != nil {
+		c.sendTp(to, tag, data)
+		return
+	}
 	if to < 0 || to >= c.world.N {
 		panic(fmt.Sprintf("par: send to invalid rank %d", to))
 	}
@@ -370,7 +414,7 @@ func (c *Comm) deliver(to int, m message) {
 // sender is lost, Recv aborts the rank body with ErrRankLost instead of
 // hanging; RecvTimeout returns the condition as an error.
 func (c *Comm) Recv(from, tag int) []float64 {
-	data, err := c.RecvTimeout(from, tag, c.world.deadline)
+	data, err := c.RecvTimeout(from, tag, c.commDeadline())
 	if err != nil {
 		panic(rankAbort{err})
 	}
@@ -382,6 +426,9 @@ func (c *Comm) Recv(from, tag int) []float64 {
 // rank is lost while waiting. timeout <= 0 waits until the message arrives
 // or the sender dies.
 func (c *Comm) RecvTimeout(from, tag int, timeout time.Duration) ([]float64, error) {
+	if c.tp != nil {
+		return c.recvTp(from, tag, timeout)
+	}
 	if from < 0 || from >= c.world.N {
 		panic(fmt.Sprintf("par: recv from invalid rank %d", from))
 	}
@@ -389,6 +436,7 @@ func (c *Comm) RecvTimeout(from, tag int, timeout time.Duration) ([]float64, err
 	for i, m := range q {
 		if m.tag == tag {
 			c.pending[from] = append(q[:i:i], q[i+1:]...)
+			c.countRecv(len(m.data))
 			return m.data, nil
 		}
 	}
@@ -406,6 +454,7 @@ func (c *Comm) RecvTimeout(from, tag int, timeout time.Duration) ([]float64, err
 		select {
 		case m := <-ch:
 			if m.tag == tag {
+				c.countRecv(len(m.data))
 				return m.data, nil
 			}
 			c.pending[from] = append(c.pending[from], m)
@@ -415,6 +464,7 @@ func (c *Comm) RecvTimeout(from, tag int, timeout time.Duration) ([]float64, err
 		select {
 		case m := <-ch:
 			if m.tag == tag {
+				c.countRecv(len(m.data))
 				return m.data, nil
 			}
 			c.pending[from] = append(c.pending[from], m)
@@ -423,6 +473,7 @@ func (c *Comm) RecvTimeout(from, tag int, timeout time.Duration) ([]float64, err
 			select {
 			case m := <-ch:
 				if m.tag == tag {
+					c.countRecv(len(m.data))
 					return m.data, nil
 				}
 				c.pending[from] = append(c.pending[from], m)
@@ -440,7 +491,7 @@ func (c *Comm) RecvTimeout(from, tag int, timeout time.Duration) ([]float64, err
 // Barrier blocks until all ranks have entered it. Under a world deadline
 // or a lost rank it aborts with ErrRankLost instead of hanging.
 func (c *Comm) Barrier() {
-	if err := c.BarrierTimeout(c.world.deadline); err != nil {
+	if err := c.BarrierTimeout(c.commDeadline()); err != nil {
 		panic(rankAbort{err})
 	}
 }
@@ -454,17 +505,36 @@ func (c *Comm) BarrierTimeout(timeout time.Duration) error {
 	c.ctrColl.Add(1)
 	t0 := c.track.Start()
 	defer c.track.End("coll:barrier", t0)
+	if c.tp != nil {
+		return c.tpBarrier(timeout)
+	}
 	w := c.world
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.nLost > 0 {
 		return fmt.Errorf("par: barrier: %w", ErrRankLost)
 	}
+	if err := w.finishOrWait(timeout, nil); err != nil {
+		return fmt.Errorf("par: barrier: %w", err)
+	}
+	return nil
+}
+
+// finishOrWait completes one generation of a shared-state collective.
+// The caller holds w.mu and has already staged its contribution (if
+// any): the last rank to arrive runs fold under the lock — publishing
+// the generation's result — and releases everyone; other ranks wait for
+// the generation to advance, bounded by timeout. Returns an error
+// (wrapping ErrRankLost) when a rank is lost or the bound expires.
+func (w *World) finishOrWait(timeout time.Duration, fold func()) error {
 	gen := w.genArr
 	w.arrived++
 	if w.arrived == w.N {
 		w.arrived = 0
 		w.genArr++
+		if fold != nil {
+			fold()
+		}
 		w.cond.Broadcast()
 		return nil
 	}
@@ -483,11 +553,21 @@ func (c *Comm) BarrierTimeout(timeout time.Duration) error {
 	}
 	if w.genArr == gen {
 		if w.nLost > 0 {
-			return fmt.Errorf("par: barrier: %w", ErrRankLost)
+			return ErrRankLost
 		}
-		return fmt.Errorf("par: barrier timed out after %v: %w", timeout, ErrRankLost)
+		return fmt.Errorf("timed out after %v: %w", timeout, ErrRankLost)
 	}
 	return nil
+}
+
+// depositPart stages this rank's collective contribution (caller holds
+// w.mu).
+func (c *Comm) depositPart(x []float64) {
+	w := c.world
+	if w.redParts == nil {
+		w.redParts = make([][]float64, w.N)
+	}
+	w.redParts[c.Rank] = append(w.redParts[c.Rank][:0], x...)
 }
 
 // ReduceOp selects the elementwise reduction.
@@ -501,69 +581,91 @@ const (
 
 // AllreduceVec reduces x elementwise across all ranks and returns the
 // result (same on every rank). All ranks must pass slices of equal length.
-// Under a world deadline or a lost rank it aborts with ErrRankLost; a
-// world in which any operation has failed must not be reused.
+// Contributions fold in ascending rank order — never arrival order — so
+// the floating-point result is independent of goroutine scheduling and
+// matches the transport backend's root fold bit for bit. Under a world
+// deadline or a lost rank it aborts with ErrRankLost; a world in which
+// any operation has failed must not be reused.
 func (c *Comm) AllreduceVec(op ReduceOp, x []float64) []float64 {
 	c.Stats.Collectives++
 	c.ctrColl.Add(1)
 	t0 := c.track.Start()
 	defer c.track.EndArg("coll:allreduce", t0, "bytes", int64(8*len(x)))
+	if c.tp != nil {
+		out, err := c.tpAllreduceVec(op, x)
+		if err != nil {
+			panic(rankAbort{fmt.Errorf("par: allreduce: %w", err)})
+		}
+		return out
+	}
 	w := c.world
 	w.mu.Lock()
 	if w.nLost > 0 {
 		w.mu.Unlock()
 		panic(rankAbort{fmt.Errorf("par: allreduce: %w", ErrRankLost)})
 	}
-	gen := w.genArr
 	if w.arrived == 0 {
-		w.redVec = append(w.redVec[:0], x...)
-	} else {
-		if len(x) != len(w.redVec) {
-			w.mu.Unlock()
-			panic(fmt.Sprintf("par: allreduce length mismatch: %d vs %d", len(x), len(w.redVec)))
-		}
-		for i, v := range x {
-			switch op {
-			case OpSum:
-				w.redVec[i] += v
-			case OpMax:
-				if v > w.redVec[i] {
-					w.redVec[i] = v
-				}
-			case OpMin:
-				if v < w.redVec[i] {
-					w.redVec[i] = v
-				}
-			}
-		}
+		w.redLen = len(x)
+	} else if len(x) != w.redLen {
+		w.mu.Unlock()
+		panic(fmt.Sprintf("par: allreduce length mismatch: %d vs %d", len(x), w.redLen))
 	}
-	w.arrived++
-	if w.arrived == w.N {
-		w.arrived = 0
-		w.genArr++
-		w.outVec = append(w.outVec[:0], w.redVec...)
-		w.cond.Broadcast()
-	} else {
-		timedOut := false
-		if w.deadline > 0 {
-			t := time.AfterFunc(w.deadline, func() {
-				w.mu.Lock()
-				timedOut = true
-				w.cond.Broadcast()
-				w.mu.Unlock()
-			})
-			defer t.Stop()
+	c.depositPart(x)
+	if err := w.finishOrWait(w.deadline, func() {
+		w.outVec = append(w.outVec[:0], w.redParts[0]...)
+		for r := 1; r < w.N; r++ {
+			foldVec(op, w.outVec, w.redParts[r])
 		}
-		for w.genArr == gen && w.nLost == 0 && !timedOut {
-			w.cond.Wait()
-		}
-		if w.genArr == gen {
-			w.mu.Unlock()
-			panic(rankAbort{fmt.Errorf("par: allreduce: %w", ErrRankLost)})
-		}
+	}); err != nil {
+		w.mu.Unlock()
+		panic(rankAbort{fmt.Errorf("par: allreduce: %w", err)})
 	}
 	out := make([]float64, len(w.outVec))
 	copy(out, w.outVec)
+	w.mu.Unlock()
+	return out
+}
+
+// FoldSum folds every rank's slice of partial sums into one scalar — the
+// plain sequential sum of all contributions concatenated in ascending
+// rank order — and returns it on every rank. Slices may have different
+// lengths. It is the collective behind the distributed blocked dot
+// product: when each rank passes the sched-blocked partials of its
+// contiguous shard of a global vector, the rank-order concatenation is
+// exactly the serial ascending-block partial list, so the distributed
+// reduction reproduces the single-rank fold bit for bit.
+func (c *Comm) FoldSum(parts []float64) float64 {
+	c.Stats.Collectives++
+	c.ctrColl.Add(1)
+	t0 := c.track.Start()
+	defer c.track.EndArg("coll:foldsum", t0, "bytes", int64(8*len(parts)))
+	if c.tp != nil {
+		out, err := c.tpFoldSum(parts)
+		if err != nil {
+			panic(rankAbort{fmt.Errorf("par: foldsum: %w", err)})
+		}
+		return out
+	}
+	w := c.world
+	w.mu.Lock()
+	if w.nLost > 0 {
+		w.mu.Unlock()
+		panic(rankAbort{fmt.Errorf("par: foldsum: %w", ErrRankLost)})
+	}
+	c.depositPart(parts)
+	if err := w.finishOrWait(w.deadline, func() {
+		var s float64
+		for r := 0; r < w.N; r++ {
+			for _, v := range w.redParts[r] {
+				s += v
+			}
+		}
+		w.outVec = append(w.outVec[:0], s)
+	}); err != nil {
+		w.mu.Unlock()
+		panic(rankAbort{fmt.Errorf("par: foldsum: %w", err)})
+	}
+	out := w.outVec[0]
 	w.mu.Unlock()
 	return out
 }
@@ -585,6 +687,9 @@ func (c *Comm) Gather(root int, data []float64) [][]float64 {
 	c.ctrColl.Add(1)
 	t0 := c.track.Start()
 	defer c.track.End("coll:gather", t0)
+	if c.tp != nil {
+		return c.tpGather(root, data)
+	}
 	if c.Rank != root {
 		c.Send(root, tagGather, data)
 		c.Barrier()
@@ -610,6 +715,9 @@ func (c *Comm) Bcast(root int, data []float64) []float64 {
 	c.ctrColl.Add(1)
 	t0 := c.track.Start()
 	defer c.track.End("coll:bcast", t0)
+	if c.tp != nil {
+		return c.tpBcast(root, data)
+	}
 	if c.Rank == root {
 		for r := 0; r < c.world.N; r++ {
 			if r != root {
@@ -627,8 +735,18 @@ func (c *Comm) Bcast(root int, data []float64) []float64 {
 }
 
 // Reserved internal tags; user tags should be small non-negative ints.
+// Each halo form owns a distinct tag so interleaving Exchange,
+// ExchangeMany and Start/Finish against the same neighbour in one window
+// can never match a packed multi-field buffer to the wrong receive.
 const (
 	tagGather = -1000 - iota
 	tagBcast
 	tagHalo
+	tagHaloMany
+	tagHaloAsync
+	tagBarrier
+	tagReduce
+	tagReduceOut
+	tagFold
+	tagFoldOut
 )

@@ -215,8 +215,15 @@ func TestHaloExchange(t *testing.T) {
 				field[i*nlev+k] = float64(gc*10 + k)
 			}
 		}
-		h := NewHaloExchanger(c, p)
-		h.Exchange(field, nlev)
+		h, err := NewHaloExchanger(c, p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := h.Exchange(field, nlev); err != nil {
+			t.Error(err)
+			return
+		}
 		// Halo values must now equal their owners' encodings.
 		for _, gc := range p.HaloCells {
 			li := p.LocalIndex[gc]
@@ -249,8 +256,15 @@ func TestHaloExchangeMany(t *testing.T) {
 				f2[i*nlev+k] = -float64(gc)
 			}
 		}
-		h := NewHaloExchanger(c, p)
-		h.ExchangeMany([][]float64{f1, f2}, nlev)
+		h, err := NewHaloExchanger(c, p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := h.ExchangeMany([][]float64{f1, f2}, nlev); err != nil {
+			t.Error(err)
+			return
+		}
 		for _, gc := range p.HaloCells {
 			li := p.LocalIndex[gc]
 			if f1[li*nlev] != float64(gc) || f2[li*nlev] != -float64(gc) {
@@ -271,12 +285,19 @@ func TestHaloExchangeRepeated(t *testing.T) {
 		p := d.Parts[c.Rank]
 		n := len(p.Owner) + len(p.HaloCells)
 		field := make([]float64, n)
-		h := NewHaloExchanger(c, p)
+		h, err := NewHaloExchanger(c, p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
 		for iter := 0; iter < 20; iter++ {
 			for i, gc := range p.Owner {
 				field[i] = float64(gc * (iter + 1))
 			}
-			h.Exchange(field, 1)
+			if err := h.Exchange(field, 1); err != nil {
+				t.Error(err)
+				return
+			}
 			for _, gc := range p.HaloCells {
 				if field[p.LocalIndex[gc]] != float64(gc*(iter+1)) {
 					t.Errorf("iter %d rank %d: halo stale", iter, c.Rank)

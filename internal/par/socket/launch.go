@@ -1,0 +1,95 @@
+package socket
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"time"
+)
+
+// The re-exec launch protocol (the PR-8 crash-lottery idiom): the parent
+// re-executes its own binary once per rank with the mesh coordinates in
+// the environment; a child recognises itself via ChildEnv and joins the
+// mesh with FromEnv instead of launching again.
+const (
+	EnvDir   = "ICOEARTH_SOCKET_DIR"
+	EnvRank  = "ICOEARTH_SOCKET_RANK"
+	EnvRanks = "ICOEARTH_SOCKET_RANKS"
+)
+
+// ChildEnv reports whether this process was launched as a socket rank,
+// and which.
+func ChildEnv() (rank, nranks int, ok bool) {
+	rs, ns := os.Getenv(EnvRank), os.Getenv(EnvRanks)
+	if rs == "" || ns == "" {
+		return 0, 0, false
+	}
+	rank, err1 := strconv.Atoi(rs)
+	nranks, err2 := strconv.Atoi(ns)
+	if err1 != nil || err2 != nil {
+		return 0, 0, false
+	}
+	return rank, nranks, true
+}
+
+// FromEnv joins the mesh described by the launch environment. timeout
+// bounds mesh formation (every sibling must come up and connect).
+func FromEnv(timeout time.Duration) (*Transport, error) {
+	dir := os.Getenv(EnvDir)
+	rank, nranks, ok := ChildEnv()
+	if !ok || dir == "" {
+		return nil, fmt.Errorf("socket: not launched as a rank (missing %s/%s/%s)", EnvDir, EnvRank, EnvRanks)
+	}
+	return New(dir, rank, nranks, timeout)
+}
+
+// Launch re-executes the current binary once per rank — same arguments,
+// mesh coordinates in the environment — and waits for all of them. Rank
+// 0's stdout goes to stdout (it is the designated writer of results);
+// every rank's stderr is forwarded for diagnostics. If any rank starts
+// or exits unsuccessfully the rest are killed and a joined error names
+// the failed ranks.
+func Launch(nranks int, stdout, stderr io.Writer) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("socket: locate executable: %w", err)
+	}
+	dir, err := os.MkdirTemp("", "icoearth-mesh-")
+	if err != nil {
+		return fmt.Errorf("socket: mesh dir: %w", err)
+	}
+	defer os.RemoveAll(dir)
+	cmds := make([]*exec.Cmd, nranks)
+	for r := range cmds {
+		cmd := exec.Command(exe, os.Args[1:]...)
+		cmd.Env = append(os.Environ(),
+			EnvDir+"="+dir,
+			EnvRank+"="+strconv.Itoa(r),
+			EnvRanks+"="+strconv.Itoa(nranks),
+		)
+		if r == 0 {
+			cmd.Stdout = stdout
+		} else {
+			cmd.Stdout = io.Discard
+		}
+		cmd.Stderr = stderr
+		if err := cmd.Start(); err != nil {
+			for _, prev := range cmds[:r] {
+				prev.Process.Kill()
+				prev.Wait()
+			}
+			return fmt.Errorf("socket: start rank %d: %w", r, err)
+		}
+		cmds[r] = cmd
+	}
+	var errs []error
+	for r, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			errs = append(errs, fmt.Errorf("socket: rank %d: %w", r, err))
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,290 @@
+package socket
+
+import (
+	"errors"
+	"math"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"icoearth/internal/grid"
+	"icoearth/internal/par"
+	"icoearth/internal/trace"
+)
+
+// startMesh forms an n-rank mesh in one process (one goroutine per rank,
+// sharing a socket directory) and tears it down with the test.
+func startMesh(t *testing.T, n int) []*Transport {
+	t.Helper()
+	dir := t.TempDir()
+	tps := make([]*Transport, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tps[r], errs[r] = New(dir, r, n, 5*time.Second)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d mesh formation: %v", r, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, tp := range tps {
+			tp.Close()
+		}
+	})
+	return tps
+}
+
+// runMesh runs body as one par rank per transport and joins the errors.
+func runMesh(t *testing.T, tps []*Transport, body func(c *par.Comm)) {
+	t.Helper()
+	errs := make([]error, len(tps))
+	var wg sync.WaitGroup
+	for r := range tps {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = par.RunTransport(tps[r], body)
+		}(r)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvExactBits(t *testing.T) {
+	tps := startMesh(t, 2)
+	want := make([]float64, 100)
+	for i := range want {
+		want[i] = math.Sin(float64(i) * 1.7)
+	}
+	done := make(chan error, 1)
+	go func() { done <- tps[0].Send(1, 42, want) }()
+	tag, got, err := tps[1].Recv(0, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if tag != 42 || len(got) != len(want) {
+		t.Fatalf("tag %d len %d, want 42/%d", tag, len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("idx %d: %x != %x (floats must survive the wire bit-exactly)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFIFOPerPair(t *testing.T) {
+	tps := startMesh(t, 2)
+	const n = 200
+	go func() {
+		for i := 0; i < n; i++ {
+			tps[0].Send(1, i, []float64{float64(i)})
+		}
+	}()
+	for i := 0; i < n; i++ {
+		tag, data, err := tps[1].Recv(0, 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tag != i || data[0] != float64(i) {
+			t.Fatalf("frame %d arrived as tag %d value %v: FIFO order broken", i, tag, data[0])
+		}
+	}
+}
+
+func TestCollectivesOverSocket(t *testing.T) {
+	const n = 4
+	tps := startMesh(t, n)
+	runMesh(t, tps, func(c *par.Comm) {
+		c.SetDeadline(5 * time.Second)
+		if got := c.AllreduceSum(float64(c.Rank + 1)); got != n*(n+1)/2 {
+			t.Errorf("rank %d: allreduce = %v", c.Rank, got)
+		}
+		c.Barrier()
+		v := c.AllreduceVec(par.OpMax, []float64{float64(c.Rank), -float64(c.Rank)})
+		if v[0] != n-1 || v[1] != 0 {
+			t.Errorf("rank %d: max vec = %v", c.Rank, v)
+		}
+		out := c.Gather(0, []float64{float64(c.Rank) * 10})
+		if c.Rank == 0 {
+			for r := 0; r < n; r++ {
+				if out[r][0] != float64(r)*10 {
+					t.Errorf("gather rank %d = %v", r, out[r])
+				}
+			}
+		}
+		var seed []float64
+		if c.Rank == 2 {
+			seed = []float64{3.25, -1.5}
+		}
+		b := c.Bcast(2, seed)
+		if b[0] != 3.25 || b[1] != -1.5 {
+			t.Errorf("rank %d: bcast = %v", c.Rank, b)
+		}
+	})
+}
+
+// TestFoldSumMatchesSerial: the ordered fold over sockets must equal the
+// sequential fold of the ascending-rank concatenation bit-for-bit — the
+// property the distributed CG's determinism rests on.
+func TestFoldSumMatchesSerial(t *testing.T) {
+	const n = 3
+	parts := [][]float64{
+		{0.1, 0.2, 0.3},
+		{1e-17, 4e8},
+		{-0.3, 0.7, 1e-9, 5},
+	}
+	var serial float64
+	for _, p := range parts {
+		for _, v := range p {
+			serial += v
+		}
+	}
+	tps := startMesh(t, n)
+	runMesh(t, tps, func(c *par.Comm) {
+		c.SetDeadline(5 * time.Second)
+		for iter := 0; iter < 5; iter++ {
+			got := c.FoldSum(parts[c.Rank])
+			if math.Float64bits(got) != math.Float64bits(serial) {
+				t.Errorf("rank %d iter %d: fold = %x, serial = %x", c.Rank, iter, got, serial)
+				return
+			}
+		}
+	})
+}
+
+func TestHaloExchangeOverSocket(t *testing.T) {
+	g := grid.New(grid.R2B(2))
+	const nranks = 3
+	const nlev = 2
+	d, err := grid.Decompose(g, nranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tps := startMesh(t, nranks)
+	runMesh(t, tps, func(c *par.Comm) {
+		c.SetDeadline(5 * time.Second)
+		p := d.Parts[c.Rank]
+		n := len(p.Owner) + len(p.HaloCells)
+		field := make([]float64, n*nlev)
+		for i, gc := range p.Owner {
+			for k := 0; k < nlev; k++ {
+				field[i*nlev+k] = float64(gc*10 + k)
+			}
+		}
+		h, err := par.NewHaloExchanger(c, p)
+		if err != nil {
+			t.Errorf("rank %d: %v", c.Rank, err)
+			return
+		}
+		op := h.Start([][]float64{field}, nlev)
+		if err := op.Finish(); err != nil {
+			t.Errorf("rank %d: overlapped halo: %v", c.Rank, err)
+			return
+		}
+		for _, gc := range p.HaloCells {
+			li := p.LocalIndex[gc]
+			for k := 0; k < nlev; k++ {
+				if want := float64(gc*10 + k); field[li*nlev+k] != want {
+					t.Errorf("rank %d: halo cell %d lev %d = %v want %v", c.Rank, gc, k, field[li*nlev+k], want)
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestLostRank(t *testing.T) {
+	tps := startMesh(t, 2)
+	tps[1].Close()
+	if _, _, err := tps[0].Recv(1, 2*time.Second); !errors.Is(err, par.ErrRankLost) {
+		t.Fatalf("recv from closed peer = %v, want ErrRankLost", err)
+	}
+}
+
+func TestRecvDeadline(t *testing.T) {
+	tps := startMesh(t, 2)
+	t0 := time.Now()
+	_, _, err := tps[0].Recv(1, 50*time.Millisecond)
+	if !errors.Is(err, par.ErrRankLost) {
+		t.Fatalf("recv with no sender = %v, want ErrRankLost", err)
+	}
+	if time.Since(t0) > 2*time.Second {
+		t.Fatalf("deadline did not bound the wait")
+	}
+}
+
+func TestWireCounters(t *testing.T) {
+	tps := startMesh(t, 2)
+	tr := trace.New()
+	tps[0].AttachTrace(tr.Track("wire", 0))
+	tps[1].AttachTrace(tr.Track("wire", 1))
+	payload := make([]float64, 32)
+	if err := tps[0].Send(1, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tps[1].Recv(0, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	w0, w1 := tps[0].Wire(), tps[1].Wire()
+	if w0.FramesSent != 1 || w0.BytesSent != 8*32 {
+		t.Errorf("sender wire = %+v", w0)
+	}
+	if w1.FramesRecvd != 1 || w1.BytesRecvd != 8*32 {
+		t.Errorf("receiver wire = %+v", w1)
+	}
+	if got := tr.Track("wire", 0).CounterValue("wire_bytes_sent"); got != 8*32 {
+		t.Errorf("trace wire_bytes_sent = %d", got)
+	}
+	if got := tr.Track("wire", 1).CounterValue("wire_bytes_recvd"); got != 8*32 {
+		t.Errorf("trace wire_bytes_recvd = %d", got)
+	}
+}
+
+func TestSingleRankShortcut(t *testing.T) {
+	tp, err := New(t.TempDir(), 0, 1, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tp.Close()
+	if tp.NRanks() != 1 || tp.Rank() != 0 {
+		t.Fatalf("n=%d rank=%d", tp.NRanks(), tp.Rank())
+	}
+	if err := par.RunTransport(tp, func(c *par.Comm) {
+		if got := c.AllreduceSum(7); got != 7 {
+			t.Errorf("1-rank allreduce = %v", got)
+		}
+		c.Barrier()
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChildEnv(t *testing.T) {
+	if _, _, ok := ChildEnv(); ok {
+		t.Skip("running inside a socket child")
+	}
+	t.Setenv(EnvDir, t.TempDir())
+	t.Setenv(EnvRank, "2")
+	t.Setenv(EnvRanks, "5")
+	rank, n, ok := ChildEnv()
+	if !ok || rank != 2 || n != 5 {
+		t.Fatalf("ChildEnv = %d/%d/%v, want 2/5/true", rank, n, ok)
+	}
+	os.Unsetenv(EnvRank)
+	if _, _, ok := ChildEnv(); ok {
+		t.Fatal("ChildEnv without rank var should not be ok")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"icoearth/internal/grid"
 	"icoearth/internal/trace"
 )
 
@@ -178,11 +179,22 @@ func TestSendFastPathZeroAllocs(t *testing.T) {
 // sends, every rank's trace counters must equal its corrected Stats
 // field-for-field, exactly.
 func TestTraceCountersMatchStats(t *testing.T) {
+	g := grid.New(grid.R2B(1))
+	d, err := grid.Decompose(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	w := NewWorld(3)
 	tr := trace.New()
 	w.SetTracer(tr)
 	var calls atomic.Int64
 	w.SetMsgHook(func(from, to, tag, n int) MsgFate {
+		if tag < 0 {
+			// Collective and halo traffic stays intact: a dropped halo
+			// message would wedge the exchange, and this test is about
+			// accounting, not recovery.
+			return DeliverMsg
+		}
 		switch calls.Add(1) % 7 {
 		case 2:
 			return DropMsg
@@ -191,13 +203,26 @@ func TestTraceCountersMatchStats(t *testing.T) {
 		}
 		return DeliverMsg
 	})
-	err := w.RunErr(func(c *Comm) {
+	err = w.RunErr(func(c *Comm) {
 		next := (c.Rank + 1) % c.Size()
 		for i := 0; i < 10; i++ {
 			c.Send(next, i, make([]float64, 8*(i+1)))
 		}
 		c.Barrier()
 		c.AllreduceSum(float64(c.Rank))
+		// Halo traffic: bytes must land in both bytes_sent (packed
+		// outgoing buffers) and bytes_recvd (scattered incoming ones).
+		p := d.Parts[c.Rank]
+		h, err := NewHaloExchanger(c, p)
+		if err != nil {
+			t.Errorf("rank %d: %v", c.Rank, err)
+			return
+		}
+		field := make([]float64, (len(p.Owner)+len(p.HaloCells))*2)
+		if err := h.Exchange(field, 2); err != nil {
+			t.Errorf("rank %d: halo: %v", c.Rank, err)
+			return
+		}
 		// Drain whatever arrived so the channels never fill.
 		prev := (c.Rank + 2) % c.Size()
 		for {
@@ -212,11 +237,15 @@ func TestTraceCountersMatchStats(t *testing.T) {
 	for r := 0; r < w.N; r++ {
 		st := w.RankStats(r)
 		checkInvariant(t, "rank", st)
+		if st.BytesRecvd == 0 {
+			t.Errorf("rank %d: BytesRecvd = 0 after a halo exchange", r)
+		}
 		tk := tr.Track("par", r)
 		for name, want := range map[string]int64{
 			"msgs":        st.Msgs,
 			"delivered":   st.Delivered,
 			"bytes_sent":  st.BytesSent,
+			"bytes_recvd": st.BytesRecvd,
 			"dropped":     st.Dropped,
 			"delayed":     st.Delayed,
 			"collectives": st.Collectives,

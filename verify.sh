@@ -38,7 +38,7 @@ go test -tags sdfgdebug ./internal/sdfg/
 # their full suites — pool stress, halo exchange, supervised recovery —
 # execute under the detector.
 go test -race -short ./...
-go test -race ./internal/sched/... ./internal/par/... ./internal/exec/... ./internal/coupler/... ./internal/fault/... ./internal/restart/...
+go test -race ./internal/sched/... ./internal/par/... ./internal/par/socket/... ./internal/exec/... ./internal/coupler/... ./internal/fault/... ./internal/restart/...
 go test ./...
 # Chaos smoke: a supervised run with injected faults must complete with
 # conservation intact (tiny grid; exercises crash, rollback, retry; the
@@ -62,6 +62,14 @@ SUMS_DIR="$(mktemp -d)"
 go run ./cmd/esmrun -hours 0.5 -overlap=true -sums "$SUMS_DIR/on.txt" > /dev/null
 go run ./cmd/esmrun -hours 0.5 -overlap=false -sums "$SUMS_DIR/off.txt" > /dev/null
 cmp "$SUMS_DIR/on.txt" "$SUMS_DIR/off.txt"
+# Transport smoke: four real rank processes over unix sockets must land
+# on the byte-identical fingerprint (the CI determinism job runs the full
+# ranks × transport matrix). Built to a binary first: the socket launcher
+# re-execs os.Executable(), which under `go run` is a temp path that may
+# vanish.
+go build -o "$SUMS_DIR/esmrun" ./cmd/esmrun
+"$SUMS_DIR/esmrun" -hours 0.5 -ranks 4 -transport socket -sums "$SUMS_DIR/socket.txt" > /dev/null
+cmp "$SUMS_DIR/on.txt" "$SUMS_DIR/socket.txt"
 rm -rf "$SUMS_DIR"
 # Perf gate: rerun the benchmark suite and compare against the latest
 # committed BENCH_<n>.json (tolerances live in internal/bench/compare.go).

@@ -1,29 +1,98 @@
-// Command codegen runs the §5.2 pipeline end to end for every kernel in
-// the dycore library and emits the generated Go code — the artifact the
-// performance engineer would inspect: fused loops, hoisted index lookups,
-// no trace of the original directives.
+// Command codegen runs the §5.2 pipeline end to end and emits generated
+// Go code — the DaCe loop's code-generation stage. It has two modes:
 //
-//	codegen            # print generated code for all kernels
-//	codegen -kernel z_ekinh
+//	codegen                          # print map-backed demo code, all kernels
+//	codegen -kernel z_ekinh          # one demo kernel
+//	codegen -backend blocked         # print the production (slice-backed) form
+//	codegen -out kernels_gen.go -pkg gen
+//	                                 # write the compiled-in production package
+//
+// The -out mode is what internal/gen's go:generate directive invokes: it
+// emits every kernel in sdfg.ProductionKernels() as an NPROMA-blocked,
+// slice-backed binder, verified by the static verifier (V001–V006)
+// against a real grid before a single line is written. Emission depends
+// only on array kinds and ranks — never on the verification grid's size —
+// so the generated package serves every resolution.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"os"
 
 	"icoearth/internal/grid"
 	"icoearth/internal/sdfg"
 )
 
 func main() {
-	log.SetFlags(0)
-	which := flag.String("kernel", "", "generate only this kernel (default: all)")
-	werror := flag.Bool("Werror", true, "treat static-verifier diagnostics as fatal")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
 
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("codegen", flag.ContinueOnError)
+	fs.SetOutput(out)
+	which := fs.String("kernel", "", "generate only this kernel (default: all)")
+	werror := fs.Bool("Werror", true, "treat static-verifier diagnostics as fatal")
+	backend := fs.String("backend", "map", "emitter: 'map' (interpreter-parity demo) or 'blocked' (production)")
+	outFile := fs.String("out", "", "write the production package to this file (implies -backend blocked)")
+	pkg := fs.String("pkg", "gen", "package name for -out")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// The verification grid: small, fixed, deterministic. Bindings are
+	// only consulted for array kinds/ranks and verifier extents.
 	g := grid.New(grid.R2B(1))
 	const nlev = 4
+
+	if *outFile != "" || *backend == "blocked" {
+		return runBlocked(g, nlev, *which, *werror, *outFile, *pkg, out)
+	}
+	return runMapDemo(g, nlev, *which, *werror, out)
+}
+
+// runBlocked emits the production kernel set with the blocked backend,
+// verifier-gated, either to stdout or as a complete package file.
+func runBlocked(g *grid.Grid, nlev int, which string, werror bool, outFile, pkg string, out io.Writer) error {
+	var kernels []*sdfg.BlockedKernel
+	for _, pk := range sdfg.ProductionKernels() {
+		if which != "" && which != pk.Name {
+			continue
+		}
+		sd, b, err := sdfg.BindProduction(pk.Name, g, nlev)
+		if err != nil {
+			return err
+		}
+		if err := verifyGate(sd, b, pk.Name, werror, out); err != nil {
+			return err
+		}
+		bk, err := sdfg.CodegenGoBlocked(sd, b)
+		if err != nil {
+			return err
+		}
+		kernels = append(kernels, bk)
+	}
+	if len(kernels) == 0 {
+		return fmt.Errorf("codegen: no kernel matched %q", which)
+	}
+	src, err := sdfg.CodegenPackage(pkg, kernels)
+	if err != nil {
+		return err
+	}
+	if outFile == "" {
+		_, err := out.Write(src)
+		return err
+	}
+	return os.WriteFile(outFile, src, 0o644)
+}
+
+// runMapDemo prints the original map-backed emitter output for the demo
+// kernel library — the inspectable interpreter-parity artifact.
+func runMapDemo(g *grid.Grid, nlev int, which string, werror bool, out io.Writer) error {
 	edgeField := make([]float64, g.NEdges*nlev)
 	cellField := make([]float64, g.NCells*nlev)
 
@@ -46,31 +115,46 @@ func main() {
 		}},
 	}
 
+	matched := false
 	for _, k := range kernels {
-		if *which != "" && *which != k.name {
+		if which != "" && which != k.name {
 			continue
 		}
+		matched = true
 		sd, b, err := k.bind()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		// Static verification gates codegen: emitted code is only as
-		// trustworthy as the checked legality of the transformations.
-		if ds := sdfg.Verify(sd, b); len(ds) > 0 {
-			for _, d := range ds {
-				log.Printf("warning: %s", d)
-			}
-			if *werror {
-				log.Fatalf("codegen: kernel %s failed static verification (%d diagnostics, -Werror)", k.name, len(ds))
-			}
+		if err := verifyGate(sd, b, k.name, werror, out); err != nil {
+			return err
 		}
 		src, err := sdfg.CodegenGo(sd, b)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		distinct, occ := sd.IndexLookups(b.IsTable)
-		fmt.Printf("// ===== %s: %d statements, %d fused groups, %d occurrences → %d hoisted lookups =====\n",
+		fmt.Fprintf(out, "// ===== %s: %d statements, %d fused groups, %d occurrences → %d hoisted lookups =====\n",
 			k.name, len(sd.K.Stmts), len(sd.FusableGroups()), occ, len(distinct))
-		fmt.Println(src)
+		fmt.Fprintln(out, src)
 	}
+	if !matched {
+		return fmt.Errorf("codegen: no kernel matched %q", which)
+	}
+	return nil
+}
+
+// verifyGate runs the static verifier; emitted code is only as
+// trustworthy as the checked legality of the transformations.
+func verifyGate(sd *sdfg.SDFG, b *sdfg.Bindings, name string, werror bool, out io.Writer) error {
+	ds := sdfg.Verify(sd, b)
+	if len(ds) == 0 {
+		return nil
+	}
+	for _, d := range ds {
+		fmt.Fprintf(out, "warning: %s\n", d)
+	}
+	if werror {
+		return fmt.Errorf("codegen: kernel %s failed static verification (%d diagnostics, -Werror)", name, len(ds))
+	}
+	return nil
 }

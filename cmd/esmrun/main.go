@@ -71,6 +71,7 @@ func run(args []string, out io.Writer) error {
 		ocLev   = fs.Int("oclev", 8, "ocean levels")
 		atmDt   = fs.Float64("atmdt", 120, "atmosphere timestep (s)")
 		workers = fs.Int("workers", 0, "kernel worker-pool width (0 = GOMAXPROCS); results are bit-identical at every width")
+		kernels = fs.String("kernels", "gen", "hot-path kernel implementation: gen (SDFG-generated, default) or hand (hand-written twins); results are bit-identical either way")
 		overlap = fs.Bool("overlap", true, "overlap the ocean+BGC window with the atmosphere window (results are bit-identical either way)")
 		sums    = fs.String("sums", "", "write exact (hex-float) conservation totals to this file for byte-for-byte determinism diffs")
 		bgcConc = fs.Bool("bgc-concurrent", false, "run biogeochemistry concurrently on its own GPU device")
@@ -101,6 +102,9 @@ func run(args []string, out io.Writer) error {
 	if *transport != "inproc" && *transport != "socket" {
 		return fmt.Errorf("esmrun: -transport %q: want inproc or socket", *transport)
 	}
+	if *kernels != "gen" && *kernels != "hand" {
+		return fmt.Errorf("esmrun: -kernels %q: want gen or hand", *kernels)
+	}
 	if *ranks > 1 || *transport == "socket" {
 		if *chaos != "" || *ckptDir != "" || *resume != "" || *crashAt != "" ||
 			*traceOut != "" || *ckpt != "" || *report != "" || *chaosReport != "" {
@@ -114,6 +118,7 @@ func run(args []string, out io.Writer) error {
 			BGCConcurrent:     *bgcConc,
 			DisableLandGraphs: *noGraph,
 			Workers:           *workers,
+			Kernels:           *kernels,
 			NoOverlap:         !*overlap,
 		}
 		return runRanks(opts, *ranks, *transport, *hours, *gridLev, *atmLev, *sums, out)
@@ -136,6 +141,7 @@ func run(args []string, out io.Writer) error {
 		BGCConcurrent:     *bgcConc,
 		DisableLandGraphs: *noGraph,
 		Workers:           *workers,
+		Kernels:           *kernels,
 		NoOverlap:         !*overlap,
 	})
 	if err != nil {

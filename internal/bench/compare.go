@@ -127,6 +127,19 @@ var GatedCustomMetrics = map[string]Policy{
 	// boundary messages are in flight. Dropping below the floor means
 	// the partition stopped hiding its communication.
 	"halo_overlap_frac": {Direction: HigherIsBetter, Tolerance: 0.10, Floor: 0.5},
+	// gen_kernel_speedup_x is the aggregate wall-time ratio of the
+	// hand-written kernel twins over the SDFG-generated defaults, summed
+	// across all production kernels (BenchmarkGenKernelSpeedup). The floor
+	// is the codegen PR's acceptance contract: the generated kernels may
+	// never be slower than the hand code they replaced. A ratio is already
+	// machine-normalized, so it is Unscaled.
+	"gen_kernel_speedup_x": {Direction: HigherIsBetter, Tolerance: 0.15, Floor: 1.0},
+	// gen_speedup_x is the same ratio per kernel (the sub-benchmarks of
+	// BenchmarkGenKernelSpeedup). No floor: several kernels are expected
+	// ≈1.0 — the generated body is the same arithmetic — and would flap a
+	// per-kernel floor on runner noise; the wide band still trends them
+	// and catches a kernel-local collapse.
+	"gen_speedup_x": {Direction: HigherIsBetter, Tolerance: 0.25},
 }
 
 // PolicyFor resolves the gating rule for a metric unit.
@@ -172,6 +185,12 @@ type Report struct {
 	// the old baseline, so a floored metric fails even on its first
 	// recorded appearance.
 	FloorViolations []Regression
+	// New are benchmarks (or single metrics, "bench [unit]") present in
+	// the new baseline but absent from the old one. They cannot be gated
+	// relatively — there is nothing to compare against — but silence here
+	// would read as "compared and fine", so they are reported explicitly
+	// as recorded-for-the-first-time. Floors still apply via floorScan.
+	New []string
 	// HostMismatch is set when the two baselines were recorded on
 	// machines with different OS/arch/CPU-count fingerprints.
 	HostMismatch bool
@@ -210,6 +229,10 @@ func (r Report) Format() string {
 	}
 	for _, imp := range r.Improvements {
 		fmt.Fprintf(&b, "improved   %s\n", imp)
+	}
+	for _, n := range r.New {
+		fmt.Fprintf(&b, "new metric recorded: %s (absent from old baseline, "+
+			"gated from the next re-record)\n", n)
 	}
 	if r.OK() {
 		b.WriteString("benchgate: OK\n")
@@ -265,8 +288,40 @@ func Compare(oldB, newB *Baseline) Report {
 			verdict(&rep, name, unit, o, normalize(n, pol.Scale, rep.HostSpeed), pol)
 		}
 	}
+	rep.New = newEntries(oldB, newB)
 	rep.FloorViolations = floorScan(newB)
 	return rep
+}
+
+// newEntries lists benchmarks and metrics of newB that oldB has never
+// recorded. The old-baseline iteration in Compare cannot see them; left
+// unmentioned they would pass silently, which reads as "compared and
+// fine" when nothing was compared at all.
+func newEntries(oldB, newB *Baseline) []string {
+	var out []string
+	names := make([]string, 0, len(newB.Benchmarks))
+	for name := range newB.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		oldMetrics, ok := oldB.Benchmarks[name]
+		if !ok {
+			out = append(out, name)
+			continue
+		}
+		units := make([]string, 0, len(newB.Benchmarks[name]))
+		for unit := range newB.Benchmarks[name] {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			if _, ok := oldMetrics[unit]; !ok {
+				out = append(out, name+" ["+unit+"]")
+			}
+		}
+	}
+	return out
 }
 
 // floorScan checks every metric of the new baseline against its policy's

@@ -57,6 +57,11 @@ type Config struct {
 	// (internal/sched); 0 keeps the current setting (GOMAXPROCS by
 	// default). Results are bit-identical at every width.
 	Workers int
+	// Kernels selects the hot-path kernel implementation: "" or "gen"
+	// dispatches the SDFG-generated kernels (internal/gen, the default),
+	// "hand" the retained hand-written twins. Both are bit-identical; the
+	// seam lets the determinism matrix prove it end to end.
+	Kernels string
 	// NoOverlap serialises the two sides of the coupling window on the
 	// caller's goroutine (GPU side first, then CPU side) instead of
 	// overlapping them. The zero value keeps the paper's functional
@@ -172,6 +177,10 @@ func New(cfg Config, gpu, cpu *exec.Device) *EarthSystem {
 
 	es := &EarthSystem{Cfg: cfg, G: g, Mask: mask, GPU: gpu, CPU: cpu}
 	es.Atm = atmos.NewModel(g, vertA, gpu)
+	if cfg.Kernels == "hand" {
+		g.SetKernels("hand")
+		es.Atm.Dyn.SetKernels("hand")
+	}
 	if cfg.GrayRadiation {
 		es.Atm.Rad = atmos.NewRadiation()
 		// Radiation takes over the deep-atmosphere cooling; weaken the

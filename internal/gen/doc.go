@@ -1,0 +1,15 @@
+// Package gen holds the SDFG-generated production kernels: for every
+// kernel in sdfg.ProductionKernels(), a binder
+//
+//	func Bind<Name>(nInner int, <fields...> []float64, <tables...> []int) func(lo, hi int)
+//
+// that captures concrete storage once and returns an NPROMA block body
+// for sched.Run. kernels_gen.go is written by cmd/codegen from the DSL
+// sources in internal/sdfg/genkernels.go — edit those sources (or the
+// emitter) and re-run `go generate ./internal/gen`, never the generated
+// file; CI diffs a fresh generation against the committed one, so the
+// two cannot drift. See DESIGN.md §15 for the ABI, the block contract
+// and the bit-identity argument.
+package gen
+
+//go:generate go run icoearth/cmd/codegen -out kernels_gen.go -pkg gen

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"icoearth/internal/gen"
 	"icoearth/internal/sched"
 	"icoearth/internal/sphere"
 )
@@ -102,6 +103,31 @@ type Grid struct {
 	// edge-to-cell kinetic-energy interpolation (the paper's z_ekinh
 	// kernel): KE(c) = Σᵢ KineticCoeff[c][i]·u²(eᵢ).
 	KineticCoeff [][3]float64
+
+	// Gen holds the flattened neighbour tables and operator coefficients
+	// bound by the SDFG-generated kernels (internal/gen): one slice per
+	// DSL array name, built once at construction and immutable after.
+	// Geometry that is already a flat slice (EdgeLength, DualLength,
+	// CellArea) is bound directly and not duplicated here.
+	Gen GenTables
+
+	// kernels selects the operator implementation: "" or "gen" dispatches
+	// the SDFG-generated bodies (the default), "hand" the hand-written
+	// twins where one is retained. See SetKernels.
+	kernels string
+}
+
+// GenTables is the slice-per-array form of the grid's [][3] neighbour
+// tables and operator coefficients — the binding surface of the generated
+// kernels. Coefficients are computed by the exact Go expressions the hand
+// kernels evaluated inline, so binding them preserves bit-identity.
+type GenTables struct {
+	Iel1, Iel2, Iel3 []int     // CellEdges columns
+	Icell1, Icell2   []int     // EdgeCells columns
+	O1, O2, O3       []float64 // float64(EdgeOrient) columns
+	Ke1, Ke2, Ke3    []float64 // KineticCoeff columns
+	W1, W2, W3       []float64 // Laplacian level weights o·l/(d·A)
+	Tx, Ty, Tz       []float64 // EdgeTangent components
 }
 
 // New generates the grid at the given resolution. Generation is
@@ -447,33 +473,93 @@ func (g *Grid) computeGeometry() {
 			g.KineticCoeff[c][i] = g.EdgeLength[e] * g.DualLength[e] / (4 * g.CellArea[c])
 		}
 	}
+
+	g.buildGenTables()
 }
+
+// buildGenTables flattens the [][3] tables into the per-column slices the
+// generated kernels bind. The W weights use the identical expression the
+// hand LaplacianLevels evaluated per element, so precomputation changes
+// no bits.
+func (g *Grid) buildGenTables() {
+	t := &g.Gen
+	t.Iel1 = make([]int, g.NCells)
+	t.Iel2 = make([]int, g.NCells)
+	t.Iel3 = make([]int, g.NCells)
+	t.O1 = make([]float64, g.NCells)
+	t.O2 = make([]float64, g.NCells)
+	t.O3 = make([]float64, g.NCells)
+	t.Ke1 = make([]float64, g.NCells)
+	t.Ke2 = make([]float64, g.NCells)
+	t.Ke3 = make([]float64, g.NCells)
+	t.W1 = make([]float64, g.NCells)
+	t.W2 = make([]float64, g.NCells)
+	t.W3 = make([]float64, g.NCells)
+	for c := range g.CellEdges {
+		e1, e2, e3 := g.CellEdges[c][0], g.CellEdges[c][1], g.CellEdges[c][2]
+		t.Iel1[c], t.Iel2[c], t.Iel3[c] = e1, e2, e3
+		t.O1[c] = float64(g.EdgeOrient[c][0])
+		t.O2[c] = float64(g.EdgeOrient[c][1])
+		t.O3[c] = float64(g.EdgeOrient[c][2])
+		t.Ke1[c], t.Ke2[c], t.Ke3[c] = g.KineticCoeff[c][0], g.KineticCoeff[c][1], g.KineticCoeff[c][2]
+		t.W1[c] = float64(g.EdgeOrient[c][0]) * g.EdgeLength[e1] / (g.DualLength[e1] * g.CellArea[c])
+		t.W2[c] = float64(g.EdgeOrient[c][1]) * g.EdgeLength[e2] / (g.DualLength[e2] * g.CellArea[c])
+		t.W3[c] = float64(g.EdgeOrient[c][2]) * g.EdgeLength[e3] / (g.DualLength[e3] * g.CellArea[c])
+	}
+	t.Icell1 = make([]int, g.NEdges)
+	t.Icell2 = make([]int, g.NEdges)
+	t.Tx = make([]float64, g.NEdges)
+	t.Ty = make([]float64, g.NEdges)
+	t.Tz = make([]float64, g.NEdges)
+	for e := range g.EdgeCells {
+		t.Icell1[e], t.Icell2[e] = g.EdgeCells[e][0], g.EdgeCells[e][1]
+		t.Tx[e], t.Ty[e], t.Tz[e] = g.EdgeTangent[e].X, g.EdgeTangent[e].Y, g.EdgeTangent[e].Z
+	}
+}
+
+// SetKernels selects the operator implementation: "gen" (or "") for the
+// SDFG-generated bodies, "hand" for the hand-written twins where one is
+// retained in-tree. The esmrun -kernels flag reaches this through the
+// coupler.
+func (g *Grid) SetKernels(mode string) { g.kernels = mode }
 
 // Divergence computes the discrete divergence of an edge-normal velocity
 // field un (m/s) into div (1/s) at cell centres:
 // div(c) = 1/A_c Σᵢ orient·u·l. The two slices must have lengths NEdges and
-// NCells.
+// NCells. Dispatches the SDFG-generated div_cell kernel (hand twin under
+// SetKernels("hand")).
 func (g *Grid) Divergence(un, div []float64) {
-	sched.Run(g.NCells, func(lo, hi int) {
-		for c := lo; c < hi; c++ {
-			var s float64
-			for i, e := range g.CellEdges[c] {
-				s += float64(g.EdgeOrient[c][i]) * un[e] * g.EdgeLength[e]
+	if g.kernels == "hand" {
+		sched.Run(g.NCells, func(lo, hi int) {
+			for c := lo; c < hi; c++ {
+				var s float64
+				for i, e := range g.CellEdges[c] {
+					s += float64(g.EdgeOrient[c][i]) * un[e] * g.EdgeLength[e]
+				}
+				div[c] = s / g.CellArea[c]
 			}
-			div[c] = s / g.CellArea[c]
-		}
-	})
+		})
+		return
+	}
+	t := &g.Gen
+	sched.Run(g.NCells, gen.BindDivCell(g.CellArea, div, g.EdgeLength, t.O1, t.O2, t.O3, un, t.Iel1, t.Iel2, t.Iel3))
 }
 
 // Gradient computes the discrete normal gradient of a cell field psi onto
 // edges: grad(e) = (ψ(c1)-ψ(c0))/d_e, following the edge normal direction.
+// Dispatches the SDFG-generated grad_edge kernel (hand twin under
+// SetKernels("hand")).
 func (g *Grid) Gradient(psi, grad []float64) {
-	sched.Run(g.NEdges, func(lo, hi int) {
-		for e := lo; e < hi; e++ {
-			c0, c1 := g.EdgeCells[e][0], g.EdgeCells[e][1]
-			grad[e] = (psi[c1] - psi[c0]) / g.DualLength[e]
-		}
-	})
+	if g.kernels == "hand" {
+		sched.Run(g.NEdges, func(lo, hi int) {
+			for e := lo; e < hi; e++ {
+				c0, c1 := g.EdgeCells[e][0], g.EdgeCells[e][1]
+				grad[e] = (psi[c1] - psi[c0]) / g.DualLength[e]
+			}
+		})
+		return
+	}
+	sched.Run(g.NEdges, gen.BindGradEdge(g.DualLength, grad, psi, g.Gen.Icell1, g.Gen.Icell2))
 }
 
 // Curl computes the discrete relative vorticity at dual vertices from the
@@ -534,18 +620,4 @@ func (g *Grid) TotalArea() float64 {
 		s += a
 	}
 	return s
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

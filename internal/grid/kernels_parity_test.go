@@ -1,0 +1,71 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"icoearth/internal/sched"
+)
+
+// TestGridOperatorHandGenBitIdentical: every grid operator behind the
+// kernel seam must produce bit-identical (%x) output under the generated
+// kernels (default) and the hand twins, at workers {1,4}.
+func TestGridOperatorHandGenBitIdentical(t *testing.T) {
+	g := New(R2B(2))
+	defer sched.SetWorkers(0)
+	defer g.SetKernels("gen")
+
+	const nlev = 5
+	un := make([]float64, g.NEdges)
+	psi := make([]float64, g.NCells)
+	psiLev := make([]float64, g.NCells*nlev)
+	for i := range un {
+		un[i] = math.Sin(float64(i) * 0.7)
+	}
+	for i := range psi {
+		psi[i] = math.Cos(float64(i) * 0.3)
+	}
+	for i := range psiLev {
+		psiLev[i] = math.Sin(float64(i)*0.11 + 1)
+	}
+
+	ops := []struct {
+		name string
+		run  func(out []float64)
+		size int
+	}{
+		{"divergence", func(out []float64) { g.Divergence(un, out) }, g.NCells},
+		{"gradient", func(out []float64) { g.Gradient(psi, out) }, g.NEdges},
+		{"laplacian", func(out []float64) { g.Laplacian(psi, out) }, g.NCells},
+		{"laplacian_levels", func(out []float64) { g.LaplacianLevels(psiLev, out, nlev) }, g.NCells * nlev},
+	}
+	for _, op := range ops {
+		t.Run(op.name, func(t *testing.T) {
+			out := make([]float64, op.size)
+			g.SetKernels("gen")
+			sched.SetWorkers(1)
+			op.run(out)
+			want := fmt.Sprintf("%x", out)
+			for _, tc := range []struct {
+				kernels string
+				workers int
+			}{
+				{"hand", 1},
+				{"gen", 4},
+				{"hand", 4},
+			} {
+				for i := range out {
+					out[i] = math.NaN()
+				}
+				g.SetKernels(tc.kernels)
+				sched.SetWorkers(tc.workers)
+				op.run(out)
+				if got := fmt.Sprintf("%x", out); got != want {
+					t.Errorf("kernels=%s workers=%d diverges from kernels=gen workers=1",
+						tc.kernels, tc.workers)
+				}
+			}
+		})
+	}
+}

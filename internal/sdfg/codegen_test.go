@@ -1,8 +1,12 @@
 package sdfg
 
 import (
+	"bytes"
+	"go/format"
 	"go/parser"
 	"go/token"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -116,5 +120,112 @@ func TestCodegenUnboundFails(t *testing.T) {
 	sd := Build(k)
 	if _, err := CodegenGo(sd, NewBindings(4, 2)); err == nil {
 		t.Error("want error for unbound arrays")
+	}
+	b := NewBindings(4, 2)
+	if _, err := CodegenGoBlocked(sd, b); err == nil {
+		t.Error("blocked backend: want error for unbound arrays")
+	}
+}
+
+// emitProductionPackage runs the blocked backend over every production
+// kernel exactly as cmd/codegen does (same verification grid, same
+// package assembly) — the shared fixture of the golden tests below.
+func emitProductionPackage(t *testing.T) []byte {
+	t.Helper()
+	g := grid.New(grid.R2B(1))
+	var kernels []*BlockedKernel
+	for _, pk := range ProductionKernels() {
+		sd, b, err := BindProduction(pk.Name, g, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", pk.Name, err)
+		}
+		bk, err := CodegenGoBlocked(sd, b)
+		if err != nil {
+			t.Fatalf("%s: %v", pk.Name, err)
+		}
+		kernels = append(kernels, bk)
+	}
+	src, err := CodegenPackage("gen", kernels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+// TestCodegenGoldenMap: the map backend's emitted source is byte-stable
+// against the committed golden file (UPDATE_GOLDEN=1 regenerates it),
+// syntactically valid Go, and shows its optimisation decisions — hoist
+// slots and fusion boundaries — in the text.
+func TestCodegenGoldenMap(t *testing.T) {
+	g := grid.New(grid.R2B(1))
+	kine := make([]float64, g.NEdges*4)
+	sd, b, _, err := BindEkinh(g, 4, kine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := CodegenGo(sd, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "ekinh_map.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create)", err)
+	}
+	if src != string(want) {
+		t.Errorf("map backend output drifted from %s; regenerate with UPDATE_GOLDEN=1 if intended.\ngot:\n%s", golden, src)
+	}
+	for _, mark := range []string{"hoist0 :=", "// fused group 0"} {
+		if !strings.Contains(src, mark) {
+			t.Errorf("golden source missing optimisation marker %q", mark)
+		}
+	}
+	wrapped := "package gen\nfunc sq(x float64) float64 { return x * x }\n" + src
+	if _, err := format.Source([]byte(wrapped)); err != nil {
+		t.Errorf("map backend output does not pass format.Source: %v", err)
+	}
+}
+
+// TestCodegenGoldenBlocked: the blocked backend's assembled package is
+// byte-stable across emissions, gofmt-idempotent (format.Source is a
+// fixed point), byte-identical to the checked-in internal/gen package
+// (the golden file `go generate` maintains — this is the in-test half of
+// CI's generate-drift gate), and shows hoist slots, the hoisted-lookup
+// provenance comments, and fusion boundaries in the text.
+func TestCodegenGoldenBlocked(t *testing.T) {
+	src := emitProductionPackage(t)
+	if again := emitProductionPackage(t); !bytes.Equal(src, again) {
+		t.Error("blocked backend not byte-stable across emissions")
+	}
+	formatted, err := format.Source(src)
+	if err != nil {
+		t.Fatalf("emitted package does not parse: %v", err)
+	}
+	if !bytes.Equal(src, formatted) {
+		t.Error("emitted package is not gofmt-idempotent")
+	}
+	golden := filepath.Join("..", "gen", "kernels_gen.go")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(src, want) {
+		t.Errorf("emitted package drifted from %s — rerun `go generate ./...`", golden)
+	}
+	for _, mark := range []string{
+		"h0 := iel1[jc] // hoisted: iel1(jc)",
+		"h1 := icell1[h0] // hoisted: icell1(iel1(jc))",
+		"// fused group 0",
+		"// level-invariant: blnc1(jc)",
+		"// reused 2×: vn(iel1(jc),jk)",
+	} {
+		if !strings.Contains(string(src), mark) {
+			t.Errorf("blocked package missing optimisation marker %q", mark)
+		}
 	}
 }

@@ -245,32 +245,71 @@ func (g *SDFG) IndexLookups(isTable func(name string) bool) (distinct []string, 
 	return distinct, occurrences
 }
 
-// Validate checks that every array referenced by the kernel is bound and
-// that each reference's subscript count matches the binding's declared
-// rank (the deeper legality checks live in Verify).
+// Validate checks that every array referenced by the kernel is bound,
+// that no binding's kind contradicts its use (assigning into an index
+// table), that each reference's subscript count matches the binding's
+// declared rank, and that slices directly indexed by the loop variables
+// are long enough for the iteration space. Failures are the typed errors
+// of errors.go, each naming the offending array. The deeper legality
+// checks live in Verify.
 func (g *SDFG) Validate(b *Bindings) error {
 	for _, st := range g.K.Stmts {
 		for name := range st.Reads() {
 			if !b.has(name) {
-				return fmt.Errorf("sdfg: unbound array %q in kernel %s", name, g.K.Name)
+				return &ErrMissingArray{Kernel: g.K.Name, Array: name}
 			}
 		}
 		if !b.has(st.Writes()) {
-			return fmt.Errorf("sdfg: unbound output %q in kernel %s", st.Writes(), g.K.Name)
+			return &ErrMissingArray{Kernel: g.K.Name, Array: st.Writes(), Write: true}
 		}
-		var rankErr error
+		if b.IsTable(st.Writes()) {
+			return &ErrKindMismatch{Kernel: g.K.Name, Array: st.Writes(),
+				BoundAs: "index table", UsedAs: "assignment target"}
+		}
+		var refErr error
 		walkRefs(st, func(a ArrayRef, isWrite bool) {
-			if rankErr != nil || !b.has(a.Name) {
+			if refErr != nil || !b.has(a.Name) {
 				return
 			}
 			if dims := b.Dims[a.Name]; dims != len(a.Subs) {
-				rankErr = fmt.Errorf("sdfg: array %q has rank %d but kernel %s subscripts it with %d index(es)",
+				refErr = fmt.Errorf("sdfg: array %q has rank %d but kernel %s subscripts it with %d index(es)",
 					a.Name, dims, g.K.Name, len(a.Subs))
+				return
 			}
+			refErr = g.checkExtent(a, b)
 		})
-		if rankErr != nil {
-			return rankErr
+		if refErr != nil {
+			return refErr
 		}
+	}
+	return nil
+}
+
+// checkExtent verifies a reference whose subscripts are exactly the loop
+// variables against the bound slice's length: such a reference sweeps the
+// whole iteration space, so the slice must hold it. Gathers through index
+// tables (data-dependent extents) are skipped.
+func (g *SDFG) checkExtent(a ArrayRef, b *Bindings) error {
+	sub0, ok := a.Subs[0].(VarRef)
+	if !ok || sub0.Name != g.K.OuterVar {
+		return nil
+	}
+	need := b.NOuter
+	if len(a.Subs) == 2 {
+		sub1, ok := a.Subs[1].(VarRef)
+		if !ok || sub1.Name != g.K.InnerVar {
+			return nil
+		}
+		need = b.NOuter * b.NInner
+	}
+	have := -1
+	if f, ok := b.Fields[a.Name]; ok {
+		have = len(f)
+	} else if t, ok := b.Tables[a.Name]; ok {
+		have = len(t)
+	}
+	if have >= 0 && have < need {
+		return &ErrShortSlice{Kernel: g.K.Name, Array: a.Name, Need: need, Have: have}
 	}
 	return nil
 }

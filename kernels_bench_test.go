@@ -1,0 +1,104 @@
+package icoearth
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"icoearth/internal/sched"
+)
+
+// BenchmarkGenKernelSpeedup times every production kernel behind the
+// gen/hand seam — the dycore hot paths (z_ekinh, Perot reconstruction)
+// and the grid operators — under both implementations and reports, per
+// kernel, the raw ns/op of each side plus their ratio (gen_speedup_x,
+// trended, no floor: kernels whose generated body is the same arithmetic
+// sit at ≈1.0). The final aggregate sub-benchmark reports the gated
+// gen_kernel_speedup_x: total hand time over total generated time, which
+// the benchgate floor requires to stay ≥ 1.0 — the codegen acceptance
+// contract that the generated kernels never lose to the hand code they
+// replaced. Runs at pool width 1 so the comparison measures the kernel
+// bodies, not dispatch.
+func BenchmarkGenKernelSpeedup(b *testing.B) {
+	sim, err := NewSimulation(Options{GridLevel: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dy := sim.ES.Atm.Dyn
+	g := sim.ES.G
+	nlev := 10
+	sched.SetWorkers(1)
+	defer sched.SetWorkers(0)
+	defer g.SetKernels("gen")
+	defer dy.SetKernels("gen")
+
+	un := make([]float64, g.NEdges)
+	div := make([]float64, g.NCells)
+	psi := make([]float64, g.NCells)
+	grad := make([]float64, g.NEdges)
+	lap := make([]float64, g.NCells)
+	psiLev := make([]float64, g.NCells*nlev)
+	lapLev := make([]float64, g.NCells*nlev)
+	for i := range un {
+		un[i] = math.Sin(float64(i) * 0.7)
+	}
+	for i := range psi {
+		psi[i] = math.Cos(float64(i) * 0.3)
+	}
+	for i := range psiLev {
+		psiLev[i] = math.Sin(float64(i)*0.11 + 1)
+	}
+
+	// set binds one side of the seam everywhere and returns a runner per
+	// kernel; the dycore bodies must be re-fetched after every rebind.
+	set := func(mode string) map[string]func() {
+		dy.SetKernels(mode)
+		g.SetKernels(mode)
+		runs := map[string]func(){}
+		for _, k := range dy.HotKernels() {
+			k := k
+			runs[k.Name] = func() { sched.Run(k.N, k.Body) }
+		}
+		runs["div_cell"] = func() { g.Divergence(un, div) }
+		runs["grad_edge"] = func() { g.Gradient(psi, grad) }
+		runs["lap_cell"] = func() { g.Laplacian(psi, lap) }
+		runs["lap_levels"] = func() { g.LaplacianLevels(psiLev, lapLev, nlev) }
+		return runs
+	}
+
+	names := []string{"ke_vn", "perot_uc", "perot_vt", "div_cell", "grad_edge", "lap_cell", "lap_levels"}
+	handNs := map[string]float64{}
+	genNs := map[string]float64{}
+	for _, name := range names {
+		b.Run(name, func(b *testing.B) {
+			var t [2]time.Duration
+			for mi, mode := range []string{"hand", "gen"} {
+				// Rebinding and warm-up stay outside the timer so B/op and
+				// allocs/op report the dispatch path alone, not setup
+				// amortized over a run-dependent b.N.
+				b.StopTimer()
+				run := set(mode)[name]
+				run()
+				b.StartTimer()
+				t0 := time.Now()
+				for i := 0; i < b.N; i++ {
+					run()
+				}
+				t[mi] = time.Since(t0)
+			}
+			handNs[name] = float64(t[0].Nanoseconds()) / float64(b.N)
+			genNs[name] = float64(t[1].Nanoseconds()) / float64(b.N)
+			b.ReportMetric(handNs[name], "hand_ns/op")
+			b.ReportMetric(genNs[name], "gen_ns/op")
+			b.ReportMetric(t[0].Seconds()/t[1].Seconds(), "gen_speedup_x")
+		})
+	}
+	b.Run("aggregate", func(b *testing.B) {
+		var hand, gen float64
+		for _, name := range names {
+			hand += handNs[name]
+			gen += genNs[name]
+		}
+		b.ReportMetric(hand/gen, "gen_kernel_speedup_x")
+	})
+}

@@ -20,6 +20,13 @@ test -z "$(gofmt -l .)"
 go mod tidy -diff
 
 go build ./...
+# Generated-kernel drift: internal/gen/kernels_gen.go is codegen output
+# checked in as its own golden; regenerating must be a no-op, or the tree
+# carries hand edits to generated code (or a stale generation). Scoped to
+# the generated package so the gate works on a dirty tree; CI runs the
+# whole-tree variant on its clean checkout.
+go generate ./...
+git diff --exit-code -- internal/gen
 go vet ./...
 # icovet: the repo-specific analyzer suite, plus the suppression budget —
 # every //icovet:ignore must name its analyzer and justify itself, and
@@ -57,11 +64,15 @@ cmp "$CKPT_DIR/a.txt" "$CKPT_DIR/b.txt"
 rm -rf "$CKPT_DIR"
 # Determinism smoke: the overlapped and the serialised coupling window
 # must produce byte-for-byte identical conservation fingerprints (the CI
-# determinism job runs the full workers × overlap matrix).
+# determinism job runs the full kernels × workers × overlap matrix).
 SUMS_DIR="$(mktemp -d)"
 go run ./cmd/esmrun -hours 0.5 -overlap=true -sums "$SUMS_DIR/on.txt" > /dev/null
 go run ./cmd/esmrun -hours 0.5 -overlap=false -sums "$SUMS_DIR/off.txt" > /dev/null
 cmp "$SUMS_DIR/on.txt" "$SUMS_DIR/off.txt"
+# Kernel-seam smoke: the SDFG-generated kernels (the default) and the
+# retained hand twins must land on the byte-identical fingerprint.
+go run ./cmd/esmrun -hours 0.5 -kernels hand -sums "$SUMS_DIR/hand.txt" > /dev/null
+cmp "$SUMS_DIR/on.txt" "$SUMS_DIR/hand.txt"
 # Transport smoke: four real rank processes over unix sockets must land
 # on the byte-identical fingerprint (the CI determinism job runs the full
 # ranks × transport matrix). Built to a binary first: the socket launcher
